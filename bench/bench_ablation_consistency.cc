@@ -1,0 +1,53 @@
+// Ablation: consistency model.  The paper's machine is sequentially
+// consistent with blocking processors; its introduction points to
+// latency-tolerating processor features as the complementary attack on
+// remote latency.  This bench adds a store buffer (processor-consistency
+// approximation; buffered stores drain in the background) and asks how much
+// of the memory-architecture gap it closes on the write-heavy radix.
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace ascoma;
+using namespace ascoma::bench;
+
+int main() {
+  std::cout << "=== Ablation: blocking stores vs store buffer (radix @50%)"
+               " ===\n\n";
+
+  std::vector<core::SweepJob> jobs;
+  for (ArchModel arch : {ArchModel::kCcNuma, ArchModel::kAsComa}) {
+    for (int sb : {0, 4, 16}) {
+      core::SweepJob j;
+      j.config.arch = arch;
+      j.config.memory_pressure = 0.5;
+      if (sb > 0) {
+        j.config.blocking_stores = false;
+        j.config.store_buffer_entries = static_cast<std::uint32_t>(sb);
+      }
+      j.label = std::string(to_string(arch)) +
+                (sb == 0 ? "/blocking" : "/sb" + std::to_string(sb));
+      j.workload = "radix";
+      j.workload_scale = bench_scale();
+      jobs.push_back(std::move(j));
+    }
+  }
+  const auto rs = core::run_sweep(jobs, bench_threads());
+  const double base =
+      static_cast<double>(find(rs, "CCNUMA/blocking").result.cycles());
+
+  Table t({"config", "cycles", "rel. to CCNUMA/blocking", "U-SH-MEM%"});
+  for (const auto& r : rs) {
+    t.add_row({r.job.label, std::to_string(r.result.cycles()),
+               Table::num(static_cast<double>(r.result.cycles()) / base, 3),
+               Table::pct(r.result.stats.totals.time.frac(
+                   TimeBucket::kUserShared))});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: the store buffer hides write latency for every"
+               " architecture, but does not\nsubstitute for the page cache —"
+               " loads still pay remote latency, so AS-COMA retains\nits"
+               " advantage under either consistency model.\n";
+  return 0;
+}

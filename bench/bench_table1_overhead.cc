@@ -1,0 +1,84 @@
+// Table 1 reproduction: the remote-memory-overhead decomposition per model,
+//
+//   (N_pagecache * T_pagecache) + (N_remote * T_remote)
+//   + (N_cold * T_remote) + T_overhead
+//
+// measured (not assumed) on em3d at 50% memory pressure: the N terms come
+// from the miss breakdown, the T terms from the configured Table 4 minimum
+// latencies, and T_overhead from the realized K-OVERHD bucket.  The final
+// column compares the model's prediction against the simulator's realized
+// shared-memory stall + kernel overhead, validating the paper's cost model.
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/workload.hh"
+
+using namespace ascoma;
+using namespace ascoma::bench;
+
+int main() {
+  std::cout << "=== Table 1: remote memory overhead of various models ===\n\n";
+
+  MachineConfig base;
+  std::vector<core::SweepJob> jobs;
+  for (ArchModel arch : {ArchModel::kCcNuma, ArchModel::kScoma,
+                         ArchModel::kRNuma, ArchModel::kVcNuma,
+                         ArchModel::kAsComa}) {
+    core::SweepJob j;
+    j.config = base;
+    j.config.arch = arch;
+    j.config.memory_pressure = 0.5;
+    j.label = to_string(arch);
+    j.workload = "em3d";
+    j.workload_scale = bench_scale();
+    jobs.push_back(std::move(j));
+  }
+  const auto rs = core::run_sweep(jobs, bench_threads());
+
+  Table t({"model", "N_pagecache", "N_remote", "N_cold", "T_overhead(cyc)",
+           "model estimate", "realized", "ratio"});
+  for (const auto& r : rs) {
+    const auto& m = r.result.stats.totals.misses;
+    const auto& time = r.result.stats.totals.time;
+    const MachineConfig& cfg = r.result.config;
+
+    const double n_pagecache = static_cast<double>(m[MissSource::kScoma]);
+    const double n_remote = static_cast<double>(m[MissSource::kConfCapc] +
+                                                m[MissSource::kCoherence]);
+    const double n_cold = static_cast<double>(m[MissSource::kCold]);
+    const double t_overhead =
+        static_cast<double>(time[TimeBucket::kKernelOvhd]);
+
+    const double estimate =
+        n_pagecache * static_cast<double>(cfg.min_local_latency()) +
+        (n_remote + n_cold) * static_cast<double>(cfg.min_remote_latency()) +
+        t_overhead;
+    // Realized cost of the same components: stall on shared memory minus the
+    // part attributable to home/L1/RAC traffic is hard to isolate exactly, so
+    // we compare against stall attributable to page-cache + remote + kernel.
+    const double realized =
+        static_cast<double>(time[TimeBucket::kUserShared]) *
+            ((n_pagecache + n_remote + n_cold) /
+             std::max(1.0, static_cast<double>(m.total()))) +
+        t_overhead;
+
+    t.add_row({r.job.label, Table::num(n_pagecache, 0),
+               Table::num(n_remote, 0), Table::num(n_cold, 0),
+               Table::num(t_overhead, 0), Table::num(estimate, 0),
+               Table::num(realized, 0),
+               Table::num(realized > 0 ? estimate / realized : 0.0, 2)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nNotes (paper Table 1 structure):\n"
+         "  CCNUMA: N_pagecache = 0, N_cold ~ essential cold only, "
+         "T_overhead = 0.\n"
+         "  SCOMA:  N_remote(conflict) ~ 0 (all replicated), overhead grows "
+         "with pressure.\n"
+         "  Hybrids: all four terms non-zero; the ratio column shows the "
+         "minimum-latency model\n"
+         "  underestimates realized cost by the contention factor (>1 means "
+         "over-estimate).\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 2 reproduction: storage cost and implementation complexity of each
+// model, instantiated for each paper workload's real footprint.
+
+#include <iostream>
+
+#include "arch/storage.hh"
+#include "bench_util.hh"
+#include "workload/workload.hh"
+
+using namespace ascoma;
+
+int main() {
+  std::cout << "=== Table 2: cost and complexity of various models ===\n\n";
+
+  MachineConfig cfg;
+  Table t({"model", "workload", "pages/node", "page-cache state (B)",
+           "page map (B)", "refetch counters (B)", "total (B)"});
+  for (ArchModel m : {ArchModel::kCcNuma, ArchModel::kScoma,
+                      ArchModel::kRNuma, ArchModel::kVcNuma,
+                      ArchModel::kAsComa}) {
+    for (const auto& name : workload::workload_names()) {
+      auto wl = workload::make_workload(name);
+      cfg.nodes = wl->nodes();
+      const std::uint64_t pages = wl->pages_per_node();
+      const auto c = arch::estimate_storage(m, cfg, pages);
+      t.add_row({to_string(m), name, std::to_string(pages),
+                 std::to_string(c.page_cache_state_bytes),
+                 std::to_string(c.page_map_bytes),
+                 std::to_string(c.refetch_counter_bytes),
+                 std::to_string(c.total_bytes())});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\ncomplexity inventory:\n";
+  cfg.nodes = 8;
+  for (ArchModel m : {ArchModel::kCcNuma, ArchModel::kScoma,
+                      ArchModel::kRNuma, ArchModel::kVcNuma,
+                      ArchModel::kAsComa}) {
+    const auto c = arch::estimate_storage(m, cfg, 512);
+    std::cout << "  " << to_string(m) << ":";
+    if (c.complexity.empty()) std::cout << " (none beyond base CC-NUMA)";
+    std::cout << '\n';
+    for (const auto& item : c.complexity)
+      std::cout << "    - " << item << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// policy_tuning: explore AS-COMA's policy knobs on one workload — the
+// refetch threshold, the threshold increment, the daemon watermarks, and the
+// two ablation switches — and report how each affects the outcome.  This is
+// the starting point for adapting the policy to a new machine balance
+// (e.g. a faster interconnect lowers the payoff of each remap).
+//
+//   ./policy_tuning [workload] [pressure%]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/sweep.hh"
+#include "workload/workload.hh"
+
+using namespace ascoma;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "em3d";
+  const double pressure = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.85;
+  if (!workload::make_workload(name)) {
+    std::cerr << "unknown workload '" << name << "'\n";
+    return 1;
+  }
+
+  std::vector<core::SweepJob> jobs;
+  auto add = [&](const std::string& label, auto mutate) {
+    core::SweepJob j;
+    j.config.arch = ArchModel::kAsComa;
+    j.config.memory_pressure = pressure;
+    mutate(j.config);
+    j.label = label;
+    j.workload = name;
+    jobs.push_back(std::move(j));
+  };
+
+  add("baseline", [](MachineConfig&) {});
+  add("threshold=16", [](MachineConfig& c) { c.refetch_threshold = 16; });
+  add("threshold=256", [](MachineConfig& c) { c.refetch_threshold = 256; });
+  add("increment=8", [](MachineConfig& c) { c.threshold_increment = 8; });
+  add("increment=128", [](MachineConfig& c) { c.threshold_increment = 128; });
+  add("free_target=15%", [](MachineConfig& c) { c.free_target_frac = 0.15; });
+  add("free_target=3%", [](MachineConfig& c) { c.free_target_frac = 0.03; });
+  add("daemon=0.5M", [](MachineConfig& c) { c.daemon_period = 500'000; });
+  add("daemon=8M", [](MachineConfig& c) { c.daemon_period = 8'000'000; });
+  add("no-scoma-first", [](MachineConfig& c) { c.ascoma_scoma_first = false; });
+  add("no-backoff", [](MachineConfig& c) { c.ascoma_backoff = false; });
+  {
+    core::SweepJob j;
+    j.config.arch = ArchModel::kCcNuma;
+    j.config.memory_pressure = pressure;
+    j.label = "CCNUMA-ref";
+    j.workload = name;
+    jobs.push_back(std::move(j));
+  }
+
+  const auto rs = core::run_sweep(jobs);
+  double cc = 0.0;
+  for (const auto& r : rs)
+    if (r.job.label == "CCNUMA-ref") cc = static_cast<double>(r.result.cycles());
+
+  std::cout << "AS-COMA policy knobs on " << name << " at "
+            << Table::pct(pressure, 0) << " memory pressure\n\n";
+  Table t({"variant", "rel. to CCNUMA", "upgrades", "suppressed",
+           "daemon runs", "K-OVERHD%"});
+  for (const auto& r : rs) {
+    const auto& k = r.result.stats.totals.kernel;
+    t.add_row({r.job.label,
+               Table::num(static_cast<double>(r.result.cycles()) / cc, 3),
+               std::to_string(k.upgrades), std::to_string(k.remap_suppressed),
+               std::to_string(k.daemon_runs),
+               Table::pct(r.result.stats.totals.time.frac(
+                   TimeBucket::kKernelOvhd))});
+  }
+  t.print(std::cout);
+  return 0;
+}

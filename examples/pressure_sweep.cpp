@@ -1,0 +1,62 @@
+// pressure_sweep: the paper's core experiment as a library walkthrough —
+// sweep one workload across memory pressures for all five architectures (in
+// parallel, via core::run_sweep) and print the relative execution time
+// series, i.e. one Figure 2/3 panel as a text chart.
+//
+//   ./pressure_sweep [workload] [scale]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/sweep.hh"
+#include "workload/workload.hh"
+
+using namespace ascoma;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "lu";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  if (!workload::make_workload(name)) {
+    std::cerr << "unknown workload '" << name << "'\n";
+    return 1;
+  }
+
+  const std::vector<double> pressures = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const auto jobs = core::paper_grid(name, pressures, MachineConfig{}, scale);
+  const auto results = core::run_sweep(jobs);
+
+  double ccnuma = 0.0;
+  for (const auto& r : results)
+    if (r.job.config.arch == ArchModel::kCcNuma)
+      ccnuma = static_cast<double>(r.result.cycles());
+
+  std::cout << "workload: " << name
+            << " — execution time relative to CC-NUMA\n\n";
+  Table t({"architecture", "10%", "30%", "50%", "70%", "90%"});
+  for (ArchModel arch : {ArchModel::kCcNuma, ArchModel::kScoma,
+                         ArchModel::kAsComa, ArchModel::kVcNuma,
+                         ArchModel::kRNuma}) {
+    std::vector<std::string> row{to_string(arch)};
+    for (double p : pressures) {
+      bool found = false;
+      for (const auto& r : results) {
+        if (r.job.config.arch != arch) continue;
+        if (arch != ArchModel::kCcNuma &&
+            std::abs(r.job.config.memory_pressure - p) > 1e-9)
+          continue;
+        row.push_back(Table::num(
+            static_cast<double>(r.result.cycles()) / ccnuma, 3));
+        found = true;
+        break;
+      }
+      if (!found) row.push_back("-");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\n(CC-NUMA is memory-pressure independent: one value for all"
+               " columns.)\n";
+  return 0;
+}

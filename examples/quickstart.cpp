@@ -1,0 +1,79 @@
+// Quickstart: build a machine, run one workload under two architectures at
+// two memory pressures, and print the paper-style summary.
+//
+//   ./quickstart [workload] [scale]
+//
+// Demonstrates the three public-API steps: configure a MachineConfig, make a
+// workload, call core::simulate().
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/machine.hh"
+#include "core/sweep.hh"
+#include "workload/workload.hh"
+
+using namespace ascoma;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "em3d";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  auto wl = workload::make_workload(name, scale);
+  if (!wl) {
+    std::cerr << "unknown workload '" << name << "'; choose from:";
+    for (const auto& n : workload::workload_names()) std::cerr << ' ' << n;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  MachineConfig base;  // paper defaults (Tables 3/4; DESIGN.md section 6)
+
+  Table t({"config", "cycles", "rel. to CCNUMA", "U-SH-MEM", "K-OVERHD",
+           "SYNC", "local miss %", "remote fetches", "upgrades+remaps"});
+
+  double ccnuma_cycles = 0.0;
+  for (const auto& [arch, pressure] :
+       std::vector<std::pair<ArchModel, double>>{
+           {ArchModel::kCcNuma, 0.50},
+           {ArchModel::kScoma, 0.10},
+           {ArchModel::kScoma, 0.90},
+           {ArchModel::kAsComa, 0.10},
+           {ArchModel::kAsComa, 0.90},
+           {ArchModel::kRNuma, 0.90},
+       }) {
+    MachineConfig cfg = base;
+    cfg.arch = arch;
+    cfg.memory_pressure = pressure;
+    const core::RunResult r = core::simulate(cfg, *wl);
+
+    const auto& m = r.stats.totals.misses;
+    const auto& time = r.stats.totals.time;
+    const double cycles = static_cast<double>(r.cycles());
+    if (arch == ArchModel::kCcNuma) ccnuma_cycles = cycles;
+
+    t.add_row({std::string(to_string(arch)) + "(" +
+                   Table::num(pressure * 100, 0) + "%)",
+               Table::num(cycles, 0),
+               ccnuma_cycles > 0 ? Table::num(cycles / ccnuma_cycles, 3)
+                                 : "-",
+               Table::pct(time.frac(TimeBucket::kUserShared)),
+               Table::pct(time.frac(TimeBucket::kKernelOvhd)),
+               Table::pct(time.frac(TimeBucket::kSync)),
+               Table::pct(m.total() ? static_cast<double>(m.local()) /
+                                          static_cast<double>(m.total())
+                                    : 0.0),
+               std::to_string(m.remote()),
+               std::to_string(r.stats.totals.kernel.upgrades +
+                              r.stats.totals.kernel.downgrades)});
+  }
+
+  std::cout << "workload: " << wl->name()
+            << "  (pages/node: " << wl->pages_per_node() << ")\n\n";
+  t.print(std::cout);
+  std::cout << "\nColumns mirror the paper's Figures 2/3: relative execution"
+               " time and where misses were satisfied.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// smp_nodes: the SMP-node extension in action.  The paper's Figure 1 allows
+// "one or more commodity microprocessors" per node; this example scales the
+// processors per node at a fixed per-processor workload and shows where the
+// node's shared resources (bus, DRAM, DSM engine) saturate, and how the
+// sibling bus snoop turns some would-be remote traffic into cache-to-cache
+// transfers.
+//
+//   ./smp_nodes [pressure%]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/machine.hh"
+#include "workload/synthetic.hh"
+
+using namespace ascoma;
+
+int main(int argc, char** argv) {
+  const double pressure = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.5;
+
+  Table t({"procs/node", "processors", "cycles", "sibling transfers",
+           "bus util (node 0)", "rel. slowdown/proc"});
+  double base = 0.0;
+  for (std::uint32_t ppn : {1u, 2u, 4u, 8u}) {
+    workload::SyntheticParams p;
+    p.name = "smp-demo";
+    p.nodes = 4;
+    p.procs_per_node = ppn;
+    p.home_pages = 64;
+    p.remote_pages = 32;
+    p.iterations = 4;
+    p.loads_per_page = 16;
+    p.write_fraction = 0.1;
+    workload::SyntheticWorkload wl(p);
+
+    MachineConfig cfg;
+    cfg.arch = ArchModel::kAsComa;
+    cfg.memory_pressure = pressure;
+    core::Machine m(cfg, wl);
+    const auto r = m.run();
+
+    const double cycles = static_cast<double>(r.cycles());
+    if (ppn == 1) base = cycles;
+    const double bus_util =
+        m.memory().bus(0).resource().utilization(r.cycles());
+    t.add_row({std::to_string(ppn), std::to_string(4 * ppn),
+               std::to_string(r.cycles()),
+               std::to_string(m.memory().sibling_transfers()),
+               Table::pct(bus_util),
+               Table::num(cycles / base, 2)});
+  }
+  std::cout << "AS-COMA, " << Table::pct(pressure, 0)
+            << " memory pressure, fixed per-processor work:\n\n";
+  t.print(std::cout);
+  std::cout << "\nEach processor runs its own copy of the stream, so perfect"
+               " scaling would keep\ncycles flat.  The slowdown has two"
+               " sources: contention on the node's shared\nbus/DRAM/DSM"
+               " engine, and — dominant here — the *effective memory"
+               " pressure*:\nevery added processor brings its own hot remote"
+               " set, but the node's page cache\ndoes not grow, so the"
+               " S-COMA replicas that fit per processor shrink.  Sibling\n"
+               "cache-to-cache transfers partially offset both effects.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "arch/ascoma.hh"
+
+#include <algorithm>
+
+namespace ascoma::arch {
+
+PageMode AsComaPolicy::initial_mode(PolicyEnv& env) {
+  // S-COMA-preferred while the pool lasts; CC-NUMA once it drains or while
+  // the node has concluded local memory cannot hold the working set.
+  if (!env.cfg.ascoma_scoma_first) return PageMode::kNuma;
+  if (!thrashing_ && env.page_cache.free_frames() > 0) return PageMode::kScoma;
+  return PageMode::kNuma;
+}
+
+void AsComaPolicy::back_off(PolicyEnv& env) {
+  if (!env.cfg.ascoma_backoff) return;  // ablation: back-off disabled
+  // Thrashing: equally-hot pages would only replace each other.  Back off —
+  // but escalate at most once per daemon period: the back-off is a pageout
+  // daemon decision, and a burst of suppressed remaps within one period is
+  // one signal, not many.
+  thrashing_ = true;
+  if (backed_off_once_ && env.now < last_backoff_ + env.daemon_period) return;
+  backed_off_once_ = true;
+  last_backoff_ = env.now;
+  if (threshold_ <= threshold_max_ - increment_) {
+    threshold_ += increment_;
+    ++env.kernel.threshold_raises;
+  } else if (relocation_enabled_) {
+    // Extreme pressure: disable CC-NUMA -> S-COMA remapping entirely.
+    relocation_enabled_ = false;
+    ++env.kernel.threshold_raises;
+  }
+  env.daemon_period = std::min<Cycle>(
+      period_max_, static_cast<Cycle>(static_cast<double>(env.daemon_period) *
+                                      backoff_factor_));
+}
+
+bool AsComaPolicy::should_relocate(PolicyEnv& env, VPageId page,
+                                   std::uint32_t refetches) {
+  if (!Policy::should_relocate(env, page, refetches)) return false;
+  // Re-upgrade detector: this page was itself downgraded recently, so the
+  // page cache is churning equally-hot pages.  Let the upgrade proceed (the
+  // page has re-earned the full threshold) but escalate the back-off so the
+  // churn rate decays toward zero.
+  if (env.cfg.ascoma_backoff) {
+    const auto it = downgraded_at_.find(page);
+    if (it != downgraded_at_.end()) {
+      if (env.now - it->second <= 2 * env.daemon_period) back_off(env);
+      downgraded_at_.erase(it);
+    }
+  }
+  return relocation_enabled_;  // back_off may have just disabled remapping
+}
+
+void AsComaPolicy::on_replacement(PolicyEnv& env, VPageId victim) {
+  downgraded_at_[victim] = env.now;
+}
+
+void AsComaPolicy::on_remap_suppressed(PolicyEnv& env) {
+  if (!env.cfg.ascoma_backoff) return;
+  // A suppressed remap means the pool is drained *right now* — evidence that
+  // memory is tight (stop S-COMA-first allocation), but not yet that the
+  // cache holds only hot pages.  Only a pageout-daemon run that fails to
+  // find cold pages (back_off via on_daemon_result) escalates the threshold;
+  // if the daemon keeps succeeding (a phase-structured program like lu),
+  // remapping continues at the pool-refill rate.
+  thrashing_ = true;
+}
+
+void AsComaPolicy::on_daemon_result(PolicyEnv& env, const vm::DaemonResult& r) {
+  if (!r.met_target) {
+    success_streak_ = 0;
+    back_off(env);
+    return;
+  }
+
+  // The pool was refilled.  Relaxation is hysteretic: it takes several
+  // consecutive healthy runs that found genuinely cold pages (a program
+  // phase change) to step the threshold back down — a single lucky run must
+  // not reopen the remapping floodgates (radix would oscillate forever).
+  if (!thrashing_ || r.reclaimed == 0 || r.cold_pages_seen < r.reclaimed)
+    return;
+  if (++success_streak_ < 3) return;
+  success_streak_ = 0;
+  {
+    if (!relocation_enabled_) {
+      relocation_enabled_ = true;
+      ++env.kernel.threshold_drops;
+    } else if (threshold_ > initial_threshold_) {
+      threshold_ = std::max(initial_threshold_, threshold_ - increment_);
+      ++env.kernel.threshold_drops;
+    }
+    env.daemon_period = std::max<Cycle>(
+        initial_period_,
+        static_cast<Cycle>(static_cast<double>(env.daemon_period) /
+                           backoff_factor_));
+    if (threshold_ == initial_threshold_ && relocation_enabled_)
+      thrashing_ = false;
+  }
+}
+
+}  // namespace ascoma::arch

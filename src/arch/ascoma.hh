@@ -1,0 +1,65 @@
+#pragma once
+
+// AS-COMA — the paper's contribution.  Two departures from R-NUMA/VC-NUMA:
+//
+// 1. S-COMA-first allocation: while the local free page pool lasts, remote
+//    pages are mapped directly in S-COMA mode (no refetches, no remap cost
+//    at low memory pressure).  Once the pool drains — or while the node is
+//    in thrash back-off — new pages are mapped CC-NUMA and must earn an
+//    upgrade via the refetch threshold.
+//
+// 2. Adaptive replacement back-off: when the pageout daemon cannot refill
+//    the pool to free_target it (a) raises the refetch threshold, (b)
+//    stretches the daemon period, and (c) under sustained pressure disables
+//    CC-NUMA -> S-COMA remapping entirely, converging to CC-NUMA behaviour.
+//    When the daemon later finds ample cold pages (a program phase change),
+//    the threshold steps back down and remapping resumes.
+
+#include <unordered_map>
+
+#include "arch/policy.hh"
+
+namespace ascoma::arch {
+
+class AsComaPolicy final : public Policy {
+ public:
+  explicit AsComaPolicy(const MachineConfig& cfg)
+      : Policy(cfg),
+        increment_(cfg.threshold_increment),
+        initial_threshold_(cfg.refetch_threshold),
+        threshold_max_(cfg.threshold_max),
+        backoff_factor_(cfg.daemon_backoff_factor),
+        initial_period_(cfg.daemon_period),
+        period_max_(cfg.daemon_period_max) {}
+
+  ArchModel model() const override { return ArchModel::kAsComa; }
+
+  PageMode initial_mode(PolicyEnv& env) override;
+  bool should_relocate(PolicyEnv& env, VPageId page,
+                       std::uint32_t refetches) override;
+  void on_daemon_result(PolicyEnv& env, const vm::DaemonResult& r) override;
+  void on_replacement(PolicyEnv& env, VPageId victim) override;
+  void on_remap_suppressed(PolicyEnv& env) override;
+
+  bool thrashing() const { return thrashing_; }
+
+ private:
+  void back_off(PolicyEnv& env);
+
+  std::uint32_t increment_;
+  std::uint32_t initial_threshold_;
+  std::uint32_t threshold_max_;
+  double backoff_factor_;
+  Cycle initial_period_;
+  Cycle period_max_;
+  bool thrashing_ = false;
+  Cycle last_backoff_ = 0;
+  bool backed_off_once_ = false;
+  std::uint32_t success_streak_ = 0;  ///< healthy daemon runs since failure
+  /// Downgrade timestamps: a page re-earning its upgrade shortly after being
+  /// evicted means the cache is churning equally-hot pages — the paper's
+  /// "replacing hot pages with other hot pages" thrash signature.
+  std::unordered_map<VPageId, Cycle> downgraded_at_;
+};
+
+}  // namespace ascoma::arch

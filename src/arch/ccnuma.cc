@@ -1,0 +1,10 @@
+#include "arch/ccnuma.hh"
+
+namespace ascoma::arch {
+
+PageMode CcNumaPolicy::initial_mode(PolicyEnv& env) {
+  (void)env;
+  return PageMode::kNuma;
+}
+
+}  // namespace ascoma::arch

@@ -1,0 +1,25 @@
+#pragma once
+
+// Plain CC-NUMA: every remote page is mapped in CC-NUMA mode forever.  No
+// page cache use, no daemon, no remapping — its performance is independent
+// of memory pressure (the single reference bar in Figures 2/3).
+
+#include "arch/policy.hh"
+
+namespace ascoma::arch {
+
+class CcNumaPolicy final : public Policy {
+ public:
+  explicit CcNumaPolicy(const MachineConfig& cfg) : Policy(cfg) {
+    relocation_enabled_ = false;
+  }
+
+  ArchModel model() const override { return ArchModel::kCcNuma; }
+  PageMode initial_mode(PolicyEnv& env) override;
+  bool should_relocate(PolicyEnv&, VPageId, std::uint32_t) override {
+    return false;
+  }
+  bool runs_daemon() const override { return false; }
+};
+
+}  // namespace ascoma::arch

@@ -1,0 +1,5 @@
+#include "arch/rnuma.hh"
+
+// R-NUMA inherits the default should_relocate (fixed threshold comparison)
+// and ignores daemon results entirely — it has no back-off mechanism.
+namespace ascoma::arch {}

@@ -1,0 +1,22 @@
+#pragma once
+
+// Reactive NUMA (Falsafi & Wood): all pages start in CC-NUMA mode; a page is
+// upgraded to S-COMA when its refetch count crosses a *fixed* threshold, and
+// the upgrade always proceeds — evicting another (possibly hot) page when the
+// pool is empty.  No back-off: the design the paper shows thrashing at high
+// memory pressure.
+
+#include "arch/policy.hh"
+
+namespace ascoma::arch {
+
+class RNumaPolicy final : public Policy {
+ public:
+  explicit RNumaPolicy(const MachineConfig& cfg) : Policy(cfg) {}
+
+  ArchModel model() const override { return ArchModel::kRNuma; }
+  PageMode initial_mode(PolicyEnv&) override { return PageMode::kNuma; }
+  bool force_eviction_on_upgrade() const override { return true; }
+};
+
+}  // namespace ascoma::arch

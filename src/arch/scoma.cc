@@ -1,0 +1,5 @@
+#include "arch/scoma.hh"
+
+// Decision logic is fully inline; this TU anchors the class's presence in
+// the library.
+namespace ascoma::arch {}

@@ -1,0 +1,30 @@
+#pragma once
+
+// Pure S-COMA: every remote page *must* occupy a local page-cache frame
+// before it can be accessed.  At high memory pressure the fault handler
+// replaces pages on every fault to an unmapped page — the thrashing the
+// paper's Section 2.3 describes.
+
+#include "arch/policy.hh"
+
+namespace ascoma::arch {
+
+class ScomaPolicy final : public Policy {
+ public:
+  explicit ScomaPolicy(const MachineConfig& cfg) : Policy(cfg) {
+    // S-COMA has no CC-NUMA mode at all, hence no relocation machinery.
+    relocation_enabled_ = false;
+  }
+
+  ArchModel model() const override { return ArchModel::kScoma; }
+
+  /// Always S-COMA — if the pool is empty the machine's fault handler must
+  /// evict a victim to honour this (mandatory replacement).
+  PageMode initial_mode(PolicyEnv&) override { return PageMode::kScoma; }
+
+  bool should_relocate(PolicyEnv&, VPageId, std::uint32_t) override {
+    return false;
+  }
+};
+
+}  // namespace ascoma::arch

@@ -1,0 +1,40 @@
+#include "arch/storage.hh"
+
+namespace ascoma::arch {
+
+StorageCost estimate_storage(ArchModel model, const MachineConfig& cfg,
+                             std::uint64_t pages_per_node) {
+  StorageCost c;
+  const bool has_page_cache = model != ArchModel::kCcNuma;
+  const bool is_hybrid = model == ArchModel::kRNuma ||
+                         model == ArchModel::kVcNuma ||
+                         model == ArchModel::kAsComa;
+
+  if (has_page_cache) {
+    // Paper Table 2: page-cache state of a few bits per block plus ~32 bits
+    // per page.  We charge 2 bits per coherence block (valid + dirty summary)
+    // and 32 bits per page for the local<->global map entry.
+    const std::uint64_t blocks = pages_per_node * cfg.blocks_per_page();
+    c.page_cache_state_bytes = (blocks * 2 + 7) / 8;
+    c.page_map_bytes = pages_per_node * 4;
+    c.complexity.push_back("page cache state lookup/controller");
+    c.complexity.push_back("local <-> remote page map");
+    c.complexity.push_back("page daemon and VM kernel support");
+  }
+  if (is_hybrid) {
+    // 8-bit refetch counter per page per node at the directory.
+    c.refetch_counter_bytes = pages_per_node * cfg.nodes;
+    c.complexity.push_back(
+        "refetch counter, comparator and interrupt generator");
+  }
+  if (model == ArchModel::kVcNuma) {
+    c.complexity.push_back(
+        "victim-cache tags / per-page local counters (non-commodity)");
+  }
+  if (model == ArchModel::kAsComa) {
+    c.complexity.push_back("adaptive threshold + daemon back-off (software)");
+  }
+  return c;
+}
+
+}  // namespace ascoma::arch

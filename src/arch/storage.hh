@@ -1,0 +1,33 @@
+#pragma once
+
+// Table 2 reproduction: per-model storage cost and implementation-complexity
+// inventory.  Storage follows the paper's accounting: S-COMA-capable models
+// pay page-cache state (a valid bit per line plus a per-page map entry), and
+// the hybrids additionally pay a refetch counter per page per node at the
+// directory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace ascoma::arch {
+
+struct StorageCost {
+  std::uint64_t page_cache_state_bytes = 0;  ///< valid bits + page state
+  std::uint64_t page_map_bytes = 0;          ///< local<->global page map
+  std::uint64_t refetch_counter_bytes = 0;   ///< per page per node counters
+  std::vector<std::string> complexity;       ///< required mechanisms
+
+  std::uint64_t total_bytes() const {
+    return page_cache_state_bytes + page_map_bytes + refetch_counter_bytes;
+  }
+};
+
+/// Cost for one node managing `pages_per_node` local pages in a machine of
+/// `cfg.nodes` nodes.
+StorageCost estimate_storage(ArchModel model, const MachineConfig& cfg,
+                             std::uint64_t pages_per_node);
+
+}  // namespace ascoma::arch

@@ -1,0 +1,40 @@
+#include "arch/vcnuma.hh"
+
+#include <algorithm>
+
+namespace ascoma::arch {
+
+void VcNumaPolicy::on_replacement(PolicyEnv& env, VPageId victim) {
+  ++window_replacements_;
+  auto it = benefit_.find(victim);
+  const std::uint32_t earned = it == benefit_.end() ? 0 : it->second;
+  if (it != benefit_.end()) benefit_.erase(it);
+  if (earned >= break_even_) ++window_earned_;
+
+  // The detector is only consulted every `eval_replacements_` replacements
+  // per cached page — the coarseness the paper criticises ("not sufficiently
+  // often to avoid thrashing").
+  const double cached =
+      std::max<std::uint32_t>(1, env.page_cache.capacity());
+  if (static_cast<double>(window_replacements_) >=
+      eval_replacements_ * cached) {
+    evaluate(env);
+  }
+}
+
+void VcNumaPolicy::evaluate(PolicyEnv& env) {
+  ++evaluations_;
+  // If fewer than half of the evicted pages earned their break-even number
+  // of saved refetches, the page cache is churning hot pages: back off.
+  if (window_earned_ * 2 < window_replacements_) {
+    threshold_ += increment_;
+    ++env.kernel.threshold_raises;
+  } else if (threshold_ > initial_threshold_) {
+    threshold_ = std::max(initial_threshold_, threshold_ - increment_);
+    ++env.kernel.threshold_drops;
+  }
+  window_replacements_ = 0;
+  window_earned_ = 0;
+}
+
+}  // namespace ascoma::arch

@@ -1,0 +1,43 @@
+#pragma once
+
+// Always-on invariant checking.  Protocol and VM invariants are cheap
+// relative to simulation work and catching a violated invariant immediately
+// is worth far more than the cycles, so ASCOMA_CHECK is active in all build
+// types (the simulator is the product; it must never silently produce wrong
+// state).  Failures throw so tests can assert on them.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ascoma {
+
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ASCOMA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace ascoma
+
+#define ASCOMA_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) ::ascoma::check_fail(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define ASCOMA_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream ascoma_check_os;                               \
+      ascoma_check_os << msg;                                           \
+      ::ascoma::check_fail(#cond, __FILE__, __LINE__,                   \
+                           ascoma_check_os.str());                      \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,99 @@
+#include "common/stats.hh"
+
+#include <numeric>
+
+namespace ascoma {
+
+Cycle TimeBreakdown::total() const {
+  return std::accumulate(cycles.begin(), cycles.end(), Cycle{0});
+}
+
+void TimeBreakdown::add(const TimeBreakdown& other) {
+  for (int i = 0; i < kNumTimeBuckets; ++i) cycles[i] += other.cycles[i];
+}
+
+double TimeBreakdown::frac(TimeBucket b) const {
+  const Cycle t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>((*this)[b]) / static_cast<double>(t);
+}
+
+const char* to_string(TimeBucket b) {
+  switch (b) {
+    case TimeBucket::kUserInstr: return "U-INSTR";
+    case TimeBucket::kUserLocal: return "U-LC-MEM";
+    case TimeBucket::kUserShared: return "U-SH-MEM";
+    case TimeBucket::kKernelBase: return "K-BASE";
+    case TimeBucket::kKernelOvhd: return "K-OVERHD";
+    case TimeBucket::kSync: return "SYNC";
+  }
+  return "?";
+}
+
+std::uint64_t MissBreakdown::total() const {
+  return std::accumulate(count.begin(), count.end(), std::uint64_t{0});
+}
+
+std::uint64_t MissBreakdown::local() const {
+  return (*this)[MissSource::kHome] + (*this)[MissSource::kScoma] +
+         (*this)[MissSource::kRac];
+}
+
+std::uint64_t MissBreakdown::remote() const { return total() - local(); }
+
+void MissBreakdown::add(const MissBreakdown& other) {
+  for (int i = 0; i < kNumMissSources; ++i) count[i] += other.count[i];
+}
+
+const char* to_string(MissSource s) {
+  switch (s) {
+    case MissSource::kHome: return "HOME";
+    case MissSource::kScoma: return "SCOMA";
+    case MissSource::kRac: return "RAC";
+    case MissSource::kCold: return "COLD";
+    case MissSource::kConfCapc: return "CONF/CAPC";
+    case MissSource::kCoherence: return "COHERENCE";
+  }
+  return "?";
+}
+
+void KernelStats::add(const KernelStats& o) {
+  page_faults += o.page_faults;
+  scoma_allocs += o.scoma_allocs;
+  numa_allocs += o.numa_allocs;
+  upgrades += o.upgrades;
+  downgrades += o.downgrades;
+  relocation_interrupts += o.relocation_interrupts;
+  lines_flushed += o.lines_flushed;
+  daemon_runs += o.daemon_runs;
+  daemon_pages_scanned += o.daemon_pages_scanned;
+  daemon_pages_reclaimed += o.daemon_pages_reclaimed;
+  daemon_reclaim_failures += o.daemon_reclaim_failures;
+  threshold_raises += o.threshold_raises;
+  threshold_drops += o.threshold_drops;
+  remap_suppressed += o.remap_suppressed;
+  refetch_notifications += o.refetch_notifications;
+}
+
+void NodeStats::add(const NodeStats& o) {
+  time.add(o.time);
+  misses.add(o.misses);
+  kernel.add(o.kernel);
+  shared_loads += o.shared_loads;
+  shared_stores += o.shared_stores;
+  l1_hits += o.l1_hits;
+  upgrades_issued += o.upgrades_issued;
+  induced_cold_misses += o.induced_cold_misses;
+  remote_pages_touched += o.remote_pages_touched;
+}
+
+double RunStats::remote_overhead_cycles() const {
+  // (N_pagecache * T_pagecache) + (N_remote * T_remote) + (N_cold * T_remote)
+  // + T_overhead, per Section 2.1.  T terms are reported by the simulator via
+  // the time buckets, so here we return the shared-stall + kernel-overhead sum
+  // which is the realized value of the formula.
+  return static_cast<double>(totals.time[TimeBucket::kUserShared] +
+                             totals.time[TimeBucket::kKernelOvhd]);
+}
+
+}  // namespace ascoma

@@ -1,0 +1,58 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ascoma {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << s << std::string(widths[c] - s.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace ascoma

@@ -1,0 +1,33 @@
+#pragma once
+
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// paper-style rows (Tables 1-6, Figures 2-3 series) on stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ascoma {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells print empty, extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ascoma

@@ -1,0 +1,95 @@
+#pragma once
+
+// Fundamental identifier and quantity types shared by every AS-COMA module.
+//
+// The simulated machine exposes a single global *shared* virtual address
+// space (SPLASH-2 style).  Addresses decompose as
+//
+//   virtual page (VPageId)  ->  coherence block (BlockId)  ->  L1 line (LineId)
+//
+// where block and line numbers are global (page-relative offsets are derived
+// via MachineConfig).  Each node additionally has private physical *frames*
+// (FrameId) into which virtual pages are mapped either as home pages or as
+// S-COMA page-cache replicas.
+
+#include <cstdint>
+#include <limits>
+
+namespace ascoma {
+
+/// Simulated clock cycle count (processor and bus share one clock domain).
+using Cycle = std::uint64_t;
+
+/// Node (cluster) index within the machine, 0-based.
+using NodeId = std::uint32_t;
+
+/// Byte address in the global shared virtual address space.
+using Addr = std::uint64_t;
+
+/// Global virtual page number (Addr / page_bytes).
+using VPageId = std::uint64_t;
+
+/// Global coherence-block number (Addr / block_bytes).
+using BlockId = std::uint64_t;
+
+/// Global L1-line number (Addr / line_bytes).
+using LineId = std::uint64_t;
+
+/// Physical frame index local to one node.
+using FrameId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr FrameId kInvalidFrame = std::numeric_limits<FrameId>::max();
+inline constexpr VPageId kInvalidPage = std::numeric_limits<VPageId>::max();
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// How a virtual page is mapped on a particular node.
+enum class PageMode : std::uint8_t {
+  kUnmapped,  ///< never touched by this node
+  kHome,      ///< this node is the page's home; backed by local DRAM
+  kNuma,      ///< mapped in CC-NUMA mode: accesses go to the remote home
+  kScoma,     ///< mapped to a local page-cache frame (S-COMA replica)
+};
+
+/// Memory operation kind issued by a simulated processor.
+enum class OpKind : std::uint8_t {
+  kCompute,  ///< burst of user instructions (arg = cycles)
+  kPrivate,  ///< burst of private (non-shared) memory ops (arg = count)
+  kLoad,     ///< shared-memory load  (arg = byte address)
+  kStore,    ///< shared-memory store (arg = byte address)
+  kBarrier,  ///< global barrier      (arg = barrier id)
+  kLock,     ///< acquire lock        (arg = lock id)
+  kUnlock,   ///< release lock        (arg = lock id)
+  kEnd,      ///< end of this process's stream
+};
+
+/// One element of a workload-generated instruction stream.
+struct Op {
+  OpKind kind = OpKind::kEnd;
+  std::uint64_t arg = 0;
+};
+
+/// Where a shared-memory cache miss was ultimately satisfied.  These are the
+/// categories of the right-hand charts of the paper's Figures 2 and 3.
+enum class MissSource : std::uint8_t {
+  kHome,      ///< local DRAM, this node is home
+  kScoma,     ///< local DRAM, S-COMA page-cache replica
+  kRac,       ///< remote access cache on the local DSM engine
+  kCold,      ///< remote fetch, first touch of the block (incl. remap-induced)
+  kConfCapc,  ///< remote fetch caused by a conflict/capacity refetch
+  kCoherence, ///< remote fetch caused by an invalidation (write sharing)
+};
+inline constexpr int kNumMissSources = 6;
+
+/// Execution-time buckets of the left-hand charts of Figures 2 and 3.
+enum class TimeBucket : std::uint8_t {
+  kUserInstr,   ///< U-INSTR: user-level instruction execution
+  kUserLocal,   ///< U-LC-MEM: private / non-shared memory time
+  kUserShared,  ///< U-SH-MEM: stalled on shared memory
+  kKernelBase,  ///< K-BASE: kernel work every architecture performs
+  kKernelOvhd,  ///< K-OVERHD: architecture-specific remapping machinery
+  kSync,        ///< SYNC: barriers and locks
+};
+inline constexpr int kNumTimeBuckets = 6;
+
+}  // namespace ascoma

@@ -1,0 +1,84 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hh"
+#include "workload/workload.hh"
+
+namespace ascoma::core {
+
+std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
+                                   unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  threads = std::min<unsigned>(threads, jobs.size() == 0 ? 1
+                                        : static_cast<unsigned>(jobs.size()));
+
+  std::vector<SweepResult> results(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size() || failed.load()) break;
+      try {
+        auto wl = workload::make_workload(jobs[i].workload,
+                                          jobs[i].workload_scale);
+        ASCOMA_CHECK_MSG(wl != nullptr,
+                         "unknown workload: " << jobs[i].workload);
+        results[i].job = jobs[i];
+        results[i].result = simulate(jobs[i].config, *wl);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<SweepJob> paper_grid(const std::string& workload,
+                                 const std::vector<double>& pressures,
+                                 const MachineConfig& base, double scale) {
+  std::vector<SweepJob> jobs;
+  auto add = [&](ArchModel arch, double pressure) {
+    SweepJob j;
+    j.config = base;
+    j.config.arch = arch;
+    j.config.memory_pressure = pressure;
+    std::ostringstream label;
+    label << to_string(arch) << '('
+          << static_cast<int>(pressure * 100.0 + 0.5) << "%)";
+    j.label = label.str();
+    j.workload = workload;
+    j.workload_scale = scale;
+    jobs.push_back(std::move(j));
+  };
+
+  // CC-NUMA is memory-pressure independent: one run.
+  add(ArchModel::kCcNuma, pressures.empty() ? 0.5 : pressures.front());
+  for (ArchModel arch : {ArchModel::kScoma, ArchModel::kAsComa,
+                         ArchModel::kVcNuma, ArchModel::kRNuma}) {
+    for (double p : pressures) add(arch, p);
+  }
+  return jobs;
+}
+
+}  // namespace ascoma::core

@@ -1,0 +1,44 @@
+#pragma once
+
+// Parallel parameter-sweep runner: benchmarks evaluate dozens of
+// (architecture × memory pressure × workload) points; each point is an
+// independent single-threaded simulation, so the sweep fans them out over a
+// thread pool and returns results in submission order.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/machine.hh"
+
+namespace ascoma::core {
+
+struct SweepJob {
+  std::string label;            ///< e.g. "ASCOMA(70%)"
+  MachineConfig config;
+  std::string workload;         ///< name for make_workload
+  double workload_scale = 1.0;
+};
+
+struct SweepResult {
+  SweepJob job;
+  RunResult result;
+};
+
+/// Runs all jobs on up to `threads` worker threads (0 = hardware
+/// concurrency).  Results are returned in job order.  A job whose workload
+/// name is unknown throws (after all threads join).
+std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
+                                   unsigned threads = 0);
+
+/// Convenience builder: the full paper grid for one workload — every
+/// architecture crossed with the given pressures (CC-NUMA once, since it is
+/// pressure-independent).
+std::vector<SweepJob> paper_grid(const std::string& workload,
+                                 const std::vector<double>& pressures,
+                                 const MachineConfig& base = {},
+                                 double scale = 1.0);
+
+}  // namespace ascoma::core

@@ -1,0 +1,5 @@
+#include "mem/bus.hh"
+
+// Bus is header-only today; this TU anchors the library target and keeps a
+// home for future multi-master arbitration logic.
+namespace ascoma::mem {}

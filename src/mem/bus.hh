@@ -1,0 +1,38 @@
+#pragma once
+
+// Split-transaction coherent memory bus (Runway-style).  Modeled as a single
+// occupancy resource: each bus transaction (request + data return) holds the
+// bus for `bus_occupancy` cycles; the split-transaction property is captured
+// by *not* holding the bus while DRAM or the network service the request.
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "sim/resource.hh"
+
+namespace ascoma::mem {
+
+class Bus {
+ public:
+  explicit Bus(const MachineConfig& cfg)
+      : occupancy_(cfg.bus_occupancy), res_("bus") {}
+
+  /// One bus transaction starting at or after `now`; returns completion.
+  Cycle transact(Cycle now) { return res_.acquire_until(now, occupancy_); }
+
+  /// A shorter address-only transaction (coherence responses, invalidates).
+  Cycle transact_short(Cycle now) {
+    return res_.acquire_until(now, (occupancy_ + 1) / 2);
+  }
+
+  const sim::Resource& resource() const { return res_; }
+  std::uint64_t transactions() const { return res_.transactions(); }
+  void reset() { res_.reset(); }
+
+ private:
+  Cycle occupancy_;
+  sim::Resource res_;
+};
+
+}  // namespace ascoma::mem

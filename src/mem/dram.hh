@@ -1,0 +1,36 @@
+#pragma once
+
+// Banked main-memory controller ("4-bank main memory controller that can
+// supply data from local memory in ~30 cycles").  Blocks are interleaved
+// across banks; concurrent requests to the same bank queue behind each other
+// via the bank's Resource.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "sim/resource.hh"
+
+namespace ascoma::mem {
+
+class Dram {
+ public:
+  explicit Dram(const MachineConfig& cfg);
+
+  /// Issue a block access at `now`; returns the completion cycle.
+  Cycle access(Cycle now, BlockId block);
+
+  std::uint32_t banks() const { return static_cast<std::uint32_t>(banks_.size()); }
+  const sim::Resource& bank(std::uint32_t i) const { return banks_[i]; }
+  std::uint64_t accesses() const { return accesses_; }
+
+  void reset();
+
+ private:
+  Cycle access_cycles_;
+  std::vector<sim::Resource> banks_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace ascoma::mem

@@ -1,0 +1,56 @@
+#pragma once
+
+// Remote Access Cache on the DSM engine.  Direct-mapped over 128 B blocks,
+// non-inclusive with respect to the L1.  The paper's CC-NUMA and hybrid
+// models use a minimal 128 B RAC "containing the last remote data received
+// as part of performing a 4-line fetch"; the size is configurable so the
+// ablation bench can grow or remove it.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace ascoma::mem {
+
+class Rac {
+ public:
+  explicit Rac(const MachineConfig& cfg);
+
+  bool probe(BlockId block) const;
+
+  /// Insert a remote block (typically the one just fetched).
+  void fill(BlockId block);
+
+  /// Invalidate a block if present; true if it was present.
+  bool invalidate(BlockId block);
+
+  /// Invalidate every cached block belonging to a virtual page (performed on
+  /// page remap); returns the number invalidated.
+  std::uint32_t invalidate_page(VPageId page);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t fills() const { return fills_; }
+  std::uint32_t entries() const { return static_cast<std::uint32_t>(slots_.size()); }
+  void note_hit() { ++hits_; }
+
+  void reset();
+
+ private:
+  struct Slot {
+    BlockId tag = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t index_of(BlockId b) const {
+    return slots_.empty() ? 0 : static_cast<std::uint32_t>(b % slots_.size());
+  }
+
+  std::uint32_t blocks_per_page_;
+  std::vector<Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t fills_ = 0;
+};
+
+}  // namespace ascoma::mem

@@ -1,0 +1,42 @@
+#include "net/network.hh"
+
+#include "common/check.hh"
+
+namespace ascoma::net {
+
+Network::Network(const MachineConfig& cfg)
+    : topo_(cfg.nodes, cfg.switch_arity),
+      ni_cycles_(cfg.net_interface_cycles),
+      fall_through_(cfg.net_fall_through),
+      propagation_(cfg.net_propagation),
+      port_occupancy_(cfg.net_port_occupancy) {
+  ports_.reserve(cfg.nodes);
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n)
+    ports_.emplace_back("net.port" + std::to_string(n));
+}
+
+Cycle Network::deliver(Cycle now, NodeId src, NodeId dst) {
+  ASCOMA_CHECK(src < ports_.size() && dst < ports_.size());
+  ++messages_;
+  if (src == dst) return now;  // loopback: NI shortcut, no fabric traversal
+  const std::uint32_t stages = topo_.stages();
+  const Cycle fabric = ni_cycles_ + stages * fall_through_ +
+                       (stages + 1) * propagation_;
+  const Cycle at_port = now + fabric;
+  // The input port serializes arriving messages, then the destination NI
+  // hands the payload to the DSM engine.
+  return ports_[dst].acquire_until(at_port, port_occupancy_) + ni_cycles_;
+}
+
+Cycle Network::min_one_way_latency() const {
+  const std::uint32_t stages = topo_.stages();
+  return ni_cycles_ + stages * fall_through_ + (stages + 1) * propagation_ +
+         port_occupancy_ + ni_cycles_;
+}
+
+void Network::reset() {
+  for (auto& p : ports_) p.reset();
+  messages_ = 0;
+}
+
+}  // namespace ascoma::net

@@ -1,0 +1,49 @@
+#pragma once
+
+// Interconnect timing model.  A message from src to dst experiences
+//
+//   source NI  +  stages * fall-through  +  (stages+1) * propagation
+//   +  destination input-port occupancy  +  destination NI
+//
+// Only destination input-port contention is modeled (each node has one input
+// port Resource), matching the paper: "our network model only accounts for
+// input port contention".
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "net/topology.hh"
+#include "sim/resource.hh"
+
+namespace ascoma::net {
+
+class Network {
+ public:
+  explicit Network(const MachineConfig& cfg);
+
+  /// Deliver a message src -> dst injected at `now`; returns arrival cycle
+  /// (after the destination port and NI have processed it).
+  Cycle deliver(Cycle now, NodeId src, NodeId dst);
+
+  /// Uncontended one-way latency between distinct nodes (for calibration).
+  Cycle min_one_way_latency() const;
+
+  const Topology& topology() const { return topo_; }
+  std::uint64_t messages() const { return messages_; }
+  const sim::Resource& input_port(NodeId n) const { return ports_[n]; }
+
+  void reset();
+
+ private:
+  Topology topo_;
+  Cycle ni_cycles_;
+  Cycle fall_through_;
+  Cycle propagation_;
+  Cycle port_occupancy_;
+  std::vector<sim::Resource> ports_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace ascoma::net

@@ -1,0 +1,20 @@
+#include "net/topology.hh"
+
+#include "common/check.hh"
+
+namespace ascoma::net {
+
+Topology::Topology(std::uint32_t nodes, std::uint32_t switch_arity)
+    : nodes_(nodes), arity_(switch_arity) {
+  ASCOMA_CHECK(nodes > 0);
+  ASCOMA_CHECK(switch_arity >= 2);
+  std::uint32_t stages = 1;
+  std::uint64_t reach = switch_arity;
+  while (reach < nodes) {
+    reach *= switch_arity;
+    ++stages;
+  }
+  stages_ = stages;
+}
+
+}  // namespace ascoma::net

@@ -1,0 +1,34 @@
+#pragma once
+
+// Indirect multistage switch topology (Table 3: "4x4 switch topology").
+// For N nodes connected through k-ary switches the message traverses
+// ceil(log_k N) switch stages each way; every stage adds a fall-through
+// delay plus wire propagation.
+
+#include <cstdint>
+
+namespace ascoma::net {
+
+class Topology {
+ public:
+  Topology(std::uint32_t nodes, std::uint32_t switch_arity);
+
+  std::uint32_t nodes() const { return nodes_; }
+  std::uint32_t arity() const { return arity_; }
+
+  /// Number of switch stages traversed between two distinct nodes.
+  std::uint32_t stages() const { return stages_; }
+
+  /// Hop count between src and dst (0 when src == dst; otherwise the stage
+  /// count — an indirect network has a uniform path length).
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const {
+    return src == dst ? 0 : stages_;
+  }
+
+ private:
+  std::uint32_t nodes_;
+  std::uint32_t arity_;
+  std::uint32_t stages_;
+};
+
+}  // namespace ascoma::net

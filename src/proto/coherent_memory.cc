@@ -1,0 +1,490 @@
+#include "proto/coherent_memory.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+
+namespace ascoma::proto {
+
+CoherentMemory::CoherentMemory(const MachineConfig& cfg,
+                               const vm::HomeMap& homes)
+    : cfg_(cfg),
+      homes_(homes),
+      ppn_(cfg.procs_per_node),
+      net_(cfg),
+      dir_(homes.total_pages() * cfg.blocks_per_page(), cfg.nodes),
+      refetch_(homes.total_pages(), cfg.nodes) {
+  const std::uint64_t blocks = dir_.total_blocks();
+  const std::uint64_t pages = homes.total_pages();
+  l1_.reserve(cfg.total_procs());
+  for (std::uint32_t p = 0; p < cfg.total_procs(); ++p)
+    l1_.push_back(std::make_unique<mem::L1Cache>(cfg));
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    rac_.push_back(std::make_unique<mem::Rac>(cfg));
+    dram_.push_back(std::make_unique<mem::Dram>(cfg));
+    bus_.push_back(std::make_unique<mem::Bus>(cfg));
+    engine_.emplace_back("engine" + std::to_string(n));
+    touched_.emplace_back(blocks, 0);
+    ever_fetched_.emplace_back(blocks, 0);
+    scoma_valid_.emplace_back(blocks, 0);
+    remote_page_seen_.emplace_back(pages, 0);
+  }
+  remote_pages_touched_.assign(cfg.nodes, 0);
+  if (cfg.check_invariants) {
+    global_version_.assign(blocks, 0);
+    local_version_.assign(cfg.nodes, std::vector<std::uint32_t>(blocks, 0));
+  }
+}
+
+void CoherentMemory::shadow_commit_store(NodeId node, BlockId b) {
+  if (global_version_.empty()) return;
+  local_version_[node][b] = ++global_version_[b];
+}
+
+void CoherentMemory::shadow_fetch(NodeId node, BlockId b) {
+  if (global_version_.empty()) return;
+  local_version_[node][b] = global_version_[b];
+}
+
+void CoherentMemory::shadow_check_local(NodeId node, BlockId b,
+                                        const char* where) const {
+  if (global_version_.empty()) return;
+  ASCOMA_CHECK_MSG(local_version_[node][b] == global_version_[b],
+                   "coherence violation: stale local copy served at "
+                       << where << " (node " << node << ", block " << b
+                       << ", local v" << local_version_[node][b]
+                       << ", global v" << global_version_[b] << ")");
+}
+
+void CoherentMemory::set_page_tables(
+    std::span<const vm::PageTable* const> tables) {
+  ASCOMA_CHECK(tables.size() == cfg_.nodes);
+  page_tables_.assign(tables.begin(), tables.end());
+}
+
+void CoherentMemory::apply_invalidation(NodeId s, BlockId b) {
+  for (std::uint32_t q = s * ppn_; q < (s + 1) * ppn_; ++q)
+    l1_[q]->invalidate_block(b);
+  rac_[s]->invalidate(b);
+  scoma_valid_[s][b] = 0;
+  if (touch_of(s, b) == Touch::kFetched) set_touch(s, b, Touch::kInvalidated);
+}
+
+void CoherentMemory::invalidate_sibling_line(std::uint32_t proc,
+                                             LineId line) {
+  if (ppn_ == 1) return;
+  const NodeId n = node_of(proc);
+  for (std::uint32_t q = n * ppn_; q < (n + 1) * ppn_; ++q)
+    if (q != proc) l1_[q]->invalidate_line(line);
+}
+
+int CoherentMemory::sibling_with_line(std::uint32_t proc,
+                                      LineId line) const {
+  if (ppn_ == 1) return -1;
+  const NodeId n = node_of(proc);
+  for (std::uint32_t q = n * ppn_; q < (n + 1) * ppn_; ++q)
+    if (q != proc && l1_[q]->probe(line)) return static_cast<int>(q);
+  return -1;
+}
+
+
+Cycle CoherentMemory::use_bus(NodeId n, Cycle t) {
+  return background_ ? t + cfg_.bus_occupancy : bus_[n]->transact(t);
+}
+
+Cycle CoherentMemory::use_bus_short(NodeId n, Cycle t) {
+  return background_ ? t + (cfg_.bus_occupancy + 1) / 2
+                     : bus_[n]->transact_short(t);
+}
+
+Cycle CoherentMemory::use_engine(NodeId n, Cycle t) {
+  return background_ ? t + cfg_.dsm_engine_cycles
+                     : engine_[n].acquire_until(t, cfg_.dsm_engine_cycles);
+}
+
+Cycle CoherentMemory::use_dram(NodeId n, Cycle t, BlockId b) {
+  return background_ ? t + cfg_.dram_access_cycles : dram_[n]->access(t, b);
+}
+
+Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
+  if (!background_) return net_.deliver(t, src, dst);
+  return src == dst ? t : t + net_.min_one_way_latency();
+}
+
+Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
+                                         BlockId block, NodeId home,
+                                         NodeId requester, Cycle t_home) {
+  Cycle acks = t_home;
+  for (NodeId s : targets) {
+    apply_invalidation(s, block);
+    const Cycle at_s = use_net(t_home, home, s);
+    const Cycle e = use_engine(s, at_s);
+    const Cycle done_inval = use_bus_short(s, e);
+    const Cycle ack = use_net(done_inval, s, requester);
+    acks = std::max(acks, ack);
+  }
+  return acks;
+}
+
+void CoherentMemory::victim_writeback(std::uint32_t proc, LineId victim_line,
+                                      Cycle now) {
+  const NodeId node = node_of(proc);
+  const Addr addr = victim_line * cfg_.line_bytes;
+  const VPageId page = cfg_.page_of(addr);
+  const BlockId block = cfg_.block_of(addr);
+  const PageMode mode = page_tables_[node]->mode(page);
+  ASCOMA_CHECK_MSG(mode != PageMode::kUnmapped,
+                   "dirty victim from an unmapped page");
+  // Fire-and-forget: the writeback consumes bandwidth (bus, DRAM bank,
+  // network port) but does not stall the processor.
+  const Cycle t = bus_[node]->transact_short(now);
+  if (mode == PageMode::kHome || mode == PageMode::kScoma) {
+    dram_[node]->access(t, block);
+    ++wb_local_;
+  } else {
+    const NodeId home = home_of_page(page);
+    const Cycle at_home = net_.deliver(t, node, home);
+    dram_[home]->access(at_home, block);
+    ++wb_remote_;
+  }
+}
+
+CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
+                                               bool is_store, Cycle now,
+                                               bool background) {
+  background_ = background;
+  ASCOMA_CHECK(proc < cfg_.total_procs());
+  ASCOMA_CHECK(!page_tables_.empty());
+  const NodeId node = node_of(proc);
+  const LineId line = cfg_.line_of(addr);
+  const BlockId block = cfg_.block_of(addr);
+  const VPageId page = cfg_.page_of(addr);
+  const PageMode mode = page_tables_[node]->mode(page);
+  ASCOMA_CHECK_MSG(mode != PageMode::kUnmapped,
+                   "access to unmapped page (kernel must fault first)");
+  const NodeId home = home_of_page(page);
+
+  if (home != node && !remote_page_seen_[node][page]) {
+    remote_page_seen_[node][page] = 1;
+    ++remote_pages_touched_[node];
+  }
+
+  Outcome o;
+  mem::L1Cache& l1 = *l1_[proc];
+
+  // ---- L1 hit paths ---------------------------------------------------------
+  if (l1.probe(line)) {
+    o.l1_hit = true;
+    if (!is_store || dir_.owner(block) == node) {
+      shadow_check_local(node, block, "L1 hit");
+      if (is_store) {
+        shadow_commit_store(node, block);
+        l1.touch_store(line);
+        invalidate_sibling_line(proc, line);  // bus snoop
+      }
+      o.done = now + cfg_.l1_hit_cycles;
+      return o;
+    }
+    shadow_check_local(node, block, "L1 upgrade");
+    // Ownership upgrade: the line is valid locally but the node is not the
+    // exclusive owner.
+    Cycle t = use_bus(node, now);
+    t = use_engine(node, t);
+    if (home != node) {
+      t = use_net(t, node, home);
+      t = use_engine(home, t);
+      o.remote = true;
+    }
+    t += cfg_.dir_lookup_cycles;
+    auto gx = dir_.getx(block, node);
+    ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
+                     "valid L1 line while another node owns the block dirty");
+    const Cycle acks = invalidate_targets(gx.invalidate, block, home, node, t);
+    if (home != node) {
+      t = use_net(t, home, node);  // ownership grant
+      t = use_engine(node, t);
+    }
+    o.done = std::max(t, acks);
+    shadow_commit_store(node, block);
+    l1.touch_store(line);
+    invalidate_sibling_line(proc, line);
+    return o;
+  }
+
+  // ---- L1 miss ---------------------------------------------------------------
+  o.counted_miss = true;
+  const Touch prior = touch_of(node, block);
+
+  auto fill_l1 = [&](Cycle t) {
+    const auto fr = l1.fill(line, is_store);
+    if (fr.writeback) victim_writeback(proc, fr.victim, t);
+    if (is_store) invalidate_sibling_line(proc, line);
+  };
+
+  auto classify_local = [&]() {
+    switch (mode) {
+      case PageMode::kHome: return MissSource::kHome;
+      case PageMode::kScoma: return MissSource::kScoma;
+      default: return MissSource::kRac;  // NUMA-mode, supplied on-node
+    }
+  };
+
+  // ---- sibling cache-to-cache supply (SMP nodes) -----------------------------
+  // The fast path applies only when no directory transaction is needed: any
+  // load (the node already holds the data; the copyset is unchanged), or a
+  // store by the exclusive owner node.  Stores that need ownership fall
+  // through to the regular paths, which perform the GETX/invalidations.
+  if ((!is_store || dir_.owner(block) == node) &&
+      sibling_with_line(proc, line) >= 0) {
+    // The bus transaction overlaps the snoop/supply; total latency is the
+    // fixed cache-to-cache transfer time (>= one bus occupancy).
+    shadow_check_local(node, block, "sibling supply");
+    if (is_store) shadow_commit_store(node, block);
+    const Cycle t = use_bus(node, now);
+    o.done = std::max(t, now + cfg_.sibling_transfer_cycles);
+    o.source = classify_local();
+    o.data_fetch = true;
+    ++sibling_transfers_;
+    fill_l1(o.done);
+    return o;
+  }
+
+  if (mode == PageMode::kHome) {
+    Cycle t = use_bus(node, now);
+    t = use_engine(node, t);
+    if (is_store) {
+      auto gx = dir_.getx(block, node);
+      if (gx.dirty_owner != kInvalidNode) {
+        // 3-hop: fetch the dirty data from its owner, invalidating it.
+        t += cfg_.dir_lookup_cycles;
+        const Cycle at_owner = use_net(t, node, gx.dirty_owner);
+        const Cycle eo = use_engine(gx.dirty_owner, at_owner);
+        const Cycle data = use_dram(gx.dirty_owner, eo, block);
+        apply_invalidation(gx.dirty_owner, block);
+        Cycle back = use_net(data, gx.dirty_owner, node);
+        back = use_engine(node, back);
+        const Cycle acks =
+            invalidate_targets(gx.invalidate, block, node, node, t);
+        o.done = std::max(back, acks);
+        o.remote = true;
+        o.source = MissSource::kCoherence;
+      } else {
+        const Cycle data0 = use_dram(node, t, block);
+        const Cycle data = use_engine(node, data0);
+        const Cycle acks =
+            invalidate_targets(gx.invalidate, block, node, node, t);
+        o.done = std::max(data, acks);
+        o.remote = !gx.invalidate.empty();
+        o.source = MissSource::kHome;
+      }
+    } else {
+      auto gs = dir_.gets(block, node);
+      if (gs.dirty_owner != kInvalidNode) {
+        t += cfg_.dir_lookup_cycles;
+        const Cycle at_owner = use_net(t, node, gs.dirty_owner);
+        const Cycle eo = use_engine(gs.dirty_owner, at_owner);
+        const Cycle data = use_dram(gs.dirty_owner, eo, block);
+        Cycle back = use_net(data, gs.dirty_owner, node);
+        back = use_engine(node, back);
+        o.done = back;
+        o.remote = true;
+        o.source = MissSource::kCoherence;
+      } else {
+        const Cycle data0 = use_dram(node, t, block);
+        o.done = use_engine(node, data0);
+        o.source = MissSource::kHome;
+      }
+    }
+    if (is_store)
+      shadow_commit_store(node, block);
+    else
+      shadow_fetch(node, block);
+    o.data_fetch = true;
+    fill_l1(o.done);
+    return o;
+  }
+
+  ASCOMA_CHECK_MSG(home != node, "non-home mapping mode on the home node");
+
+  if (mode == PageMode::kScoma && scoma_valid_[node][block]) {
+    if (!is_store || dir_.owner(block) == node) {
+      // Supplied from the local page cache at local-memory latency.
+      shadow_check_local(node, block, "scoma page cache");
+      if (is_store) shadow_commit_store(node, block);
+      Cycle t = use_bus(node, now);
+      t = use_engine(node, t);
+      t = use_dram(node, t, block);
+      o.done = use_engine(node, t);
+      o.source = MissSource::kScoma;
+      o.data_fetch = true;
+      fill_l1(o.done);
+      return o;
+    }
+    // Store to a valid shared replica: ownership-only GETX to the home.
+    shadow_check_local(node, block, "scoma ownership upgrade");
+    shadow_commit_store(node, block);
+    Cycle t = use_bus(node, now);
+    t = use_engine(node, t);
+    t = use_net(t, node, home);
+    t = use_engine(home, t);
+    t += cfg_.dir_lookup_cycles;
+    auto gx = dir_.getx(block, node);
+    ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
+                     "valid S-COMA block while another node owns it dirty");
+    const Cycle acks = invalidate_targets(gx.invalidate, block, home, node, t);
+    Cycle grant = use_net(t, home, node);
+    grant = use_engine(node, grant);
+    // Data comes from the local frame once ownership is granted.
+    const Cycle data = use_dram(node, std::max(grant, acks), block);
+    o.done = use_engine(node, data);
+    o.remote = true;
+    o.source = MissSource::kCoherence;
+    o.data_fetch = true;
+    fill_l1(o.done);
+    return o;
+  }
+
+  if (mode == PageMode::kNuma && !is_store && rac_[node]->probe(block)) {
+    Cycle t = use_bus(node, now);
+    t = use_engine(node, t);
+    o.done = t + cfg_.rac_array_cycles;
+    shadow_check_local(node, block, "RAC hit");
+    o.source = MissSource::kRac;
+    o.data_fetch = true;
+    rac_[node]->note_hit();
+    fill_l1(o.done);
+    return o;
+  }
+
+  // ---- Remote fetch (S-COMA invalid block, or CC-NUMA RAC miss) ------------
+  Cycle t = use_bus(node, now);
+  t = use_engine(node, t);
+  t = use_net(t, node, home);
+  t = use_engine(home, t);
+  t += cfg_.dir_lookup_cycles;
+
+  Cycle data_done;
+  Cycle acks = t;
+  if (is_store) {
+    auto gx = dir_.getx(block, node);
+    o.counted_refetch = (prior == Touch::kFetched);
+    if (gx.dirty_owner != kInvalidNode) {
+      const Cycle at_owner = use_net(t, home, gx.dirty_owner);
+      const Cycle eo = use_engine(gx.dirty_owner, at_owner);
+      const Cycle data = use_dram(gx.dirty_owner, eo, block);
+      apply_invalidation(gx.dirty_owner, block);
+      Cycle back = use_net(data, gx.dirty_owner, node);
+      data_done = use_engine(node, back);
+    } else {
+      const Cycle data = use_dram(home, t, block);
+      Cycle back = use_net(data, home, node);
+      data_done = use_engine(node, back);
+    }
+    acks = invalidate_targets(gx.invalidate, block, home, node, t);
+  } else {
+    auto gs = dir_.gets(block, node);
+    o.counted_refetch = (prior == Touch::kFetched);
+    if (gs.dirty_owner != kInvalidNode) {
+      const Cycle at_owner = use_net(t, home, gs.dirty_owner);
+      const Cycle eo = use_engine(gs.dirty_owner, at_owner);
+      const Cycle data = use_dram(gs.dirty_owner, eo, block);
+      Cycle back = use_net(data, gs.dirty_owner, node);
+      data_done = use_engine(node, back);
+    } else {
+      const Cycle data = use_dram(home, t, block);
+      Cycle back = use_net(data, home, node);
+      data_done = use_engine(node, back);
+    }
+  }
+  o.done = std::max(data_done, acks);
+  o.remote = true;
+  o.data_fetch = true;
+
+  // Classification by the requesting node's prior knowledge of the block.
+  switch (prior) {
+    case Touch::kNever:
+      o.source = MissSource::kCold;
+      o.induced_cold = ever_fetched_[node][block] != 0;
+      break;
+    case Touch::kInvalidated:
+      o.source = MissSource::kCoherence;
+      break;
+    case Touch::kFetched:
+      o.source = MissSource::kConfCapc;
+      break;
+  }
+  o.page_refetch_count = o.counted_refetch ? refetch_.increment(page, node)
+                                           : refetch_.count(page, node);
+
+  if (is_store)
+    shadow_commit_store(node, block);
+  else
+    shadow_fetch(node, block);
+  set_touch(node, block, Touch::kFetched);
+  ever_fetched_[node][block] = 1;
+
+  // Install the arriving 4-line chunk at its destination.
+  if (mode == PageMode::kScoma) {
+    scoma_valid_[node][block] = 1;
+    if (!background_) dram_[node]->access(o.done, block);  // page-cache write
+  } else {
+    rac_[node]->fill(block);
+  }
+  fill_l1(o.done);
+  return o;
+}
+
+CoherentMemory::FlushOutcome CoherentMemory::flush_page(NodeId node,
+                                                        VPageId page,
+                                                        Cycle now) {
+  ASCOMA_CHECK(node < cfg_.nodes);
+  FlushOutcome fo;
+  for (std::uint32_t q = node * ppn_; q < (node + 1) * ppn_; ++q) {
+    const auto l1res = l1_[q]->flush_page(page);
+    fo.l1_valid_lines += l1res.valid_lines;
+    fo.l1_dirty_lines += l1res.dirty_lines;
+  }
+  rac_[node]->invalidate_page(page);
+
+  const BlockId first = cfg_.first_block_of_page(page);
+  for (std::uint32_t i = 0; i < cfg_.blocks_per_page(); ++i) {
+    const BlockId b = first + i;
+    scoma_valid_[node][b] = 0;
+    set_touch(node, b, Touch::kNever);
+    if (dir_.in_copyset(b, node)) {
+      dir_.flush_node(b, node);
+      ++fo.blocks_released;
+    }
+  }
+  refetch_.reset(page, node);
+
+  if (fo.blocks_released > 0) {
+    const NodeId home = home_of_page(page);
+    const Cycle t = bus_[node]->transact_short(now);
+    if (home != node) {
+      // One batched flush/writeback notification to the home.
+      const Cycle at_home = net_.deliver(t, node, home);
+      engine_[home].acquire(at_home, cfg_.dsm_engine_cycles);
+    }
+  }
+  return fo;
+}
+
+void CoherentMemory::audit() const {
+  const std::uint64_t blocks = dir_.total_blocks();
+  for (BlockId b = 0; b < blocks; ++b) {
+    dir_.check_entry(b);
+    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+      if (scoma_valid_[n][b]) {
+        ASCOMA_CHECK_MSG(dir_.in_copyset(b, n),
+                         "S-COMA valid block not in directory copyset");
+      }
+      if (touch_of(n, b) == Touch::kFetched) {
+        ASCOMA_CHECK_MSG(dir_.in_copyset(b, n),
+                         "Fetched block not in directory copyset");
+      }
+    }
+  }
+}
+
+}  // namespace ascoma::proto

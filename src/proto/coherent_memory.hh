@@ -1,0 +1,187 @@
+#pragma once
+
+// CoherentMemory composes the whole hardware memory system of the machine:
+// per-processor L1s, and per-node RAC, bus, banked DRAM and DSM-engine
+// occupancy, the global interconnect, the directory, and the refetch
+// counters.  It executes one shared-memory access at a time (processors
+// block on misses — one outstanding miss, as in the paper) and returns both
+// the completion cycle and the paper's classification of where the miss was
+// satisfied.
+//
+// SMP nodes (procs_per_node > 1): each processor has a private L1; the
+// node's coherent bus snoop supplies lines cache-to-cache between siblings
+// and invalidates sibling copies on stores.  Directory state is node-
+// granular, exactly as in the paper's Figure 1.
+//
+// The *kernel* (page faults, remapping, the pageout daemon) lives above this
+// layer in core::Machine; CoherentMemory only requires that the accessed
+// page already be mapped on the requesting node and reads the mapping from
+// the node's PageTable.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/rac.hh"
+#include "net/network.hh"
+#include "proto/directory.hh"
+#include "proto/refetch.hh"
+#include "sim/resource.hh"
+#include "vm/home_map.hh"
+#include "vm/page_table.hh"
+
+namespace ascoma::proto {
+
+class CoherentMemory {
+ public:
+  CoherentMemory(const MachineConfig& cfg, const vm::HomeMap& homes);
+
+  /// The machine must register the per-node page tables before any access.
+  void set_page_tables(std::span<const vm::PageTable* const> tables);
+
+  struct Outcome {
+    Cycle done = 0;          ///< completion cycle of the access
+    bool l1_hit = false;     ///< satisfied entirely by the processor's L1
+    bool counted_miss = false;  ///< contributes to the miss breakdown
+    MissSource source = MissSource::kHome;  ///< valid when counted_miss
+    bool remote = false;     ///< a network round trip occurred
+    bool data_fetch = false; ///< data moved (vs. ownership-only upgrade)
+    bool induced_cold = false;  ///< cold miss re-created by a page flush
+    bool counted_refetch = false;  ///< directory incremented the counter
+    std::uint32_t page_refetch_count = 0;  ///< post-access counter value
+  };
+
+  /// Execute one load/store by processor `proc` to byte address `addr` at
+  /// `now`.  With one processor per node (the paper's machine), `proc` and
+  /// node id coincide.
+  ///
+  /// `background` models store-buffer drains (blocking_stores = false):
+  /// state transitions are identical, but the transaction uses uncontended
+  /// path latencies and reserves no foreground resources — approximating
+  /// hardware that prioritizes demand loads over buffered stores.
+  Outcome access(std::uint32_t proc, Addr addr, bool is_store, Cycle now,
+                 bool background = false);
+
+  struct FlushOutcome {
+    std::uint32_t l1_valid_lines = 0;  ///< lines flushed across node L1s
+    std::uint32_t l1_dirty_lines = 0;
+    std::uint32_t blocks_released = 0;  ///< directory copyset entries cleared
+  };
+
+  /// Flush every trace of `page` from node `node`'s caches (all processors)
+  /// and release its directory presence (the hardware half of a page
+  /// remap/eviction).  One batched flush message to the home is charged on
+  /// the network when the node held any block and the home is remote.
+  FlushOutcome flush_page(NodeId node, VPageId page, Cycle now);
+
+  // --- component access (tests, stats, benches) ----------------------------
+  mem::L1Cache& l1(std::uint32_t proc) { return *l1_[proc]; }
+  mem::Rac& rac(NodeId n) { return *rac_[n]; }
+  mem::Dram& dram(NodeId n) { return *dram_[n]; }
+  mem::Bus& bus(NodeId n) { return *bus_[n]; }
+  net::Network& network() { return net_; }
+  Directory& directory() { return dir_; }
+  RefetchTable& refetch() { return refetch_; }
+  const Directory& directory() const { return dir_; }
+  const RefetchTable& refetch() const { return refetch_; }
+
+  std::uint64_t writebacks_local() const { return wb_local_; }
+  std::uint64_t writebacks_remote() const { return wb_remote_; }
+  std::uint64_t sibling_transfers() const { return sibling_transfers_; }
+
+  /// Distinct remote pages this node has ever accessed (Table 5 census).
+  std::uint64_t remote_pages_touched(NodeId n) const {
+    return remote_pages_touched_[n];
+  }
+
+  NodeId node_of(std::uint32_t proc) const { return proc / ppn_; }
+
+  /// Cross-checks directory state against per-node block state; throws
+  /// CheckFailure on violation.  O(blocks * nodes) — test/diagnostic use.
+  void audit() const;
+
+ private:
+  enum class Touch : std::uint8_t { kNever = 0, kFetched, kInvalidated };
+
+  Touch touch_of(NodeId n, BlockId b) const {
+    return static_cast<Touch>(touched_[n][b]);
+  }
+  void set_touch(NodeId n, BlockId b, Touch t) {
+    touched_[n][b] = static_cast<std::uint8_t>(t);
+  }
+
+  NodeId home_of_page(VPageId p) const { return homes_.home_of(p); }
+
+  /// Apply an invalidation of `b` at node `s` (state only, no timing):
+  /// every processor L1 on the node, the RAC, and the S-COMA valid bit.
+  void apply_invalidation(NodeId s, BlockId b);
+
+  /// Invalidate `line` in the L1s of `proc`'s siblings (bus snoop on store).
+  void invalidate_sibling_line(std::uint32_t proc, LineId line);
+
+  /// First sibling of `proc` holding `line` valid, or -1.
+  int sibling_with_line(std::uint32_t proc, LineId line) const;
+
+  /// Invalidate `block` at each target node (state + timing), starting when
+  /// the home has the request at `t_home`.  Returns the cycle at which all
+  /// acks have reached the requester.
+  Cycle invalidate_targets(const std::vector<NodeId>& targets, BlockId block,
+                           NodeId home, NodeId requester, Cycle t_home);
+
+  /// Writeback of a dirty victim line evicted by an L1 fill (fire & forget).
+  void victim_writeback(std::uint32_t proc, LineId victim_line, Cycle now);
+
+  // Timing steps that honour background mode (no reservations, minimum
+  // latencies) for store-buffer drains.
+  Cycle use_bus(NodeId n, Cycle t);
+  Cycle use_bus_short(NodeId n, Cycle t);
+  Cycle use_engine(NodeId n, Cycle t);
+  Cycle use_dram(NodeId n, Cycle t, BlockId b);
+  Cycle use_net(Cycle t, NodeId src, NodeId dst);
+
+  bool background_ = false;
+
+  const MachineConfig cfg_;
+  const vm::HomeMap& homes_;
+  const std::uint32_t ppn_;
+  std::vector<const vm::PageTable*> page_tables_;
+
+  std::vector<std::unique_ptr<mem::L1Cache>> l1_;   // per processor
+  std::vector<std::unique_ptr<mem::Rac>> rac_;      // per node
+  std::vector<std::unique_ptr<mem::Dram>> dram_;    // per node
+  std::vector<std::unique_ptr<mem::Bus>> bus_;      // per node
+  std::vector<sim::Resource> engine_;               // per node
+  net::Network net_;
+  Directory dir_;
+  RefetchTable refetch_;
+
+  // Per-node, per-block requester-side state.
+  std::vector<std::vector<std::uint8_t>> touched_;      // Touch enum
+  std::vector<std::vector<std::uint8_t>> ever_fetched_; // sticky, for stats
+  std::vector<std::vector<std::uint8_t>> scoma_valid_;  // S-COMA valid bits
+  std::vector<std::vector<std::uint8_t>> remote_page_seen_;
+  std::vector<std::uint64_t> remote_pages_touched_;
+
+  std::uint64_t wb_local_ = 0;
+  std::uint64_t wb_remote_ = 0;
+  std::uint64_t sibling_transfers_ = 0;
+
+  // ---- functional coherence shadow (check_invariants) ----------------------
+  // Every committed store bumps the block's global version; every fetch
+  // stamps the receiving node with the version it obtained.  Any access
+  // satisfied from node-local state must then observe the latest version —
+  // a missed invalidation anywhere shows up as a stale hit immediately.
+  void shadow_commit_store(NodeId node, BlockId b);
+  void shadow_fetch(NodeId node, BlockId b);
+  void shadow_check_local(NodeId node, BlockId b, const char* where) const;
+  std::vector<std::uint32_t> global_version_;
+  std::vector<std::vector<std::uint32_t>> local_version_;
+};
+
+}  // namespace ascoma::proto

@@ -1,0 +1,82 @@
+#include "proto/directory.hh"
+
+#include <bit>
+
+namespace ascoma::proto {
+
+Directory::Directory(std::uint64_t total_blocks, std::uint32_t nodes)
+    : nodes_(nodes), entries_(total_blocks) {
+  ASCOMA_CHECK_MSG(nodes >= 1 && nodes <= 64,
+                   "directory sharer mask supports up to 64 nodes");
+}
+
+Directory::FetchResult Directory::gets(BlockId b, NodeId requester) {
+  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  Entry& e = entries_[b];
+  FetchResult r;
+  r.was_in_copyset = (e.sharers & bit(requester)) != 0;
+  if (e.owner != kInvalidNode && e.owner != requester) {
+    r.dirty_owner = e.owner;
+    ++forwards_;
+  }
+  // Any exclusive copy is downgraded: the owner's data is written back home
+  // as part of the forward, after which home is current.
+  e.owner = kInvalidNode;
+  e.sharers |= bit(requester);
+  return r;
+}
+
+Directory::GetxResult Directory::getx(BlockId b, NodeId requester) {
+  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  Entry& e = entries_[b];
+  GetxResult r;
+  r.was_in_copyset = (e.sharers & bit(requester)) != 0;
+  if (e.owner != kInvalidNode && e.owner != requester) {
+    r.dirty_owner = e.owner;
+    ++forwards_;
+  }
+  std::uint64_t to_inval = e.sharers & ~bit(requester);
+  if (r.dirty_owner != kInvalidNode) to_inval &= ~bit(r.dirty_owner);
+  while (to_inval != 0) {
+    const int n = std::countr_zero(to_inval);
+    r.invalidate.push_back(static_cast<NodeId>(n));
+    to_inval &= to_inval - 1;
+    ++invalidations_;
+  }
+  if (r.dirty_owner != kInvalidNode) ++invalidations_;  // owner also loses it
+  e.sharers = bit(requester);
+  e.owner = requester;
+  return r;
+}
+
+bool Directory::flush_node(BlockId b, NodeId node) {
+  ASCOMA_CHECK(b < entries_.size() && node < nodes_);
+  Entry& e = entries_[b];
+  const bool was_owner = e.owner == node;
+  e.sharers &= ~bit(node);
+  if (was_owner) e.owner = kInvalidNode;
+  return was_owner;
+}
+
+bool Directory::in_copyset(BlockId b, NodeId node) const {
+  ASCOMA_CHECK(b < entries_.size() && node < nodes_);
+  return (entries_[b].sharers & bit(node)) != 0;
+}
+
+std::uint32_t Directory::sharer_count(BlockId b) const {
+  ASCOMA_CHECK(b < entries_.size());
+  return static_cast<std::uint32_t>(std::popcount(entries_[b].sharers));
+}
+
+void Directory::check_entry(BlockId b) const {
+  ASCOMA_CHECK(b < entries_.size());
+  const Entry& e = entries_[b];
+  if (e.owner != kInvalidNode) {
+    ASCOMA_CHECK_MSG(e.owner < nodes_, "owner out of range");
+    ASCOMA_CHECK_MSG(e.sharers == bit(e.owner),
+                     "exclusive block must have exactly its owner as sharer");
+  }
+  ASCOMA_CHECK_MSG((e.sharers >> nodes_) == 0, "sharer bit beyond node count");
+}
+
+}  // namespace ascoma::proto

@@ -1,0 +1,77 @@
+#pragma once
+
+// Directory state for the write-invalidate, sequentially-consistent DSM
+// protocol.  One entry per 128-byte coherence block; the entry lives at the
+// block's home node (Figure 1's "Directory State" storage), but since homes
+// never move we store all entries in one flat array indexed by global block.
+//
+// State encoding: `sharers` is a bitmask of nodes holding a (possibly
+// partial) copy; `owner` is the node holding the block exclusive/dirty, or
+// kInvalidNode when the home memory is current.  Invariant: owner valid
+// implies sharers == {owner}.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace ascoma::proto {
+
+class Directory {
+ public:
+  Directory(std::uint64_t total_blocks, std::uint32_t nodes);
+
+  struct FetchResult {
+    bool was_in_copyset = false;  ///< requester held the block before this
+    NodeId dirty_owner = kInvalidNode;  ///< forward target (3-hop) if set
+  };
+
+  /// Read request (GETS).  A dirty owner (if any, other than the requester)
+  /// is downgraded to sharer and its data considered written back home.
+  FetchResult gets(BlockId b, NodeId requester);
+
+  struct GetxResult {
+    bool was_in_copyset = false;
+    NodeId dirty_owner = kInvalidNode;
+    /// Sharers (excluding requester and dirty_owner) that must be
+    /// invalidated before the requester may write.
+    std::vector<NodeId> invalidate;
+  };
+
+  /// Write/ownership request (GETX or upgrade).
+  GetxResult getx(BlockId b, NodeId requester);
+
+  /// Node flushed its copy (page remap/eviction).  Returns true if the node
+  /// was the dirty owner (its writeback makes home current again).
+  bool flush_node(BlockId b, NodeId node);
+
+  bool in_copyset(BlockId b, NodeId node) const;
+  NodeId owner(BlockId b) const { return entries_[b].owner; }
+  std::uint64_t sharer_mask(BlockId b) const { return entries_[b].sharers; }
+  std::uint32_t sharer_count(BlockId b) const;
+
+  std::uint64_t total_blocks() const { return entries_.size(); }
+  std::uint32_t nodes() const { return nodes_; }
+
+  std::uint64_t invalidations_sent() const { return invalidations_; }
+  std::uint64_t forwards() const { return forwards_; }
+
+  /// Structural invariant check over one entry (throws CheckFailure).
+  void check_entry(BlockId b) const;
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;
+    NodeId owner = kInvalidNode;
+  };
+
+  static std::uint64_t bit(NodeId n) { return std::uint64_t{1} << n; }
+
+  std::uint32_t nodes_;
+  std::vector<Entry> entries_;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t forwards_ = 0;
+};
+
+}  // namespace ascoma::proto

@@ -1,0 +1,99 @@
+#include "report/report.hh"
+
+#include <sstream>
+
+#include "common/check.hh"
+
+namespace ascoma::report {
+
+double baseline_cycles(const std::vector<LabeledResult>& results) {
+  ASCOMA_CHECK_MSG(!results.empty(), "no results to report");
+  for (const auto& r : results) {
+    ASCOMA_CHECK(r.result != nullptr);
+    if (r.result->config.arch == ArchModel::kCcNuma)
+      return static_cast<double>(r.result->cycles());
+  }
+  return static_cast<double>(results.front().result->cycles());
+}
+
+Table time_breakdown_table(const std::vector<LabeledResult>& results,
+                           double baseline) {
+  ASCOMA_CHECK(baseline > 0.0);
+  Table t({"config", "rel.time", "U-SH-MEM", "K-BASE", "K-OVERHD", "U-INSTR",
+           "U-LC-MEM", "SYNC"});
+  for (const auto& lr : results) {
+    const auto& time = lr.result->stats.totals.time;
+    const double total = static_cast<double>(time.total());
+    const double rel =
+        static_cast<double>(lr.result->cycles()) / baseline;
+    auto share = [&](TimeBucket b) {
+      return Table::num(
+          total > 0 ? rel * static_cast<double>(time[b]) / total : 0.0, 3);
+    };
+    t.add_row({lr.label, Table::num(rel, 3), share(TimeBucket::kUserShared),
+               share(TimeBucket::kKernelBase), share(TimeBucket::kKernelOvhd),
+               share(TimeBucket::kUserInstr), share(TimeBucket::kUserLocal),
+               share(TimeBucket::kSync)});
+  }
+  return t;
+}
+
+Table miss_breakdown_table(const std::vector<LabeledResult>& results) {
+  Table t({"config", "HOME", "SCOMA", "RAC", "COLD", "CONF/CAPC", "total",
+           "remote%"});
+  for (const auto& lr : results) {
+    const auto& m = lr.result->stats.totals.misses;
+    const std::uint64_t conf =
+        m[MissSource::kConfCapc] + m[MissSource::kCoherence];
+    t.add_row({lr.label, std::to_string(m[MissSource::kHome]),
+               std::to_string(m[MissSource::kScoma]),
+               std::to_string(m[MissSource::kRac]),
+               std::to_string(m[MissSource::kCold]), std::to_string(conf),
+               std::to_string(m.total()),
+               Table::pct(m.total() ? static_cast<double>(m.remote()) /
+                                          static_cast<double>(m.total())
+                                    : 0.0)});
+  }
+  return t;
+}
+
+std::string summary_line(const core::RunResult& r) {
+  const auto& time = r.stats.totals.time;
+  const auto& m = r.stats.totals.misses;
+  std::ostringstream os;
+  os << to_string(r.config.arch) << '('
+     << Table::pct(r.stats.memory_pressure, 0) << "): " << r.cycles()
+     << " cycles, U-SH-MEM " << Table::pct(time.frac(TimeBucket::kUserShared))
+     << ", K-OVERHD " << Table::pct(time.frac(TimeBucket::kKernelOvhd))
+     << ", local misses "
+     << Table::pct(m.total() ? static_cast<double>(m.local()) /
+                                   static_cast<double>(m.total())
+                             : 0.0);
+  return os.str();
+}
+
+std::string csv_header() {
+  return "workload,arch,pressure,cycles,ush_mem,k_base,k_overhd,u_instr,"
+         "u_lc_mem,sync,home,scoma,rac,cold,conf_capc,coherence,upgrades,"
+         "downgrades,suppressed";
+}
+
+std::string csv_row(const std::string& workload, const std::string& arch,
+                    const core::RunResult& r) {
+  const auto& time = r.stats.totals.time;
+  const auto& m = r.stats.totals.misses;
+  const auto& k = r.stats.totals.kernel;
+  std::ostringstream os;
+  os << workload << ',' << arch << ',' << r.stats.memory_pressure << ','
+     << r.cycles() << ',' << time[TimeBucket::kUserShared] << ','
+     << time[TimeBucket::kKernelBase] << ',' << time[TimeBucket::kKernelOvhd]
+     << ',' << time[TimeBucket::kUserInstr] << ','
+     << time[TimeBucket::kUserLocal] << ',' << time[TimeBucket::kSync] << ','
+     << m[MissSource::kHome] << ',' << m[MissSource::kScoma] << ','
+     << m[MissSource::kRac] << ',' << m[MissSource::kCold] << ','
+     << m[MissSource::kConfCapc] << ',' << m[MissSource::kCoherence] << ','
+     << k.upgrades << ',' << k.downgrades << ',' << k.remap_suppressed;
+  return os.str();
+}
+
+}  // namespace ascoma::report

@@ -1,0 +1,44 @@
+#pragma once
+
+// Paper-style result rendering: the left (execution-time breakdown) and
+// right (miss-satisfaction breakdown) charts of Figures 2/3 as text tables,
+// plus CSV export.  Used by the benchmark binaries and the ascoma CLI; kept
+// in the library so downstream users can emit the same reports for their
+// own workloads.
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/machine.hh"
+
+namespace ascoma::report {
+
+struct LabeledResult {
+  std::string label;  ///< e.g. "ASCOMA(70%)"
+  const core::RunResult* result = nullptr;
+};
+
+/// Cycles of the first result whose architecture is CC-NUMA (the paper's
+/// normalization baseline); falls back to the first result if none.
+double baseline_cycles(const std::vector<LabeledResult>& results);
+
+/// Left chart: execution time relative to `baseline` stacked by bucket.
+/// Each bucket cell is that bucket's share of the *relative* bar height, so
+/// a row's bucket columns sum to its rel.time column.
+Table time_breakdown_table(const std::vector<LabeledResult>& results,
+                           double baseline);
+
+/// Right chart: where shared-data misses were satisfied.  COHERENCE folds
+/// into CONF/CAPC as the paper's figures do.
+Table miss_breakdown_table(const std::vector<LabeledResult>& results);
+
+/// One-line human summary of a run (cycles, top buckets, miss locality).
+std::string summary_line(const core::RunResult& r);
+
+/// CSV schema shared by the CLI and any scripting around the benches.
+std::string csv_header();
+std::string csv_row(const std::string& workload, const std::string& arch,
+                    const core::RunResult& r);
+
+}  // namespace ascoma::report

@@ -1,0 +1,53 @@
+#include "sim/barrier.hh"
+
+#include <algorithm>
+
+namespace ascoma::sim {
+
+Barrier::Barrier(std::uint32_t nprocs, Cycle release_cost)
+    : participants_(nprocs),
+      release_cost_(release_cost),
+      arrived_(nprocs, false),
+      departed_(nprocs, false),
+      arrival_cycle_(nprocs, Cycle{0}) {
+  ASCOMA_CHECK(nprocs > 0);
+}
+
+std::optional<Cycle> Barrier::arrive(std::uint32_t p, Cycle now) {
+  ASCOMA_CHECK(p < arrived_.size());
+  ASCOMA_CHECK_MSG(!arrived_[p], "double arrival at barrier");
+  ASCOMA_CHECK_MSG(!departed_[p], "departed processor arrived at barrier");
+  arrived_[p] = true;
+  arrival_cycle_[p] = now;
+  ++arrived_count_;
+  max_arrival_ = std::max(max_arrival_, now);
+  return maybe_release();
+}
+
+Cycle Barrier::arrival_of(std::uint32_t p) const {
+  ASCOMA_CHECK(p < arrival_cycle_.size());
+  return arrival_cycle_[p];
+}
+
+std::optional<Cycle> Barrier::depart(std::uint32_t p, Cycle now) {
+  ASCOMA_CHECK(p < departed_.size());
+  if (departed_[p]) return std::nullopt;
+  departed_[p] = true;
+  ++departed_count_;
+  max_arrival_ = std::max(max_arrival_, now);
+  return maybe_release();
+}
+
+std::optional<Cycle> Barrier::maybe_release() {
+  if (arrived_count_ == 0) return std::nullopt;  // nothing to release
+  if (arrived_count_ + departed_count_ < participants_) return std::nullopt;
+  // Episode complete: reset for the next one and report the release cycle.
+  const Cycle release = max_arrival_ + release_cost_;
+  std::fill(arrived_.begin(), arrived_.end(), false);
+  arrived_count_ = 0;
+  max_arrival_ = 0;
+  ++episodes_;
+  return release;
+}
+
+}  // namespace ascoma::sim

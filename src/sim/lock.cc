@@ -1,0 +1,42 @@
+#include "sim/lock.hh"
+
+namespace ascoma::sim {
+
+std::optional<Cycle> LockTable::acquire(std::uint64_t lock_id, std::uint32_t p,
+                                        Cycle now) {
+  LockState& l = locks_[lock_id];
+  if (!l.held) {
+    l.held = true;
+    l.holder = p;
+    ++acquisitions_;
+    return now + op_cost_;
+  }
+  ASCOMA_CHECK_MSG(l.holder != p, "recursive lock acquisition");
+  l.waiters.emplace_back(p, now);
+  ++contended_;
+  return std::nullopt;
+}
+
+std::optional<LockTable::Grant> LockTable::release(std::uint64_t lock_id,
+                                                   std::uint32_t p, Cycle now) {
+  auto it = locks_.find(lock_id);
+  ASCOMA_CHECK_MSG(it != locks_.end(), "release of unknown lock");
+  LockState& l = it->second;
+  ASCOMA_CHECK_MSG(l.held && l.holder == p, "release by non-holder");
+  if (l.waiters.empty()) {
+    l.held = false;
+    return std::nullopt;
+  }
+  auto [next, enq] = l.waiters.front();
+  l.waiters.pop_front();
+  l.holder = next;
+  ++acquisitions_;
+  return Grant{next, now + op_cost_, enq};
+}
+
+bool LockTable::is_held(std::uint64_t lock_id) const {
+  auto it = locks_.find(lock_id);
+  return it != locks_.end() && it->second.held;
+}
+
+}  // namespace ascoma::sim

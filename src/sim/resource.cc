@@ -1,0 +1,17 @@
+#include "sim/resource.hh"
+
+namespace ascoma::sim {
+
+double Resource::utilization(Cycle horizon) const {
+  if (horizon == 0) return 0.0;
+  return static_cast<double>(busy_cycles_) / static_cast<double>(horizon);
+}
+
+void Resource::reset() {
+  free_at_ = 0;
+  busy_cycles_ = 0;
+  wait_cycles_ = 0;
+  transactions_ = 0;
+}
+
+}  // namespace ascoma::sim

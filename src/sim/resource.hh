@@ -1,0 +1,61 @@
+#pragma once
+
+// Busy-until contention model.
+//
+// Every contended hardware unit (bus, DRAM bank, DSM controller, network
+// input port) is a Resource.  A transaction reserves the resource for a
+// duration starting no earlier than `now`; if the resource is still busy the
+// transaction is delayed until it frees.  This is the classic queueing
+// approximation used by occupancy-based architecture simulators and matches
+// the paper's statement that (for the network) "port contention (only)" is
+// modeled.
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ascoma::sim {
+
+class Resource {
+ public:
+  Resource() = default;
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  /// Reserves the resource for `duration` cycles starting at or after `now`.
+  /// Returns the cycle at which service *starts* (>= now).  The caller's
+  /// completion time is the returned value plus `duration`.
+  Cycle acquire(Cycle now, Cycle duration) {
+    const Cycle start = now > free_at_ ? now : free_at_;
+    free_at_ = start + duration;
+    busy_cycles_ += duration;
+    wait_cycles_ += start - now;
+    ++transactions_;
+    return start;
+  }
+
+  /// Reserve and return the *completion* cycle directly.
+  Cycle acquire_until(Cycle now, Cycle duration) {
+    return acquire(now, duration) + duration;
+  }
+
+  Cycle free_at() const { return free_at_; }
+  std::uint64_t transactions() const { return transactions_; }
+  Cycle busy_cycles() const { return busy_cycles_; }
+  Cycle wait_cycles() const { return wait_cycles_; }
+  const std::string& name() const { return name_; }
+
+  /// Utilization over the interval [0, horizon].
+  double utilization(Cycle horizon) const;
+
+  void reset();
+
+ private:
+  std::string name_;
+  Cycle free_at_ = 0;
+  Cycle busy_cycles_ = 0;
+  Cycle wait_cycles_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace ascoma::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+// Cooperative processor scheduler for the discrete-event machine loop.
+//
+// Each simulated processor is either runnable (has a known next-ready cycle),
+// blocked (waiting on a barrier or lock; it will be re-readied by whoever
+// releases it), or done.  The machine repeatedly picks the runnable processor
+// with the smallest next-ready cycle and executes its next operation — the
+// standard conservative event loop for blocking in-order processors.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace ascoma::sim {
+
+using ProcId = std::uint32_t;
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::uint32_t nprocs);
+
+  std::uint32_t nprocs() const { return static_cast<std::uint32_t>(ready_.size()); }
+
+  void set_ready(ProcId p, Cycle cycle);
+  void block(ProcId p);
+  void finish(ProcId p);
+
+  bool is_blocked(ProcId p) const { return state_[p] == State::kBlocked; }
+  bool is_done(ProcId p) const { return state_[p] == State::kDone; }
+  Cycle ready_at(ProcId p) const { return ready_[p]; }
+
+  /// Number of processors not yet done.
+  std::uint32_t live() const { return live_; }
+  bool all_done() const { return live_ == 0; }
+
+  /// Picks the runnable processor with the smallest ready cycle.  It is a
+  /// deadlock (checked) for every live processor to be blocked.
+  ProcId pick() const;
+
+ private:
+  enum class State : std::uint8_t { kRunnable, kBlocked, kDone };
+  std::vector<Cycle> ready_;
+  std::vector<State> state_;
+  std::uint32_t live_;
+};
+
+}  // namespace ascoma::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+// Binary trace record/replay.  A trace file captures a workload's per-process
+// operation streams so external traces (or expensive generated ones) can
+// drive the machine reproducibly.
+//
+// Format (little-endian):
+//   header:  magic "ASCT" | u32 version | u32 nodes | u64 total_pages
+//            | u32 page_bytes | u32 line_bytes
+//   then per process: u32 proc | u64 op_count | op_count * (u8 kind, u64 arg)
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace ascoma::trace {
+
+/// Serialize every process stream of `wl` (seeded with `seed`) to `path`.
+/// Returns the total number of ops written.  Throws on I/O failure.
+std::uint64_t record(const workload::Workload& wl, std::uint64_t seed,
+                     const std::string& path);
+
+/// A workload backed by a trace file previously produced by record().
+class TraceWorkload final : public workload::Workload {
+ public:
+  /// Loads and validates the trace; throws CheckFailure on malformed input.
+  explicit TraceWorkload(const std::string& path);
+
+  std::string name() const override { return name_; }
+  std::uint32_t nodes() const override { return nodes_; }
+  std::uint64_t total_pages() const override { return total_pages_; }
+  std::uint32_t page_bytes() const override { return page_bytes_; }
+  std::uint32_t line_bytes() const override { return line_bytes_; }
+
+  std::unique_ptr<workload::OpStream> stream(
+      std::uint32_t proc, std::uint64_t seed) const override;
+
+  std::uint64_t total_ops() const;
+
+ private:
+  std::string name_;
+  std::uint32_t nodes_ = 0;
+  std::uint64_t total_pages_ = 0;
+  std::uint32_t page_bytes_ = 4096;
+  std::uint32_t line_bytes_ = 32;
+  std::vector<std::vector<Op>> streams_;
+};
+
+}  // namespace ascoma::trace

@@ -1,0 +1,46 @@
+#include "vm/page_cache.hh"
+
+namespace ascoma::vm {
+
+PageCache::PageCache(std::uint32_t capacity) : capacity_(capacity) {
+  free_.reserve(capacity);
+  // Frames handed out lowest-first for deterministic behaviour.
+  for (std::uint32_t f = capacity; f > 0; --f)
+    free_.push_back(static_cast<FrameId>(f - 1));
+}
+
+std::optional<FrameId> PageCache::alloc() {
+  if (free_.empty()) return std::nullopt;
+  const FrameId f = free_.back();
+  free_.pop_back();
+  return f;
+}
+
+void PageCache::release(FrameId f) {
+  ASCOMA_CHECK(f < capacity_);
+  ASCOMA_CHECK_MSG(free_.size() < capacity_, "double release of a frame");
+  free_.push_back(f);
+}
+
+void PageCache::add_active(VPageId p) {
+  ASCOMA_CHECK_MSG(active_.insert(p).second, "page already active");
+  clock_.push_back(p);
+}
+
+void PageCache::remove_active(VPageId p) {
+  ASCOMA_CHECK_MSG(active_.erase(p) == 1, "removing inactive page");
+  // The clock entry is removed lazily during rotation.
+}
+
+std::optional<VPageId> PageCache::rotate() {
+  while (!clock_.empty()) {
+    const VPageId p = clock_.front();
+    clock_.pop_front();
+    if (active_.count(p) == 0) continue;  // stale entry
+    clock_.push_back(p);
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ascoma::vm

@@ -1,0 +1,57 @@
+#pragma once
+
+// Per-node physical frame accounting for the S-COMA page cache.
+//
+// A node's frames split into `home_frames` (pinned, hold home pages) and
+// `cache_capacity` frames available for S-COMA replication.  The free pool
+// plus the clock list of active S-COMA pages implement the 4.4BSD-style
+// allocation the paper builds on.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace ascoma::vm {
+
+class PageCache {
+ public:
+  /// `capacity` = number of frames available for S-COMA page replication.
+  explicit PageCache(std::uint32_t capacity);
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t free_frames() const { return static_cast<std::uint32_t>(free_.size()); }
+  std::uint32_t active_pages() const { return static_cast<std::uint32_t>(active_.size()); }
+
+  /// Take a frame from the free pool (nullopt when drained).
+  std::optional<FrameId> alloc();
+
+  /// Return a frame to the free pool.
+  void release(FrameId f);
+
+  /// Register a page as an active S-COMA replica (enters the clock list).
+  void add_active(VPageId p);
+
+  /// Remove a page from the clock list (evicted or explicitly downgraded).
+  void remove_active(VPageId p);
+
+  bool is_active(VPageId p) const { return active_.count(p) != 0; }
+
+  /// Second-chance clock traversal: returns the next candidate page and
+  /// rotates it to the back, or nullopt when the list is empty.  The caller
+  /// is responsible for ref-bit handling and for calling remove_active() on
+  /// eviction.
+  std::optional<VPageId> rotate();
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<FrameId> free_;
+  std::deque<VPageId> clock_;  // may contain stale entries (lazy deletion)
+  std::unordered_set<VPageId> active_;
+};
+
+}  // namespace ascoma::vm

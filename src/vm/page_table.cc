@@ -1,0 +1,59 @@
+#include "vm/page_table.hh"
+
+namespace ascoma::vm {
+
+PageTable::PageTable(std::uint64_t total_pages) : entries_(total_pages) {}
+
+void PageTable::map_home(VPageId p) {
+  Entry& e = entries_[p];
+  ASCOMA_CHECK(e.mode == PageMode::kUnmapped);
+  e.mode = PageMode::kHome;
+  ++mapped_;
+}
+
+void PageTable::map_numa(VPageId p) {
+  Entry& e = entries_[p];
+  ASCOMA_CHECK(e.mode == PageMode::kUnmapped);
+  e.mode = PageMode::kNuma;
+  ++mapped_;
+}
+
+void PageTable::map_scoma(VPageId p, FrameId f) {
+  Entry& e = entries_[p];
+  ASCOMA_CHECK(e.mode == PageMode::kUnmapped);
+  ASCOMA_CHECK(f != kInvalidFrame);
+  e.mode = PageMode::kScoma;
+  e.frame = f;
+  ++mapped_;
+  ++scoma_;
+}
+
+void PageTable::unmap(VPageId p) {
+  Entry& e = entries_[p];
+  ASCOMA_CHECK(e.mode != PageMode::kUnmapped);
+  if (e.mode == PageMode::kScoma) --scoma_;
+  e = Entry{};
+  --mapped_;
+}
+
+FrameId PageTable::downgrade_to_numa(VPageId p) {
+  Entry& e = entries_[p];
+  ASCOMA_CHECK_MSG(e.mode == PageMode::kScoma, "downgrade of non-S-COMA page");
+  const FrameId f = e.frame;
+  e.mode = PageMode::kNuma;
+  e.frame = kInvalidFrame;
+  e.referenced = false;
+  --scoma_;
+  return f;
+}
+
+void PageTable::upgrade_to_scoma(VPageId p, FrameId f) {
+  Entry& e = entries_[p];
+  ASCOMA_CHECK_MSG(e.mode == PageMode::kNuma, "upgrade of non-CC-NUMA page");
+  ASCOMA_CHECK(f != kInvalidFrame);
+  e.mode = PageMode::kScoma;
+  e.frame = f;
+  ++scoma_;
+}
+
+}  // namespace ascoma::vm

@@ -1,0 +1,90 @@
+#include "workload/synthetic.hh"
+
+#include <vector>
+
+#include "common/check.hh"
+
+namespace ascoma::workload {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticParams params)
+    : params_(std::move(params)) {
+  ASCOMA_CHECK(params_.nodes > 0);
+  ASCOMA_CHECK(params_.home_pages > 0);
+  ASCOMA_CHECK_MSG(
+      params_.remote_pages <=
+          (params_.nodes - 1) * params_.home_pages || params_.nodes == 1,
+      "remote working set larger than the rest of the machine");
+  ASCOMA_CHECK(params_.write_fraction >= 0.0 && params_.write_fraction <= 1.0);
+  ASCOMA_CHECK(params_.random_fraction >= 0.0 &&
+               params_.random_fraction <= 1.0);
+}
+
+std::unique_ptr<OpStream> SyntheticWorkload::stream(std::uint32_t proc,
+                                                    std::uint64_t seed) const {
+  const SyntheticParams& p = params_;
+  StreamBuilder b(page_bytes(), line_bytes());
+  Rng rng(seed, mix64(0x5D17, proc));
+
+  const std::uint64_t H = p.home_pages;
+  // Processes on the same node share the node's partition (SMP extension);
+  // each process still has its own hot remote set.
+  const std::uint32_t node = proc / p.procs_per_node;
+  const VPageId my_base = node * H;
+  const std::uint64_t all = total_pages();
+
+  // Fixed hot remote set, sampled deterministically outside our partition.
+  std::vector<VPageId> hot;
+  if (p.nodes > 1) {
+    hot.reserve(p.remote_pages);
+    std::vector<std::uint8_t> chosen(all, 0);
+    while (hot.size() < p.remote_pages) {
+      const VPageId cand = rng.below(all);
+      if (cand >= my_base && cand < my_base + H) continue;
+      if (chosen[cand]) continue;
+      chosen[cand] = 1;
+      hot.push_back(cand);
+    }
+  }
+
+  const std::uint32_t lines = b.lines_per_page();
+  const std::uint32_t stride = lines / std::max(1u, p.loads_per_page);
+
+  auto visit = [&](VPageId page) {
+    for (std::uint32_t l = 0; l < p.loads_per_page; ++l) {
+      const std::uint64_t line = static_cast<std::uint64_t>(l) *
+                                 std::max(1u, stride);
+      if (rng.chance(p.write_fraction))
+        b.store(page, line);
+      else
+        b.load(page, line);
+    }
+    b.compute(p.compute_per_page);
+    b.private_ops(p.private_per_page);
+  };
+
+  for (std::uint32_t it = 0; it < p.iterations; ++it) {
+    // Local phase.
+    for (std::uint64_t pg = 0; pg < H; ++pg) visit(my_base + pg);
+    if (p.locks > 0) {
+      const std::uint64_t id = rng.below(p.locks);
+      b.lock(id);
+      b.store(id % all, id % lines);
+      b.unlock(id);
+    }
+    if (p.barriers) b.barrier();
+
+    // Remote phase: sweeps over the hot set plus optional random traffic.
+    for (std::uint32_t s = 0; s < p.sweeps_per_iteration; ++s) {
+      for (const VPageId page : hot) {
+        if (rng.chance(p.random_fraction))
+          visit(rng.below(all));
+        else
+          visit(page);
+      }
+    }
+    if (p.barriers) b.barrier();
+  }
+  return std::make_unique<VectorStream>(b.take());
+}
+
+}  // namespace ascoma::workload

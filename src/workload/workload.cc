@@ -1,0 +1,33 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "workload/splash.hh"
+
+namespace ascoma::workload {
+
+NodeId Workload::home_of(VPageId page) const {
+  const std::uint64_t per = pages_per_node();
+  ASCOMA_CHECK(page < total_pages());
+  return static_cast<NodeId>(std::min<std::uint64_t>(page / per, nodes() - 1));
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        double scale) {
+  if (name == "barnes") return std::make_unique<BarnesWorkload>(scale);
+  if (name == "em3d") return std::make_unique<Em3dWorkload>(scale);
+  if (name == "fft") return std::make_unique<FftWorkload>(scale);
+  if (name == "lu") return std::make_unique<LuWorkload>(scale);
+  if (name == "ocean") return std::make_unique<OceanWorkload>(scale);
+  if (name == "radix") return std::make_unique<RadixWorkload>(scale);
+  return nullptr;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> kNames = {"barnes", "em3d", "fft",
+                                                  "lu",     "ocean", "radix"};
+  return kNames;
+}
+
+}  // namespace ascoma::workload

@@ -1,0 +1,132 @@
+#pragma once
+
+// Workload abstraction: a workload describes the shared-memory footprint of
+// one program (how many pages, who is home to what) and produces, for each
+// process, the deterministic operation stream the simulated processor
+// executes.  The same streams drive every architecture under test — the
+// paper's controlled-variable methodology.
+//
+// The six paper workloads are synthetic generators shaped by each program's
+// published sharing signature (see DESIGN.md section 2): partition sizes,
+// remote-working-set size, spatial locality, phase structure and hot-page
+// fraction reproduce the SPLASH-2 / Split-C behaviours the paper's analysis
+// attributes its results to.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace ascoma::workload {
+
+/// A lazily-consumed operation stream (kEnd-terminated).
+class OpStream {
+ public:
+  virtual ~OpStream() = default;
+  virtual Op next() = 0;
+};
+
+/// Materialized stream over a pre-built op vector.
+class VectorStream final : public OpStream {
+ public:
+  explicit VectorStream(std::vector<Op> ops) : ops_(std::move(ops)) {}
+  Op next() override {
+    if (pos_ >= ops_.size()) return Op{OpKind::kEnd, 0};
+    return ops_[pos_++];
+  }
+
+ private:
+  std::vector<Op> ops_;
+  std::size_t pos_ = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::uint32_t nodes() const = 0;
+  /// Number of processes (= processors).  Default: one per node; SMP-node
+  /// workloads return nodes() * procs_per_node.  Must be a multiple of
+  /// nodes(); process p runs on node p / (processes()/nodes()).
+  virtual std::uint32_t processes() const { return nodes(); }
+  /// Total shared pages across the machine.
+  virtual std::uint64_t total_pages() const = 0;
+  /// Home node of a page.  Default: contiguous equal partitions (the layout
+  /// the paper's capped first-touch produces for these SPMD programs).
+  virtual NodeId home_of(VPageId page) const;
+  /// Build process `proc`'s operation stream (deterministic in `seed`).
+  virtual std::unique_ptr<OpStream> stream(std::uint32_t proc,
+                                           std::uint64_t seed) const = 0;
+
+  /// Granularities the generated addresses assume; the machine validates its
+  /// MachineConfig against these.
+  virtual std::uint32_t page_bytes() const { return 4096; }
+  virtual std::uint32_t line_bytes() const { return 32; }
+
+  std::uint64_t pages_per_node() const { return total_pages() / nodes(); }
+};
+
+/// Helper used by the concrete generators: ops appended into a vector with
+/// address arithmetic over a given page size.
+class StreamBuilder {
+ public:
+  explicit StreamBuilder(std::uint32_t page_bytes, std::uint32_t line_bytes)
+      : page_bytes_(page_bytes), line_bytes_(line_bytes) {}
+
+  void compute(std::uint64_t cycles) {
+    if (cycles == 0) return;
+    if (!ops_.empty() && ops_.back().kind == OpKind::kCompute)
+      ops_.back().arg += cycles;
+    else
+      ops_.push_back({OpKind::kCompute, cycles});
+  }
+  void private_ops(std::uint64_t count) {
+    if (count == 0) return;
+    if (!ops_.empty() && ops_.back().kind == OpKind::kPrivate)
+      ops_.back().arg += count;
+    else
+      ops_.push_back({OpKind::kPrivate, count});
+  }
+  void load(VPageId page, std::uint64_t line_in_page) {
+    ops_.push_back({OpKind::kLoad, addr(page, line_in_page)});
+  }
+  void store(VPageId page, std::uint64_t line_in_page) {
+    ops_.push_back({OpKind::kStore, addr(page, line_in_page)});
+  }
+  void barrier() { ops_.push_back({OpKind::kBarrier, barrier_seq_++}); }
+  void lock(std::uint64_t id) { ops_.push_back({OpKind::kLock, id}); }
+  void unlock(std::uint64_t id) { ops_.push_back({OpKind::kUnlock, id}); }
+
+  std::uint32_t lines_per_page() const { return page_bytes_ / line_bytes_; }
+
+  std::vector<Op> take() {
+    ops_.push_back({OpKind::kEnd, 0});
+    return std::move(ops_);
+  }
+
+ private:
+  Addr addr(VPageId page, std::uint64_t line_in_page) const {
+    return static_cast<Addr>(page) * page_bytes_ +
+           (line_in_page % lines_per_page()) * line_bytes_;
+  }
+
+  std::uint32_t page_bytes_;
+  std::uint32_t line_bytes_;
+  std::vector<Op> ops_;
+  std::uint64_t barrier_seq_ = 0;
+};
+
+/// Factory over the six paper workloads: "barnes", "em3d", "fft", "lu",
+/// "ocean", "radix".  `scale` multiplies iteration counts (1.0 = default).
+/// Returns nullptr for an unknown name.
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        double scale = 1.0);
+
+/// Names accepted by make_workload, in the paper's order.
+const std::vector<std::string>& workload_names();
+
+}  // namespace ascoma::workload

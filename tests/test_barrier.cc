@@ -1,0 +1,92 @@
+#include "sim/barrier.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+
+namespace ascoma::sim {
+namespace {
+
+TEST(Barrier, LastArrivalReleasesAtMaxPlusCost) {
+  Barrier b(3, 100);
+  EXPECT_FALSE(b.arrive(0, 10).has_value());
+  EXPECT_FALSE(b.arrive(1, 50).has_value());
+  const auto rel = b.arrive(2, 30);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, 150u);  // max arrival 50 + cost 100
+  EXPECT_EQ(b.episodes(), 1u);
+}
+
+TEST(Barrier, ArrivalTimesRecorded) {
+  Barrier b(2, 10);
+  b.arrive(0, 42);
+  b.arrive(1, 99);
+  EXPECT_EQ(b.arrival_of(0), 42u);
+  EXPECT_EQ(b.arrival_of(1), 99u);
+}
+
+TEST(Barrier, EpisodesResetForReuse) {
+  Barrier b(2, 10);
+  b.arrive(0, 0);
+  EXPECT_TRUE(b.arrive(1, 5).has_value());
+  // Second episode works identically.
+  EXPECT_FALSE(b.arrive(0, 100).has_value());
+  const auto rel = b.arrive(1, 120);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, 130u);
+  EXPECT_EQ(b.episodes(), 2u);
+}
+
+TEST(Barrier, DoubleArrivalThrows) {
+  Barrier b(2, 10);
+  b.arrive(0, 0);
+  EXPECT_THROW(b.arrive(0, 1), CheckFailure);
+}
+
+TEST(Barrier, DepartCompletesEpisode) {
+  Barrier b(3, 10);
+  b.arrive(0, 5);
+  b.arrive(1, 8);
+  // Processor 2 ends its stream instead of arriving.
+  const auto rel = b.depart(2, 20);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, 30u);  // max(8, 20) + 10
+}
+
+TEST(Barrier, DepartedProcessorNotRequiredLater) {
+  Barrier b(3, 10);
+  b.depart(2, 0);
+  b.arrive(0, 5);
+  const auto rel = b.arrive(1, 7);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, 17u);
+}
+
+TEST(Barrier, DepartWithNoWaitersReleasesNothing) {
+  Barrier b(2, 10);
+  EXPECT_FALSE(b.depart(0, 5).has_value());
+  EXPECT_FALSE(b.depart(1, 6).has_value());
+  EXPECT_EQ(b.episodes(), 0u);
+}
+
+TEST(Barrier, DoubleDepartIsIdempotent) {
+  Barrier b(2, 10);
+  EXPECT_FALSE(b.depart(0, 5).has_value());
+  EXPECT_FALSE(b.depart(0, 6).has_value());
+}
+
+TEST(Barrier, ArrivalAfterDepartureThrows) {
+  Barrier b(2, 10);
+  b.depart(0, 5);
+  EXPECT_THROW(b.arrive(0, 6), CheckFailure);
+}
+
+TEST(Barrier, SingleParticipantReleasesImmediately) {
+  Barrier b(1, 7);
+  const auto rel = b.arrive(0, 3);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, 10u);
+}
+
+}  // namespace
+}  // namespace ascoma::sim

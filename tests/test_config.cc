@@ -1,0 +1,125 @@
+#include "common/config.hh"
+
+#include <gtest/gtest.h>
+
+namespace ascoma {
+namespace {
+
+TEST(Config, DefaultsAreValid) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(Config, DerivedGranularities) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.lines_per_block(), 4u);    // 128 / 32
+  EXPECT_EQ(cfg.blocks_per_page(), 32u);   // 4096 / 128
+  EXPECT_EQ(cfg.lines_per_page(), 128u);   // 4096 / 32
+  EXPECT_EQ(cfg.l1_lines(), 512u);         // 16K / 32
+  EXPECT_EQ(cfg.rac_entries(), 1u);        // 128 / 128
+}
+
+TEST(Config, AddressDecomposition) {
+  MachineConfig cfg;
+  const Addr a = 3 * 4096 + 5 * 128 + 2 * 32 + 7;
+  EXPECT_EQ(cfg.page_of(a), 3u);
+  EXPECT_EQ(cfg.block_of(a), 3u * 32 + 5);
+  EXPECT_EQ(cfg.line_of(a), (3u * 4096 + 5 * 128 + 2 * 32) / 32);
+  EXPECT_EQ(cfg.first_block_of_page(3), 96u);
+  EXPECT_EQ(cfg.page_base(3), 3u * 4096);
+}
+
+// Table 4 of the paper: L1 = 1, local = 50, RAC = 36, remote = 150 cycles,
+// remote:local ratio about 3:1.
+TEST(Config, Table4MinimumLatencies) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.l1_hit_cycles, 1u);
+  EXPECT_EQ(cfg.min_local_latency(), 50u);
+  EXPECT_EQ(cfg.min_rac_latency(), 36u);
+  EXPECT_EQ(cfg.min_remote_latency(), 150u);
+  const double ratio = static_cast<double>(cfg.min_remote_latency()) /
+                       static_cast<double>(cfg.min_local_latency());
+  EXPECT_NEAR(ratio, 3.0, 0.05);
+}
+
+TEST(Config, NetStagesFor8NodesArity4) {
+  MachineConfig cfg;  // 8 nodes, 4x4 switches -> 2 stages
+  EXPECT_EQ(cfg.net_stages(), 2u);
+  cfg.nodes = 4;
+  EXPECT_EQ(cfg.net_stages(), 1u);
+  cfg.nodes = 64;
+  EXPECT_EQ(cfg.net_stages(), 3u);
+  cfg.nodes = 65;
+  EXPECT_EQ(cfg.net_stages(), 4u);
+}
+
+TEST(Config, ValidateCatchesBadGranularity) {
+  MachineConfig cfg;
+  cfg.block_bytes = 96;  // not a power of two
+  EXPECT_NE(cfg.validate(), "");
+  cfg = MachineConfig{};
+  cfg.line_bytes = 48;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = MachineConfig{};
+  cfg.l1_bytes = 3000;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(Config, ValidateCatchesBadPressure) {
+  MachineConfig cfg;
+  cfg.memory_pressure = 0.0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg.memory_pressure = 1.5;
+  EXPECT_NE(cfg.validate(), "");
+  cfg.memory_pressure = 1.0;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(Config, ValidateCatchesBadWatermarks) {
+  MachineConfig cfg;
+  cfg.free_target_frac = 0.005;  // below free_min_frac
+  EXPECT_NE(cfg.validate(), "");
+  cfg = MachineConfig{};
+  cfg.free_min_frac = -0.1;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(Config, ValidateCatchesBadThresholds) {
+  MachineConfig cfg;
+  cfg.refetch_threshold = 0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = MachineConfig{};
+  cfg.threshold_max = 1;  // below refetch_threshold
+  EXPECT_NE(cfg.validate(), "");
+  cfg = MachineConfig{};
+  cfg.daemon_backoff_factor = 0.5;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(Config, ParseArchModel) {
+  ArchModel m;
+  EXPECT_TRUE(parse_arch_model("ccnuma", &m));
+  EXPECT_EQ(m, ArchModel::kCcNuma);
+  EXPECT_TRUE(parse_arch_model("CC-NUMA", &m));
+  EXPECT_EQ(m, ArchModel::kCcNuma);
+  EXPECT_TRUE(parse_arch_model("S-COMA", &m));
+  EXPECT_EQ(m, ArchModel::kScoma);
+  EXPECT_TRUE(parse_arch_model("rnuma", &m));
+  EXPECT_EQ(m, ArchModel::kRNuma);
+  EXPECT_TRUE(parse_arch_model("VC_NUMA", &m));
+  EXPECT_EQ(m, ArchModel::kVcNuma);
+  EXPECT_TRUE(parse_arch_model("AS-COMA", &m));
+  EXPECT_EQ(m, ArchModel::kAsComa);
+  EXPECT_FALSE(parse_arch_model("bogus", &m));
+}
+
+TEST(Config, ArchModelNames) {
+  EXPECT_STREQ(to_string(ArchModel::kCcNuma), "CCNUMA");
+  EXPECT_STREQ(to_string(ArchModel::kScoma), "SCOMA");
+  EXPECT_STREQ(to_string(ArchModel::kRNuma), "RNUMA");
+  EXPECT_STREQ(to_string(ArchModel::kVcNuma), "VCNUMA");
+  EXPECT_STREQ(to_string(ArchModel::kAsComa), "ASCOMA");
+}
+
+}  // namespace
+}  // namespace ascoma

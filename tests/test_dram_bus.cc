@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/dram.hh"
+
+namespace ascoma::mem {
+namespace {
+
+TEST(Dram, UncontendedLatencyIsAccessCycles) {
+  MachineConfig cfg;
+  Dram d(cfg);
+  EXPECT_EQ(d.access(100, 0), 100u + cfg.dram_access_cycles);
+  EXPECT_EQ(d.banks(), cfg.dram_banks);
+}
+
+TEST(Dram, BlocksInterleaveAcrossBanks) {
+  MachineConfig cfg;  // 4 banks
+  Dram d(cfg);
+  // Blocks 0..3 hit distinct banks: all complete without queueing.
+  for (BlockId b = 0; b < 4; ++b)
+    EXPECT_EQ(d.access(0, b), cfg.dram_access_cycles);
+}
+
+TEST(Dram, SameBankQueues) {
+  MachineConfig cfg;
+  Dram d(cfg);
+  EXPECT_EQ(d.access(0, 0), 30u);
+  EXPECT_EQ(d.access(0, 4), 60u);  // block 4 -> bank 0 again
+  EXPECT_EQ(d.access(0, 8), 90u);
+}
+
+TEST(Dram, CountsAccesses) {
+  MachineConfig cfg;
+  Dram d(cfg);
+  d.access(0, 0);
+  d.access(0, 1);
+  EXPECT_EQ(d.accesses(), 2u);
+  d.reset();
+  EXPECT_EQ(d.accesses(), 0u);
+  EXPECT_EQ(d.access(0, 0), 30u);  // banks cleared too
+}
+
+TEST(Bus, TransactOccupiesBus) {
+  MachineConfig cfg;
+  Bus b(cfg);
+  EXPECT_EQ(b.transact(0), cfg.bus_occupancy);
+  EXPECT_EQ(b.transact(0), 2 * cfg.bus_occupancy);  // queued behind first
+  EXPECT_EQ(b.transactions(), 2u);
+}
+
+TEST(Bus, ShortTransactionIsHalf) {
+  MachineConfig cfg;  // occupancy 10 -> short 5
+  Bus b(cfg);
+  EXPECT_EQ(b.transact_short(0), 5u);
+}
+
+TEST(Bus, ResetClears) {
+  MachineConfig cfg;
+  Bus b(cfg);
+  b.transact(0);
+  b.reset();
+  EXPECT_EQ(b.transactions(), 0u);
+  EXPECT_EQ(b.transact(0), cfg.bus_occupancy);
+}
+
+}  // namespace
+}  // namespace ascoma::mem

@@ -1,0 +1,77 @@
+#include "net/network.hh"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+
+namespace ascoma::net {
+namespace {
+
+TEST(Topology, StageCounts) {
+  EXPECT_EQ(Topology(4, 4).stages(), 1u);
+  EXPECT_EQ(Topology(8, 4).stages(), 2u);
+  EXPECT_EQ(Topology(16, 4).stages(), 2u);
+  EXPECT_EQ(Topology(17, 4).stages(), 3u);
+  EXPECT_EQ(Topology(64, 4).stages(), 3u);
+  EXPECT_EQ(Topology(2, 2).stages(), 1u);
+  EXPECT_EQ(Topology(8, 2).stages(), 3u);
+}
+
+TEST(Topology, HopsZeroForSelf) {
+  Topology t(8, 4);
+  EXPECT_EQ(t.hops(3, 3), 0u);
+  EXPECT_EQ(t.hops(0, 7), t.stages());
+}
+
+TEST(Network, MinLatencyMatchesConfigFormula) {
+  MachineConfig cfg;
+  Network n(cfg);
+  EXPECT_EQ(n.min_one_way_latency(), cfg.net_one_way_latency());
+  // With defaults: 10 + 2*4 + 3*2 + 8 + 10 = 42.
+  EXPECT_EQ(n.min_one_way_latency(), 42u);
+}
+
+TEST(Network, DeliverUncontendedEqualsMinLatency) {
+  MachineConfig cfg;
+  Network n(cfg);
+  EXPECT_EQ(n.deliver(100, 0, 1), 100 + n.min_one_way_latency());
+}
+
+TEST(Network, LoopbackIsFree) {
+  MachineConfig cfg;
+  Network n(cfg);
+  EXPECT_EQ(n.deliver(100, 2, 2), 100u);
+}
+
+TEST(Network, InputPortContentionSerializes) {
+  MachineConfig cfg;
+  Network n(cfg);
+  const Cycle first = n.deliver(0, 0, 5);
+  const Cycle second = n.deliver(0, 1, 5);  // same destination port
+  EXPECT_EQ(second, first + cfg.net_port_occupancy);
+  // A message to a different destination is unaffected.
+  const Cycle other = n.deliver(0, 2, 6);
+  EXPECT_EQ(other, 0 + n.min_one_way_latency());
+}
+
+TEST(Network, CountsMessages) {
+  MachineConfig cfg;
+  Network n(cfg);
+  n.deliver(0, 0, 1);
+  n.deliver(0, 1, 0);
+  n.deliver(0, 3, 3);  // loopback still counted
+  EXPECT_EQ(n.messages(), 3u);
+  n.reset();
+  EXPECT_EQ(n.messages(), 0u);
+}
+
+TEST(Network, PortUtilizationTracked) {
+  MachineConfig cfg;
+  Network n(cfg);
+  n.deliver(0, 0, 1);
+  EXPECT_EQ(n.input_port(1).transactions(), 1u);
+  EXPECT_EQ(n.input_port(0).transactions(), 0u);
+}
+
+}  // namespace
+}  // namespace ascoma::net

@@ -1,0 +1,111 @@
+#include "vm/page_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hh"
+
+namespace ascoma::vm {
+namespace {
+
+TEST(PageCache, AllocHandsOutDistinctFrames) {
+  PageCache c(3);
+  std::set<FrameId> seen;
+  for (int i = 0; i < 3; ++i) {
+    auto f = c.alloc();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(seen.insert(*f).second);
+    EXPECT_LT(*f, 3u);
+  }
+  EXPECT_FALSE(c.alloc().has_value());  // drained
+  EXPECT_EQ(c.free_frames(), 0u);
+}
+
+TEST(PageCache, AllocIsDeterministicLowestFirst) {
+  PageCache c(3);
+  EXPECT_EQ(*c.alloc(), 0u);
+  EXPECT_EQ(*c.alloc(), 1u);
+  EXPECT_EQ(*c.alloc(), 2u);
+}
+
+TEST(PageCache, ReleaseRecycles) {
+  PageCache c(2);
+  const FrameId a = *c.alloc();
+  c.alloc();
+  c.release(a);
+  EXPECT_EQ(c.free_frames(), 1u);
+  EXPECT_EQ(*c.alloc(), a);
+}
+
+TEST(PageCache, OverReleaseThrows) {
+  PageCache c(1);
+  const FrameId f = *c.alloc();
+  c.release(f);
+  EXPECT_THROW(c.release(f), ascoma::CheckFailure);
+}
+
+TEST(PageCache, ReleaseOutOfRangeThrows) {
+  PageCache c(2);
+  EXPECT_THROW(c.release(5), ascoma::CheckFailure);
+}
+
+TEST(PageCache, ActiveListAndRotation) {
+  PageCache c(4);
+  c.add_active(10);
+  c.add_active(20);
+  c.add_active(30);
+  EXPECT_EQ(c.active_pages(), 3u);
+  EXPECT_EQ(*c.rotate(), 10u);
+  EXPECT_EQ(*c.rotate(), 20u);
+  EXPECT_EQ(*c.rotate(), 30u);
+  EXPECT_EQ(*c.rotate(), 10u);  // wraps (clock)
+}
+
+TEST(PageCache, RemoveActiveSkipsStaleClockEntries) {
+  PageCache c(4);
+  c.add_active(10);
+  c.add_active(20);
+  c.remove_active(10);
+  EXPECT_EQ(c.active_pages(), 1u);
+  EXPECT_FALSE(c.is_active(10));
+  EXPECT_EQ(*c.rotate(), 20u);
+  EXPECT_EQ(*c.rotate(), 20u);  // 10 never reappears
+}
+
+TEST(PageCache, RotateEmptyReturnsNothing) {
+  PageCache c(4);
+  EXPECT_FALSE(c.rotate().has_value());
+  c.add_active(1);
+  c.remove_active(1);
+  EXPECT_FALSE(c.rotate().has_value());
+}
+
+TEST(PageCache, DoubleAddThrows) {
+  PageCache c(2);
+  c.add_active(5);
+  EXPECT_THROW(c.add_active(5), ascoma::CheckFailure);
+}
+
+TEST(PageCache, RemoveInactiveThrows) {
+  PageCache c(2);
+  EXPECT_THROW(c.remove_active(5), ascoma::CheckFailure);
+}
+
+TEST(PageCache, ReAddAfterRemoveWorks) {
+  PageCache c(2);
+  c.add_active(5);
+  c.remove_active(5);
+  c.add_active(5);
+  EXPECT_TRUE(c.is_active(5));
+  EXPECT_EQ(*c.rotate(), 5u);
+}
+
+TEST(PageCache, ZeroCapacity) {
+  PageCache c(0);
+  EXPECT_EQ(c.capacity(), 0u);
+  EXPECT_FALSE(c.alloc().has_value());
+}
+
+}  // namespace
+}  // namespace ascoma::vm

@@ -1,0 +1,78 @@
+#include "mem/rac.hh"
+
+#include <gtest/gtest.h>
+
+namespace ascoma::mem {
+namespace {
+
+TEST(Rac, DefaultIsSingleBlock) {
+  MachineConfig cfg;
+  Rac r(cfg);
+  EXPECT_EQ(r.entries(), 1u);
+}
+
+TEST(Rac, HoldsLastFilledBlock) {
+  MachineConfig cfg;
+  Rac r(cfg);
+  EXPECT_FALSE(r.probe(10));
+  r.fill(10);
+  EXPECT_TRUE(r.probe(10));
+  r.fill(11);  // single entry: displaces block 10
+  EXPECT_FALSE(r.probe(10));
+  EXPECT_TRUE(r.probe(11));
+  EXPECT_EQ(r.fills(), 2u);
+}
+
+TEST(Rac, InvalidateRemovesOnlyMatchingTag) {
+  MachineConfig cfg;
+  Rac r(cfg);
+  r.fill(10);
+  EXPECT_FALSE(r.invalidate(99));  // different block (same slot)
+  EXPECT_TRUE(r.probe(10));
+  EXPECT_TRUE(r.invalidate(10));
+  EXPECT_FALSE(r.probe(10));
+  EXPECT_FALSE(r.invalidate(10));  // already gone
+}
+
+TEST(Rac, LargerRacIsDirectMapped) {
+  MachineConfig cfg;
+  cfg.rac_bytes = 4 * 128;  // 4 entries
+  Rac r(cfg);
+  EXPECT_EQ(r.entries(), 4u);
+  r.fill(0);
+  r.fill(1);
+  r.fill(2);
+  r.fill(3);
+  EXPECT_TRUE(r.probe(0));
+  EXPECT_TRUE(r.probe(3));
+  r.fill(4);  // maps to slot 0, evicts block 0
+  EXPECT_FALSE(r.probe(0));
+  EXPECT_TRUE(r.probe(4));
+  EXPECT_TRUE(r.probe(1));
+}
+
+TEST(Rac, InvalidatePageClearsAllPageBlocks) {
+  MachineConfig cfg;
+  cfg.rac_bytes = 64 * 128;  // 64 entries: a full page (32 blocks) plus room
+  Rac r(cfg);
+  const BlockId first = 2 * cfg.blocks_per_page();  // page 2
+  for (std::uint32_t i = 0; i < cfg.blocks_per_page(); ++i) r.fill(first + i);
+  EXPECT_EQ(r.invalidate_page(2), cfg.blocks_per_page());
+  for (std::uint32_t i = 0; i < cfg.blocks_per_page(); ++i)
+    EXPECT_FALSE(r.probe(first + i));
+}
+
+TEST(Rac, HitCounter) {
+  MachineConfig cfg;
+  Rac r(cfg);
+  r.fill(5);
+  r.note_hit();
+  r.note_hit();
+  EXPECT_EQ(r.hits(), 2u);
+  r.reset();
+  EXPECT_EQ(r.hits(), 0u);
+  EXPECT_FALSE(r.probe(5));
+}
+
+}  // namespace
+}  // namespace ascoma::mem

@@ -1,0 +1,110 @@
+#include "report/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hh"
+#include "core/machine.hh"
+#include "workload/synthetic.hh"
+
+namespace ascoma::report {
+namespace {
+
+core::RunResult make_run(ArchModel arch, double pressure) {
+  workload::SyntheticParams p;
+  p.nodes = 4;
+  p.home_pages = 16;
+  p.remote_pages = 8;
+  p.iterations = 2;
+  workload::SyntheticWorkload wl(p);
+  MachineConfig cfg;
+  cfg.arch = arch;
+  cfg.memory_pressure = pressure;
+  return core::simulate(cfg, wl);
+}
+
+TEST(Report, BaselinePrefersCcNuma) {
+  const auto cc = make_run(ArchModel::kCcNuma, 0.5);
+  const auto as = make_run(ArchModel::kAsComa, 0.5);
+  const std::vector<LabeledResult> rs = {{"as", &as}, {"cc", &cc}};
+  EXPECT_DOUBLE_EQ(baseline_cycles(rs), static_cast<double>(cc.cycles()));
+}
+
+TEST(Report, BaselineFallsBackToFirst) {
+  const auto as = make_run(ArchModel::kAsComa, 0.5);
+  const auto sc = make_run(ArchModel::kScoma, 0.5);
+  const std::vector<LabeledResult> rs = {{"as", &as}, {"sc", &sc}};
+  EXPECT_DOUBLE_EQ(baseline_cycles(rs), static_cast<double>(as.cycles()));
+}
+
+TEST(Report, BaselineEmptyThrows) {
+  EXPECT_THROW(baseline_cycles({}), CheckFailure);
+}
+
+TEST(Report, TimeBreakdownRowsSumToRelativeTime) {
+  const auto cc = make_run(ArchModel::kCcNuma, 0.5);
+  const auto as = make_run(ArchModel::kAsComa, 0.5);
+  const std::vector<LabeledResult> rs = {{"cc", &cc}, {"as", &as}};
+  const Table t = time_breakdown_table(rs, baseline_cycles(rs));
+  EXPECT_EQ(t.rows(), 2u);
+  // Parse the rendered table: for each row, bucket columns sum ~ rel.time.
+  std::istringstream is(t.to_string());
+  std::string line;
+  std::getline(is, line);  // header
+  std::getline(is, line);  // separator
+  while (std::getline(is, line)) {
+    std::vector<double> cells;
+    std::istringstream cellstream(line);
+    std::string cell;
+    while (std::getline(cellstream, cell, '|')) {
+      std::istringstream v(cell);
+      double d;
+      if (v >> d) cells.push_back(d);
+    }
+    ASSERT_EQ(cells.size(), 7u) << line;
+    double sum = 0.0;
+    for (std::size_t i = 1; i < cells.size(); ++i) sum += cells[i];
+    EXPECT_NEAR(sum, cells[0], 0.01) << line;
+  }
+}
+
+TEST(Report, MissBreakdownFoldsCoherenceIntoConf) {
+  const auto cc = make_run(ArchModel::kCcNuma, 0.5);
+  const std::vector<LabeledResult> rs = {{"cc", &cc}};
+  const Table t = miss_breakdown_table(rs);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("CONF/CAPC"), std::string::npos);
+  EXPECT_EQ(s.find("COHERENCE"), std::string::npos);
+  // Rendered total equals the run's total miss count.
+  EXPECT_NE(s.find(std::to_string(cc.stats.totals.misses.total())),
+            std::string::npos);
+}
+
+TEST(Report, SummaryLineNamesArchAndPressure) {
+  const auto as = make_run(ArchModel::kAsComa, 0.25);
+  const std::string s = summary_line(as);
+  EXPECT_NE(s.find("ASCOMA"), std::string::npos);
+  EXPECT_NE(s.find("25%"), std::string::npos);
+  EXPECT_NE(s.find("cycles"), std::string::npos);
+}
+
+TEST(Report, CsvRowMatchesHeaderArity) {
+  const auto as = make_run(ArchModel::kAsComa, 0.5);
+  const std::string header = csv_header();
+  const std::string row = csv_row("synthetic", "ASCOMA", as);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+  EXPECT_EQ(row.find("synthetic,ASCOMA,0.5,"), 0u);
+}
+
+TEST(Report, CsvRowContainsCycleCount) {
+  const auto cc = make_run(ArchModel::kCcNuma, 0.5);
+  const std::string row = csv_row("w", "CCNUMA", cc);
+  EXPECT_NE(row.find(std::to_string(cc.cycles())), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ascoma::report

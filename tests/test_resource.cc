@@ -1,0 +1,67 @@
+#include "sim/resource.hh"
+
+#include <gtest/gtest.h>
+
+namespace ascoma::sim {
+namespace {
+
+TEST(Resource, UncontendedStartsImmediately) {
+  Resource r;
+  EXPECT_EQ(r.acquire(100, 10), 100u);
+  EXPECT_EQ(r.free_at(), 110u);
+}
+
+TEST(Resource, BackToBackQueues) {
+  Resource r;
+  EXPECT_EQ(r.acquire(0, 10), 0u);
+  EXPECT_EQ(r.acquire(0, 10), 10u);  // waits behind the first
+  EXPECT_EQ(r.acquire(5, 10), 20u);
+  EXPECT_EQ(r.free_at(), 30u);
+}
+
+TEST(Resource, IdleGapResets) {
+  Resource r;
+  r.acquire(0, 10);
+  EXPECT_EQ(r.acquire(50, 10), 50u);  // no queueing after a gap
+}
+
+TEST(Resource, AcquireUntilReturnsCompletion) {
+  Resource r;
+  EXPECT_EQ(r.acquire_until(7, 3), 10u);
+  EXPECT_EQ(r.acquire_until(0, 5), 15u);
+}
+
+TEST(Resource, TracksWaitAndBusyCycles) {
+  Resource r;
+  r.acquire(0, 10);
+  r.acquire(0, 10);  // waits 10
+  EXPECT_EQ(r.busy_cycles(), 20u);
+  EXPECT_EQ(r.wait_cycles(), 10u);
+  EXPECT_EQ(r.transactions(), 2u);
+}
+
+TEST(Resource, Utilization) {
+  Resource r;
+  r.acquire(0, 25);
+  EXPECT_DOUBLE_EQ(r.utilization(100), 0.25);
+  EXPECT_DOUBLE_EQ(r.utilization(0), 0.0);
+}
+
+TEST(Resource, ZeroDurationIsFree) {
+  Resource r;
+  EXPECT_EQ(r.acquire(5, 0), 5u);
+  EXPECT_EQ(r.free_at(), 5u);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r("bus");
+  r.acquire(0, 10);
+  r.reset();
+  EXPECT_EQ(r.free_at(), 0u);
+  EXPECT_EQ(r.busy_cycles(), 0u);
+  EXPECT_EQ(r.transactions(), 0u);
+  EXPECT_EQ(r.name(), "bus");
+}
+
+}  // namespace
+}  // namespace ascoma::sim

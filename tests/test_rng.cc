@@ -1,0 +1,99 @@
+#include "common/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ascoma {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7), b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SeedsAreIndependent) {
+  Rng a(1, 0), b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInBounds) {
+  Rng r(123);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(r.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(77);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsP) {
+  Rng r(31);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r.chance(0.0));
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(99);
+  int buckets[8] = {};
+  for (int i = 0; i < 80000; ++i) ++buckets[r.below(8)];
+  for (int c : buckets) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, Mix64Deterministic) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(Rng, CoversLargeValueSpace) {
+  Rng r(2024);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next());
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in 1000 draws
+}
+
+}  // namespace
+}  // namespace ascoma

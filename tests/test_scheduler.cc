@@ -1,0 +1,75 @@
+#include "sim/scheduler.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+
+namespace ascoma::sim {
+namespace {
+
+TEST(Scheduler, PicksSmallestReadyCycle) {
+  Scheduler s(3);
+  s.set_ready(0, 30);
+  s.set_ready(1, 10);
+  s.set_ready(2, 20);
+  EXPECT_EQ(s.pick(), 1u);
+}
+
+TEST(Scheduler, TiesGoToLowestId) {
+  Scheduler s(3);
+  s.set_ready(0, 5);
+  s.set_ready(1, 5);
+  s.set_ready(2, 5);
+  EXPECT_EQ(s.pick(), 0u);
+}
+
+TEST(Scheduler, BlockedProcessorsAreSkipped) {
+  Scheduler s(2);
+  s.set_ready(0, 1);
+  s.set_ready(1, 2);
+  s.block(0);
+  EXPECT_EQ(s.pick(), 1u);
+  EXPECT_TRUE(s.is_blocked(0));
+  s.set_ready(0, 0);  // unblocks
+  EXPECT_FALSE(s.is_blocked(0));
+  EXPECT_EQ(s.pick(), 0u);
+}
+
+TEST(Scheduler, FinishRemovesFromLiveSet) {
+  Scheduler s(2);
+  EXPECT_EQ(s.live(), 2u);
+  s.finish(0);
+  EXPECT_EQ(s.live(), 1u);
+  EXPECT_TRUE(s.is_done(0));
+  EXPECT_EQ(s.pick(), 1u);
+  s.finish(1);
+  EXPECT_TRUE(s.all_done());
+}
+
+TEST(Scheduler, DeadlockDetected) {
+  Scheduler s(2);
+  s.block(0);
+  s.block(1);
+  EXPECT_THROW(s.pick(), CheckFailure);
+}
+
+TEST(Scheduler, ReadyingFinishedProcessorThrows) {
+  Scheduler s(1);
+  s.finish(0);
+  EXPECT_THROW(s.set_ready(0, 5), CheckFailure);
+}
+
+TEST(Scheduler, DoubleFinishThrows) {
+  Scheduler s(1);
+  s.finish(0);
+  EXPECT_THROW(s.finish(0), CheckFailure);
+}
+
+TEST(Scheduler, ReadyAtRoundTrips) {
+  Scheduler s(1);
+  s.set_ready(0, 12345);
+  EXPECT_EQ(s.ready_at(0), 12345u);
+}
+
+}  // namespace
+}  // namespace ascoma::sim

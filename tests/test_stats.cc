@@ -1,0 +1,102 @@
+#include "common/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace ascoma {
+namespace {
+
+TEST(TimeBreakdown, TotalAndFrac) {
+  TimeBreakdown t;
+  t[TimeBucket::kUserInstr] = 60;
+  t[TimeBucket::kUserShared] = 30;
+  t[TimeBucket::kSync] = 10;
+  EXPECT_EQ(t.total(), 100u);
+  EXPECT_DOUBLE_EQ(t.frac(TimeBucket::kUserInstr), 0.6);
+  EXPECT_DOUBLE_EQ(t.frac(TimeBucket::kKernelOvhd), 0.0);
+}
+
+TEST(TimeBreakdown, FracOfEmptyIsZero) {
+  TimeBreakdown t;
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_DOUBLE_EQ(t.frac(TimeBucket::kSync), 0.0);
+}
+
+TEST(TimeBreakdown, Add) {
+  TimeBreakdown a, b;
+  a[TimeBucket::kKernelBase] = 5;
+  b[TimeBucket::kKernelBase] = 7;
+  b[TimeBucket::kKernelOvhd] = 3;
+  a.add(b);
+  EXPECT_EQ(a[TimeBucket::kKernelBase], 12u);
+  EXPECT_EQ(a[TimeBucket::kKernelOvhd], 3u);
+}
+
+TEST(TimeBucketNames, MatchPaperLegend) {
+  EXPECT_STREQ(to_string(TimeBucket::kUserInstr), "U-INSTR");
+  EXPECT_STREQ(to_string(TimeBucket::kUserLocal), "U-LC-MEM");
+  EXPECT_STREQ(to_string(TimeBucket::kUserShared), "U-SH-MEM");
+  EXPECT_STREQ(to_string(TimeBucket::kKernelBase), "K-BASE");
+  EXPECT_STREQ(to_string(TimeBucket::kKernelOvhd), "K-OVERHD");
+  EXPECT_STREQ(to_string(TimeBucket::kSync), "SYNC");
+}
+
+TEST(MissBreakdown, LocalRemoteSplit) {
+  MissBreakdown m;
+  m[MissSource::kHome] = 10;
+  m[MissSource::kScoma] = 20;
+  m[MissSource::kRac] = 5;
+  m[MissSource::kCold] = 3;
+  m[MissSource::kConfCapc] = 2;
+  m[MissSource::kCoherence] = 1;
+  EXPECT_EQ(m.total(), 41u);
+  EXPECT_EQ(m.local(), 35u);
+  EXPECT_EQ(m.remote(), 6u);
+}
+
+TEST(MissSourceNames, MatchPaperLegend) {
+  EXPECT_STREQ(to_string(MissSource::kHome), "HOME");
+  EXPECT_STREQ(to_string(MissSource::kScoma), "SCOMA");
+  EXPECT_STREQ(to_string(MissSource::kRac), "RAC");
+  EXPECT_STREQ(to_string(MissSource::kCold), "COLD");
+  EXPECT_STREQ(to_string(MissSource::kConfCapc), "CONF/CAPC");
+}
+
+TEST(KernelStats, AddAccumulatesEverything) {
+  KernelStats a, b;
+  a.page_faults = 1;
+  b.page_faults = 2;
+  b.upgrades = 3;
+  b.downgrades = 4;
+  b.threshold_raises = 5;
+  b.remap_suppressed = 6;
+  a.add(b);
+  EXPECT_EQ(a.page_faults, 3u);
+  EXPECT_EQ(a.upgrades, 3u);
+  EXPECT_EQ(a.downgrades, 4u);
+  EXPECT_EQ(a.threshold_raises, 5u);
+  EXPECT_EQ(a.remap_suppressed, 6u);
+}
+
+TEST(NodeStats, AddRollsUp) {
+  NodeStats a, b;
+  a.shared_loads = 10;
+  b.shared_loads = 5;
+  b.l1_hits = 7;
+  b.misses[MissSource::kCold] = 2;
+  b.time[TimeBucket::kSync] = 100;
+  a.add(b);
+  EXPECT_EQ(a.shared_loads, 15u);
+  EXPECT_EQ(a.l1_hits, 7u);
+  EXPECT_EQ(a.misses[MissSource::kCold], 2u);
+  EXPECT_EQ(a.time[TimeBucket::kSync], 100u);
+}
+
+TEST(RunStats, RemoteOverheadUsesStallPlusKernel) {
+  RunStats r;
+  r.totals.time[TimeBucket::kUserShared] = 70;
+  r.totals.time[TimeBucket::kKernelOvhd] = 30;
+  EXPECT_DOUBLE_EQ(r.remote_overhead_cycles(), 100.0);
+}
+
+}  // namespace
+}  // namespace ascoma

@@ -1,0 +1,69 @@
+#include "arch/storage.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ascoma::arch {
+namespace {
+
+// Table 2 of the paper: CC-NUMA needs no extra storage; S-COMA pays page
+// cache state; hybrids additionally pay refetch counters per page per node.
+
+TEST(Storage, CcNumaIsFree) {
+  MachineConfig cfg;
+  const auto c = estimate_storage(ArchModel::kCcNuma, cfg, 1024);
+  EXPECT_EQ(c.total_bytes(), 0u);
+  EXPECT_TRUE(c.complexity.empty());
+}
+
+TEST(Storage, ScomaPaysPageCacheState) {
+  MachineConfig cfg;
+  const auto c = estimate_storage(ArchModel::kScoma, cfg, 1024);
+  // 1024 pages * 32 blocks * 2 bits / 8 = 8192 bytes of block state.
+  EXPECT_EQ(c.page_cache_state_bytes, 8192u);
+  EXPECT_EQ(c.page_map_bytes, 4096u);  // 32 bits per page
+  EXPECT_EQ(c.refetch_counter_bytes, 0u);
+  EXPECT_FALSE(c.complexity.empty());
+}
+
+TEST(Storage, HybridsAddRefetchCounters) {
+  MachineConfig cfg;  // 8 nodes
+  for (ArchModel m :
+       {ArchModel::kRNuma, ArchModel::kVcNuma, ArchModel::kAsComa}) {
+    const auto c = estimate_storage(m, cfg, 1024);
+    EXPECT_EQ(c.refetch_counter_bytes, 1024u * 8) << to_string(m);
+    EXPECT_GT(c.total_bytes(),
+              estimate_storage(ArchModel::kScoma, cfg, 1024).total_bytes());
+  }
+}
+
+TEST(Storage, HybridComplexityMentionsRefetchMachinery) {
+  MachineConfig cfg;
+  const auto c = estimate_storage(ArchModel::kRNuma, cfg, 64);
+  const bool found = std::any_of(
+      c.complexity.begin(), c.complexity.end(), [](const std::string& s) {
+        return s.find("refetch counter") != std::string::npos;
+      });
+  EXPECT_TRUE(found);
+}
+
+TEST(Storage, VcNumaFlagsNonCommodityHardware) {
+  MachineConfig cfg;
+  const auto c = estimate_storage(ArchModel::kVcNuma, cfg, 64);
+  const bool found = std::any_of(
+      c.complexity.begin(), c.complexity.end(), [](const std::string& s) {
+        return s.find("non-commodity") != std::string::npos;
+      });
+  EXPECT_TRUE(found);
+}
+
+TEST(Storage, ScalesLinearlyWithPages) {
+  MachineConfig cfg;
+  const auto small = estimate_storage(ArchModel::kAsComa, cfg, 100);
+  const auto large = estimate_storage(ArchModel::kAsComa, cfg, 200);
+  EXPECT_EQ(large.total_bytes(), 2 * small.total_bytes());
+}
+
+}  // namespace
+}  // namespace ascoma::arch

@@ -1,0 +1,80 @@
+#include "core/sweep.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ascoma::core {
+namespace {
+
+TEST(Sweep, ParallelMatchesSerial) {
+  std::vector<SweepJob> jobs;
+  for (double p : {0.1, 0.7}) {
+    SweepJob j;
+    j.config.arch = ArchModel::kAsComa;
+    j.config.memory_pressure = p;
+    j.workload = "ocean";
+    j.workload_scale = 0.2;
+    j.label = "ascoma";
+    jobs.push_back(j);
+  }
+  const auto serial = run_sweep(jobs, 1);
+  const auto parallel = run_sweep(jobs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.cycles(), parallel[i].result.cycles());
+    EXPECT_EQ(serial[i].result.stats.totals.misses.total(),
+              parallel[i].result.stats.totals.misses.total());
+  }
+}
+
+TEST(Sweep, ResultsInJobOrder) {
+  std::vector<SweepJob> jobs;
+  for (ArchModel a : {ArchModel::kCcNuma, ArchModel::kScoma}) {
+    SweepJob j;
+    j.config.arch = a;
+    j.config.memory_pressure = 0.2;
+    j.workload = "fft";
+    j.workload_scale = 0.5;
+    j.label = to_string(a);
+    jobs.push_back(j);
+  }
+  const auto res = run_sweep(jobs, 2);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].job.label, "CCNUMA");
+  EXPECT_EQ(res[1].job.label, "SCOMA");
+}
+
+TEST(Sweep, UnknownWorkloadThrows) {
+  SweepJob j;
+  j.workload = "no-such-program";
+  EXPECT_THROW(run_sweep({j}, 2), std::exception);
+}
+
+TEST(Sweep, EmptyJobListIsFine) {
+  EXPECT_TRUE(run_sweep({}, 4).empty());
+}
+
+TEST(PaperGrid, CcNumaOnceOthersPerPressure) {
+  const auto jobs = paper_grid("em3d", {0.1, 0.5, 0.9});
+  // 1 CC-NUMA + 4 architectures x 3 pressures.
+  EXPECT_EQ(jobs.size(), 1u + 4 * 3);
+  EXPECT_EQ(jobs[0].config.arch, ArchModel::kCcNuma);
+  int ascoma = 0;
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.workload, "em3d");
+    if (j.config.arch == ArchModel::kAsComa) ++ascoma;
+  }
+  EXPECT_EQ(ascoma, 3);
+}
+
+TEST(PaperGrid, LabelsEncodeArchAndPressure) {
+  const auto jobs = paper_grid("lu", {0.7});
+  bool found = false;
+  for (const auto& j : jobs)
+    if (j.label == "ASCOMA(70%)") found = true;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ascoma::core

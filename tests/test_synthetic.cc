@@ -1,0 +1,128 @@
+#include "workload/synthetic.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hh"
+
+namespace ascoma::workload {
+namespace {
+
+std::vector<Op> drain(OpStream& s) {
+  std::vector<Op> ops;
+  for (Op op = s.next(); op.kind != OpKind::kEnd; op = s.next())
+    ops.push_back(op);
+  return ops;
+}
+
+SyntheticParams tiny() {
+  SyntheticParams p;
+  p.nodes = 4;
+  p.home_pages = 16;
+  p.remote_pages = 8;
+  p.iterations = 2;
+  return p;
+}
+
+TEST(Synthetic, ValidatesParams) {
+  SyntheticParams p = tiny();
+  p.remote_pages = 1000;  // bigger than the rest of the machine
+  EXPECT_THROW(SyntheticWorkload{p}, CheckFailure);
+  p = tiny();
+  p.write_fraction = 1.5;
+  EXPECT_THROW(SyntheticWorkload{p}, CheckFailure);
+  p = tiny();
+  p.home_pages = 0;
+  EXPECT_THROW(SyntheticWorkload{p}, CheckFailure);
+}
+
+TEST(Synthetic, FootprintMatchesParams) {
+  SyntheticWorkload wl(tiny());
+  EXPECT_EQ(wl.nodes(), 4u);
+  EXPECT_EQ(wl.total_pages(), 64u);
+  EXPECT_EQ(wl.pages_per_node(), 16u);
+}
+
+TEST(Synthetic, HotRemoteSetHasRequestedSize) {
+  SyntheticWorkload wl(tiny());
+  std::set<VPageId> remote;
+  for (const Op& op : drain(*wl.stream(0, 5))) {
+    if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+    const VPageId page = op.arg / wl.page_bytes();
+    if (page >= 16) remote.insert(page);  // proc 0 partition is [0,16)
+  }
+  EXPECT_EQ(remote.size(), tiny().remote_pages);
+}
+
+TEST(Synthetic, WriteFractionZeroMeansNoStores) {
+  SyntheticParams p = tiny();
+  p.write_fraction = 0.0;
+  p.locks = 0;
+  SyntheticWorkload wl(p);
+  for (const Op& op : drain(*wl.stream(1, 5)))
+    EXPECT_NE(op.kind, OpKind::kStore);
+}
+
+TEST(Synthetic, WriteFractionOneMeansNoLoads) {
+  SyntheticParams p = tiny();
+  p.write_fraction = 1.0;
+  SyntheticWorkload wl(p);
+  for (const Op& op : drain(*wl.stream(1, 5)))
+    EXPECT_NE(op.kind, OpKind::kLoad);
+}
+
+TEST(Synthetic, BarriersCanBeDisabled) {
+  SyntheticParams p = tiny();
+  p.barriers = false;
+  SyntheticWorkload wl(p);
+  for (const Op& op : drain(*wl.stream(0, 5)))
+    EXPECT_NE(op.kind, OpKind::kBarrier);
+}
+
+TEST(Synthetic, LocksEmitBalancedPairs) {
+  SyntheticParams p = tiny();
+  p.locks = 4;
+  SyntheticWorkload wl(p);
+  int depth = 0;
+  for (const Op& op : drain(*wl.stream(0, 5))) {
+    if (op.kind == OpKind::kLock) ++depth;
+    if (op.kind == OpKind::kUnlock) --depth;
+    ASSERT_GE(depth, 0);
+    ASSERT_LE(depth, 1);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticWorkload wl(tiny());
+  const auto a = drain(*wl.stream(2, 9));
+  const auto b = drain(*wl.stream(2, 9));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].arg, b[i].arg);
+}
+
+TEST(Synthetic, SingleNodeHasNoRemoteSet) {
+  SyntheticParams p = tiny();
+  p.nodes = 1;
+  p.remote_pages = 0;
+  SyntheticWorkload wl(p);
+  const auto ops = drain(*wl.stream(0, 1));
+  EXPECT_FALSE(ops.empty());
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+      EXPECT_LT(op.arg / wl.page_bytes(), 16u);
+  }
+}
+
+TEST(Synthetic, MoreIterationsMeansMoreOps) {
+  SyntheticParams p = tiny();
+  SyntheticWorkload small(p);
+  p.iterations = 8;
+  SyntheticWorkload big(p);
+  EXPECT_GT(drain(*big.stream(0, 3)).size(),
+            drain(*small.stream(0, 3)).size());
+}
+
+}  // namespace
+}  // namespace ascoma::workload

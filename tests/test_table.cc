@@ -1,0 +1,60 @@
+#include "common/table.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ascoma {
+namespace {
+
+TEST(Table, FormatsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRowsDropsExtras) {
+  Table t({"a", "b"});
+  t.add_row({"x"});
+  t.add_row({"1", "2", "3"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find("3"), std::string::npos);  // extra cell dropped
+  EXPECT_NE(s.find("| x | "), std::string::npos);
+}
+
+TEST(Table, ColumnWidthTracksWidestCell) {
+  Table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| wide-cell-content |"), std::string::npos);
+  EXPECT_NE(s.find("| h                 |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(1234.5, 1), "1234.5");
+}
+
+TEST(Table, PctFormatsFractions) {
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, PrintToStream) {
+  Table t({"only"});
+  t.add_row({"row"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace ascoma

@@ -1,0 +1,200 @@
+#include "workload/workload.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/splash.hh"
+
+namespace ascoma::workload {
+namespace {
+
+std::vector<Op> drain(OpStream& s) {
+  std::vector<Op> ops;
+  for (Op op = s.next(); op.kind != OpKind::kEnd; op = s.next())
+    ops.push_back(op);
+  return ops;
+}
+
+TEST(WorkloadFactory, KnowsAllSixPrograms) {
+  EXPECT_EQ(workload_names().size(), 6u);
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name);
+    ASSERT_NE(wl, nullptr) << name;
+    EXPECT_EQ(wl->name(), name);
+  }
+  EXPECT_EQ(make_workload("unknown"), nullptr);
+}
+
+TEST(WorkloadFactory, PaperNodeCounts) {
+  EXPECT_EQ(make_workload("lu")->nodes(), 4u);  // paper: lu on 4 nodes
+  for (const auto& name : {"barnes", "em3d", "fft", "ocean", "radix"})
+    EXPECT_EQ(make_workload(name)->nodes(), 8u) << name;
+}
+
+TEST(Workload, ContiguousHomeLayout) {
+  auto wl = make_workload("em3d");
+  const auto per = wl->pages_per_node();
+  for (std::uint32_t n = 0; n < wl->nodes(); ++n) {
+    EXPECT_EQ(wl->home_of(n * per), n);
+    EXPECT_EQ(wl->home_of((n + 1) * per - 1), n);
+  }
+}
+
+TEST(Workload, StreamsAreDeterministic) {
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name, 0.25);
+    auto a = drain(*wl->stream(1, 42));
+    auto b = drain(*wl->stream(1, 42));
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].kind, b[i].kind) << name << " op " << i;
+      ASSERT_EQ(a[i].arg, b[i].arg) << name << " op " << i;
+    }
+  }
+}
+
+TEST(Workload, SeedChangesRandomizedStreams) {
+  auto wl = make_workload("radix", 0.25);
+  auto a = drain(*wl->stream(0, 1));
+  auto b = drain(*wl->stream(0, 2));
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].arg != b[i].arg;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, AddressesStayInSharedSpace) {
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name, 0.25);
+    const Addr limit = wl->total_pages() * wl->page_bytes();
+    for (std::uint32_t p = 0; p < wl->nodes(); ++p) {
+      for (const Op& op : drain(*wl->stream(p, 7))) {
+        if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+          ASSERT_LT(op.arg, limit) << name;
+      }
+    }
+  }
+}
+
+TEST(Workload, AllProcessesAgreeOnBarrierCount) {
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name, 0.25);
+    std::set<std::uint64_t> counts;
+    for (std::uint32_t p = 0; p < wl->nodes(); ++p) {
+      std::uint64_t barriers = 0;
+      for (const Op& op : drain(*wl->stream(p, 7)))
+        if (op.kind == OpKind::kBarrier) ++barriers;
+      counts.insert(barriers);
+    }
+    EXPECT_EQ(counts.size(), 1u) << name << " has asymmetric barriers";
+    EXPECT_GT(*counts.begin(), 0u) << name;
+  }
+}
+
+TEST(Workload, LocksAreBalanced) {
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name, 0.25);
+    for (std::uint32_t p = 0; p < wl->nodes(); ++p) {
+      std::map<std::uint64_t, int> held;
+      for (const Op& op : drain(*wl->stream(p, 7))) {
+        if (op.kind == OpKind::kLock) {
+          ASSERT_EQ(held[op.arg], 0) << name << " double lock";
+          held[op.arg] = 1;
+        } else if (op.kind == OpKind::kUnlock) {
+          ASSERT_EQ(held[op.arg], 1) << name << " unlock without lock";
+          held[op.arg] = 0;
+        }
+      }
+      for (const auto& [id, h] : held)
+        ASSERT_EQ(h, 0) << name << " lock " << id << " left held";
+    }
+  }
+}
+
+TEST(Workload, EveryProcessTouchesRemotePages) {
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name, 0.25);
+    const auto per = wl->pages_per_node();
+    for (std::uint32_t p = 0; p < wl->nodes(); ++p) {
+      bool remote = false;
+      for (const Op& op : drain(*wl->stream(p, 7))) {
+        if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+        const VPageId page = op.arg / wl->page_bytes();
+        if (page / per != p) {
+          remote = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(remote) << name << " proc " << p;
+    }
+  }
+}
+
+TEST(Workload, RadixTouchesEveryPage) {
+  auto wl = make_workload("radix");
+  std::set<VPageId> touched;
+  for (const Op& op : drain(*wl->stream(0, 7))) {
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+      touched.insert(op.arg / wl->page_bytes());
+  }
+  // "Every node accesses every page of shared data at some time."
+  EXPECT_EQ(touched.size(), wl->total_pages());
+}
+
+TEST(Workload, OceanRemoteSetIsSmall) {
+  auto wl = make_workload("ocean", 0.5);
+  const auto per = wl->pages_per_node();
+  std::set<VPageId> remote;
+  for (const Op& op : drain(*wl->stream(3, 7))) {
+    if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+    const VPageId page = op.arg / wl->page_bytes();
+    if (page / per != 3) remote.insert(page);
+  }
+  // Only boundary pages with the two ring neighbours.
+  EXPECT_LE(remote.size(), 64u);
+  EXPECT_GT(remote.size(), 0u);
+}
+
+TEST(Workload, ScaleShrinksStreams) {
+  auto big = make_workload("em3d", 1.0);
+  auto small = make_workload("em3d", 0.2);
+  const auto nb = drain(*big->stream(0, 7)).size();
+  const auto ns = drain(*small->stream(0, 7)).size();
+  EXPECT_LT(ns, nb);
+  EXPECT_GT(ns, 0u);
+}
+
+TEST(StreamBuilder, CoalescesComputeAndPrivate) {
+  StreamBuilder b(4096, 32);
+  b.compute(10);
+  b.compute(20);
+  b.private_ops(3);
+  b.private_ops(4);
+  b.load(0, 0);
+  const auto ops = b.take();
+  ASSERT_EQ(ops.size(), 4u);  // compute, private, load, end
+  EXPECT_EQ(ops[0].kind, OpKind::kCompute);
+  EXPECT_EQ(ops[0].arg, 30u);
+  EXPECT_EQ(ops[1].kind, OpKind::kPrivate);
+  EXPECT_EQ(ops[1].arg, 7u);
+  EXPECT_EQ(ops[3].kind, OpKind::kEnd);
+}
+
+TEST(StreamBuilder, LineWrapsWithinPage) {
+  StreamBuilder b(4096, 32);
+  b.load(2, 130);  // 130 % 128 = line 2 of page 2
+  const auto ops = b.take();
+  EXPECT_EQ(ops[0].arg, 2u * 4096 + 2 * 32);
+}
+
+TEST(VectorStream, ReturnsEndForever) {
+  VectorStream s({{OpKind::kCompute, 5}, {OpKind::kEnd, 0}});
+  EXPECT_EQ(s.next().kind, OpKind::kCompute);
+  EXPECT_EQ(s.next().kind, OpKind::kEnd);
+  EXPECT_EQ(s.next().kind, OpKind::kEnd);
+}
+
+}  // namespace
+}  // namespace ascoma::workload

@@ -1,0 +1,180 @@
+// The reproduction's validity rests on each generator exhibiting the
+// sharing signature the paper attributes its results to (Section 5's
+// program-by-program analysis).  These tests measure those signatures
+// directly from the generated streams and from instrumented runs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/machine.hh"
+#include "workload/workload.hh"
+
+namespace ascoma::workload {
+namespace {
+
+std::vector<Op> drain(OpStream& s) {
+  std::vector<Op> ops;
+  for (Op op = s.next(); op.kind != OpKind::kEnd; op = s.next())
+    ops.push_back(op);
+  return ops;
+}
+
+constexpr std::uint32_t kPage = 4096;
+constexpr std::uint32_t kLine = 32;
+
+// "fft ... only access a small number of remote pages enough times to
+// warrant remapping" — streamed sequentially, (almost) no block reuse.
+TEST(Signature, FftStreamsRemoteBlocksWithoutReuseWithinAPass) {
+  auto wl = make_workload("fft");
+  const auto per = wl->pages_per_node();
+  std::map<std::uint64_t, int> block_touches_this_pass;
+  int max_reuse = 0;
+  std::uint64_t last_page = ~0ull;
+  for (const Op& op : drain(*wl->stream(2, 7))) {
+    if (op.kind != OpKind::kLoad) continue;
+    const VPageId page = op.arg / kPage;
+    if (page / per == 2) continue;  // local
+    if (page != last_page) {
+      // New remote page: within a transpose pass each page is visited once.
+      block_touches_this_pass.clear();
+      last_page = page;
+    }
+    const std::uint64_t block = op.arg / 128;
+    max_reuse = std::max(max_reuse, ++block_touches_this_pass[block]);
+  }
+  // 4 lines per block: sequential streaming touches each block's lines
+  // consecutively — never more than lines-per-block times.
+  EXPECT_LE(max_reuse, 4);
+}
+
+// "In em3d ... most of the remote pages ever accessed are in the node's
+// working set" — a fixed hot set, identical every iteration.
+TEST(Signature, Em3dRemoteSetIsIdenticalAcrossIterations) {
+  auto wl = make_workload("em3d");
+  const auto per = wl->pages_per_node();
+  // Split the stream at barriers; collect remote pages per remote phase.
+  std::vector<std::set<VPageId>> phases(1);
+  for (const Op& op : drain(*wl->stream(1, 7))) {
+    if (op.kind == OpKind::kBarrier) {
+      if (!phases.back().empty()) phases.emplace_back();
+      continue;
+    }
+    if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+    const VPageId page = op.arg / kPage;
+    if (page / per != 1) phases.back().insert(page);
+  }
+  phases.erase(std::remove_if(phases.begin(), phases.end(),
+                              [](const auto& s) { return s.empty(); }),
+               phases.end());
+  ASSERT_GE(phases.size(), 3u);
+  for (std::size_t i = 1; i < phases.size(); ++i)
+    EXPECT_EQ(phases[i], phases[0]) << "remote phase " << i << " differs";
+  EXPECT_EQ(phases[0].size(), 160u);  // the declared hot-set size
+}
+
+// "lu ... every process uses each set of shared pages for only a short time
+// before moving to another set" — a small moving window.
+TEST(Signature, LuActiveRemoteSetIsOneWindowPerPhase) {
+  auto wl = make_workload("lu");
+  const auto per = wl->pages_per_node();
+  std::set<VPageId> window;
+  std::set<std::set<VPageId>> distinct_windows;
+  for (const Op& op : drain(*wl->stream(1, 7))) {
+    if (op.kind == OpKind::kBarrier) {
+      if (!window.empty()) distinct_windows.insert(window);
+      window.clear();
+      continue;
+    }
+    if (op.kind != OpKind::kLoad) continue;
+    const VPageId page = op.arg / kPage;
+    if (page / per != 1) window.insert(page);
+  }
+  // Every phase's remote set is at most one 48-page window.
+  for (const auto& w : distinct_windows) EXPECT_LE(w.size(), 48u);
+  // And the windows tile the remote space: many distinct ones.
+  EXPECT_GE(distinct_windows.size(), 20u);
+}
+
+// "radix exhibits almost no spatial locality.  Every node accesses every
+// page of shared data" — scatter addresses are near-uniform over pages.
+TEST(Signature, RadixScatterIsNearUniform) {
+  auto wl = make_workload("radix");
+  std::map<VPageId, std::uint64_t> writes;
+  for (const Op& op : drain(*wl->stream(0, 7))) {
+    if (op.kind == OpKind::kStore) ++writes[op.arg / kPage];
+  }
+  ASSERT_EQ(writes.size(), wl->total_pages());
+  std::uint64_t total = 0, max_w = 0;
+  for (const auto& [page, n] : writes) {
+    total += n;
+    max_w = std::max(max_w, n);
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(writes.size());
+  EXPECT_LT(static_cast<double>(max_w), mean * 2.5);  // no hot spots
+}
+
+// "barnes exhibits very high spatial locality.  It accesses large dense
+// regions of remote memory" — remote pages come in contiguous runs.
+TEST(Signature, BarnesRemoteRegionsAreDense) {
+  auto wl = make_workload("barnes");
+  const auto per = wl->pages_per_node();
+  std::set<VPageId> remote;
+  for (const Op& op : drain(*wl->stream(0, 7))) {
+    if (op.kind != OpKind::kLoad) continue;
+    const VPageId page = op.arg / kPage;
+    if (page / per != 0) remote.insert(page);
+  }
+  // Count contiguous runs: dense regions mean few runs relative to pages.
+  std::uint64_t runs = 0;
+  VPageId prev = kInvalidPage;
+  for (VPageId p : remote) {
+    if (prev == kInvalidPage || p != prev + 1) ++runs;
+    prev = p;
+  }
+  ASSERT_GT(remote.size(), 100u);
+  EXPECT_LE(runs, remote.size() / 50);  // >=50 consecutive pages per run
+}
+
+// "ocean" — remote traffic is only the fixed boundary exchange with the two
+// ring neighbours.
+TEST(Signature, OceanRemotePagesAreNeighbourBoundaries) {
+  auto wl = make_workload("ocean");
+  const auto per = wl->pages_per_node();
+  const std::uint32_t me = 3;
+  for (const Op& op : drain(*wl->stream(me, 7))) {
+    if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+    const VPageId page = op.arg / kPage;
+    const auto owner = static_cast<std::uint32_t>(page / per);
+    if (owner == me) continue;
+    EXPECT_TRUE(owner == (me + 1) % 8 || owner == (me + 7) % 8)
+        << "page " << page << " owned by non-neighbour " << owner;
+  }
+}
+
+// End-to-end signature: the ideal-pressure ordering of Table 5 must follow
+// from the footprints (em3d and ocean high, radix lowest).
+TEST(Signature, IdealPressureOrdering) {
+  std::map<std::string, double> ideal;
+  for (const std::string name : {"em3d", "ocean", "radix", "lu"}) {
+    auto wl = make_workload(name, 0.25);
+    MachineConfig cfg;
+    cfg.arch = ArchModel::kCcNuma;
+    cfg.memory_pressure = 0.5;
+    const auto r = core::simulate(cfg, *wl);
+    std::uint64_t max_remote = 0;
+    for (const auto& n : r.per_node)
+      max_remote = std::max(max_remote, n.remote_pages_touched);
+    const double home = static_cast<double>(r.stats.home_pages_per_node);
+    ideal[name] = home / (home + static_cast<double>(max_remote));
+  }
+  EXPECT_GT(ideal["ocean"], ideal["em3d"]);
+  EXPECT_GT(ideal["em3d"], ideal["lu"]);
+  EXPECT_GT(ideal["lu"], ideal["radix"]);
+}
+
+}  // namespace
+}  // namespace ascoma::workload

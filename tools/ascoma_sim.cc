@@ -1,0 +1,248 @@
+// ascoma_sim — command-line front end to the AS-COMA machine simulator.
+//
+//   ascoma_sim --workload em3d --arch ascoma --pressure 90
+//   ascoma_sim --workload radix --arch all --pressure 10,50,90 --csv out.csv
+//   ascoma_sim --trace /tmp/app.trace --arch ccnuma --pressure 50
+//
+// Options:
+//   --workload NAME     barnes|em3d|fft|lu|ocean|radix (default em3d)
+//   --trace PATH        drive the machine from a recorded trace instead
+//   --arch A[,B...]     ccnuma|scoma|rnuma|vcnuma|ascoma|all (default ascoma)
+//   --pressure P[,Q..]  memory pressures in percent (default 50)
+//   --scale S           workload iteration scale (default 1.0)
+//   --threshold N       initial relocation threshold (default 64)
+//   --seed N            workload RNG seed
+//   --no-backoff        disable AS-COMA's adaptive back-off
+//   --no-scoma-first    disable AS-COMA's S-COMA-preferred allocation
+//   --store-buffer N    non-blocking stores with an N-entry buffer
+//   --threads N         sweep parallelism (default: hardware)
+//   --csv PATH          also append results as CSV rows
+//   --verbose           per-node/kernel detail
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/sweep.hh"
+#include "report/report.hh"
+#include "trace/trace.hh"
+#include "workload/workload.hh"
+
+using namespace ascoma;
+
+namespace {
+
+struct Options {
+  std::string workload = "em3d";
+  std::string trace_path;
+  std::vector<ArchModel> archs = {ArchModel::kAsComa};
+  std::vector<double> pressures = {0.5};
+  double scale = 1.0;
+  std::optional<std::uint32_t> threshold;
+  std::optional<std::uint64_t> seed;
+  bool backoff = true;
+  bool scoma_first = true;
+  std::optional<std::uint32_t> store_buffer;
+  unsigned threads = 0;
+  std::string csv_path;
+  bool verbose = false;
+};
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: ascoma_sim [--workload NAME | --trace PATH] [--arch LIST]\n"
+      "                  [--pressure LIST] [--scale S] [--threshold N]\n"
+      "                  [--seed N] [--no-backoff] [--no-scoma-first]\n"
+      "                  [--store-buffer N] [--threads N] [--csv PATH]\n"
+      "                  [--verbose]\n"
+      "workloads:";
+  for (const auto& n : workload::workload_names()) std::cerr << ' ' << n;
+  std::cerr << "\narchitectures: ccnuma scoma rnuma vcnuma ascoma all\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--workload") {
+      o.workload = need_value(i);
+    } else if (a == "--trace") {
+      o.trace_path = need_value(i);
+    } else if (a == "--arch") {
+      o.archs.clear();
+      for (const auto& name : split(need_value(i), ',')) {
+        if (name == "all") {
+          o.archs = {ArchModel::kCcNuma, ArchModel::kScoma, ArchModel::kRNuma,
+                     ArchModel::kVcNuma, ArchModel::kAsComa};
+          break;
+        }
+        ArchModel m;
+        if (!parse_arch_model(name, &m)) usage("unknown arch: " + name);
+        o.archs.push_back(m);
+      }
+    } else if (a == "--pressure") {
+      o.pressures.clear();
+      for (const auto& p : split(need_value(i), ',')) {
+        const double v = std::atof(p.c_str()) / 100.0;
+        if (v <= 0.0 || v > 1.0) usage("bad pressure: " + p);
+        o.pressures.push_back(v);
+      }
+      if (o.pressures.empty()) usage("empty pressure list");
+    } else if (a == "--scale") {
+      o.scale = std::atof(need_value(i).c_str());
+      if (o.scale <= 0.0) usage("bad scale");
+    } else if (a == "--threshold") {
+      o.threshold = static_cast<std::uint32_t>(
+          std::atol(need_value(i).c_str()));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(
+          std::atoll(need_value(i).c_str()));
+    } else if (a == "--no-backoff") {
+      o.backoff = false;
+    } else if (a == "--no-scoma-first") {
+      o.scoma_first = false;
+    } else if (a == "--store-buffer") {
+      o.store_buffer = static_cast<std::uint32_t>(
+          std::atol(need_value(i).c_str()));
+    } else if (a == "--threads") {
+      o.threads = static_cast<unsigned>(std::atol(need_value(i).c_str()));
+    } else if (a == "--csv") {
+      o.csv_path = need_value(i);
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+    } else {
+      usage("unknown option: " + a);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  // Resolve the workload (generator or trace).
+  std::unique_ptr<workload::Workload> wl;
+  if (!opt.trace_path.empty()) {
+    try {
+      wl = std::make_unique<trace::TraceWorkload>(opt.trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load trace: " << e.what() << '\n';
+      return 1;
+    }
+  } else {
+    wl = workload::make_workload(opt.workload, opt.scale);
+    if (!wl) usage("unknown workload: " + opt.workload);
+  }
+
+  MachineConfig base;
+  if (opt.threshold) base.refetch_threshold = *opt.threshold;
+  if (opt.seed) base.seed = *opt.seed;
+  base.ascoma_backoff = opt.backoff;
+  base.ascoma_scoma_first = opt.scoma_first;
+  if (opt.store_buffer) {
+    base.blocking_stores = false;
+    base.store_buffer_entries = *opt.store_buffer;
+  }
+
+  struct Row {
+    ArchModel arch;
+    double pressure;
+    core::RunResult result;
+  };
+  std::vector<Row> rows;
+  for (ArchModel arch : opt.archs) {
+    for (double pressure : opt.pressures) {
+      MachineConfig cfg = base;
+      cfg.arch = arch;
+      cfg.memory_pressure = pressure;
+      try {
+        rows.push_back({arch, pressure, core::simulate(cfg, *wl)});
+      } catch (const std::exception& e) {
+        std::cerr << "run failed (" << to_string(arch) << ", "
+                  << pressure * 100 << "%): " << e.what() << '\n';
+        return 1;
+      }
+      if (arch == ArchModel::kCcNuma) break;  // pressure-independent
+    }
+  }
+
+  Table t({"arch", "pressure", "cycles", "U-SH-MEM%", "K-OVERHD%", "SYNC%",
+           "local miss%", "remote fetches", "upgrades", "suppressed"});
+  for (const auto& r : rows) {
+    const auto& time = r.result.stats.totals.time;
+    const auto& m = r.result.stats.totals.misses;
+    const auto& k = r.result.stats.totals.kernel;
+    t.add_row({to_string(r.arch), Table::pct(r.pressure, 0),
+               std::to_string(r.result.cycles()),
+               Table::pct(time.frac(TimeBucket::kUserShared)),
+               Table::pct(time.frac(TimeBucket::kKernelOvhd)),
+               Table::pct(time.frac(TimeBucket::kSync)),
+               Table::pct(m.total() ? static_cast<double>(m.local()) /
+                                          static_cast<double>(m.total())
+                                    : 0.0),
+               std::to_string(m.remote()), std::to_string(k.upgrades),
+               std::to_string(k.remap_suppressed)});
+  }
+  std::cout << "workload: " << wl->name() << "  (nodes: " << wl->nodes()
+            << ", pages/node: " << wl->pages_per_node() << ")\n\n";
+  t.print(std::cout);
+
+  if (opt.verbose) {
+    for (const auto& r : rows) {
+      const auto& k = r.result.stats.totals.kernel;
+      std::cout << "\n" << to_string(r.arch) << "(" << r.pressure * 100
+                << "%): faults=" << k.page_faults
+                << " scoma_allocs=" << k.scoma_allocs
+                << " numa_allocs=" << k.numa_allocs
+                << " upgrades=" << k.upgrades
+                << " downgrades=" << k.downgrades
+                << " daemon_runs=" << k.daemon_runs
+                << " reclaim_failures=" << k.daemon_reclaim_failures
+                << " threshold_raises=" << k.threshold_raises
+                << " induced_cold=" << r.result.stats.totals.induced_cold_misses
+                << " net_msgs=" << r.result.net_messages
+                << " invals=" << r.result.directory_invalidations << '\n';
+      std::cout << "  final thresholds:";
+      for (auto th : r.result.final_threshold) std::cout << ' ' << th;
+      std::cout << '\n';
+    }
+  }
+
+  if (!opt.csv_path.empty()) {
+    const bool fresh = !std::ifstream(opt.csv_path).good();
+    std::ofstream csv(opt.csv_path, std::ios::app);
+    if (!csv) {
+      std::cerr << "cannot open csv file\n";
+      return 1;
+    }
+    if (fresh) csv << report::csv_header() << '\n';
+    for (const auto& r : rows)
+      csv << report::csv_row(wl->name(), to_string(r.arch), r.result) << '\n';
+    std::cout << "\nCSV appended to " << opt.csv_path << '\n';
+  }
+  return 0;
+}
