@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alloc.dir/bench_ablation_alloc.cc.o"
+  "CMakeFiles/bench_ablation_alloc.dir/bench_ablation_alloc.cc.o.d"
+  "bench_ablation_alloc"
+  "bench_ablation_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

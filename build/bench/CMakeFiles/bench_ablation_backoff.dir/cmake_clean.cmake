@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backoff.dir/bench_ablation_backoff.cc.o"
+  "CMakeFiles/bench_ablation_backoff.dir/bench_ablation_backoff.cc.o.d"
+  "bench_ablation_backoff"
+  "bench_ablation_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kernel_costs.dir/bench_ablation_kernel_costs.cc.o"
+  "CMakeFiles/bench_ablation_kernel_costs.dir/bench_ablation_kernel_costs.cc.o.d"
+  "bench_ablation_kernel_costs"
+  "bench_ablation_kernel_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kernel_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

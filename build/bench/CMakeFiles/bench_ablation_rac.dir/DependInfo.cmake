@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_rac.cc" "bench/CMakeFiles/bench_ablation_rac.dir/bench_ablation_rac.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_rac.dir/bench_ablation_rac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ascoma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ascoma_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ascoma_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ascoma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ascoma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ascoma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ascoma_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ascoma_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ascoma_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ascoma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rac.dir/bench_ablation_rac.cc.o"
+  "CMakeFiles/bench_ablation_rac.dir/bench_ablation_rac.cc.o.d"
+  "bench_ablation_rac"
+  "bench_ablation_rac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

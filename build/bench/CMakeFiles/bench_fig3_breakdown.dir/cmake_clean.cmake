@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cc.o"
+  "CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cc.o.d"
+  "bench_fig3_breakdown"
+  "bench_fig3_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_overhead.dir/bench_table1_overhead.cc.o"
+  "CMakeFiles/bench_table1_overhead.dir/bench_table1_overhead.cc.o.d"
+  "bench_table1_overhead"
+  "bench_table1_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cost.dir/bench_table2_cost.cc.o"
+  "CMakeFiles/bench_table2_cost.dir/bench_table2_cost.cc.o.d"
+  "bench_table2_cost"
+  "bench_table2_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_config.dir/bench_table3_config.cc.o"
+  "CMakeFiles/bench_table3_config.dir/bench_table3_config.cc.o.d"
+  "bench_table3_config"
+  "bench_table3_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_latency.dir/bench_table4_latency.cc.o"
+  "CMakeFiles/bench_table4_latency.dir/bench_table4_latency.cc.o.d"
+  "bench_table4_latency"
+  "bench_table4_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_relocation.dir/bench_table6_relocation.cc.o"
+  "CMakeFiles/bench_table6_relocation.dir/bench_table6_relocation.cc.o.d"
+  "bench_table6_relocation"
+  "bench_table6_relocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_relocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

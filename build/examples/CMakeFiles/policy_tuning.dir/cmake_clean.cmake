@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tuning.dir/policy_tuning.cpp.o"
+  "CMakeFiles/policy_tuning.dir/policy_tuning.cpp.o.d"
+  "policy_tuning"
+  "policy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

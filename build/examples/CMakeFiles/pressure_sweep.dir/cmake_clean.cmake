@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_sweep.dir/pressure_sweep.cpp.o"
+  "CMakeFiles/pressure_sweep.dir/pressure_sweep.cpp.o.d"
+  "pressure_sweep"
+  "pressure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

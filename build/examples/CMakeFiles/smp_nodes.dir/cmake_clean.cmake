@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_nodes.dir/smp_nodes.cpp.o"
+  "CMakeFiles/smp_nodes.dir/smp_nodes.cpp.o.d"
+  "smp_nodes"
+  "smp_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

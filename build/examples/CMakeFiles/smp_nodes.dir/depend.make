@@ -1,0 +1,2 @@
+# Empty dependencies file for smp_nodes.
+# This may be replaced when dependencies are built.

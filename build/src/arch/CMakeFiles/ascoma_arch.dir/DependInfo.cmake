@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/ascoma.cc" "src/arch/CMakeFiles/ascoma_arch.dir/ascoma.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/ascoma.cc.o.d"
+  "/root/repo/src/arch/ccnuma.cc" "src/arch/CMakeFiles/ascoma_arch.dir/ccnuma.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/ccnuma.cc.o.d"
+  "/root/repo/src/arch/policy.cc" "src/arch/CMakeFiles/ascoma_arch.dir/policy.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/policy.cc.o.d"
+  "/root/repo/src/arch/rnuma.cc" "src/arch/CMakeFiles/ascoma_arch.dir/rnuma.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/rnuma.cc.o.d"
+  "/root/repo/src/arch/scoma.cc" "src/arch/CMakeFiles/ascoma_arch.dir/scoma.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/scoma.cc.o.d"
+  "/root/repo/src/arch/storage.cc" "src/arch/CMakeFiles/ascoma_arch.dir/storage.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/storage.cc.o.d"
+  "/root/repo/src/arch/vcnuma.cc" "src/arch/CMakeFiles/ascoma_arch.dir/vcnuma.cc.o" "gcc" "src/arch/CMakeFiles/ascoma_arch.dir/vcnuma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ascoma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ascoma_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

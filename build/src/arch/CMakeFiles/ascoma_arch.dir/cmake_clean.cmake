@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_arch.dir/ascoma.cc.o"
+  "CMakeFiles/ascoma_arch.dir/ascoma.cc.o.d"
+  "CMakeFiles/ascoma_arch.dir/ccnuma.cc.o"
+  "CMakeFiles/ascoma_arch.dir/ccnuma.cc.o.d"
+  "CMakeFiles/ascoma_arch.dir/policy.cc.o"
+  "CMakeFiles/ascoma_arch.dir/policy.cc.o.d"
+  "CMakeFiles/ascoma_arch.dir/rnuma.cc.o"
+  "CMakeFiles/ascoma_arch.dir/rnuma.cc.o.d"
+  "CMakeFiles/ascoma_arch.dir/scoma.cc.o"
+  "CMakeFiles/ascoma_arch.dir/scoma.cc.o.d"
+  "CMakeFiles/ascoma_arch.dir/storage.cc.o"
+  "CMakeFiles/ascoma_arch.dir/storage.cc.o.d"
+  "CMakeFiles/ascoma_arch.dir/vcnuma.cc.o"
+  "CMakeFiles/ascoma_arch.dir/vcnuma.cc.o.d"
+  "libascoma_arch.a"
+  "libascoma_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

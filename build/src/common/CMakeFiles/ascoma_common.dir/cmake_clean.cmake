@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_common.dir/config.cc.o"
+  "CMakeFiles/ascoma_common.dir/config.cc.o.d"
+  "CMakeFiles/ascoma_common.dir/stats.cc.o"
+  "CMakeFiles/ascoma_common.dir/stats.cc.o.d"
+  "CMakeFiles/ascoma_common.dir/table.cc.o"
+  "CMakeFiles/ascoma_common.dir/table.cc.o.d"
+  "libascoma_common.a"
+  "libascoma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

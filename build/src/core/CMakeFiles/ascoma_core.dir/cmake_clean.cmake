@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_core.dir/machine.cc.o"
+  "CMakeFiles/ascoma_core.dir/machine.cc.o.d"
+  "CMakeFiles/ascoma_core.dir/sweep.cc.o"
+  "CMakeFiles/ascoma_core.dir/sweep.cc.o.d"
+  "libascoma_core.a"
+  "libascoma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

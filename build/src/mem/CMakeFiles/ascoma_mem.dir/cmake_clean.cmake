@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_mem.dir/bus.cc.o"
+  "CMakeFiles/ascoma_mem.dir/bus.cc.o.d"
+  "CMakeFiles/ascoma_mem.dir/cache.cc.o"
+  "CMakeFiles/ascoma_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ascoma_mem.dir/dram.cc.o"
+  "CMakeFiles/ascoma_mem.dir/dram.cc.o.d"
+  "CMakeFiles/ascoma_mem.dir/rac.cc.o"
+  "CMakeFiles/ascoma_mem.dir/rac.cc.o.d"
+  "libascoma_mem.a"
+  "libascoma_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

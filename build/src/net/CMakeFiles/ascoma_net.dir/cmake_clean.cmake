@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_net.dir/network.cc.o"
+  "CMakeFiles/ascoma_net.dir/network.cc.o.d"
+  "CMakeFiles/ascoma_net.dir/topology.cc.o"
+  "CMakeFiles/ascoma_net.dir/topology.cc.o.d"
+  "libascoma_net.a"
+  "libascoma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/coherent_memory.cc" "src/proto/CMakeFiles/ascoma_proto.dir/coherent_memory.cc.o" "gcc" "src/proto/CMakeFiles/ascoma_proto.dir/coherent_memory.cc.o.d"
+  "/root/repo/src/proto/directory.cc" "src/proto/CMakeFiles/ascoma_proto.dir/directory.cc.o" "gcc" "src/proto/CMakeFiles/ascoma_proto.dir/directory.cc.o.d"
+  "/root/repo/src/proto/refetch.cc" "src/proto/CMakeFiles/ascoma_proto.dir/refetch.cc.o" "gcc" "src/proto/CMakeFiles/ascoma_proto.dir/refetch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ascoma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ascoma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ascoma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ascoma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ascoma_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

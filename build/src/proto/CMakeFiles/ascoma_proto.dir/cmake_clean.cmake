@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_proto.dir/coherent_memory.cc.o"
+  "CMakeFiles/ascoma_proto.dir/coherent_memory.cc.o.d"
+  "CMakeFiles/ascoma_proto.dir/directory.cc.o"
+  "CMakeFiles/ascoma_proto.dir/directory.cc.o.d"
+  "CMakeFiles/ascoma_proto.dir/refetch.cc.o"
+  "CMakeFiles/ascoma_proto.dir/refetch.cc.o.d"
+  "libascoma_proto.a"
+  "libascoma_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

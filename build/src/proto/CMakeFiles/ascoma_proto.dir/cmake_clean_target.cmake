@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libascoma_proto.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_report.dir/report.cc.o"
+  "CMakeFiles/ascoma_report.dir/report.cc.o.d"
+  "libascoma_report.a"
+  "libascoma_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

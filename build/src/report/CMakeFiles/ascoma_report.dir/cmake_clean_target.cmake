@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libascoma_report.a"
+)

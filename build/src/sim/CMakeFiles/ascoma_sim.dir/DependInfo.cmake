@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/barrier.cc" "src/sim/CMakeFiles/ascoma_sim.dir/barrier.cc.o" "gcc" "src/sim/CMakeFiles/ascoma_sim.dir/barrier.cc.o.d"
+  "/root/repo/src/sim/lock.cc" "src/sim/CMakeFiles/ascoma_sim.dir/lock.cc.o" "gcc" "src/sim/CMakeFiles/ascoma_sim.dir/lock.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/sim/CMakeFiles/ascoma_sim.dir/resource.cc.o" "gcc" "src/sim/CMakeFiles/ascoma_sim.dir/resource.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/ascoma_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/ascoma_sim.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ascoma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_sim.dir/barrier.cc.o"
+  "CMakeFiles/ascoma_sim.dir/barrier.cc.o.d"
+  "CMakeFiles/ascoma_sim.dir/lock.cc.o"
+  "CMakeFiles/ascoma_sim.dir/lock.cc.o.d"
+  "CMakeFiles/ascoma_sim.dir/resource.cc.o"
+  "CMakeFiles/ascoma_sim.dir/resource.cc.o.d"
+  "CMakeFiles/ascoma_sim.dir/scheduler.cc.o"
+  "CMakeFiles/ascoma_sim.dir/scheduler.cc.o.d"
+  "libascoma_sim.a"
+  "libascoma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_trace.dir/trace.cc.o"
+  "CMakeFiles/ascoma_trace.dir/trace.cc.o.d"
+  "libascoma_trace.a"
+  "libascoma_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

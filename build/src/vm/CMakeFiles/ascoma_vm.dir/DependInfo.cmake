@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/home_map.cc" "src/vm/CMakeFiles/ascoma_vm.dir/home_map.cc.o" "gcc" "src/vm/CMakeFiles/ascoma_vm.dir/home_map.cc.o.d"
+  "/root/repo/src/vm/page_cache.cc" "src/vm/CMakeFiles/ascoma_vm.dir/page_cache.cc.o" "gcc" "src/vm/CMakeFiles/ascoma_vm.dir/page_cache.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/vm/CMakeFiles/ascoma_vm.dir/page_table.cc.o" "gcc" "src/vm/CMakeFiles/ascoma_vm.dir/page_table.cc.o.d"
+  "/root/repo/src/vm/pageout_daemon.cc" "src/vm/CMakeFiles/ascoma_vm.dir/pageout_daemon.cc.o" "gcc" "src/vm/CMakeFiles/ascoma_vm.dir/pageout_daemon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ascoma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_vm.dir/home_map.cc.o"
+  "CMakeFiles/ascoma_vm.dir/home_map.cc.o.d"
+  "CMakeFiles/ascoma_vm.dir/page_cache.cc.o"
+  "CMakeFiles/ascoma_vm.dir/page_cache.cc.o.d"
+  "CMakeFiles/ascoma_vm.dir/page_table.cc.o"
+  "CMakeFiles/ascoma_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/ascoma_vm.dir/pageout_daemon.cc.o"
+  "CMakeFiles/ascoma_vm.dir/pageout_daemon.cc.o.d"
+  "libascoma_vm.a"
+  "libascoma_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/barnes.cc" "src/workload/CMakeFiles/ascoma_workload.dir/barnes.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/barnes.cc.o.d"
+  "/root/repo/src/workload/em3d.cc" "src/workload/CMakeFiles/ascoma_workload.dir/em3d.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/em3d.cc.o.d"
+  "/root/repo/src/workload/fft.cc" "src/workload/CMakeFiles/ascoma_workload.dir/fft.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/fft.cc.o.d"
+  "/root/repo/src/workload/lu.cc" "src/workload/CMakeFiles/ascoma_workload.dir/lu.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/lu.cc.o.d"
+  "/root/repo/src/workload/ocean.cc" "src/workload/CMakeFiles/ascoma_workload.dir/ocean.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/ocean.cc.o.d"
+  "/root/repo/src/workload/radix.cc" "src/workload/CMakeFiles/ascoma_workload.dir/radix.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/radix.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/ascoma_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/ascoma_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/ascoma_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ascoma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_workload.dir/barnes.cc.o"
+  "CMakeFiles/ascoma_workload.dir/barnes.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/em3d.cc.o"
+  "CMakeFiles/ascoma_workload.dir/em3d.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/fft.cc.o"
+  "CMakeFiles/ascoma_workload.dir/fft.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/lu.cc.o"
+  "CMakeFiles/ascoma_workload.dir/lu.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/ocean.cc.o"
+  "CMakeFiles/ascoma_workload.dir/ocean.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/radix.cc.o"
+  "CMakeFiles/ascoma_workload.dir/radix.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/synthetic.cc.o"
+  "CMakeFiles/ascoma_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/ascoma_workload.dir/workload.cc.o"
+  "CMakeFiles/ascoma_workload.dir/workload.cc.o.d"
+  "libascoma_workload.a"
+  "libascoma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

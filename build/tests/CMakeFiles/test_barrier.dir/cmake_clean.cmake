@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barrier.dir/test_barrier.cc.o"
+  "CMakeFiles/test_barrier.dir/test_barrier.cc.o.d"
+  "test_barrier"
+  "test_barrier.pdb"
+  "test_barrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherent_memory.dir/test_coherent_memory.cc.o"
+  "CMakeFiles/test_coherent_memory.dir/test_coherent_memory.cc.o.d"
+  "test_coherent_memory"
+  "test_coherent_memory.pdb"
+  "test_coherent_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherent_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

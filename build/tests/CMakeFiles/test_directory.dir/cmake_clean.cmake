@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directory.dir/test_directory.cc.o"
+  "CMakeFiles/test_directory.dir/test_directory.cc.o.d"
+  "test_directory"
+  "test_directory.pdb"
+  "test_directory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

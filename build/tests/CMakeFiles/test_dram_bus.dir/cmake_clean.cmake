@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_bus.dir/test_dram_bus.cc.o"
+  "CMakeFiles/test_dram_bus.dir/test_dram_bus.cc.o.d"
+  "test_dram_bus"
+  "test_dram_bus.pdb"
+  "test_dram_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_home_map.dir/test_home_map.cc.o"
+  "CMakeFiles/test_home_map.dir/test_home_map.cc.o.d"
+  "test_home_map"
+  "test_home_map.pdb"
+  "test_home_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_home_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

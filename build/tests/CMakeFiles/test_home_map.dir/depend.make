@@ -1,0 +1,2 @@
+# Empty dependencies file for test_home_map.
+# This may be replaced when dependencies are built.

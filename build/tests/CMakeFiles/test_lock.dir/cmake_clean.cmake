@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock.dir/test_lock.cc.o"
+  "CMakeFiles/test_lock.dir/test_lock.cc.o.d"
+  "test_lock"
+  "test_lock.pdb"
+  "test_lock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/test_machine.cc.o"
+  "CMakeFiles/test_machine.dir/test_machine.cc.o.d"
+  "test_machine"
+  "test_machine.pdb"
+  "test_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

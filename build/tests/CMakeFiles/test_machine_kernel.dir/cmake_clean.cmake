@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_kernel.dir/test_machine_kernel.cc.o"
+  "CMakeFiles/test_machine_kernel.dir/test_machine_kernel.cc.o.d"
+  "test_machine_kernel"
+  "test_machine_kernel.pdb"
+  "test_machine_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_cache.dir/test_page_cache.cc.o"
+  "CMakeFiles/test_page_cache.dir/test_page_cache.cc.o.d"
+  "test_page_cache"
+  "test_page_cache.pdb"
+  "test_page_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pageout_daemon.dir/test_pageout_daemon.cc.o"
+  "CMakeFiles/test_pageout_daemon.dir/test_pageout_daemon.cc.o.d"
+  "test_pageout_daemon"
+  "test_pageout_daemon.pdb"
+  "test_pageout_daemon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pageout_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pageout_daemon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rac.dir/test_rac.cc.o"
+  "CMakeFiles/test_rac.dir/test_rac.cc.o.d"
+  "test_rac"
+  "test_rac.pdb"
+  "test_rac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refetch.dir/test_refetch.cc.o"
+  "CMakeFiles/test_refetch.dir/test_refetch.cc.o.d"
+  "test_refetch"
+  "test_refetch.pdb"
+  "test_refetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource.dir/test_resource.cc.o"
+  "CMakeFiles/test_resource.dir/test_resource.cc.o.d"
+  "test_resource"
+  "test_resource.pdb"
+  "test_resource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_signatures.dir/test_workload_signatures.cc.o"
+  "CMakeFiles/test_workload_signatures.dir/test_workload_signatures.cc.o.d"
+  "test_workload_signatures"
+  "test_workload_signatures.pdb"
+  "test_workload_signatures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

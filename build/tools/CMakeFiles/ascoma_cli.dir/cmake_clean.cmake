@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascoma_cli.dir/ascoma_sim.cc.o"
+  "CMakeFiles/ascoma_cli.dir/ascoma_sim.cc.o.d"
+  "ascoma"
+  "ascoma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascoma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
