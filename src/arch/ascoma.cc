@@ -24,11 +24,11 @@ void AsComaPolicy::back_off(PolicyEnv& env) {
   last_backoff_ = env.now;
   if (threshold_ <= threshold_max_ - increment_) {
     threshold_ += increment_;
-    ++env.kernel.threshold_raises;
+    note_threshold_raise(env);
   } else if (relocation_enabled_) {
     // Extreme pressure: disable CC-NUMA -> S-COMA remapping entirely.
     relocation_enabled_ = false;
-    ++env.kernel.threshold_raises;
+    note_threshold_raise(env);
   }
   env.daemon_period = std::min<Cycle>(
       period_max_, static_cast<Cycle>(static_cast<double>(env.daemon_period) *
@@ -85,10 +85,10 @@ void AsComaPolicy::on_daemon_result(PolicyEnv& env, const vm::DaemonResult& r) {
   {
     if (!relocation_enabled_) {
       relocation_enabled_ = true;
-      ++env.kernel.threshold_drops;
+      note_threshold_drop(env);
     } else if (threshold_ > initial_threshold_) {
       threshold_ = std::max(initial_threshold_, threshold_ - increment_);
-      ++env.kernel.threshold_drops;
+      note_threshold_drop(env);
     }
     env.daemon_period = std::max<Cycle>(
         initial_period_,

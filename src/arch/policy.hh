@@ -15,6 +15,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/sink.hh"
 #include "vm/page_cache.hh"
 #include "vm/pageout_daemon.hh"
 
@@ -28,6 +29,7 @@ struct PolicyEnv {
   KernelStats& kernel;
   Cycle& daemon_period;  ///< node's current pageout-daemon period (cycles)
   Cycle now = 0;         ///< current simulated cycle
+  obs::EventSink* sink = nullptr;  ///< observability sink (may be null)
 };
 
 class Policy {
@@ -72,6 +74,12 @@ class Policy {
   bool relocation_enabled() const { return relocation_enabled_; }
 
  protected:
+  /// Record a back-off escalation / relaxation: bumps the kernel counter and
+  /// emits the matching event.  All threshold moves must go through these so
+  /// KernelStats and the event stream can never disagree.
+  void note_threshold_raise(PolicyEnv& env);
+  void note_threshold_drop(PolicyEnv& env);
+
   std::uint32_t threshold_;
   bool relocation_enabled_ = true;
 };

@@ -28,10 +28,10 @@ void VcNumaPolicy::evaluate(PolicyEnv& env) {
   // of saved refetches, the page cache is churning hot pages: back off.
   if (window_earned_ * 2 < window_replacements_) {
     threshold_ += increment_;
-    ++env.kernel.threshold_raises;
+    note_threshold_raise(env);
   } else if (threshold_ > initial_threshold_) {
     threshold_ = std::max(initial_threshold_, threshold_ - increment_);
-    ++env.kernel.threshold_drops;
+    note_threshold_drop(env);
   }
   window_replacements_ = 0;
   window_earned_ = 0;

@@ -10,6 +10,10 @@
 
 #include "common/types.hh"
 
+namespace ascoma::obs {
+class EventSink;  // observability collection point (src/obs/sink.hh)
+}
+
 namespace ascoma {
 
 /// Which of the five studied memory architectures a machine instance runs.
@@ -127,6 +131,16 @@ struct MachineConfig {
 
   // ---- architecture under test --------------------------------------------
   ArchModel arch = ArchModel::kAsComa;
+
+  // ---- observability (src/obs) ---------------------------------------------
+  // Non-owning: when set, the machine emits typed, cycle-stamped events
+  // (faults, remaps, daemon runs, back-off moves, directory traffic,
+  // barriers) into the sink and samples per-node gauges every
+  // `sample_every` cycles (0 disables sampling).  Attaching a sink never
+  // changes simulated behaviour, only records it.  Sinks are not
+  // thread-safe: do not share one across concurrent simulate() calls.
+  obs::EventSink* sink = nullptr;
+  Cycle sample_every = 0;
 
   // ---- misc ----------------------------------------------------------------
   std::uint64_t seed = 0xA5C0'0A15ull;  ///< workload RNG seed (deterministic)

@@ -105,6 +105,10 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
   }
   cmem_->set_page_tables(table_ptrs);
 
+  sink_ = cfg_.sink;
+  sampler_ = obs::Sampler(cfg_.sample_every);
+  cmem_->set_sink(sink_);
+
   node_stats_.assign(cfg_.total_procs(), NodeStats{});
   if (!cfg_.blocking_stores) {
     store_buffer_.assign(cfg_.total_procs(),
@@ -117,10 +121,37 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
 
 Machine::~Machine() = default;
 
+void Machine::install_sink(obs::EventSink* sink, Cycle sample_every) {
+  ASCOMA_CHECK_MSG(!ran_, "install_sink must precede run()");
+  sink_ = sink;
+  cmem_->set_sink(sink);
+  if (sample_every > 0) sampler_ = obs::Sampler(sample_every);
+}
+
+void Machine::take_samples(Cycle cycle) {
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    obs::Sample s;
+    s.cycle = cycle;
+    s.node = n;
+    s.free_frames = page_caches_[n]->free_frames();
+    s.threshold = policies_[n]->threshold();
+    s.cache_active = page_caches_[n]->active_pages();
+    for (std::uint32_t p = n * cfg_.procs_per_node;
+         p < (n + 1) * cfg_.procs_per_node; ++p)
+      s.remote_misses += node_stats_[p].misses.remote();
+    sink_->add_sample(s);
+  }
+}
+
 arch::PolicyEnv Machine::env(std::uint32_t proc, Cycle now) {
   const NodeId n = node_of(proc);
-  return arch::PolicyEnv{cfg_, n, *page_caches_[n],
-                         node_stats_[proc].kernel, daemon_period_[n], now};
+  return arch::PolicyEnv{cfg_,
+                         n,
+                         *page_caches_[n],
+                         node_stats_[proc].kernel,
+                         daemon_period_[n],
+                         now,
+                         sink_};
 }
 
 VPageId Machine::force_select_victim(NodeId node) {
@@ -166,6 +197,7 @@ Cycle Machine::evict_scoma_page(std::uint32_t proc, VPageId victim,
   cache.remove_active(victim);
   cache.release(frame);
   ++k.downgrades;
+  note(obs::EventKind::kDowngrade, now + cost, node, victim);
 
   auto e = env(proc, now + cost);
   policies_[node]->on_replacement(e, victim);
@@ -186,9 +218,11 @@ std::pair<Cycle, Cycle> Machine::handle_fault(std::uint32_t proc,
   const Cycle base = cfg_.cost_page_fault;
   Cycle overhead = 0;
 
+  note(obs::EventKind::kPageFault, now, node, page);
   if (mode == PageMode::kNuma) {
     pt.map_numa(page);
     ++k.numa_allocs;
+    note(obs::EventKind::kNumaAlloc, now + base, node, page);
   } else {
     auto frame = cache.alloc();
     if (!frame) {
@@ -201,6 +235,7 @@ std::pair<Cycle, Cycle> Machine::handle_fault(std::uint32_t proc,
     pt.map_scoma(page, *frame);
     cache.add_active(page);
     ++k.scoma_allocs;
+    note(obs::EventKind::kScomaAlloc, now + base + overhead, node, page);
   }
   ++k.page_faults;
   return {base, overhead};
@@ -221,6 +256,8 @@ Cycle Machine::run_daemon(std::uint32_t proc, Cycle now) {
   k.daemon_pages_scanned += r.scanned;
   k.daemon_pages_reclaimed += r.reclaimed;
   if (!r.met_target) ++k.daemon_reclaim_failures;
+  note(obs::EventKind::kDaemonRun, now, node, kInvalidPage, r.scanned,
+       r.reclaimed, r.met_target ? 1 : 0);
 
   auto e = env(proc, now + cost);
   policies_[node]->on_daemon_result(e, r);
@@ -248,6 +285,7 @@ Cycle Machine::handle_relocation(std::uint32_t proc, VPageId page,
   KernelStats& k = node_stats_[proc].kernel;
 
   ++k.relocation_interrupts;
+  note(obs::EventKind::kRelocInterrupt, now, node, page);
   Cycle cost = cfg_.cost_interrupt;
 
   auto frame = cache.alloc();
@@ -270,6 +308,7 @@ Cycle Machine::handle_relocation(std::uint32_t proc, VPageId page,
       // directory counter resets with the fired interrupt, so the page must
       // re-earn a (possibly raised) threshold before interrupting again.
       ++k.remap_suppressed;
+      note(obs::EventKind::kRemapSuppressed, now + cost, node, page);
       cmem_->refetch().reset(page, node);
       auto e = env(proc, now + cost);
       policies_[node]->on_remap_suppressed(e);
@@ -286,10 +325,14 @@ Cycle Machine::handle_relocation(std::uint32_t proc, VPageId page,
   pt.upgrade_to_scoma(page, *frame);
   cache.add_active(page);
   ++k.upgrades;
+  note(obs::EventKind::kUpgrade, now + cost, node, page);
   return cost;
 }
 
 void Machine::release_barrier(Cycle release) {
+  // Barrier episodes are machine-global; they ride on node 0's track.
+  note(obs::EventKind::kBarrierRelease, release, 0, kInvalidPage,
+       barrier_.episodes());
   for (std::uint32_t q = 0; q < cfg_.total_procs(); ++q) {
     if (!waiting_in_barrier_[q]) continue;
     waiting_in_barrier_[q] = 0;
@@ -440,6 +483,14 @@ RunResult Machine::run() {
     const std::uint32_t p = sched_.pick();
     const Cycle now = sched_.ready_at(p);
 
+    // Gauge sampling: the global clock (min ready cycle) just crossed a
+    // sample boundary.  One catch-up sample per crossing, stamped at the
+    // boundary the clock passed.
+    if (sink_ && sampler_.due(now)) {
+      take_samples(sampler_.boundary());
+      sampler_.advance(now);
+    }
+
     // Demand-driven, rate-limited pageout-daemon tick for this node.
     if (const Cycle c = maybe_run_daemon(p, now); c > 0) {
       node_stats_[p].time[TimeBucket::kKernelOvhd] += c;
@@ -453,6 +504,10 @@ RunResult Machine::run() {
   }
 
   if (cfg_.check_invariants) cmem_->audit();
+
+  // Close the time series with the end-of-run state so the last row of the
+  // metrics export agrees with RunResult::final_threshold and friends.
+  if (sink_ && sampler_.enabled()) take_samples(end_cycle);
 
   RunResult r;
   r.config = cfg_;

@@ -24,6 +24,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/sink.hh"
 #include "proto/coherent_memory.hh"
 #include "sim/barrier.hh"
 #include "sim/lock.hh"
@@ -82,6 +83,11 @@ class Machine {
   arch::Policy& policy(NodeId n) { return *policies_[n]; }
   std::uint64_t frames_per_node() const { return frames_per_node_; }
 
+  /// Attach/detach an observability sink after construction (equivalent to
+  /// setting MachineConfig::sink; `sample_every` of 0 keeps the config's
+  /// sampling period).  Must be called before run().
+  void install_sink(obs::EventSink* sink, Cycle sample_every = 0);
+
   /// Node hosting processor `proc` (identity when procs_per_node == 1).
   NodeId node_of(std::uint32_t proc) const {
     return proc / cfg_.procs_per_node;
@@ -119,6 +125,16 @@ class Machine {
   void execute_op(std::uint32_t p, const Op& op);
   void release_barrier(Cycle release);
 
+  /// Emit an event if a sink is attached (no-op otherwise).
+  void note(obs::EventKind kind, Cycle cycle, NodeId node,
+            VPageId page = kInvalidPage, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint64_t c = 0) {
+    if (sink_) sink_->emit(kind, cycle, node, page, a, b, c);
+  }
+
+  /// Record one gauge sample per node, stamped `cycle`.
+  void take_samples(Cycle cycle);
+
   MachineConfig cfg_;
   const workload::Workload& wl_;
   std::uint64_t frames_per_node_ = 0;
@@ -142,6 +158,8 @@ class Machine {
   std::vector<Cycle> daemon_period_;
   std::vector<Cycle> next_daemon_;
   std::vector<std::uint8_t> waiting_in_barrier_;
+  obs::EventSink* sink_ = nullptr;  ///< non-owning; null = observability off
+  obs::Sampler sampler_;
   bool ran_ = false;
 };
 

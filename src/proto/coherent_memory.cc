@@ -114,6 +114,9 @@ Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
 Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
                                          BlockId block, NodeId home,
                                          NodeId requester, Cycle t_home) {
+  if (!targets.empty())
+    note_dir_event(obs::EventKind::kDirInvalidation, t_home, requester, block,
+                   targets.size());
   Cycle acks = t_home;
   for (NodeId s : targets) {
     apply_invalidation(s, block);
@@ -257,6 +260,8 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
       if (gx.dirty_owner != kInvalidNode) {
         // 3-hop: fetch the dirty data from its owner, invalidating it.
         t += cfg_.dir_lookup_cycles;
+        note_dir_event(obs::EventKind::kDirForward, t, node, block,
+                       gx.dirty_owner);
         const Cycle at_owner = use_net(t, node, gx.dirty_owner);
         const Cycle eo = use_engine(gx.dirty_owner, at_owner);
         const Cycle data = use_dram(gx.dirty_owner, eo, block);
@@ -281,6 +286,8 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
       auto gs = dir_.gets(block, node);
       if (gs.dirty_owner != kInvalidNode) {
         t += cfg_.dir_lookup_cycles;
+        note_dir_event(obs::EventKind::kDirForward, t, node, block,
+                       gs.dirty_owner);
         const Cycle at_owner = use_net(t, node, gs.dirty_owner);
         const Cycle eo = use_engine(gs.dirty_owner, at_owner);
         const Cycle data = use_dram(gs.dirty_owner, eo, block);
@@ -369,6 +376,8 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
     auto gx = dir_.getx(block, node);
     o.counted_refetch = (prior == Touch::kFetched);
     if (gx.dirty_owner != kInvalidNode) {
+      note_dir_event(obs::EventKind::kDirForward, t, node, block,
+                     gx.dirty_owner);
       const Cycle at_owner = use_net(t, home, gx.dirty_owner);
       const Cycle eo = use_engine(gx.dirty_owner, at_owner);
       const Cycle data = use_dram(gx.dirty_owner, eo, block);
@@ -385,6 +394,8 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
     auto gs = dir_.gets(block, node);
     o.counted_refetch = (prior == Touch::kFetched);
     if (gs.dirty_owner != kInvalidNode) {
+      note_dir_event(obs::EventKind::kDirForward, t, node, block,
+                     gs.dirty_owner);
       const Cycle at_owner = use_net(t, home, gs.dirty_owner);
       const Cycle eo = use_engine(gs.dirty_owner, at_owner);
       const Cycle data = use_dram(gs.dirty_owner, eo, block);

@@ -30,6 +30,7 @@
 #include "mem/dram.hh"
 #include "mem/rac.hh"
 #include "net/network.hh"
+#include "obs/sink.hh"
 #include "proto/directory.hh"
 #include "proto/refetch.hh"
 #include "sim/resource.hh"
@@ -44,6 +45,11 @@ class CoherentMemory {
 
   /// The machine must register the per-node page tables before any access.
   void set_page_tables(std::span<const vm::PageTable* const> tables);
+
+  /// Install an observability sink (nullptr detaches).  When set, directory
+  /// invalidation rounds and 3-hop dirty-owner forwards are emitted as
+  /// events, timestamped at the home's directory-lookup cycle.
+  void set_sink(obs::EventSink* sink) { sink_ = sink; }
 
   struct Outcome {
     Cycle done = 0;          ///< completion cycle of the access
@@ -145,7 +151,16 @@ class CoherentMemory {
   Cycle use_dram(NodeId n, Cycle t, BlockId b);
   Cycle use_net(Cycle t, NodeId src, NodeId dst);
 
+  /// Emit a directory-traffic event for `block` on behalf of `requester`.
+  void note_dir_event(obs::EventKind kind, Cycle cycle, NodeId requester,
+                      BlockId block, std::uint64_t arg) {
+    if (!sink_) return;
+    sink_->emit(kind, cycle, requester, block / cfg_.blocks_per_page(), block,
+                arg);
+  }
+
   bool background_ = false;
+  obs::EventSink* sink_ = nullptr;
 
   const MachineConfig cfg_;
   const vm::HomeMap& homes_;

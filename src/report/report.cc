@@ -1,5 +1,6 @@
 #include "report/report.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hh"
@@ -69,6 +70,39 @@ std::string summary_line(const core::RunResult& r) {
      << Table::pct(m.total() ? static_cast<double>(m.local()) /
                                    static_cast<double>(m.total())
                              : 0.0);
+  return os.str();
+}
+
+std::string summary_line(const core::RunResult& r,
+                         const obs::EventSink* sink) {
+  std::string line = summary_line(r);
+  if (sink) line += ", " + backoff_trajectory(r, sink);
+  return line;
+}
+
+std::string backoff_trajectory(const core::RunResult& r,
+                               const obs::EventSink* sink) {
+  const auto& k = r.stats.totals.kernel;
+  const std::uint64_t raises =
+      sink ? sink->count(obs::EventKind::kThresholdRaise)
+           : k.threshold_raises;
+  const std::uint64_t drops = sink
+                                  ? sink->count(obs::EventKind::kThresholdDrop)
+                                  : k.threshold_drops;
+  const std::uint32_t final_max =
+      r.final_threshold.empty()
+          ? r.config.refetch_threshold
+          : *std::max_element(r.final_threshold.begin(),
+                              r.final_threshold.end());
+  const std::uint64_t reloc_on =
+      static_cast<std::uint64_t>(std::count(r.relocation_enabled.begin(),
+                                            r.relocation_enabled.end(), 1));
+  std::ostringstream os;
+  os << "back-off: threshold " << r.config.refetch_threshold << "->"
+     << final_max << " (" << raises << (raises == 1 ? " raise, " : " raises, ")
+     << drops << (drops == 1 ? " drop)" : " drops)") << ", relocation on "
+     << reloc_on << "/" << r.relocation_enabled.size() << " nodes, "
+     << k.remap_suppressed << " suppressed remaps";
   return os.str();
 }
 

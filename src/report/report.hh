@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "core/machine.hh"
+#include "obs/sink.hh"
 
 namespace ascoma::report {
 
@@ -35,6 +36,20 @@ Table miss_breakdown_table(const std::vector<LabeledResult>& results);
 
 /// One-line human summary of a run (cycles, top buckets, miss locality).
 std::string summary_line(const core::RunResult& r);
+
+/// summary_line plus the back-off trajectory when an event sink recorded
+/// the run (threshold raises/drops are read from the event stream).
+std::string summary_line(const core::RunResult& r,
+                         const obs::EventSink* sink);
+
+/// The back-off trajectory of a run: initial -> final refetch threshold
+/// with escalation/relaxation counts, e.g.
+/// "back-off: threshold 64->128 (2 raises, 1 drop), relocation on 8/8
+///  nodes, 5 suppressed remaps".  Raise/drop counts come from the event
+/// stream when `sink` is attached (exact even under buffer overflow),
+/// otherwise from the aggregated KernelStats.
+std::string backoff_trajectory(const core::RunResult& r,
+                               const obs::EventSink* sink = nullptr);
 
 /// CSV schema shared by the CLI and any scripting around the benches.
 std::string csv_header();

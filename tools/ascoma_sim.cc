@@ -18,9 +18,17 @@
 //   --threads N         sweep parallelism (default: hardware)
 //   --csv PATH          also append results as CSV rows
 //   --verbose           per-node/kernel detail
+//
+// Observability (single arch/pressure runs only):
+//   --events PATH       dump the cycle-stamped event stream as JSONL
+//   --perfetto PATH     dump a Chrome trace-event JSON (ui.perfetto.dev)
+//   --metrics PATH      dump the gauge time series as CSV
+//   --sample-every N    gauge sampling period in cycles (default 100000)
 
+#include <charconv>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -29,6 +37,8 @@
 
 #include "common/table.hh"
 #include "core/sweep.hh"
+#include "obs/export.hh"
+#include "obs/sink.hh"
 #include "report/report.hh"
 #include "trace/trace.hh"
 #include "workload/workload.hh"
@@ -51,6 +61,15 @@ struct Options {
   unsigned threads = 0;
   std::string csv_path;
   bool verbose = false;
+  std::string events_path;
+  std::string perfetto_path;
+  std::string metrics_path;
+  Cycle sample_every = 100'000;
+
+  bool observing() const {
+    return !events_path.empty() || !perfetto_path.empty() ||
+           !metrics_path.empty();
+  }
 };
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -69,11 +88,40 @@ std::vector<std::string> split(const std::string& s, char sep) {
       "                  [--pressure LIST] [--scale S] [--threshold N]\n"
       "                  [--seed N] [--no-backoff] [--no-scoma-first]\n"
       "                  [--store-buffer N] [--threads N] [--csv PATH]\n"
-      "                  [--verbose]\n"
+      "                  [--events PATH] [--perfetto PATH] [--metrics PATH]\n"
+      "                  [--sample-every N] [--verbose]\n"
       "workloads:";
   for (const auto& n : workload::workload_names()) std::cerr << ' ' << n;
   std::cerr << "\narchitectures: ccnuma scoma rnuma vcnuma ascoma all\n";
   std::exit(2);
+}
+
+// ---- strict numeric parsing (reject garbage instead of reading it as 0) ----
+
+template <typename T>
+T parse_number(const std::string& s, const char* what) {
+  T value{};
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto r = std::from_chars(first, last, value);
+  if (r.ec != std::errc{} || r.ptr != last)
+    usage(std::string("bad value for ") + what + ": '" + s + "'");
+  return value;
+}
+
+double parse_double(const std::string& s, const char* what) {
+  return parse_number<double>(s, what);
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  return parse_number<std::uint64_t>(s, what);
+}
+
+std::uint32_t parse_u32(const std::string& s, const char* what) {
+  const std::uint64_t v = parse_u64(s, what);
+  if (v > std::numeric_limits<std::uint32_t>::max())
+    usage(std::string("value out of range for ") + what + ": '" + s + "'");
+  return static_cast<std::uint32_t>(v);
 }
 
 Options parse(int argc, char** argv) {
@@ -103,31 +151,37 @@ Options parse(int argc, char** argv) {
     } else if (a == "--pressure") {
       o.pressures.clear();
       for (const auto& p : split(need_value(i), ',')) {
-        const double v = std::atof(p.c_str()) / 100.0;
+        const double v = parse_double(p, "--pressure") / 100.0;
         if (v <= 0.0 || v > 1.0) usage("bad pressure: " + p);
         o.pressures.push_back(v);
       }
       if (o.pressures.empty()) usage("empty pressure list");
     } else if (a == "--scale") {
-      o.scale = std::atof(need_value(i).c_str());
+      o.scale = parse_double(need_value(i), "--scale");
       if (o.scale <= 0.0) usage("bad scale");
     } else if (a == "--threshold") {
-      o.threshold = static_cast<std::uint32_t>(
-          std::atol(need_value(i).c_str()));
+      o.threshold = parse_u32(need_value(i), "--threshold");
     } else if (a == "--seed") {
-      o.seed = static_cast<std::uint64_t>(
-          std::atoll(need_value(i).c_str()));
+      o.seed = parse_u64(need_value(i), "--seed");
     } else if (a == "--no-backoff") {
       o.backoff = false;
     } else if (a == "--no-scoma-first") {
       o.scoma_first = false;
     } else if (a == "--store-buffer") {
-      o.store_buffer = static_cast<std::uint32_t>(
-          std::atol(need_value(i).c_str()));
+      o.store_buffer = parse_u32(need_value(i), "--store-buffer");
     } else if (a == "--threads") {
-      o.threads = static_cast<unsigned>(std::atol(need_value(i).c_str()));
+      o.threads = parse_u32(need_value(i), "--threads");
     } else if (a == "--csv") {
       o.csv_path = need_value(i);
+    } else if (a == "--events") {
+      o.events_path = need_value(i);
+    } else if (a == "--perfetto") {
+      o.perfetto_path = need_value(i);
+    } else if (a == "--metrics") {
+      o.metrics_path = need_value(i);
+    } else if (a == "--sample-every") {
+      o.sample_every = parse_u64(need_value(i), "--sample-every");
+      if (o.sample_every == 0) usage("--sample-every must be > 0");
     } else if (a == "--verbose") {
       o.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -143,6 +197,8 @@ Options parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.observing() && (opt.archs.size() > 1 || opt.pressures.size() > 1))
+    usage("--events/--perfetto/--metrics need a single arch and pressure");
 
   // Resolve the workload (generator or trace).
   std::unique_ptr<workload::Workload> wl;
@@ -159,6 +215,12 @@ int main(int argc, char** argv) {
   }
 
   MachineConfig base;
+  std::optional<obs::EventSink> sink;
+  if (opt.observing()) {
+    sink.emplace();
+    base.sink = &*sink;
+    base.sample_every = opt.sample_every;
+  }
   if (opt.threshold) base.refetch_threshold = *opt.threshold;
   if (opt.seed) base.seed = *opt.seed;
   base.ascoma_backoff = opt.backoff;
@@ -229,7 +291,34 @@ int main(int argc, char** argv) {
       std::cout << "  final thresholds:";
       for (auto th : r.result.final_threshold) std::cout << ' ' << th;
       std::cout << '\n';
+      std::cout << "  "
+                << report::backoff_trajectory(r.result,
+                                              sink ? &*sink : nullptr)
+                << '\n';
     }
+  }
+
+  if (sink) {
+    auto export_to = [](const std::string& path, const char* what, bool ok) {
+      if (!ok) {
+        std::cerr << "cannot write " << what << " file: " << path << '\n';
+        std::exit(1);
+      }
+      std::cout << what << " written to " << path << '\n';
+    };
+    if (!opt.events_path.empty())
+      export_to(opt.events_path, "events JSONL",
+                obs::write_jsonl_file(opt.events_path, *sink));
+    if (!opt.perfetto_path.empty())
+      export_to(opt.perfetto_path, "Perfetto trace",
+                obs::write_perfetto_file(opt.perfetto_path, *sink,
+                                         wl->nodes()));
+    if (!opt.metrics_path.empty())
+      export_to(opt.metrics_path, "metrics CSV",
+                obs::write_metrics_csv_file(opt.metrics_path, *sink));
+    if (sink->dropped() > 0)
+      std::cerr << "warning: event buffer overflow, " << sink->dropped()
+                << " events dropped (tallies remain exact)\n";
   }
 
   if (!opt.csv_path.empty()) {
