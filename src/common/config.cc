@@ -4,6 +4,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "common/rng.hh"
+
 namespace ascoma {
 
 const char* to_string(ArchModel m) {
@@ -54,6 +56,14 @@ Cycle MachineConfig::net_one_way_latency() const {
          net_interface_cycles;
 }
 
+std::uint64_t MachineConfig::component_seed(std::uint64_t tag) const {
+  return tag == kSeedStreamWorkload ? seed : mix64(seed, tag);
+}
+
+std::uint64_t MachineConfig::effective_fault_seed() const {
+  return fault_seed != 0 ? fault_seed : component_seed(kSeedStreamFault);
+}
+
 std::string MachineConfig::validate() const {
   std::ostringstream err;
   if (nodes == 0) err << "nodes must be > 0; ";
@@ -86,6 +96,17 @@ std::string MachineConfig::validate() const {
     err << "vcnuma_eval_replacements must be > 0; ";
   if (!blocking_stores && store_buffer_entries == 0)
     err << "store buffer needs at least one entry; ";
+  auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!prob_ok(fault_drop)) err << "fault_drop must be in [0, 1]; ";
+  if (!prob_ok(fault_dup)) err << "fault_dup must be in [0, 1]; ";
+  if (!prob_ok(fault_jitter)) err << "fault_jitter must be in [0, 1]; ";
+  if (fault_jitter > 0.0 && fault_jitter_cycles == 0)
+    err << "fault_jitter_cycles must be > 0 when jitter is enabled; ";
+  if (retry_timeout == 0) err << "retry_timeout must be > 0; ";
+  if (retry_backoff_base == 0) err << "retry_backoff_base must be > 0; ";
+  if (retry_backoff_max < retry_backoff_base)
+    err << "retry_backoff_max must be >= retry_backoff_base; ";
+  if (retry_max_attempts == 0) err << "retry_max_attempts must be > 0; ";
   return err.str();
 }
 

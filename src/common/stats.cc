@@ -73,6 +73,8 @@ void KernelStats::add(const KernelStats& o) {
   threshold_drops += o.threshold_drops;
   remap_suppressed += o.remap_suppressed;
   refetch_notifications += o.refetch_notifications;
+  net_retries += o.net_retries;
+  nacks += o.nacks;
 }
 
 void NodeStats::add(const NodeStats& o) {

@@ -400,6 +400,8 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
         ready = o.done;
       }
 
+      s.kernel.net_retries += o.retries;
+      s.kernel.nacks += o.nacks;
       if (o.counted_miss) {
         ++s.misses[o.source];
         if (o.induced_cold) ++s.induced_cold_misses;
@@ -475,8 +477,13 @@ RunResult Machine::run() {
   ran_ = true;
 
   streams_.clear();
+  // Workloads receive the workload stream of the top-level seed (the
+  // identity mapping, by definition) and split per-proc internally; the
+  // fault layer draws from its own component_seed stream.
+  const std::uint64_t wl_seed =
+      cfg_.component_seed(MachineConfig::kSeedStreamWorkload);
   for (std::uint32_t p = 0; p < cfg_.total_procs(); ++p)
-    streams_.push_back(wl_.stream(p, cfg_.seed));
+    streams_.push_back(wl_.stream(p, wl_seed));
 
   Cycle end_cycle = 0;
   while (!sched_.all_done()) {
@@ -503,7 +510,13 @@ RunResult Machine::run() {
     if (sched_.is_done(p)) end_cycle = std::max(end_cycle, now);
   }
 
-  if (cfg_.check_invariants) cmem_->audit();
+  bool invariants_checked = false;
+  if (cfg_.check_invariants) {
+    cmem_->audit();
+    const fault::InvariantReport rep = invariant_report();
+    ASCOMA_CHECK_MSG(rep.ok(), rep.to_string());
+    invariants_checked = true;
+  }
 
   // Close the time series with the end-of-run state so the last row of the
   // metrics export agrees with RunResult::final_threshold and friends.
@@ -541,7 +554,22 @@ RunResult Machine::run() {
   r.directory_forwards = cmem_->directory().forwards();
   r.writebacks_local = cmem_->writebacks_local();
   r.writebacks_remote = cmem_->writebacks_remote();
+  r.net_retransmits = cmem_->network().retransmits();
+  r.net_retries = cmem_->net_retries();
+  r.nacks = cmem_->nacks_received();
+  r.faults_injected = cmem_->fault_plan().injected();
+  r.invariants_checked = invariants_checked;
   return r;
+}
+
+fault::InvariantReport Machine::invariant_report() const {
+  std::vector<const vm::PageTable*> tables;
+  std::vector<const vm::PageCache*> caches;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    tables.push_back(page_tables_[n].get());
+    caches.push_back(page_caches_[n].get());
+  }
+  return fault::check_coherence_invariants(*cmem_, tables, caches);
 }
 
 RunResult simulate(const MachineConfig& cfg, const workload::Workload& wl) {

@@ -24,6 +24,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/invariants.hh"
 #include "obs/sink.hh"
 #include "proto/coherent_memory.hh"
 #include "sim/barrier.hh"
@@ -56,6 +57,11 @@ struct RunResult {
   std::uint64_t directory_forwards = 0;
   std::uint64_t writebacks_local = 0;
   std::uint64_t writebacks_remote = 0;
+  std::uint64_t net_retransmits = 0;    ///< fire-and-forget retransmissions
+  std::uint64_t net_retries = 0;        ///< protocol-level retries after drops
+  std::uint64_t nacks = 0;              ///< NACKs issued by overloaded homes
+  std::uint64_t faults_injected = 0;    ///< messages dropped/duplicated/jittered
+  bool invariants_checked = false;      ///< post-run sweep ran (and passed)
   MachineConfig config;                 ///< effective (post-derivation) config
 
   /// Makespan of the parallel phase.
@@ -82,6 +88,11 @@ class Machine {
   vm::PageCache& page_cache(NodeId n) { return *page_caches_[n]; }
   arch::Policy& policy(NodeId n) { return *policies_[n]; }
   std::uint64_t frames_per_node() const { return frames_per_node_; }
+
+  /// Full-state coherence sweep (directory vs. caches vs. VM).  run()
+  /// invokes it when cfg.check_invariants is set and fails on violations;
+  /// callable directly for diagnostics or after planting state in tests.
+  fault::InvariantReport invariant_report() const;
 
   /// Attach/detach an observability sink after construction (equivalent to
   /// setting MachineConfig::sink; `sample_every` of 0 keeps the config's

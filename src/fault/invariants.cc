@@ -1,0 +1,170 @@
+#include "fault/invariants.hh"
+
+#include <bit>
+#include <sstream>
+
+namespace ascoma::fault {
+
+namespace {
+
+class Reporter {
+ public:
+  explicit Reporter(InvariantReport& r) : r_(r) {}
+
+  std::ostringstream& next() {
+    ++r_.total_violations;
+    buf_.str({});
+    buf_.clear();
+    return buf_;
+  }
+
+  void commit() {
+    if (r_.violations.size() < InvariantReport::kMaxReported)
+      r_.violations.push_back(buf_.str());
+  }
+
+ private:
+  InvariantReport& r_;
+  std::ostringstream buf_;
+};
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "coherence invariants OK (" << blocks_checked << " blocks, "
+       << pages_checked << " pages, " << nodes_checked << " nodes)";
+    return os.str();
+  }
+  os << "coherence invariant violations: " << total_violations;
+  for (const std::string& v : violations) os << "\n  " << v;
+  if (total_violations > violations.size())
+    os << "\n  ... (" << total_violations - violations.size() << " more)";
+  return os.str();
+}
+
+InvariantReport check_coherence_invariants(
+    const proto::CoherentMemory& cmem,
+    std::span<const vm::PageTable* const> tables,
+    std::span<const vm::PageCache* const> caches) {
+  const MachineConfig& cfg = cmem.config();
+  const proto::Directory& dir = cmem.directory();
+  const std::uint64_t blocks = dir.total_blocks();
+  const std::uint32_t bpp = cfg.blocks_per_page();
+  const std::uint64_t pages = blocks / bpp;
+
+  InvariantReport report;
+  report.blocks_checked = blocks;
+  report.pages_checked = pages;
+  report.nodes_checked = cfg.nodes;
+  Reporter out(report);
+
+  // --- directory structure: at most one exclusive claim per block -----------
+  for (BlockId b = 0; b < blocks; ++b) {
+    const NodeId owner = dir.owner(b);
+    const std::uint64_t mask = dir.sharer_mask(b);
+    if (cfg.nodes < 64 && (mask >> cfg.nodes) != 0) {
+      out.next() << "block " << b << ": sharer bit beyond node count ("
+                 << dir.describe(b) << ")";
+      out.commit();
+    }
+    if (owner == kInvalidNode) continue;
+    if (owner >= cfg.nodes) {
+      out.next() << "block " << b << ": owner " << owner << " out of range";
+      out.commit();
+    } else if (mask != (std::uint64_t{1} << owner)) {
+      out.next() << "block " << b
+                 << ": exclusive owner must be the sole sharer ("
+                 << dir.describe(b) << ")";
+      out.commit();
+    }
+  }
+
+  // --- residency: every locally valid copy must be in the copyset -----------
+  const std::uint32_t ppn = cfg.procs_per_node;
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    for (BlockId b = 0; b < blocks; ++b) {
+      if (cmem.scoma_block_valid(n, b) && !dir.in_copyset(b, n)) {
+        out.next() << "node " << n << " block " << b
+                   << ": S-COMA valid bit set but node not in copyset ("
+                   << dir.describe(b) << ")";
+        out.commit();
+      }
+      if (cmem.block_fetched(n, b) && !dir.in_copyset(b, n)) {
+        out.next() << "node " << n << " block " << b
+                   << ": fetched-state block but node not in copyset ("
+                   << dir.describe(b) << ")";
+        out.commit();
+      }
+    }
+    for (std::uint32_t q = n * ppn; q < (n + 1) * ppn; ++q) {
+      for (const LineId line : cmem.l1(q).valid_line_ids()) {
+        const BlockId b = cfg.block_of(line * cfg.line_bytes);
+        if (b < blocks && !dir.in_copyset(b, n)) {
+          out.next() << "proc " << q << " line " << line << " (block " << b
+                     << "): valid L1 line but node " << n
+                     << " not in copyset (" << dir.describe(b) << ")";
+          out.commit();
+        }
+      }
+    }
+    for (const BlockId b : cmem.rac(n).valid_block_ids()) {
+      if (b < blocks && !dir.in_copyset(b, n)) {
+        out.next() << "node " << n << " block " << b
+                   << ": valid RAC entry but node not in copyset ("
+                   << dir.describe(b) << ")";
+        out.commit();
+      }
+    }
+  }
+
+  // --- VM: mappings, frames, and page-cache accounting -----------------------
+  for (NodeId n = 0; n < cfg.nodes && n < tables.size() && n < caches.size();
+       ++n) {
+    const vm::PageTable& pt = *tables[n];
+    const vm::PageCache& pc = *caches[n];
+    for (VPageId p = 0; p < pages; ++p) {
+      const PageMode mode = pt.mode(p);
+      if (mode == PageMode::kScoma) {
+        if (pt.frame(p) == kInvalidFrame) {
+          out.next() << "node " << n << " page " << p
+                     << ": S-COMA mapping without a frame";
+          out.commit();
+        }
+        if (!pc.is_active(p)) {
+          out.next() << "node " << n << " page " << p
+                     << ": S-COMA mapping not active in the page cache";
+          out.commit();
+        }
+      } else if (pc.is_active(p)) {
+        out.next() << "node " << n << " page " << p
+                   << ": active page-cache entry without an S-COMA mapping";
+        out.commit();
+      }
+      if (mode == PageMode::kUnmapped) {
+        const BlockId first = cfg.first_block_of_page(p);
+        for (std::uint32_t i = 0; i < bpp; ++i) {
+          if (dir.in_copyset(first + i, n)) {
+            out.next() << "node " << n << " page " << p << " block "
+                       << first + i
+                       << ": unmapped page still in directory copyset ("
+                       << dir.describe(first + i) << ")";
+            out.commit();
+            break;  // one violation per page is enough signal
+          }
+        }
+      }
+    }
+    if (pc.free_frames() + pc.active_pages() != pc.capacity()) {
+      out.next() << "node " << n << ": page-cache frame leak (capacity "
+                 << pc.capacity() << ", free " << pc.free_frames()
+                 << ", active " << pc.active_pages() << ")";
+      out.commit();
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ascoma::fault

@@ -1,0 +1,29 @@
+#include "fault/watchdog.hh"
+
+#include <sstream>
+
+namespace ascoma::fault {
+
+std::string Watchdog::describe_in_flight() const {
+  std::ostringstream os;
+  if (!tx_.active) {
+    os << "no transaction in flight";
+    return os.str();
+  }
+  os << (tx_.is_store ? "store" : "load") << " by proc " << tx_.proc
+     << " to addr 0x" << std::hex << tx_.addr << std::dec << ", issued at cycle "
+     << tx_.start << ", " << tx_.retries << " retransmission(s), " << tx_.nacks
+     << " NACK(s)";
+  return os.str();
+}
+
+void Watchdog::trip(Cycle now, const std::string& state_dump) {
+  ++trips_;
+  std::ostringstream os;
+  os << "forward-progress watchdog tripped at cycle " << now << " (bound "
+     << bound_ << " cycles exceeded)\n  in-flight: " << describe_in_flight();
+  if (!state_dump.empty()) os << "\n" << state_dump;
+  throw WatchdogError(os.str());
+}
+
+}  // namespace ascoma::fault

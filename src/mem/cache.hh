@@ -56,6 +56,16 @@ class L1Cache {
 
   bool line_dirty(LineId line) const;
   std::uint32_t valid_lines() const { return valid_count_; }
+
+  /// Snapshot of the resident line ids (invariant checker, tests).
+  std::vector<LineId> valid_line_ids() const {
+    std::vector<LineId> out;
+    out.reserve(valid_count_);
+    for (const Slot& s : lines_)
+      if (s.valid) out.push_back(s.tag);
+    return out;
+  }
+
   std::uint32_t num_lines() const { return static_cast<std::uint32_t>(lines_.size()); }
 
   void reset();

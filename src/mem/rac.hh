@@ -35,6 +35,15 @@ class Rac {
   std::uint32_t entries() const { return static_cast<std::uint32_t>(slots_.size()); }
   void note_hit() { ++hits_; }
 
+  /// Snapshot of the resident block ids (invariant checker, tests).
+  std::vector<BlockId> valid_block_ids() const {
+    std::vector<BlockId> out;
+    for (const Slot& s : slots_)
+      if (s.valid) out.push_back(s.tag);
+    return out;
+  }
+
+
   void reset();
 
  private:

@@ -9,23 +9,64 @@ Network::Network(const MachineConfig& cfg)
       ni_cycles_(cfg.net_interface_cycles),
       fall_through_(cfg.net_fall_through),
       propagation_(cfg.net_propagation),
-      port_occupancy_(cfg.net_port_occupancy) {
+      port_occupancy_(cfg.net_port_occupancy),
+      retry_timeout_(cfg.retry_timeout),
+      retry_max_attempts_(cfg.retry_max_attempts) {
   ports_.reserve(cfg.nodes);
   for (std::uint32_t n = 0; n < cfg.nodes; ++n)
     ports_.emplace_back("net.port" + std::to_string(n));
 }
 
-Cycle Network::deliver(Cycle now, NodeId src, NodeId dst) {
+Network::Attempt Network::try_deliver(Cycle now, NodeId src, NodeId dst) {
   ASCOMA_CHECK(src < ports_.size() && dst < ports_.size());
   ++messages_;
-  if (src == dst) return now;  // loopback: NI shortcut, no fabric traversal
+  if (src == dst) return {now, false};  // loopback: NI shortcut, no fabric
   const std::uint32_t stages = topo_.stages();
   const Cycle fabric = ni_cycles_ + stages * fall_through_ +
                        (stages + 1) * propagation_;
-  const Cycle at_port = now + fabric;
+  Cycle at_port = now + fabric;
+  if (plan_ && plan_->enabled()) {
+    const fault::FaultDecision d = plan_->decide(now, src, dst);
+    if (d.drop) {
+      if (sink_)
+        sink_->emit(obs::EventKind::kFaultInjected, now, src, kInvalidPage,
+                    static_cast<std::uint64_t>(fault::FaultKind::kDrop), dst);
+      return {at_port, true};  // died in the fabric: never touches the port
+    }
+    if (d.jitter > 0) {
+      at_port += d.jitter;
+      if (sink_)
+        sink_->emit(obs::EventKind::kFaultInjected, now, src, kInvalidPage,
+                    static_cast<std::uint64_t>(fault::FaultKind::kJitter), dst,
+                    d.jitter);
+    }
+    if (d.duplicate) {
+      // The spurious copy occupies the destination input port ahead of the
+      // real one; the receiver's NI discards it by sequence number.
+      ports_[dst].acquire(at_port, port_occupancy_);
+      if (sink_)
+        sink_->emit(obs::EventKind::kFaultInjected, now, src, kInvalidPage,
+                    static_cast<std::uint64_t>(fault::FaultKind::kDuplicate),
+                    dst);
+    }
+  }
   // The input port serializes arriving messages, then the destination NI
   // hands the payload to the DSM engine.
-  return ports_[dst].acquire_until(at_port, port_occupancy_) + ni_cycles_;
+  return {ports_[dst].acquire_until(at_port, port_occupancy_) + ni_cycles_,
+          false};
+}
+
+Cycle Network::deliver(Cycle now, NodeId src, NodeId dst) {
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const Attempt a = try_deliver(now, src, dst);
+    if (!a.dropped) return a.arrival;
+    ASCOMA_CHECK_MSG(attempt < retry_max_attempts_,
+                     "network retransmission budget exhausted ("
+                         << retry_max_attempts_ << " attempts, " << src
+                         << " -> " << dst << ")");
+    ++retransmits_;
+    now += retry_timeout_;  // hardware retransmit after the loss timeout
+  }
 }
 
 Cycle Network::min_one_way_latency() const {
@@ -37,6 +78,7 @@ Cycle Network::min_one_way_latency() const {
 void Network::reset() {
   for (auto& p : ports_) p.reset();
   messages_ = 0;
+  retransmits_ = 0;
 }
 
 }  // namespace ascoma::net

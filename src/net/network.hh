@@ -8,13 +8,24 @@
 // Only destination input-port contention is modeled (each node has one input
 // port Resource), matching the paper: "our network model only accounts for
 // input port contention".
+//
+// Fault injection: an attached fault::FaultPlan may drop, duplicate, or
+// jitter-delay individual messages.  try_deliver() performs one attempt and
+// reports a drop to the caller (protocol layers run their own backoff);
+// deliver() is the reliable primitive used by fire-and-forget traffic — it
+// retransmits a dropped message after `retry_timeout` cycles, up to the
+// configured attempt backstop.  With no plan attached (or a disabled one)
+// both take the exact pre-fault code path, so zero-fault runs are
+// bit-identical to a build without the fault layer.
 
 #include <cstdint>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/types.hh"
+#include "fault/plan.hh"
 #include "net/topology.hh"
+#include "obs/sink.hh"
 #include "sim/resource.hh"
 
 namespace ascoma::net {
@@ -23,16 +34,40 @@ class Network {
  public:
   explicit Network(const MachineConfig& cfg);
 
-  /// Deliver a message src -> dst injected at `now`; returns arrival cycle
-  /// (after the destination port and NI have processed it).
+  /// Attach a fault plan (nullptr detaches).  Non-owning.
+  void set_fault_plan(fault::FaultPlan* plan) { plan_ = plan; }
+
+  /// Attach an observability sink (nullptr detaches); injected faults are
+  /// emitted as kFaultInjected events.
+  void set_sink(obs::EventSink* sink) { sink_ = sink; }
+
+  /// One delivery attempt src -> dst injected at `now`.
+  struct Attempt {
+    Cycle arrival = 0;   ///< delivery cycle, or (when dropped) the cycle the
+                         ///< message died in the fabric
+    bool dropped = false;
+  };
+  Attempt try_deliver(Cycle now, NodeId src, NodeId dst);
+
+  /// Reliable delivery: retransmits on drop every `retry_timeout` cycles;
+  /// returns the arrival cycle (after the destination port and NI have
+  /// processed it).  Throws CheckFailure once the attempt backstop is hit.
   Cycle deliver(Cycle now, NodeId src, NodeId dst);
 
   /// Uncontended one-way latency between distinct nodes (for calibration).
   Cycle min_one_way_latency() const;
 
+  /// Sender loss-detection timeout used by deliver() and protocol retries.
+  Cycle retry_timeout() const { return retry_timeout_; }
+
   const Topology& topology() const { return topo_; }
   std::uint64_t messages() const { return messages_; }
+  std::uint64_t retransmits() const { return retransmits_; }
   const sim::Resource& input_port(NodeId n) const { return ports_[n]; }
+  const fault::FaultPlan* fault_plan() const { return plan_; }
+
+  /// True when an enabled fault plan is attached (messages may fault).
+  bool faulty() const { return plan_ != nullptr && plan_->enabled(); }
 
   void reset();
 
@@ -42,8 +77,13 @@ class Network {
   Cycle fall_through_;
   Cycle propagation_;
   Cycle port_occupancy_;
+  Cycle retry_timeout_;
+  std::uint32_t retry_max_attempts_;
   std::vector<sim::Resource> ports_;
   std::uint64_t messages_ = 0;
+  std::uint64_t retransmits_ = 0;
+  fault::FaultPlan* plan_ = nullptr;  // non-owning
+  obs::EventSink* sink_ = nullptr;    // non-owning
 };
 
 }  // namespace ascoma::net

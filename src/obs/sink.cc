@@ -19,6 +19,10 @@ const char* to_string(EventKind k) {
     case EventKind::kDirInvalidation: return "dir_invalidation";
     case EventKind::kDirForward: return "dir_forward";
     case EventKind::kBarrierRelease: return "barrier_release";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kNack: return "nack";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kWatchdogTrip: return "watchdog_trip";
   }
   return "?";
 }
@@ -36,6 +40,14 @@ const char* arg_name(EventKind k, int i) {
       return i == 0 ? "block" : i == 1 ? "owner" : nullptr;
     case EventKind::kBarrierRelease:
       return i == 0 ? "episode" : nullptr;
+    case EventKind::kFaultInjected:
+      return i == 0 ? "kind" : i == 1 ? "dst" : "jitter";
+    case EventKind::kNack:
+      return i == 0 ? "requester" : i == 1 ? "backlog" : nullptr;
+    case EventKind::kRetry:
+      return i == 0 ? "dst" : i == 1 ? "attempt" : nullptr;
+    case EventKind::kWatchdogTrip:
+      return i == 0 ? "elapsed" : i == 1 ? "retries" : "nacks";
     default:
       return nullptr;
   }

@@ -1,6 +1,7 @@
 #include "proto/coherent_memory.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hh"
 
@@ -11,9 +12,12 @@ CoherentMemory::CoherentMemory(const MachineConfig& cfg,
     : cfg_(cfg),
       homes_(homes),
       ppn_(cfg.procs_per_node),
+      plan_(cfg),
+      watchdog_(cfg.watchdog_cycles),
       net_(cfg),
       dir_(homes.total_pages() * cfg.blocks_per_page(), cfg.nodes),
       refetch_(homes.total_pages(), cfg.nodes) {
+  net_.set_fault_plan(&plan_);
   const std::uint64_t blocks = dir_.total_blocks();
   const std::uint64_t pages = homes.total_pages();
   l1_.reserve(cfg.total_procs());
@@ -107,8 +111,97 @@ Cycle CoherentMemory::use_dram(NodeId n, Cycle t, BlockId b) {
 }
 
 Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
-  if (!background_) return net_.deliver(t, src, dst);
-  return src == dst ? t : t + net_.min_one_way_latency();
+  if (background_) return src == dst ? t : t + net_.min_one_way_latency();
+  if (!net_.faulty()) return net_.deliver(t, src, dst);
+  // Protocol-visible retransmission: the sender detects a dropped request by
+  // timeout and re-issues it after a capped exponential backoff.
+  Cycle backoff = cfg_.retry_backoff_base;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const net::Network::Attempt a = net_.try_deliver(t, src, dst);
+    if (!a.dropped) return a.arrival;
+    ++net_retries_;
+    ++cur_retries_;
+    watchdog_.note_retry();
+    const Cycle resend = t + net_.retry_timeout() + backoff;
+    if (sink_)
+      sink_->emit(obs::EventKind::kRetry, resend, src, kInvalidPage, dst,
+                  attempt);
+    check_watchdog(resend);
+    if (attempt >= cfg_.retry_max_attempts)
+      throw fault::WatchdogError(
+          "request retry budget exhausted (" +
+          std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
+          std::to_string(src) + " -> " + std::to_string(dst) + ")\n  " +
+          watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
+    t = resend;
+    backoff = std::min<Cycle>(backoff * 2, cfg_.retry_backoff_max);
+  }
+}
+
+Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
+                                     Cycle t) {
+  t = use_net(t, src, dst);
+  if (background_ || (cfg_.nack_busy_cycles == 0 && !plan_.enabled()))
+    return use_engine(dst, t);
+  // NACK-on-overload: a home engine whose backlog exceeds the threshold (or
+  // a fault rule forcing a NACK) refuses the request; the requester backs
+  // off and re-sends.  Directory state is untouched by a NACKed request.
+  Cycle backoff = cfg_.retry_backoff_base;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const Cycle free_at = engine_[dst].free_at();
+    const bool overloaded =
+        cfg_.nack_busy_cycles > 0 && free_at > t + cfg_.nack_busy_cycles;
+    if (!overloaded && !plan_.nack_forced(t, dst)) break;
+    ++nacks_;
+    ++cur_nacks_;
+    watchdog_.note_nack();
+    dir_.note_nack(block);
+    if (sink_)
+      sink_->emit(obs::EventKind::kNack, t, dst,
+                  block / cfg_.blocks_per_page(), src,
+                  free_at > t ? free_at - t : 0);
+    const Cycle nack_at = use_net(t, dst, src);  // NACK reply to requester
+    const Cycle resend = nack_at + backoff;
+    check_watchdog(resend);
+    if (attempt >= cfg_.retry_max_attempts)
+      throw fault::WatchdogError(
+          "NACK retry budget exhausted (" +
+          std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
+          std::to_string(src) + " -> home " + std::to_string(dst) + ")\n  " +
+          watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
+    t = use_net(resend, src, dst);  // re-issued request
+    backoff = std::min<Cycle>(backoff * 2, cfg_.retry_backoff_max);
+  }
+  return use_engine(dst, t);
+}
+
+void CoherentMemory::check_watchdog(Cycle now) {
+  if (!watchdog_.expired(now)) return;
+  const fault::Watchdog::InFlight& tx = watchdog_.in_flight();
+  if (sink_)
+    sink_->emit(obs::EventKind::kWatchdogTrip, now, node_of(tx.proc),
+                cfg_.page_of(tx.addr), now - tx.start, tx.retries, tx.nacks);
+  watchdog_.trip(now, dump_in_flight_state(now));
+}
+
+std::string CoherentMemory::dump_in_flight_state(Cycle now) const {
+  std::ostringstream os;
+  os << "protocol state at cycle " << now << ":";
+  const fault::Watchdog::InFlight& tx = watchdog_.in_flight();
+  if (tx.active) {
+    const BlockId b = cfg_.block_of(tx.addr);
+    const VPageId page = cfg_.page_of(tx.addr);
+    os << "\n  block " << b << " (page " << page << ", home "
+       << home_of_page(page) << "): " << dir_.describe(b);
+  }
+  for (NodeId n = 0; n < cfg_.nodes; ++n)
+    os << "\n  node " << n << ": engine free_at=" << engine_[n].free_at()
+       << ", input port free_at=" << net_.input_port(n).free_at();
+  os << "\n  faults injected=" << plan_.injected()
+     << " (drops=" << plan_.drops() << " dups=" << plan_.duplicates()
+     << " jitters=" << plan_.jitters() << "), nacks=" << nacks_
+     << ", retries=" << net_retries_;
+  return os.str();
 }
 
 Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
@@ -156,6 +249,20 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
                                                bool is_store, Cycle now,
                                                bool background) {
   background_ = background;
+  cur_retries_ = 0;
+  cur_nacks_ = 0;
+  if (!background && watchdog_.enabled())
+    watchdog_.arm(proc, addr, is_store, now);
+  Outcome o = access_impl(proc, addr, is_store, now);
+  watchdog_.disarm();
+  o.retries = cur_retries_;
+  o.nacks = cur_nacks_;
+  return o;
+}
+
+CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
+                                                    Addr addr, bool is_store,
+                                                    Cycle now) {
   ASCOMA_CHECK(proc < cfg_.total_procs());
   ASCOMA_CHECK(!page_tables_.empty());
   const NodeId node = node_of(proc);
@@ -194,8 +301,7 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
     Cycle t = use_bus(node, now);
     t = use_engine(node, t);
     if (home != node) {
-      t = use_net(t, node, home);
-      t = use_engine(home, t);
+      t = request_engine(node, home, block, t);
       o.remote = true;
     }
     t += cfg_.dir_lookup_cycles;
@@ -332,8 +438,7 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
     shadow_commit_store(node, block);
     Cycle t = use_bus(node, now);
     t = use_engine(node, t);
-    t = use_net(t, node, home);
-    t = use_engine(home, t);
+    t = request_engine(node, home, block, t);
     t += cfg_.dir_lookup_cycles;
     auto gx = dir_.getx(block, node);
     ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
@@ -366,8 +471,7 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
   // ---- Remote fetch (S-COMA invalid block, or CC-NUMA RAC miss) ------------
   Cycle t = use_bus(node, now);
   t = use_engine(node, t);
-  t = use_net(t, node, home);
-  t = use_engine(home, t);
+  t = request_engine(node, home, block, t);
   t += cfg_.dir_lookup_cycles;
 
   Cycle data_done;

@@ -21,10 +21,13 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/types.hh"
+#include "fault/plan.hh"
+#include "fault/watchdog.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -47,9 +50,13 @@ class CoherentMemory {
   void set_page_tables(std::span<const vm::PageTable* const> tables);
 
   /// Install an observability sink (nullptr detaches).  When set, directory
-  /// invalidation rounds and 3-hop dirty-owner forwards are emitted as
-  /// events, timestamped at the home's directory-lookup cycle.
-  void set_sink(obs::EventSink* sink) { sink_ = sink; }
+  /// invalidation rounds, 3-hop dirty-owner forwards, and recovery traffic
+  /// (injected faults, NACKs, retries, watchdog trips) are emitted as
+  /// events.
+  void set_sink(obs::EventSink* sink) {
+    sink_ = sink;
+    net_.set_sink(sink);
+  }
 
   struct Outcome {
     Cycle done = 0;          ///< completion cycle of the access
@@ -61,6 +68,8 @@ class CoherentMemory {
     bool induced_cold = false;  ///< cold miss re-created by a page flush
     bool counted_refetch = false;  ///< directory incremented the counter
     std::uint32_t page_refetch_count = 0;  ///< post-access counter value
+    std::uint32_t retries = 0;  ///< request retransmissions after drops
+    std::uint32_t nacks = 0;    ///< NACKs received from overloaded homes
   };
 
   /// Execute one load/store by processor `proc` to byte address `addr` at
@@ -88,18 +97,37 @@ class CoherentMemory {
 
   // --- component access (tests, stats, benches) ----------------------------
   mem::L1Cache& l1(std::uint32_t proc) { return *l1_[proc]; }
+  const mem::L1Cache& l1(std::uint32_t proc) const { return *l1_[proc]; }
   mem::Rac& rac(NodeId n) { return *rac_[n]; }
+  const mem::Rac& rac(NodeId n) const { return *rac_[n]; }
   mem::Dram& dram(NodeId n) { return *dram_[n]; }
   mem::Bus& bus(NodeId n) { return *bus_[n]; }
   net::Network& network() { return net_; }
+  const net::Network& network() const { return net_; }
   Directory& directory() { return dir_; }
   RefetchTable& refetch() { return refetch_; }
   const Directory& directory() const { return dir_; }
   const RefetchTable& refetch() const { return refetch_; }
+  fault::FaultPlan& fault_plan() { return plan_; }
+  const fault::FaultPlan& fault_plan() const { return plan_; }
+  fault::Watchdog& watchdog() { return watchdog_; }
+  const fault::Watchdog& watchdog() const { return watchdog_; }
 
   std::uint64_t writebacks_local() const { return wb_local_; }
   std::uint64_t writebacks_remote() const { return wb_remote_; }
   std::uint64_t sibling_transfers() const { return sibling_transfers_; }
+  std::uint64_t net_retries() const { return net_retries_; }
+  std::uint64_t nacks_received() const { return nacks_; }
+
+  // --- requester-side state (invariant checker, tests) ----------------------
+  bool scoma_block_valid(NodeId n, BlockId b) const {
+    return scoma_valid_[n][b] != 0;
+  }
+  bool block_fetched(NodeId n, BlockId b) const {
+    return touched_[n][b] ==
+           static_cast<std::uint8_t>(Touch::kFetched);
+  }
+  const MachineConfig& config() const { return cfg_; }
 
   /// Distinct remote pages this node has ever accessed (Table 5 census).
   std::uint64_t remote_pages_touched(NodeId n) const {
@@ -143,6 +171,10 @@ class CoherentMemory {
   /// Writeback of a dirty victim line evicted by an L1 fill (fire & forget).
   void victim_writeback(std::uint32_t proc, LineId victim_line, Cycle now);
 
+  /// Body of access(); the public wrapper arms the watchdog and folds the
+  /// per-transaction retry/NACK counts into the Outcome.
+  Outcome access_impl(std::uint32_t proc, Addr addr, bool is_store, Cycle now);
+
   // Timing steps that honour background mode (no reservations, minimum
   // latencies) for store-buffer drains.
   Cycle use_bus(NodeId n, Cycle t);
@@ -150,6 +182,20 @@ class CoherentMemory {
   Cycle use_engine(NodeId n, Cycle t);
   Cycle use_dram(NodeId n, Cycle t, BlockId b);
   Cycle use_net(Cycle t, NodeId src, NodeId dst);
+
+  /// Reliable request from `src` to `dst`'s DSM engine: network-level
+  /// retransmission on drops plus NACK/backoff retry while the engine is
+  /// overloaded (or the fault plan forces a NACK).  Returns the cycle at
+  /// which the engine has accepted the request.
+  Cycle request_engine(NodeId src, NodeId dst, BlockId block, Cycle t);
+
+  /// Fail the run if the armed transaction has exceeded the watchdog bound
+  /// at `now`; the thrown WatchdogError carries a dump of in-flight
+  /// protocol state (directory entry, engine backlogs, input ports).
+  void check_watchdog(Cycle now);
+
+  /// Protocol-state dump for watchdog trips and audit diagnostics.
+  std::string dump_in_flight_state(Cycle now) const;
 
   /// Emit a directory-traffic event for `block` on behalf of `requester`.
   void note_dir_event(obs::EventKind kind, Cycle cycle, NodeId requester,
@@ -172,6 +218,8 @@ class CoherentMemory {
   std::vector<std::unique_ptr<mem::Dram>> dram_;    // per node
   std::vector<std::unique_ptr<mem::Bus>> bus_;      // per node
   std::vector<sim::Resource> engine_;               // per node
+  fault::FaultPlan plan_;
+  fault::Watchdog watchdog_;
   net::Network net_;
   Directory dir_;
   RefetchTable refetch_;
@@ -186,6 +234,10 @@ class CoherentMemory {
   std::uint64_t wb_local_ = 0;
   std::uint64_t wb_remote_ = 0;
   std::uint64_t sibling_transfers_ = 0;
+  std::uint64_t net_retries_ = 0;  ///< request retransmissions (all procs)
+  std::uint64_t nacks_ = 0;        ///< NACKs received (all procs)
+  std::uint32_t cur_retries_ = 0;  ///< scratch: retries of the access in flight
+  std::uint32_t cur_nacks_ = 0;    ///< scratch: NACKs of the access in flight
 
   // ---- functional coherence shadow (check_invariants) ----------------------
   // Every committed store bumps the block's global version; every fetch

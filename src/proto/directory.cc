@@ -68,6 +68,23 @@ std::uint32_t Directory::sharer_count(BlockId b) const {
   return static_cast<std::uint32_t>(std::popcount(entries_[b].sharers));
 }
 
+std::string Directory::describe(BlockId b) const {
+  ASCOMA_CHECK(b < entries_.size());
+  const Entry& e = entries_[b];
+  std::string out = "owner=";
+  out += e.owner == kInvalidNode ? "-" : std::to_string(e.owner);
+  out += " sharers={";
+  bool first = true;
+  for (NodeId n = 0; n < nodes_; ++n) {
+    if ((e.sharers & bit(n)) == 0) continue;
+    if (!first) out += ',';
+    out += std::to_string(n);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
 void Directory::check_entry(BlockId b) const {
   ASCOMA_CHECK(b < entries_.size());
   const Entry& e = entries_[b];

@@ -11,6 +11,7 @@
 // implies sharers == {owner}.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/check.hh"
@@ -57,6 +58,19 @@ class Directory {
   std::uint64_t invalidations_sent() const { return invalidations_; }
   std::uint64_t forwards() const { return forwards_; }
 
+  /// Record a NACK issued on behalf of `b`'s entry (the home refused to
+  /// queue a request — overload or injected fault).  Directory state is
+  /// untouched: a NACKed request performed no transition.
+  void note_nack(BlockId b) {
+    ASCOMA_CHECK(b < entries_.size());
+    ++nacks_;
+  }
+  std::uint64_t nacks() const { return nacks_; }
+
+  /// Human-readable entry state ("owner=2 sharers={0,2}") for watchdog dumps
+  /// and invariant reports.
+  std::string describe(BlockId b) const;
+
   /// Structural invariant check over one entry (throws CheckFailure).
   void check_entry(BlockId b) const;
 
@@ -72,6 +86,7 @@ class Directory {
   std::vector<Entry> entries_;
   std::uint64_t invalidations_ = 0;
   std::uint64_t forwards_ = 0;
+  std::uint64_t nacks_ = 0;
 };
 
 }  // namespace ascoma::proto

@@ -1,0 +1,133 @@
+// Chaos soak: every architecture model completes a workload under combined
+// drop/duplicate/jitter fault injection with NACKing homes, stays under the
+// forward-progress watchdog, passes the post-run coherence invariant sweep,
+// and produces bit-identical statistics when re-run with the same seed.
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "fault/invariants.hh"
+#include "obs/sink.hh"
+#include "workload/synthetic.hh"
+
+namespace ascoma {
+namespace {
+
+workload::SyntheticWorkload chaos_workload() {
+  workload::SyntheticParams p;
+  p.name = "chaos";
+  p.nodes = 4;
+  p.home_pages = 24;
+  p.remote_pages = 32;
+  p.iterations = 2;
+  p.loads_per_page = 4;
+  p.write_fraction = 0.25;
+  return workload::SyntheticWorkload(p);
+}
+
+MachineConfig chaos_config(ArchModel arch) {
+  MachineConfig cfg;
+  cfg.arch = arch;
+  cfg.memory_pressure = 0.6;
+  cfg.seed = 2024;
+  cfg.fault_drop = 0.01;
+  cfg.fault_dup = 0.01;
+  cfg.fault_jitter = 0.05;
+  cfg.nack_busy_cycles = 400;
+  // Generous bound: trips only on a genuine livelock, not on slow progress.
+  cfg.watchdog_cycles = 20'000'000;
+  cfg.check_invariants = true;  // shadow checks + post-run sweep
+  return cfg;
+}
+
+constexpr ArchModel kAllArchs[] = {ArchModel::kCcNuma, ArchModel::kScoma,
+                                   ArchModel::kRNuma, ArchModel::kVcNuma,
+                                   ArchModel::kAsComa};
+
+TEST(ChaosSoak, EveryArchitectureSurvivesFaultInjection) {
+  const auto wl = chaos_workload();
+  for (ArchModel arch : kAllArchs) {
+    SCOPED_TRACE(to_string(arch));
+    const core::RunResult r = core::simulate(chaos_config(arch), wl);
+    EXPECT_GT(r.cycles(), 0u);
+    EXPECT_GT(r.faults_injected, 0u);  // the chaos actually happened
+    EXPECT_TRUE(r.invariants_checked);
+  }
+}
+
+TEST(ChaosSoak, SameSeedRunsAreBitIdentical) {
+  const auto wl = chaos_workload();
+  for (ArchModel arch : kAllArchs) {
+    SCOPED_TRACE(to_string(arch));
+    const core::RunResult a = core::simulate(chaos_config(arch), wl);
+    const core::RunResult b = core::simulate(chaos_config(arch), wl);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.net_retries, b.net_retries);
+    EXPECT_EQ(a.net_retransmits, b.net_retransmits);
+    EXPECT_EQ(a.nacks, b.nacks);
+    EXPECT_EQ(a.net_messages, b.net_messages);
+    EXPECT_EQ(a.stats.totals.misses.total(), b.stats.totals.misses.total());
+    EXPECT_EQ(a.stats.totals.time.total(), b.stats.totals.time.total());
+    EXPECT_EQ(a.stats.totals.kernel.page_faults,
+              b.stats.totals.kernel.page_faults);
+  }
+}
+
+TEST(ChaosSoak, DifferentFaultSeedsDivergeWithoutBreaking) {
+  const auto wl = chaos_workload();
+  MachineConfig a_cfg = chaos_config(ArchModel::kAsComa);
+  MachineConfig b_cfg = a_cfg;
+  b_cfg.fault_seed = 0xBADCAFE;
+  const core::RunResult a = core::simulate(a_cfg, wl);
+  const core::RunResult b = core::simulate(b_cfg, wl);
+  // Both complete and validate; the fault pattern (and thus timing) differs.
+  EXPECT_TRUE(a.invariants_checked);
+  EXPECT_TRUE(b.invariants_checked);
+  EXPECT_NE(a.cycles(), b.cycles());
+}
+
+TEST(ChaosSoak, ZeroFaultConfigMatchesAPlainRun) {
+  const auto wl = chaos_workload();
+  MachineConfig plain;
+  plain.arch = ArchModel::kAsComa;
+  plain.memory_pressure = 0.6;
+  plain.seed = 2024;
+
+  MachineConfig hardened = plain;
+  hardened.watchdog_cycles = 20'000'000;  // armed but never tripping
+  hardened.nack_busy_cycles = 0;          // NACKs disabled
+
+  const core::RunResult a = core::simulate(plain, wl);
+  const core::RunResult b = core::simulate(hardened, wl);
+  EXPECT_EQ(a.cycles(), b.cycles());
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.stats.totals.time.total(), b.stats.totals.time.total());
+  EXPECT_EQ(b.faults_injected, 0u);
+  EXPECT_EQ(b.net_retries, 0u);
+  EXPECT_EQ(b.nacks, 0u);
+}
+
+TEST(ChaosSoak, RetryAndNackCountersReachTheRunStats) {
+  const auto wl = chaos_workload();
+  MachineConfig cfg = chaos_config(ArchModel::kAsComa);
+  cfg.fault_drop = 0.05;  // push hard enough that retries must occur
+  const core::RunResult r = core::simulate(cfg, wl);
+  EXPECT_GT(r.net_retries + r.net_retransmits, 0u);
+  EXPECT_EQ(r.stats.totals.kernel.net_retries, r.net_retries);
+  EXPECT_EQ(r.stats.totals.kernel.nacks, r.nacks);
+}
+
+TEST(ChaosSoak, EventTraceRecordsTheChaos) {
+  const auto wl = chaos_workload();
+  obs::EventSink sink;
+  MachineConfig cfg = chaos_config(ArchModel::kAsComa);
+  cfg.fault_drop = 0.05;
+  cfg.sink = &sink;
+  const core::RunResult r = core::simulate(cfg, wl);
+  EXPECT_EQ(sink.count(obs::EventKind::kFaultInjected), r.faults_injected);
+  EXPECT_GT(sink.count(obs::EventKind::kRetry), 0u);
+}
+
+}  // namespace
+}  // namespace ascoma

@@ -24,6 +24,17 @@
 //   --perfetto PATH     dump a Chrome trace-event JSON (ui.perfetto.dev)
 //   --metrics PATH      dump the gauge time series as CSV
 //   --sample-every N    gauge sampling period in cycles (default 100000)
+//
+// Fault injection & robustness (defaults leave results bit-identical):
+//   --fault-drop P        per-message drop probability (0..1)
+//   --fault-dup P         per-message duplication probability (0..1)
+//   --fault-jitter P      per-message jitter probability (0..1)
+//   --fault-jitter-cycles N   max injected jitter per message (default 64)
+//   --fault-seed N        fault RNG seed (default: derived from --seed)
+//   --watchdog-cycles N   fail any transaction outstanding > N cycles
+//   --nack-busy N         homes NACK requests when backlogged > N cycles
+//   --check-invariants / --no-check-invariants
+//                         post-run coherence sweep (default on)
 
 #include <charconv>
 #include <fstream>
@@ -65,6 +76,14 @@ struct Options {
   std::string perfetto_path;
   std::string metrics_path;
   Cycle sample_every = 100'000;
+  double fault_drop = 0.0;
+  double fault_dup = 0.0;
+  double fault_jitter = 0.0;
+  std::optional<Cycle> fault_jitter_cycles;
+  std::optional<std::uint64_t> fault_seed;
+  Cycle watchdog_cycles = 0;
+  Cycle nack_busy = 0;
+  std::optional<bool> check_invariants;
 
   bool observing() const {
     return !events_path.empty() || !perfetto_path.empty() ||
@@ -90,6 +109,10 @@ std::vector<std::string> split(const std::string& s, char sep) {
       "                  [--store-buffer N] [--threads N] [--csv PATH]\n"
       "                  [--events PATH] [--perfetto PATH] [--metrics PATH]\n"
       "                  [--sample-every N] [--verbose]\n"
+      "                  [--fault-drop P] [--fault-dup P] [--fault-jitter P]\n"
+      "                  [--fault-jitter-cycles N] [--fault-seed N]\n"
+      "                  [--watchdog-cycles N] [--nack-busy N]\n"
+      "                  [--check-invariants | --no-check-invariants]\n"
       "workloads:";
   for (const auto& n : workload::workload_names()) std::cerr << ' ' << n;
   std::cerr << "\narchitectures: ccnuma scoma rnuma vcnuma ascoma all\n";
@@ -182,6 +205,32 @@ Options parse(int argc, char** argv) {
     } else if (a == "--sample-every") {
       o.sample_every = parse_u64(need_value(i), "--sample-every");
       if (o.sample_every == 0) usage("--sample-every must be > 0");
+    } else if (a == "--fault-drop") {
+      o.fault_drop = parse_double(need_value(i), "--fault-drop");
+      if (o.fault_drop < 0.0 || o.fault_drop > 1.0)
+        usage("--fault-drop must be in [0,1]");
+    } else if (a == "--fault-dup") {
+      o.fault_dup = parse_double(need_value(i), "--fault-dup");
+      if (o.fault_dup < 0.0 || o.fault_dup > 1.0)
+        usage("--fault-dup must be in [0,1]");
+    } else if (a == "--fault-jitter") {
+      o.fault_jitter = parse_double(need_value(i), "--fault-jitter");
+      if (o.fault_jitter < 0.0 || o.fault_jitter > 1.0)
+        usage("--fault-jitter must be in [0,1]");
+    } else if (a == "--fault-jitter-cycles") {
+      o.fault_jitter_cycles = parse_u64(need_value(i), "--fault-jitter-cycles");
+      if (*o.fault_jitter_cycles == 0)
+        usage("--fault-jitter-cycles must be > 0");
+    } else if (a == "--fault-seed") {
+      o.fault_seed = parse_u64(need_value(i), "--fault-seed");
+    } else if (a == "--watchdog-cycles") {
+      o.watchdog_cycles = parse_u64(need_value(i), "--watchdog-cycles");
+    } else if (a == "--nack-busy") {
+      o.nack_busy = parse_u64(need_value(i), "--nack-busy");
+    } else if (a == "--check-invariants") {
+      o.check_invariants = true;
+    } else if (a == "--no-check-invariants") {
+      o.check_invariants = false;
     } else if (a == "--verbose") {
       o.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -229,6 +278,20 @@ int main(int argc, char** argv) {
     base.blocking_stores = false;
     base.store_buffer_entries = *opt.store_buffer;
   }
+  base.fault_drop = opt.fault_drop;
+  base.fault_dup = opt.fault_dup;
+  base.fault_jitter = opt.fault_jitter;
+  if (opt.fault_jitter_cycles)
+    base.fault_jitter_cycles = *opt.fault_jitter_cycles;
+  if (opt.fault_seed) base.fault_seed = *opt.fault_seed;
+  base.watchdog_cycles = opt.watchdog_cycles;
+  base.nack_busy_cycles = opt.nack_busy;
+  if (opt.check_invariants) base.check_invariants = *opt.check_invariants;
+
+  // Bind the sink to its export paths up front so an aborted run (watchdog
+  // trip, invariant failure) still leaves the trace on disk.
+  obs::CrashExporter crash(sink ? &*sink : nullptr, opt.events_path,
+                           opt.perfetto_path, opt.metrics_path, wl->nodes());
 
   struct Row {
     ArchModel arch;
@@ -246,6 +309,8 @@ int main(int argc, char** argv) {
       } catch (const std::exception& e) {
         std::cerr << "run failed (" << to_string(arch) << ", "
                   << pressure * 100 << "%): " << e.what() << '\n';
+        if (crash.flush() > 0)
+          std::cerr << "event trace flushed for post-mortem analysis\n";
         return 1;
       }
       if (arch == ArchModel::kCcNuma) break;  // pressure-independent
@@ -288,6 +353,18 @@ int main(int argc, char** argv) {
                 << " induced_cold=" << r.result.stats.totals.induced_cold_misses
                 << " net_msgs=" << r.result.net_messages
                 << " invals=" << r.result.directory_invalidations << '\n';
+      // Printed only when the robustness features were exercised so the
+      // zero-fault output stays byte-identical to prior releases.
+      if (r.result.config.faults_configured() ||
+          r.result.config.nack_busy_cycles > 0 ||
+          r.result.config.watchdog_cycles > 0) {
+        std::cout << "  fault layer: injected=" << r.result.faults_injected
+                  << " retransmits=" << r.result.net_retransmits
+                  << " retries=" << r.result.net_retries
+                  << " nacks=" << r.result.nacks << " invariants="
+                  << (r.result.invariants_checked ? "checked" : "skipped")
+                  << '\n';
+      }
       std::cout << "  final thresholds:";
       for (auto th : r.result.final_threshold) std::cout << ' ' << th;
       std::cout << '\n';
