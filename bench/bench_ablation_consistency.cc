@@ -34,6 +34,8 @@ int main() {
     }
   }
   const auto rs = core::run_sweep(jobs, bench_threads());
+  BenchJson bj("ablation_consistency");
+  bj.add("radix", rs);
   const double base =
       static_cast<double>(find(rs, "CCNUMA/blocking").result.cycles());
 

@@ -27,6 +27,8 @@ int main() {
     jobs.push_back(std::move(j));
   }
   const auto rs = core::run_sweep(jobs, bench_threads());
+  BenchJson bj("table6_relocation");
+  for (const auto& r : rs) bj.add(r.job.workload, {r});
 
   Table t({"program", "total remote pages", "relocated pages",
            "% of relocated pages"});

@@ -7,16 +7,21 @@
 //
 //   ASCOMA_BENCH_SCALE    workload iteration scale (default 1.0)
 //   ASCOMA_BENCH_THREADS  sweep parallelism (default: hardware)
+//   ASCOMA_BENCH_CSV      append sweep results as CSV rows to this file
+//   ASCOMA_BENCH_JSON_DIR directory for BENCH_<name>.json (default: cwd)
+//   ASCOMA_BENCH_JSON=0   disable the BENCH_<name>.json dump
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hh"
 #include "core/sweep.hh"
+#include "obs/export.hh"
 #include "report/report.hh"
 
 namespace ascoma::bench {
@@ -52,6 +57,74 @@ inline void maybe_export_csv(const std::string& workload,
     csv << report::csv_row(workload, to_string(r.job.config.arch), r.result)
         << '\n';
 }
+
+/// Accumulates sweep results and writes `BENCH_<name>.json` on destruction —
+/// the machine-readable perf baseline CI archives next to profile dumps.
+/// Integer cycle counts only, so dumps are byte-stable across platforms.
+/// ASCOMA_BENCH_JSON_DIR redirects the output directory (default: cwd);
+/// ASCOMA_BENCH_JSON=0 disables the dump entirely.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add(const std::string& workload,
+           const std::vector<core::SweepResult>& rs) {
+    for (const auto& r : rs) {
+      const auto& tot = r.result.stats.totals;
+      std::string row = "{\"label\":\"" + obs::json_escape(r.job.label) +
+                        "\",\"workload\":\"" + obs::json_escape(workload) +
+                        "\",\"arch\":\"" + to_string(r.job.config.arch) +
+                        "\",\"pressure_pct\":" +
+                        std::to_string(static_cast<int>(
+                            r.job.config.memory_pressure * 100.0 + 0.5)) +
+                        ",\"cycles\":" + std::to_string(r.result.cycles());
+      static constexpr std::pair<TimeBucket, const char*> kBuckets[] = {
+          {TimeBucket::kUserInstr, "u_instr"},
+          {TimeBucket::kUserLocal, "u_lc_mem"},
+          {TimeBucket::kUserShared, "ush_mem"},
+          {TimeBucket::kKernelBase, "k_base"},
+          {TimeBucket::kKernelOvhd, "k_overhd"},
+          {TimeBucket::kSync, "sync"},
+      };
+      for (const auto& [b, name] : kBuckets)
+        row += ",\"" + std::string(name) +
+               "\":" + std::to_string(tot.time[b]);
+      // Same tokens as report::csv_header() so both exports join trivially.
+      static constexpr const char* kMissNames[kNumMissSources] = {
+          "home", "scoma", "rac", "cold", "conf_capc", "coherence"};
+      for (int s = 0; s < kNumMissSources; ++s)
+        row += ",\"miss_" + std::string(kMissNames[s]) + "\":" +
+               std::to_string(tot.misses[static_cast<MissSource>(s)]);
+      row += ",\"upgrades\":" + std::to_string(tot.kernel.upgrades) +
+             ",\"downgrades\":" + std::to_string(tot.kernel.downgrades) +
+             ",\"suppressed\":" + std::to_string(tot.kernel.remap_suppressed) +
+             "}";
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  ~BenchJson() {
+    if (const char* flag = std::getenv("ASCOMA_BENCH_JSON"))
+      if (std::string(flag) == "0") return;
+    std::string dir = ".";
+    if (const char* d = std::getenv("ASCOMA_BENCH_JSON_DIR"))
+      if (*d) dir = d;
+    std::ofstream os(dir + "/BENCH_" + name_ + ".json", std::ios::trunc);
+    if (!os) return;
+    os << "{\"schema\":\"ascoma.bench/1\",\"bench\":\""
+       << obs::json_escape(name_) << "\",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      os << (i ? ",\n" : "\n") << rows_[i];
+    os << "\n]}\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 /// The bar sets shown in Figures 2 and 3, per application.  S-COMA is only
 /// shown at pressures where the paper ran it (it collapses beyond); barnes

@@ -13,6 +13,9 @@
 namespace ascoma::obs {
 class EventSink;  // observability collection point (src/obs/sink.hh)
 }
+namespace ascoma::prof {
+class Profiler;  // latency-attribution profiler (src/prof/profiler.hh)
+}
 
 namespace ascoma {
 
@@ -141,6 +144,15 @@ struct MachineConfig {
   // thread-safe: do not share one across concurrent simulate() calls.
   obs::EventSink* sink = nullptr;
   Cycle sample_every = 0;
+
+  // ---- profiling (src/prof) -------------------------------------------------
+  // Non-owning: when set, every blocking demand access is bracketed and its
+  // latency attributed to per-component histograms, and (via the sink's
+  // EventObserver slot, wired by core::Machine) the event stream is folded
+  // into per-page heat counters.  Like `sink`, attaching a profiler never
+  // changes simulated behaviour; with it null the timing helpers skip one
+  // predictable branch.  Not thread-safe across concurrent simulate() calls.
+  prof::Profiler* profiler = nullptr;
 
   // ---- robustness / fault injection (src/fault) ----------------------------
   // All fault knobs default *off*; the zero-fault configuration is

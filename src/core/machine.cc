@@ -108,6 +108,7 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
   sink_ = cfg_.sink;
   sampler_ = obs::Sampler(cfg_.sample_every);
   cmem_->set_sink(sink_);
+  install_profiler(cfg_.profiler);
 
   node_stats_.assign(cfg_.total_procs(), NodeStats{});
   if (!cfg_.blocking_stores) {
@@ -126,6 +127,14 @@ void Machine::install_sink(obs::EventSink* sink, Cycle sample_every) {
   sink_ = sink;
   cmem_->set_sink(sink);
   if (sample_every > 0) sampler_ = obs::Sampler(sample_every);
+  if (sink_ && prof_) sink_->set_observer(prof_);
+}
+
+void Machine::install_profiler(prof::Profiler* profiler) {
+  ASCOMA_CHECK_MSG(!ran_, "install_profiler must precede run()");
+  prof_ = profiler;
+  cmem_->set_profiler(profiler);
+  if (sink_) sink_->set_observer(profiler);
 }
 
 void Machine::take_samples(Cycle cycle) {
@@ -372,16 +381,24 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
         ++s.shared_loads;
 
       vm::PageTable& pt = *page_tables_[node];
+      // Profile every blocking demand access; store-buffer drains are
+      // background traffic and stay out of the latency histograms.
+      const bool buffered_store = is_store && !cfg_.blocking_stores;
+      const bool profiled = prof_ != nullptr && !buffered_store;
+      if (profiled) prof_->begin_access(now);
       Cycle t = now;
       if (pt.mode(page) == PageMode::kUnmapped) {
         const auto [base, ovhd] = handle_fault(p, page, t);
         s.time[TimeBucket::kKernelBase] += base;
         s.time[TimeBucket::kKernelOvhd] += ovhd;
+        if (profiled) {
+          prof_->add(prof::Component::kVmFault, base);
+          prof_->add(prof::Component::kVmKernel, ovhd);
+        }
         t += base + ovhd;
       }
       if (pt.mode(page) == PageMode::kScoma) pt.set_ref_bit(page);
 
-      const bool buffered_store = is_store && !cfg_.blocking_stores;
       const auto o = cmem_->access(p, addr, is_store, t, buffered_store);
       Cycle ready;
       if (buffered_store && !(o.l1_hit && !o.remote)) {
@@ -412,6 +429,7 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
         if (o.remote) ++s.upgrades_issued;
       }
 
+      bool relocated = false;
       if (o.counted_refetch && pt.mode(page) == PageMode::kNuma) {
         auto e = env(p, ready);
         if (policies_[node]->should_relocate(e, page,
@@ -419,8 +437,43 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
           ++s.kernel.refetch_notifications;
           const Cycle c = handle_relocation(p, page, ready);
           s.time[TimeBucket::kKernelOvhd] += c;
+          if (profiled) prof_->add(prof::Component::kVmKernel, c);
           ready += c;
+          relocated = true;
         }
+      }
+      if (profiled) {
+        prof::AccessClass cls;
+        if (relocated) {
+          cls = prof::AccessClass::kUpgradeRefetch;
+        } else if (o.l1_hit) {
+          cls = o.upgrade ? prof::AccessClass::kOwnership
+                          : prof::AccessClass::kL1Hit;
+        } else {
+          switch (o.source) {
+            case MissSource::kHome:
+              cls = prof::AccessClass::kLocalHome;
+              break;
+            case MissSource::kScoma:
+              cls = prof::AccessClass::kScomaHit;
+              break;
+            case MissSource::kRac:
+              cls = prof::AccessClass::kRacHit;
+              break;
+            case MissSource::kCold:
+              cls = prof::AccessClass::kRemoteCold;
+              break;
+            case MissSource::kCoherence:
+              cls = prof::AccessClass::kRemoteCoherence;
+              break;
+            case MissSource::kConfCapc:
+            default:
+              cls = prof::AccessClass::kRemoteRefetch;
+              break;
+          }
+        }
+        prof_->end_access(cls, page, ready - now, o.remote,
+                          o.counted_refetch);
       }
       sched_.set_ready(p, ready);
       return;
@@ -475,6 +528,9 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
 RunResult Machine::run() {
   ASCOMA_CHECK_MSG(!ran_, "Machine::run() is single-shot");
   ran_ = true;
+  if (prof_)
+    prof_->set_meta(wl_.name(), to_string(cfg_.arch), cfg_.memory_pressure,
+                    cfg_.seed);
 
   streams_.clear();
   // Workloads receive the workload stream of the top-level seed (the
@@ -521,6 +577,7 @@ RunResult Machine::run() {
   // Close the time series with the end-of-run state so the last row of the
   // metrics export agrees with RunResult::final_threshold and friends.
   if (sink_ && sampler_.enabled()) take_samples(end_cycle);
+  if (prof_) prof_->set_run_cycles(end_cycle);
 
   RunResult r;
   r.config = cfg_;

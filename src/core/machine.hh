@@ -26,6 +26,7 @@
 #include "common/types.hh"
 #include "fault/invariants.hh"
 #include "obs/sink.hh"
+#include "prof/profiler.hh"
 #include "proto/coherent_memory.hh"
 #include "sim/barrier.hh"
 #include "sim/lock.hh"
@@ -99,6 +100,12 @@ class Machine {
   /// sampling period).  Must be called before run().
   void install_sink(obs::EventSink* sink, Cycle sample_every = 0);
 
+  /// Attach/detach a latency-attribution profiler after construction
+  /// (equivalent to setting MachineConfig::profiler).  When a sink is also
+  /// attached, the profiler is registered as its streaming observer so the
+  /// per-page heat map sees every event.  Must be called before run().
+  void install_profiler(prof::Profiler* profiler);
+
   /// Node hosting processor `proc` (identity when procs_per_node == 1).
   NodeId node_of(std::uint32_t proc) const {
     return proc / cfg_.procs_per_node;
@@ -171,6 +178,7 @@ class Machine {
   std::vector<std::uint8_t> waiting_in_barrier_;
   obs::EventSink* sink_ = nullptr;  ///< non-owning; null = observability off
   obs::Sampler sampler_;
+  prof::Profiler* prof_ = nullptr;  ///< non-owning; null = profiling off
   bool ran_ = false;
 };
 

@@ -57,6 +57,13 @@ class Network {
   /// Uncontended one-way latency between distinct nodes (for calibration).
   Cycle min_one_way_latency() const;
 
+  /// Uncontended latency for the specific pair — 0 for the src==dst loopback
+  /// (which never enters the fabric), else min_one_way_latency().  The
+  /// profiler uses this to split a delivery into fabric vs queueing cycles.
+  Cycle uncontended_latency(NodeId src, NodeId dst) const {
+    return src == dst ? 0 : min_one_way_latency();
+  }
+
   /// Sender loss-detection timeout used by deliver() and protocol retries.
   Cycle retry_timeout() const { return retry_timeout_; }
 

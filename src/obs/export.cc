@@ -1,9 +1,48 @@
 #include "obs/export.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
 namespace ascoma::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos)
+    return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
 
 namespace {
 

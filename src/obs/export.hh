@@ -18,10 +18,23 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "obs/sink.hh"
 
 namespace ascoma::obs {
+
+/// Escape `s` for embedding inside a JSON string literal: backslash-escapes
+/// quotes and backslashes, \uXXXX-escapes control characters.  Every string
+/// an exporter writes into JSON must pass through here — event-kind and
+/// gauge names happen to be clean identifiers today, but workload names and
+/// labels are caller-supplied.
+std::string json_escape(std::string_view s);
+
+/// Quote `s` as an RFC 4180 CSV field: returned verbatim unless it contains
+/// a comma, quote, or newline, in which case it is double-quote wrapped with
+/// embedded quotes doubled.
+std::string csv_field(std::string_view s);
 
 void write_jsonl(std::ostream& os, const EventSink& sink);
 void write_perfetto(std::ostream& os, const EventSink& sink,

@@ -34,16 +34,32 @@ struct Sample {
   std::uint64_t remote_misses = 0;   ///< cumulative remote fetches by node
 };
 
+/// Streaming consumer of the event flow.  An observer registered on an
+/// EventSink sees every emitted event *before* ring-buffer capacity is
+/// applied, so derived aggregates (e.g. the profiler's per-page heat map)
+/// stay exact even when the buffer overflows and drops events.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
 class EventSink {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
 
   explicit EventSink(std::size_t capacity = kDefaultCapacity);
 
+  /// Attach a streaming observer (nullptr detaches).  Non-owning; survives
+  /// clear().  At most one observer per sink.
+  void set_observer(EventObserver* observer) { observer_ = observer; }
+  EventObserver* observer() const { return observer_; }
+
   /// Record one event; O(1), never allocates.  Once the buffer is full the
   /// event is dropped (oldest events are kept — the front of a trace is the
   /// part that explains how the run got where it is) but still tallied.
   void emit(const Event& e) {
+    if (observer_) observer_->on_event(e);
     ++tally_[static_cast<int>(e.kind)];
     if (events_.size() == capacity_) {
       ++dropped_;
@@ -83,6 +99,7 @@ class EventSink {
 
  private:
   std::size_t capacity_;
+  EventObserver* observer_ = nullptr;  // non-owning
   std::vector<Event> events_;
   std::vector<Sample> samples_;
   std::array<std::uint64_t, kNumEventKinds> tally_{};

@@ -1,0 +1,185 @@
+#include "prof/diff.hh"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "prof/profiler.hh"
+
+namespace ascoma::prof {
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool split_fields(const std::string& line, std::vector<std::string>& out) {
+  // Dump fields are identifiers and integers; a quote would mean the file is
+  // not one of ours (csv_field only quotes when a delimiter is embedded).
+  out.clear();
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    out.push_back(line.substr(start, comma - start));
+    if (out.back().find('"') != std::string::npos) return false;
+    if (comma == std::string::npos) return true;
+    start = comma + 1;
+  }
+}
+
+bool load_file(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream is(path);
+  if (!is) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Growth check shared by the p99 and mean gates.
+bool regressed(double base, double cand, double tol, std::uint64_t min_abs) {
+  return cand > base * (1.0 + tol) &&
+         cand - base >= static_cast<double>(min_abs);
+}
+
+}  // namespace
+
+std::size_t DiffReport::regressions() const {
+  std::size_t n = 0;
+  for (const DiffFinding& f : findings)
+    if (f.is_regression()) ++n;
+  return n;
+}
+
+bool parse_latency_csv(const std::string& text, std::vector<LatencyRow>& rows,
+                       std::string& error) {
+  rows.clear();
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) {
+    error = "empty latency.csv";
+    return false;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != Profiler::latency_csv_header()) {
+    error = "unexpected latency.csv header: " + line;
+    return false;
+  }
+  std::vector<std::string> f;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    LatencyRow r;
+    if (!split_fields(line, f) || f.size() != 9 || !parse_u64(f[2], r.count) ||
+        !parse_u64(f[3], r.sum) || !parse_u64(f[4], r.min) ||
+        !parse_u64(f[5], r.p50) || !parse_u64(f[6], r.p90) ||
+        !parse_u64(f[7], r.p99) || !parse_u64(f[8], r.max)) {
+      error = "malformed latency.csv row: " + line;
+      return false;
+    }
+    r.cls = f[0];
+    r.component = f[1];
+    rows.push_back(std::move(r));
+  }
+  return true;
+}
+
+DiffReport diff_rows(const std::vector<LatencyRow>& baseline,
+                     const std::vector<LatencyRow>& candidate,
+                     const DiffOptions& opts) {
+  DiffReport rep;
+  std::map<std::pair<std::string, std::string>, const LatencyRow*> base_by_key;
+  for (const LatencyRow& r : baseline)
+    base_by_key[{r.cls, r.component}] = &r;
+
+  std::map<std::pair<std::string, std::string>, bool> seen;
+  for (const LatencyRow& c : candidate) {
+    const auto key = std::make_pair(c.cls, c.component);
+    seen[key] = true;
+    const auto it = base_by_key.find(key);
+    if (it == base_by_key.end()) {
+      rep.findings.push_back({DiffFinding::Kind::kRowAppeared, c.cls,
+                              c.component, 0, c.p99, 0.0});
+      continue;
+    }
+    const LatencyRow& b = *it->second;
+    if (b.count < opts.min_count || c.count < opts.min_count) continue;
+    ++rep.rows_compared;
+    if (regressed(static_cast<double>(b.p99), static_cast<double>(c.p99),
+                  opts.p99_tol, opts.min_cycles)) {
+      rep.findings.push_back(
+          {DiffFinding::Kind::kP99Regression, c.cls, c.component, b.p99, c.p99,
+           static_cast<double>(c.p99) / static_cast<double>(b.p99)});
+    }
+    if (regressed(b.mean(), c.mean(), opts.mean_tol, opts.min_cycles)) {
+      rep.findings.push_back(
+          {DiffFinding::Kind::kMeanRegression, c.cls, c.component,
+           static_cast<std::uint64_t>(b.mean() + 0.5),
+           static_cast<std::uint64_t>(c.mean() + 0.5), c.mean() / b.mean()});
+    }
+  }
+  for (const LatencyRow& b : baseline) {
+    if (!seen.count({b.cls, b.component})) {
+      rep.findings.push_back({DiffFinding::Kind::kRowVanished, b.cls,
+                              b.component, b.p99, 0, 0.0});
+    }
+  }
+  return rep;
+}
+
+DiffReport diff_profiles(const std::string& baseline_dir,
+                         const std::string& candidate_dir,
+                         const DiffOptions& opts) {
+  DiffReport rep;
+  std::string base_text, cand_text;
+  if (!load_file(baseline_dir + "/latency.csv", base_text, rep.error) ||
+      !load_file(candidate_dir + "/latency.csv", cand_text, rep.error))
+    return rep;
+  std::vector<LatencyRow> base_rows, cand_rows;
+  if (!parse_latency_csv(base_text, base_rows, rep.error) ||
+      !parse_latency_csv(cand_text, cand_rows, rep.error))
+    return rep;
+  return diff_rows(base_rows, cand_rows, opts);
+}
+
+void write_report(std::ostream& os, const DiffReport& rep,
+                  const DiffOptions& opts) {
+  if (!rep.ok()) {
+    os << "error: " << rep.error << '\n';
+    return;
+  }
+  for (const DiffFinding& f : rep.findings) {
+    switch (f.kind) {
+      case DiffFinding::Kind::kP99Regression:
+        os << "REGRESSION p99  " << f.cls << '/' << f.component << "  "
+           << f.base_value << " -> " << f.cand_value << "  (x" << f.ratio
+           << ", tol " << opts.p99_tol << ")\n";
+        break;
+      case DiffFinding::Kind::kMeanRegression:
+        os << "REGRESSION mean " << f.cls << '/' << f.component << "  "
+           << f.base_value << " -> " << f.cand_value << "  (x" << f.ratio
+           << ", tol " << opts.mean_tol << ")\n";
+        break;
+      case DiffFinding::Kind::kRowVanished:
+        os << "note: row vanished  " << f.cls << '/' << f.component << '\n';
+        break;
+      case DiffFinding::Kind::kRowAppeared:
+        os << "note: row appeared  " << f.cls << '/' << f.component << '\n';
+        break;
+    }
+  }
+  os << rep.rows_compared << " row(s) compared, " << rep.regressions()
+     << " regression(s)\n";
+}
+
+}  // namespace ascoma::prof

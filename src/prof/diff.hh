@@ -1,0 +1,93 @@
+#pragma once
+
+// Profile comparison: parse two latency.csv dumps produced by
+// Profiler::write_profile() and flag latency regressions.  Used by
+// tools/ascoma_prof_diff (CI gates on its exit status) and unit tests.
+//
+// Rows are joined on (class, component).  A row regresses when its p99 or
+// its mean (sum/count) grew by more than the configured relative tolerance
+// AND by at least `min_cycles` absolute — the absolute floor keeps tiny
+// histograms (a 2-cycle p99 becoming 3) from tripping a percentage gate.
+// Rows with fewer than `min_count` samples on either side are skipped as
+// statistically meaningless.  Rows present only in the candidate are
+// reported as informational (new traffic class), never as regressions.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ascoma::prof {
+
+struct DiffOptions {
+  double p99_tol = 0.10;         ///< relative p99 growth that fails the gate
+  double mean_tol = 0.10;        ///< relative mean growth that fails the gate
+  std::uint64_t min_cycles = 16; ///< absolute growth floor (cycles)
+  std::uint64_t min_count = 100; ///< minimum samples per side to compare
+};
+
+/// One parsed latency.csv row.
+struct LatencyRow {
+  std::string cls;
+  std::string component;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct DiffFinding {
+  enum class Kind : std::uint8_t {
+    kP99Regression,
+    kMeanRegression,
+    kRowVanished,   ///< informational: row in baseline only
+    kRowAppeared,   ///< informational: row in candidate only
+  };
+  Kind kind;
+  std::string cls;
+  std::string component;
+  std::uint64_t base_value = 0;  ///< baseline p99 / rounded mean
+  std::uint64_t cand_value = 0;  ///< candidate p99 / rounded mean
+  double ratio = 0.0;            ///< cand / base
+
+  bool is_regression() const {
+    return kind == Kind::kP99Regression || kind == Kind::kMeanRegression;
+  }
+};
+
+struct DiffReport {
+  std::vector<DiffFinding> findings;
+  std::size_t rows_compared = 0;
+  std::string error;  ///< non-empty when a dump could not be parsed
+
+  bool ok() const { return error.empty(); }
+  std::size_t regressions() const;
+};
+
+/// Parse the latency.csv text of one dump.  Returns false (and sets `error`)
+/// on a malformed header or row.
+bool parse_latency_csv(const std::string& text, std::vector<LatencyRow>& rows,
+                       std::string& error);
+
+/// Load `<dir>/latency.csv` for both dumps and compare.
+DiffReport diff_profiles(const std::string& baseline_dir,
+                         const std::string& candidate_dir,
+                         const DiffOptions& opts = {});
+
+/// Compare already-parsed rows (unit-test entry point).
+DiffReport diff_rows(const std::vector<LatencyRow>& baseline,
+                     const std::vector<LatencyRow>& candidate,
+                     const DiffOptions& opts = {});
+
+/// Human-readable report; one line per finding plus a verdict line.
+void write_report(std::ostream& os, const DiffReport& report,
+                  const DiffOptions& opts);
+
+}  // namespace ascoma::prof

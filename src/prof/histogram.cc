@@ -1,0 +1,47 @@
+#include "prof/histogram.hh"
+
+#include <bit>
+
+namespace ascoma::prof {
+
+int LatencyHistogram::bucket_of(std::uint64_t v) {
+  return std::bit_width(v);  // 0 -> 0, [2^(i-1), 2^i) -> i
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p > 1.0) p = 1.0;
+  if (p <= 0.0) p = 1e-9;
+  // Rank as ceil(p * count), at least 1, at most count.
+  const double scaled = p * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t ub = bucket_upper_bound(i);
+      return ub < max_ ? ub : max_;
+    }
+  }
+  return max_;  // unreachable when count_ > 0
+}
+
+}  // namespace ascoma::prof

@@ -93,32 +93,61 @@ int CoherentMemory::sibling_with_line(std::uint32_t proc,
 
 
 Cycle CoherentMemory::use_bus(NodeId n, Cycle t) {
-  return background_ ? t + cfg_.bus_occupancy : bus_[n]->transact(t);
+  if (background_) return t + cfg_.bus_occupancy;
+  const Cycle r = bus_[n]->transact(t);
+  prof_add(prof::Component::kBus, t, r);
+  return r;
 }
 
 Cycle CoherentMemory::use_bus_short(NodeId n, Cycle t) {
-  return background_ ? t + (cfg_.bus_occupancy + 1) / 2
-                     : bus_[n]->transact_short(t);
+  if (background_) return t + (cfg_.bus_occupancy + 1) / 2;
+  const Cycle r = bus_[n]->transact_short(t);
+  prof_add(prof::Component::kBus, t, r);
+  return r;
 }
 
 Cycle CoherentMemory::use_engine(NodeId n, Cycle t) {
-  return background_ ? t + cfg_.dsm_engine_cycles
-                     : engine_[n].acquire_until(t, cfg_.dsm_engine_cycles);
+  if (background_) return t + cfg_.dsm_engine_cycles;
+  const Cycle r = engine_[n].acquire_until(t, cfg_.dsm_engine_cycles);
+  prof_add(prof::Component::kEngine, t, r);
+  return r;
 }
 
 Cycle CoherentMemory::use_dram(NodeId n, Cycle t, BlockId b) {
-  return background_ ? t + cfg_.dram_access_cycles : dram_[n]->access(t, b);
+  if (background_) return t + cfg_.dram_access_cycles;
+  const Cycle r = dram_[n]->access(t, b);
+  prof_add(prof::Component::kDram, t, r);
+  return r;
+}
+
+void CoherentMemory::prof_net(Cycle t, Cycle arrival, NodeId src,
+                              NodeId dst) {
+  if (!prof_on_ || arrival <= t) return;
+  // The uncontended pair latency is the fabric's share; anything beyond it
+  // is input-port queueing (the only contention the model admits) or
+  // injected jitter.
+  const Cycle delta = arrival - t;
+  const Cycle fabric = std::min(delta, net_.uncontended_latency(src, dst));
+  prof_->add(prof::Component::kNetFabric, fabric);
+  if (delta > fabric) prof_->add(prof::Component::kNetQueue, delta - fabric);
 }
 
 Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
   if (background_) return src == dst ? t : t + net_.min_one_way_latency();
-  if (!net_.faulty()) return net_.deliver(t, src, dst);
+  if (!net_.faulty()) {
+    const Cycle r = net_.deliver(t, src, dst);
+    prof_net(t, r, src, dst);
+    return r;
+  }
   // Protocol-visible retransmission: the sender detects a dropped request by
   // timeout and re-issues it after a capped exponential backoff.
   Cycle backoff = cfg_.retry_backoff_base;
   for (std::uint32_t attempt = 1;; ++attempt) {
     const net::Network::Attempt a = net_.try_deliver(t, src, dst);
-    if (!a.dropped) return a.arrival;
+    if (!a.dropped) {
+      prof_net(t, a.arrival, src, dst);
+      return a.arrival;
+    }
     ++net_retries_;
     ++cur_retries_;
     watchdog_.note_retry();
@@ -133,6 +162,7 @@ Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
           std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
           std::to_string(src) + " -> " + std::to_string(dst) + ")\n  " +
           watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
+    prof_add(prof::Component::kBackoff, t, resend);
     t = resend;
     backoff = std::min<Cycle>(backoff * 2, cfg_.retry_backoff_max);
   }
@@ -162,6 +192,7 @@ Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
                   free_at > t ? free_at - t : 0);
     const Cycle nack_at = use_net(t, dst, src);  // NACK reply to requester
     const Cycle resend = nack_at + backoff;
+    prof_add(prof::Component::kBackoff, nack_at, resend);
     check_watchdog(resend);
     if (attempt >= cfg_.retry_max_attempts)
       throw fault::WatchdogError(
@@ -207,6 +238,12 @@ std::string CoherentMemory::dump_in_flight_state(Cycle now) const {
 Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
                                          BlockId block, NodeId home,
                                          NodeId requester, Cycle t_home) {
+  // Invalidations proceed in parallel with the data reply, so their
+  // component steps are off the requester's critical path: suspend
+  // attribution and let the caller charge any excess of the ack join over
+  // the data return as kInvalStall.
+  const bool prof_saved = prof_on_;
+  prof_on_ = false;
   if (!targets.empty())
     note_dir_event(obs::EventKind::kDirInvalidation, t_home, requester, block,
                    targets.size());
@@ -219,6 +256,7 @@ Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
     const Cycle ack = use_net(done_inval, s, requester);
     acks = std::max(acks, ack);
   }
+  prof_on_ = prof_saved;
   return acks;
 }
 
@@ -251,10 +289,15 @@ CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
   background_ = background;
   cur_retries_ = 0;
   cur_nacks_ = 0;
+  // Record attribution only for the profiler-bracketed demand access in
+  // flight; store-buffer drains and unbracketed accesses (unit tests poking
+  // the memory system directly) leave the helpers on their null path.
+  prof_on_ = prof_ != nullptr && !background && prof_->in_access();
   if (!background && watchdog_.enabled())
     watchdog_.arm(proc, addr, is_store, now);
   Outcome o = access_impl(proc, addr, is_store, now);
   watchdog_.disarm();
+  prof_on_ = false;
   o.retries = cur_retries_;
   o.nacks = cur_nacks_;
   return o;
@@ -293,11 +336,13 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
         invalidate_sibling_line(proc, line);  // bus snoop
       }
       o.done = now + cfg_.l1_hit_cycles;
+      prof_add(prof::Component::kL1, now, o.done);
       return o;
     }
     shadow_check_local(node, block, "L1 upgrade");
     // Ownership upgrade: the line is valid locally but the node is not the
     // exclusive owner.
+    o.upgrade = true;
     Cycle t = use_bus(node, now);
     t = use_engine(node, t);
     if (home != node) {
@@ -305,6 +350,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       o.remote = true;
     }
     t += cfg_.dir_lookup_cycles;
+    prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
     auto gx = dir_.getx(block, node);
     ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
                      "valid L1 line while another node owns the block dirty");
@@ -314,6 +360,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       t = use_engine(node, t);
     }
     o.done = std::max(t, acks);
+    prof_join(t, o.done);
     shadow_commit_store(node, block);
     l1.touch_store(line);
     invalidate_sibling_line(proc, line);
@@ -351,6 +398,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     if (is_store) shadow_commit_store(node, block);
     const Cycle t = use_bus(node, now);
     o.done = std::max(t, now + cfg_.sibling_transfer_cycles);
+    prof_add(prof::Component::kBus, t, o.done);  // cache-to-cache transfer
     o.source = classify_local();
     o.data_fetch = true;
     ++sibling_transfers_;
@@ -366,6 +414,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       if (gx.dirty_owner != kInvalidNode) {
         // 3-hop: fetch the dirty data from its owner, invalidating it.
         t += cfg_.dir_lookup_cycles;
+        prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
         note_dir_event(obs::EventKind::kDirForward, t, node, block,
                        gx.dirty_owner);
         const Cycle at_owner = use_net(t, node, gx.dirty_owner);
@@ -377,6 +426,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
         const Cycle acks =
             invalidate_targets(gx.invalidate, block, node, node, t);
         o.done = std::max(back, acks);
+        prof_join(back, o.done);
         o.remote = true;
         o.source = MissSource::kCoherence;
       } else {
@@ -385,6 +435,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
         const Cycle acks =
             invalidate_targets(gx.invalidate, block, node, node, t);
         o.done = std::max(data, acks);
+        prof_join(data, o.done);
         o.remote = !gx.invalidate.empty();
         o.source = MissSource::kHome;
       }
@@ -392,6 +443,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       auto gs = dir_.gets(block, node);
       if (gs.dirty_owner != kInvalidNode) {
         t += cfg_.dir_lookup_cycles;
+        prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
         note_dir_event(obs::EventKind::kDirForward, t, node, block,
                        gs.dirty_owner);
         const Cycle at_owner = use_net(t, node, gs.dirty_owner);
@@ -440,6 +492,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     t = use_engine(node, t);
     t = request_engine(node, home, block, t);
     t += cfg_.dir_lookup_cycles;
+    prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
     auto gx = dir_.getx(block, node);
     ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
                      "valid S-COMA block while another node owns it dirty");
@@ -447,6 +500,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     Cycle grant = use_net(t, home, node);
     grant = use_engine(node, grant);
     // Data comes from the local frame once ownership is granted.
+    prof_join(grant, std::max(grant, acks));
     const Cycle data = use_dram(node, std::max(grant, acks), block);
     o.done = use_engine(node, data);
     o.remote = true;
@@ -460,6 +514,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     Cycle t = use_bus(node, now);
     t = use_engine(node, t);
     o.done = t + cfg_.rac_array_cycles;
+    prof_add(prof::Component::kRac, t, o.done);
     shadow_check_local(node, block, "RAC hit");
     o.source = MissSource::kRac;
     o.data_fetch = true;
@@ -473,6 +528,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
   t = use_engine(node, t);
   t = request_engine(node, home, block, t);
   t += cfg_.dir_lookup_cycles;
+  prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
 
   Cycle data_done;
   Cycle acks = t;
@@ -512,6 +568,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     }
   }
   o.done = std::max(data_done, acks);
+  prof_join(data_done, o.done);
   o.remote = true;
   o.data_fetch = true;
 

@@ -34,6 +34,7 @@
 #include "mem/rac.hh"
 #include "net/network.hh"
 #include "obs/sink.hh"
+#include "prof/profiler.hh"
 #include "proto/directory.hh"
 #include "proto/refetch.hh"
 #include "sim/resource.hh"
@@ -58,6 +59,13 @@ class CoherentMemory {
     net_.set_sink(sink);
   }
 
+  /// Install a latency-attribution profiler (nullptr detaches).  While a
+  /// profiler-bracketed demand access is in flight, the timing helpers
+  /// attribute every cycle they add to the critical path to its Component;
+  /// background (store-buffer) transactions and accesses outside a bracket
+  /// record nothing.  Attribution never changes timing.
+  void set_profiler(prof::Profiler* p) { prof_ = p; }
+
   struct Outcome {
     Cycle done = 0;          ///< completion cycle of the access
     bool l1_hit = false;     ///< satisfied entirely by the processor's L1
@@ -65,6 +73,7 @@ class CoherentMemory {
     MissSource source = MissSource::kHome;  ///< valid when counted_miss
     bool remote = false;     ///< a network round trip occurred
     bool data_fetch = false; ///< data moved (vs. ownership-only upgrade)
+    bool upgrade = false;    ///< L1-valid ownership upgrade (GETX, no data)
     bool induced_cold = false;  ///< cold miss re-created by a page flush
     bool counted_refetch = false;  ///< directory incremented the counter
     std::uint32_t page_refetch_count = 0;  ///< post-access counter value
@@ -205,8 +214,21 @@ class CoherentMemory {
                 arg);
   }
 
+  /// Attribute `to - from` critical-path cycles to `c` when recording is on.
+  void prof_add(prof::Component c, Cycle from, Cycle to) {
+    if (prof_on_ && to > from) prof_->add(c, to - from);
+  }
+  /// Excess of an ack/grant join over the data path (`kInvalStall`).
+  void prof_join(Cycle data_path, Cycle joined) {
+    prof_add(prof::Component::kInvalStall, data_path, joined);
+  }
+  /// Split one delivery into kNetFabric (uncontended share) and kNetQueue.
+  void prof_net(Cycle t, Cycle arrival, NodeId src, NodeId dst);
+
   bool background_ = false;
   obs::EventSink* sink_ = nullptr;
+  prof::Profiler* prof_ = nullptr;  // non-owning
+  bool prof_on_ = false;  ///< recording armed for the access in flight
 
   const MachineConfig cfg_;
   const vm::HomeMap& homes_;

@@ -106,10 +106,32 @@ std::string backoff_trajectory(const core::RunResult& r,
   return os.str();
 }
 
+Table latency_table(const prof::Profiler& prof) {
+  Table t({"class", "count", "min", "p50", "p90", "p99", "max"});
+  auto row = [&](const std::string& name, const prof::LatencyHistogram& h) {
+    if (!h.count()) return;
+    t.add_row({name, std::to_string(h.count()), std::to_string(h.min()),
+               std::to_string(h.p50()), std::to_string(h.p90()),
+               std::to_string(h.p99()), std::to_string(h.max())});
+  };
+  row("all", prof.merged_end_to_end());
+  for (int c = 0; c < prof::kNumAccessClasses; ++c) {
+    const auto cls = static_cast<prof::AccessClass>(c);
+    row(prof::to_string(cls), prof.end_to_end(cls));
+  }
+  return t;
+}
+
 std::string csv_header() {
   return "workload,arch,pressure,cycles,ush_mem,k_base,k_overhd,u_instr,"
          "u_lc_mem,sync,home,scoma,rac,cold,conf_capc,coherence,upgrades,"
          "downgrades,suppressed";
+}
+
+std::string csv_header(bool with_latency) {
+  std::string h = csv_header();
+  if (with_latency) h += ",lat_min,lat_p50,lat_p99,lat_max";
+  return h;
 }
 
 std::string csv_row(const std::string& workload, const std::string& arch,
@@ -127,6 +149,15 @@ std::string csv_row(const std::string& workload, const std::string& arch,
      << m[MissSource::kRac] << ',' << m[MissSource::kCold] << ','
      << m[MissSource::kConfCapc] << ',' << m[MissSource::kCoherence] << ','
      << k.upgrades << ',' << k.downgrades << ',' << k.remap_suppressed;
+  return os.str();
+}
+
+std::string csv_row(const std::string& workload, const std::string& arch,
+                    const core::RunResult& r, const prof::Profiler& prof) {
+  const prof::LatencyHistogram h = prof.merged_end_to_end();
+  std::ostringstream os;
+  os << csv_row(workload, arch, r) << ',' << h.min() << ',' << h.p50() << ','
+     << h.p99() << ',' << h.max();
   return os.str();
 }
 

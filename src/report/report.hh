@@ -12,6 +12,7 @@
 #include "common/table.hh"
 #include "core/machine.hh"
 #include "obs/sink.hh"
+#include "prof/profiler.hh"
 
 namespace ascoma::report {
 
@@ -51,9 +52,19 @@ std::string summary_line(const core::RunResult& r,
 std::string backoff_trajectory(const core::RunResult& r,
                                const obs::EventSink* sink = nullptr);
 
-/// CSV schema shared by the CLI and any scripting around the benches.
+/// Per-access-class latency table sourced from a run's Profiler: a merged
+/// "all" headline row plus one row per access class with recorded samples.
+/// Requires a profiler attached to the run (MachineConfig::profiler).
+Table latency_table(const prof::Profiler& prof);
+
+/// CSV schema shared by the CLI and any scripting around the benches.  The
+/// profiler overloads append min/p50/p99/max end-to-end latency columns
+/// after the existing ones, so the base schema stays a strict prefix.
 std::string csv_header();
+std::string csv_header(bool with_latency);
 std::string csv_row(const std::string& workload, const std::string& arch,
                     const core::RunResult& r);
+std::string csv_row(const std::string& workload, const std::string& arch,
+                    const core::RunResult& r, const prof::Profiler& prof);
 
 }  // namespace ascoma::report

@@ -24,6 +24,10 @@
 //   --perfetto PATH     dump a Chrome trace-event JSON (ui.perfetto.dev)
 //   --metrics PATH      dump the gauge time series as CSV
 //   --sample-every N    gauge sampling period in cycles (default 100000)
+//   --profile DIR       attribute every demand access's latency to hardware
+//                       components and dump histograms + per-page heat map
+//                       into DIR (latency.csv/json, heat.csv/json,
+//                       summary.json); compare dumps with ascoma_prof_diff
 //
 // Fault injection & robustness (defaults leave results bit-identical):
 //   --fault-drop P        per-message drop probability (0..1)
@@ -50,6 +54,7 @@
 #include "core/sweep.hh"
 #include "obs/export.hh"
 #include "obs/sink.hh"
+#include "prof/profiler.hh"
 #include "report/report.hh"
 #include "trace/trace.hh"
 #include "workload/workload.hh"
@@ -75,6 +80,7 @@ struct Options {
   std::string events_path;
   std::string perfetto_path;
   std::string metrics_path;
+  std::string profile_dir;
   Cycle sample_every = 100'000;
   double fault_drop = 0.0;
   double fault_dup = 0.0;
@@ -89,6 +95,7 @@ struct Options {
     return !events_path.empty() || !perfetto_path.empty() ||
            !metrics_path.empty();
   }
+  bool profiling() const { return !profile_dir.empty(); }
 };
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -108,7 +115,7 @@ std::vector<std::string> split(const std::string& s, char sep) {
       "                  [--seed N] [--no-backoff] [--no-scoma-first]\n"
       "                  [--store-buffer N] [--threads N] [--csv PATH]\n"
       "                  [--events PATH] [--perfetto PATH] [--metrics PATH]\n"
-      "                  [--sample-every N] [--verbose]\n"
+      "                  [--profile DIR] [--sample-every N] [--verbose]\n"
       "                  [--fault-drop P] [--fault-dup P] [--fault-jitter P]\n"
       "                  [--fault-jitter-cycles N] [--fault-seed N]\n"
       "                  [--watchdog-cycles N] [--nack-busy N]\n"
@@ -202,6 +209,8 @@ Options parse(int argc, char** argv) {
       o.perfetto_path = need_value(i);
     } else if (a == "--metrics") {
       o.metrics_path = need_value(i);
+    } else if (a == "--profile") {
+      o.profile_dir = need_value(i);
     } else if (a == "--sample-every") {
       o.sample_every = parse_u64(need_value(i), "--sample-every");
       if (o.sample_every == 0) usage("--sample-every must be > 0");
@@ -246,8 +255,11 @@ Options parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
-  if (opt.observing() && (opt.archs.size() > 1 || opt.pressures.size() > 1))
-    usage("--events/--perfetto/--metrics need a single arch and pressure");
+  if ((opt.observing() || opt.profiling()) &&
+      (opt.archs.size() > 1 || opt.pressures.size() > 1))
+    usage(
+        "--events/--perfetto/--metrics/--profile need a single arch and "
+        "pressure");
 
   // Resolve the workload (generator or trace).
   std::unique_ptr<workload::Workload> wl;
@@ -265,10 +277,18 @@ int main(int argc, char** argv) {
 
   MachineConfig base;
   std::optional<obs::EventSink> sink;
-  if (opt.observing()) {
+  if (opt.observing() || opt.profiling()) {
+    // The profiler consumes the event stream (as the sink's observer) for
+    // its heat map, so --profile implies an in-memory sink even when no
+    // trace export was requested.
     sink.emplace();
     base.sink = &*sink;
-    base.sample_every = opt.sample_every;
+    if (opt.observing()) base.sample_every = opt.sample_every;
+  }
+  std::optional<prof::Profiler> profiler;
+  if (opt.profiling()) {
+    profiler.emplace();
+    base.profiler = &*profiler;
   }
   if (opt.threshold) base.refetch_threshold = *opt.threshold;
   if (opt.seed) base.seed = *opt.seed;
@@ -398,6 +418,23 @@ int main(int argc, char** argv) {
                 << " events dropped (tallies remain exact)\n";
   }
 
+  if (profiler) {
+    if (!profiler->write_profile(opt.profile_dir)) {
+      std::cerr << "cannot write profile into " << opt.profile_dir << '\n';
+      return 1;
+    }
+    const auto all = profiler->merged_end_to_end();
+    std::cout << "\nprofile written to " << opt.profile_dir << " ("
+              << profiler->accesses() << " accesses; end-to-end p50="
+              << all.p50() << " p99=" << all.p99() << " max=" << all.max()
+              << " cycles)\n";
+    std::cout << "\n== end-to-end latency by access class (cycles) ==\n";
+    report::latency_table(*profiler).print(std::cout);
+    if (profiler->attribution_mismatches() > 0)
+      std::cerr << "warning: " << profiler->attribution_mismatches()
+                << " accesses with attribution mismatch\n";
+  }
+
   if (!opt.csv_path.empty()) {
     const bool fresh = !std::ifstream(opt.csv_path).good();
     std::ofstream csv(opt.csv_path, std::ios::app);
@@ -405,9 +442,15 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open csv file\n";
       return 1;
     }
-    if (fresh) csv << report::csv_header() << '\n';
+    // With a profiler attached the run was single-config (enforced at parse
+    // time), so every row gets the same profiler's latency columns.
+    if (fresh) csv << report::csv_header(profiler.has_value()) << '\n';
     for (const auto& r : rows)
-      csv << report::csv_row(wl->name(), to_string(r.arch), r.result) << '\n';
+      csv << (profiler
+                  ? report::csv_row(wl->name(), to_string(r.arch), r.result,
+                                    *profiler)
+                  : report::csv_row(wl->name(), to_string(r.arch), r.result))
+          << '\n';
     std::cout << "\nCSV appended to " << opt.csv_path << '\n';
   }
   return 0;
