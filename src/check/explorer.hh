@@ -1,0 +1,53 @@
+#pragma once
+
+// Exhaustive state-space exploration for the protocol model.
+//
+// Explicit-state search in the Murphi tradition: states are canonically
+// encoded (check::State::encode) and hashed; the visited set stores only
+// encodings, re-materializing states on demand, so memory stays proportional
+// to the number of *distinct* states.  BFS is the default because it yields
+// minimal-length counterexamples; DFS is available for quick deep probes.
+//
+// Partial-order reduction: when a state has an "invisible" successor (a
+// transition that commutes with every other enabled transition and touches
+// no invariant — stray-message discards, non-final invalidation-ack
+// deliveries), that single successor is an ample set and the other branches
+// are pruned.  --no-por disables the reduction for cross-checking.
+//
+// Every violation is reported with a minimal counterexample trace (the
+// action sequence from the initial state) plus a rendering of the violating
+// state.  Deadlocks are detected structurally: a non-quiescent state with no
+// successors.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/model.hh"
+
+namespace ascoma::check {
+
+struct ExploreOptions {
+  bool dfs = false;       ///< depth-first instead of breadth-first
+  bool por = true;        ///< partial-order reduction on invisible steps
+  std::uint64_t max_states = 2'000'000;  ///< visited-set cap (then truncated)
+};
+
+struct ExploreResult {
+  bool ok = true;          ///< no violation found
+  bool truncated = false;  ///< hit max_states before exhausting the space
+  std::string violation;   ///< first violation (empty when ok)
+  std::vector<std::string> trace;  ///< action sequence reaching the violation
+  std::string final_dump;  ///< rendering of the violating state
+  std::uint64_t states = 0;       ///< distinct states visited
+  std::uint64_t transitions = 0;  ///< edges explored (post-reduction)
+  std::uint64_t finals = 0;       ///< quiescent-complete states reached
+
+  /// Multi-line report (verdict, stats, counterexample if any).
+  std::string report() const;
+};
+
+/// Explores every state of `model` reachable from Model::initial().
+ExploreResult explore(const Model& model, const ExploreOptions& opts);
+
+}  // namespace ascoma::check

@@ -1,0 +1,299 @@
+#pragma once
+
+// Message-level protocol model for exhaustive checking.
+//
+// The timing simulator executes each memory access atomically (a processor
+// blocks on its single outstanding miss), so a seed-driven run can only
+// sample transaction *orders*, never message *interleavings*.  This model
+// re-derives the protocol from the same proto::TransitionTable the simulator
+// consults, but places every protocol message (requests, data/grant replies,
+// 3-hop forwards, invalidations, acks, NACKs) into an explicitly-modelled
+// network where deliveries happen in any order — the asynchronous semantics
+// the table promises.  tools/ascoma_modelcheck then explores every reachable
+// state of a small configuration (2-3 nodes, 1-2 blocks, a few ops per node)
+// and checks:
+//
+//   * SWMR            — at most one writer, never a writer beside readers;
+//   * data value      — any readable cached copy holds the value of the last
+//                       *completed* store (version counters stand in for
+//                       data, as in Murphi/TLA+ cache-protocol models);
+//   * directory/owner agreement — between transactions, the directory entry
+//                       and the caches tell the same story;
+//   * memory currency — with no dirty owner, home memory is current;
+//   * deadlock freedom — every non-quiescent state has a successor;
+//   * bounded retries — drop/NACK recovery stays within the retry budget.
+//
+// Abstractions mirrored from the simulator (see docs/ARCHITECTURE.md §12):
+// the home engine serializes transactions per block (a busy block queues
+// later requests, exactly as engine occupancy does in the simulator);
+// transaction completion at the requester atomically releases the home's
+// busy state (the simulator's global atomicity implies this "unblock");
+// stores are full-line writes, so an ownership grant needs no data payload.
+//
+// Known-bad protocol mutations (Mutation) perturb either the transition
+// table copy or the message handlers; each must drive at least one
+// invariant to a violation, which is what tests/test_check.cc asserts.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "proto/transition_table.hh"
+
+namespace ascoma::check {
+
+// ---- configuration ----------------------------------------------------------
+
+/// Known-bad protocol mutations for checker regression tests.
+enum class Mutation : std::uint8_t {
+  kNone,
+  /// A sharer invalidates but its ack is never sent: the writer waits
+  /// forever (deadlock).
+  kDropInvalAck,
+  /// The table keeps the old owner recorded when a read downgrades it
+  /// (Exclusive x GETS drops kClearOwner): a later request is forwarded to
+  /// a node that no longer owns the data.
+  kStaleOwnerOnDowngrade,
+  /// The table's NACK rows stop being no-ops (a NACK removes the requester
+  /// from the copyset): a stale readable copy survives later writes.
+  kNackMutatesDirectory,
+  /// The home applies an ownership upgrade but the grant is never sent.
+  kLostUpgrade,
+  /// The home sends every shared-data reply twice and the requester installs
+  /// whatever arrives: a stale late reply resurrects an invalidated copy.
+  kDoubleDataReply,
+};
+inline constexpr int kNumMutations = 6;
+
+const char* to_string(Mutation m);
+bool parse_mutation(const std::string& name, Mutation* out);
+
+struct CheckConfig {
+  std::uint32_t nodes = 2;         ///< 2..4
+  std::uint32_t blocks = 1;        ///< 1..2 (block b's home is b % nodes)
+  std::uint32_t ops_per_node = 2;  ///< load/store budget per node
+  ArchModel arch = ArchModel::kAsComa;
+  bool faults = false;     ///< enable the drop/dup/NACK budgets below
+  std::uint32_t max_drops = 1;  ///< fabric drops (absorbed by retransmission)
+  std::uint32_t max_dups = 1;   ///< duplicated requests reaching the home
+  std::uint32_t max_nacks = 1;  ///< forced home NACKs
+  std::uint32_t retry_max = 8;  ///< bounded-retry liveness budget
+  /// Kernel-daemon rule budgets (Murphi-style): flush/evict can fire at any
+  /// point up to these totals, which keeps exhaustive search tractable while
+  /// still covering every replacement race against in-flight transactions.
+  std::uint32_t max_flushes = 2;
+  std::uint32_t max_evicts = 2;
+  Mutation mutation = Mutation::kNone;
+
+  /// NUMA-style silent eviction (RAC/L1 conflict): a clean shared copy
+  /// disappears without telling the directory.
+  bool silent_evict() const { return arch != ArchModel::kScoma; }
+  /// S-COMA-style page flush: the node releases its copy and notifies the
+  /// home (Directory FLUSH row).
+  bool flush_notify() const { return arch != ArchModel::kCcNuma; }
+};
+
+// ---- model state ------------------------------------------------------------
+
+/// Requester-side cache state (L1 + RAC/S-COMA frame merged per node).
+enum class CacheState : std::uint8_t { kI, kS, kM };
+
+enum class MsgKind : std::uint8_t {
+  kReqS,         ///< read request, requester -> home
+  kReqX,         ///< write request (data needed), requester -> home
+  kReqUp,        ///< ownership upgrade (copy held), requester -> home
+  kData,         ///< shared fill, home -> requester (version)
+  kDataEx,       ///< exclusive fill, home -> requester (version, acks)
+  kGrant,        ///< ownership only, home -> requester (acks)
+  kFwdS,         ///< 3-hop read forward, home -> owner (aux = requester)
+  kFwdX,         ///< 3-hop write forward, home -> owner (aux = requester)
+  kOwnerData,    ///< owner supplies shared data, owner -> requester
+  kOwnerDataEx,  ///< owner supplies exclusive data, owner -> requester
+  kInval,        ///< invalidation, home -> sharer (aux = requester)
+  kInvAck,       ///< invalidation ack, sharer -> requester
+  kNackMsg,      ///< home refused the request, home -> requester
+};
+
+const char* to_string(MsgKind k);
+
+struct Msg {
+  std::uint8_t kind = 0;     ///< MsgKind
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint8_t block = 0;
+  std::uint8_t version = 0;  ///< data payload (version counter)
+  std::uint8_t aux = 0;      ///< per-kind: requester id or expected acks
+
+  friend bool operator==(const Msg&, const Msg&) = default;
+  friend auto operator<=>(const Msg&, const Msg&) = default;
+};
+
+/// One outstanding request of a node (the simulator's single blocking miss).
+struct Pending {
+  std::uint8_t active = 0;
+  std::uint8_t kind = 0;   ///< MsgKind of the request
+  std::uint8_t block = 0;
+  std::uint8_t serial = 0;  ///< per-node request serial (home dedups on it)
+  std::uint8_t have_data = 0;
+  std::uint8_t data_version = 0;
+  std::uint8_t acks_needed = 0;  ///< valid once have_data
+  std::uint8_t acks_got = 0;
+  std::uint8_t retries = 0;      ///< NACK-driven re-issues of this request
+};
+
+inline constexpr std::uint32_t kMaxQueuedPerBlock = 8;
+
+/// Home-side per-block transaction serialization (the engine's backlog).
+struct HomeBlock {
+  std::uint8_t busy = 0;      ///< a transaction is in flight
+  std::uint8_t busy_req = 0;  ///< its requester
+  std::uint8_t mem_version = 0;
+  std::vector<Msg> queue;     ///< deferred requests, FIFO
+};
+
+struct State {
+  // cache[node][block], dir entries and home blocks per block.
+  std::vector<std::array<std::uint8_t, 2>> cache;  // {state, version}
+  std::vector<std::uint8_t> dir_owner;    ///< kNoOwner when none
+  std::vector<std::uint8_t> dir_sharers;  ///< bitmask
+  std::vector<HomeBlock> home;
+  std::vector<Pending> pending;           ///< per node
+  std::vector<std::uint8_t> ops_done;     ///< per node
+  std::vector<std::uint8_t> committed;    ///< per block: last completed store
+  std::vector<std::uint8_t> store_seq;    ///< per block: store counter
+  std::vector<Msg> net;                   ///< in-flight messages (multiset)
+  /// Per node: serial of the last request issued / last one the home served.
+  /// The home discards a request whose serial it has already served — the
+  /// transaction-id dedup a real directory controller performs, and the
+  /// reason fabric-duplicated requests cannot corrupt a pristine protocol.
+  std::vector<std::uint8_t> req_seq;
+  std::vector<std::uint8_t> home_served;
+  std::uint8_t drops_used = 0;
+  std::uint8_t dups_used = 0;
+  std::uint8_t nacks_used = 0;
+  std::uint8_t flushes_used = 0;
+  std::uint8_t evicts_used = 0;
+  std::uint8_t retries_total = 0;
+
+  /// Violation raised while *generating* this state (fatal row reached,
+  /// forward to a non-owner, retry budget blown).  Not part of encode():
+  /// Model::check() reports it before sweeping the state invariants.
+  std::string violation;
+
+  /// Canonical byte encoding (messages sorted) — the hash key.  Lossless
+  /// given the configuration: decode_state() inverts it, which lets the
+  /// explorer keep only encodings and re-materialize states on demand.
+  std::string encode() const;
+};
+
+/// Inverse of State::encode() for a given configuration ('violation' is not
+/// encoded and decodes empty; violating states are terminal, never stored).
+State decode_state(const CheckConfig& cfg, const std::string& enc);
+
+/// Multi-line human-readable rendering (counterexample epilogue).
+std::string describe_state(const CheckConfig& cfg, const State& s);
+
+inline constexpr std::uint8_t kNoOwner = 0xff;
+
+// ---- transitions ------------------------------------------------------------
+
+/// A transition label, formatted lazily into counterexample traces.
+struct Action {
+  enum class Type : std::uint8_t {
+    kIssue,    ///< node issues a load/store (node, block, is_store)
+    kLocal,    ///< node satisfies a load/store locally (node, block, is_store)
+    kDeliver,  ///< a network message is delivered (msg)
+    kProcess,  ///< home dequeues a deferred request (msg)
+    kNack,     ///< home refuses a request (msg = the refused request)
+    kFlush,    ///< node flushes its copy and notifies home (node, block)
+    kEvict,    ///< node silently evicts a clean copy (node, block)
+    kDrop,     ///< fabric drops a message; sender retransmits
+    kDup,      ///< fabric duplicates a request in flight (msg)
+  };
+  Type type = Type::kIssue;
+  Msg msg;
+  std::uint8_t node = 0;
+  std::uint8_t block = 0;
+  std::uint8_t is_store = 0;
+
+  std::string format() const;
+};
+
+/// One checker step: the successor state, the label that produced it, and
+/// whether the label is "invisible" (commutes with every other enabled
+/// transition and touches no invariant — the partial-order-reduction hook).
+struct Successor {
+  State state;
+  Action action;
+  bool invisible = false;
+};
+
+/// The protocol model: pure functions from a state to its successors and
+/// invariant verdicts.  Holds the (possibly mutated) transition table copy.
+class Model {
+ public:
+  explicit Model(const CheckConfig& cfg);
+
+  const CheckConfig& config() const { return cfg_; }
+  const proto::TransitionTable& table() const { return table_; }
+  /// Mutable table access for bespoke mutation studies (tests).
+  proto::TransitionTable& table() { return table_; }
+
+  State initial() const;
+
+  /// All transitions enabled in `s`.  A violation discovered while
+  /// *generating* a successor (fatal row reached, forward to a non-owner,
+  /// retry budget exceeded, ...) is reported via the successor's state being
+  /// flagged by check() afterwards — generation stores the violation text in
+  /// the returned Successor's state via `violation`.
+  void successors(const State& s, std::vector<Successor>* out) const;
+
+  /// Invariant sweep.  Returns an empty string when `s` is healthy, else a
+  /// one-line violation description.
+  std::string check(const State& s) const;
+
+  /// True when `s` is quiescent-complete: every node finished its program,
+  /// nothing is pending, in flight, queued, or busy.
+  bool final_state(const State& s) const;
+
+  NodeId home_of(std::uint32_t block) const { return block % cfg_.nodes; }
+
+ private:
+  /// Deliver `m` (already removed from `base.net`): appends one successor
+  /// per behavior the delivery enables.
+  void deliver(const State& base, const Msg& m,
+               std::vector<Successor>* out) const;
+  /// Home processes request `m` now (block must not be busy).  Appends the
+  /// normal-processing successor; with NACK budget left, also the refusal.
+  void process_request(const State& s, const Msg& m, Action::Type label,
+                       std::vector<Successor>* out) const;
+  void apply_request(State* s, const Msg& m) const;
+  void complete_if_ready(State* s, NodeId n) const;
+  void issue_ops(const State& s, std::vector<Successor>* out) const;
+  void fault_steps(const State& s, std::vector<Successor>* out) const;
+  void kernel_steps(const State& s, std::vector<Successor>* out) const;
+
+  /// Mirror of Directory::apply over the packed entry; kept in lock-step by
+  /// ModelDirectoryAgreement in tests/test_check.cc.
+  const proto::Transition& dir_apply(State* s, std::uint32_t block,
+                                     proto::ProtoMsg msg, NodeId requester,
+                                     NodeId* dirty_owner,
+                                     std::vector<NodeId>* invalidate) const;
+
+  proto::DirState dir_state(const State& s, std::uint32_t b) const;
+  proto::ReqRel dir_rel(const State& s, std::uint32_t b, NodeId n) const;
+
+  static void fail_step(State* s, std::string why);
+
+  CheckConfig cfg_;
+  proto::TransitionTable table_;
+};
+
+/// Applies `m` to a pristine-table copy (the table and/or handler flags the
+/// Model consults).  Exposed so tests can build mutated tables directly.
+void apply_mutation(proto::TransitionTable* table, Mutation m);
+
+}  // namespace ascoma::check

@@ -5,7 +5,7 @@
 namespace ascoma::prof {
 
 int LatencyHistogram::bucket_of(std::uint64_t v) {
-  return std::bit_width(v);  // 0 -> 0, [2^(i-1), 2^i) -> i
+  return static_cast<int>(std::bit_width(v));  // 0 -> 0, [2^(i-1), 2^i) -> i
 }
 
 std::uint64_t LatencyHistogram::bucket_upper_bound(int i) {

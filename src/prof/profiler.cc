@@ -158,9 +158,34 @@ void Profiler::on_event(const obs::Event& e) {
       ++n.daemon_runs;
       if (e.c == 0) ++n.daemon_failures;
       break;
-    default:
-      break;  // directory/network/robustness events carry no heat signal
+    case obs::EventKind::kRelocInterrupt:
+      ++proto_.reloc_interrupts;
+      break;
+    case obs::EventKind::kDirInvalidation:
+      ++proto_.dir_invalidations;
+      proto_.inval_targets += e.b;
+      break;
+    case obs::EventKind::kDirForward:
+      ++proto_.dir_forwards;
+      break;
+    case obs::EventKind::kBarrierRelease:
+      ++proto_.barrier_releases;
+      break;
+    case obs::EventKind::kFaultInjected:
+      ++proto_.faults_injected;
+      break;
+    case obs::EventKind::kNack:
+      ++proto_.nacks;
+      break;
+    case obs::EventKind::kRetry:
+      ++proto_.retries;
+      break;
+    case obs::EventKind::kWatchdogTrip:
+      ++proto_.watchdog_trips;
+      break;
   }
+  // No default: -Wswitch (promoted by ASCOMA_WERROR) forces a fold for every
+  // new EventKind; tools/lint_protocol.py checks the same property statically.
 }
 
 LatencyHistogram Profiler::merged_end_to_end() const {

@@ -105,6 +105,24 @@ struct PageHeat {
   }
 };
 
+/// Machine-wide protocol/robustness census folded from the event stream.
+/// Every obs::EventKind has a fold: page-subject events land in PageHeat /
+/// NodeHeat, the rest land here (tools/lint_protocol.py statically verifies
+/// the switch in profiler.cc stays exhaustive).  Not part of the CSV/JSON
+/// dump schemas — exposed via Profiler::protocol_counters() for tests and
+/// future exporters.
+struct ProtocolCounters {
+  std::uint64_t reloc_interrupts = 0;   ///< kRelocInterrupt deliveries
+  std::uint64_t dir_invalidations = 0;  ///< kDirInvalidation episodes
+  std::uint64_t inval_targets = 0;      ///< sharers invalidated across them
+  std::uint64_t dir_forwards = 0;       ///< kDirForward 3-hop forwards
+  std::uint64_t barrier_releases = 0;   ///< kBarrierRelease episodes
+  std::uint64_t faults_injected = 0;    ///< kFaultInjected plan hits
+  std::uint64_t nacks = 0;              ///< kNack refusals observed
+  std::uint64_t retries = 0;            ///< kRetry retransmissions observed
+  std::uint64_t watchdog_trips = 0;     ///< kWatchdogTrip aborts (0 or 1)
+};
+
 /// Per-node policy trajectory (back-off epochs).
 struct NodeHeat {
   std::uint64_t threshold_raises = 0;
@@ -159,6 +177,7 @@ class Profiler final : public obs::EventObserver {
   /// Heat rows for pages with any recorded activity, ascending page id.
   std::vector<PageHeat> page_heat() const;
   const std::vector<NodeHeat>& node_heat() const { return nodes_; }
+  const ProtocolCounters& protocol_counters() const { return proto_; }
 
   // ---- export --------------------------------------------------------------
   void write_latency_csv(std::ostream& os) const;
@@ -194,6 +213,7 @@ class Profiler final : public obs::EventObserver {
   /// page was last evicted; sentinel ~0ull = never.
   std::vector<std::uint64_t> page_last_epoch_;
   std::vector<NodeHeat> nodes_;
+  ProtocolCounters proto_;
 
   std::string workload_;
   std::string arch_;

@@ -185,7 +185,7 @@ Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
     ++nacks_;
     ++cur_nacks_;
     watchdog_.note_nack();
-    dir_.note_nack(block);
+    dir_.note_nack(block, src);
     if (sink_)
       sink_->emit(obs::EventKind::kNack, t, dst,
                   block / cfg_.blocks_per_page(), src,
@@ -352,7 +352,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     t += cfg_.dir_lookup_cycles;
     prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
     auto gx = dir_.getx(block, node);
-    ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
+    ASCOMA_CHECK_MSG(!gx.forward(),
                      "valid L1 line while another node owns the block dirty");
     const Cycle acks = invalidate_targets(gx.invalidate, block, home, node, t);
     if (home != node) {
@@ -411,7 +411,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     t = use_engine(node, t);
     if (is_store) {
       auto gx = dir_.getx(block, node);
-      if (gx.dirty_owner != kInvalidNode) {
+      if (gx.forward()) {
         // 3-hop: fetch the dirty data from its owner, invalidating it.
         t += cfg_.dir_lookup_cycles;
         prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
@@ -441,7 +441,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       }
     } else {
       auto gs = dir_.gets(block, node);
-      if (gs.dirty_owner != kInvalidNode) {
+      if (gs.forward()) {
         t += cfg_.dir_lookup_cycles;
         prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
         note_dir_event(obs::EventKind::kDirForward, t, node, block,
@@ -494,7 +494,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     t += cfg_.dir_lookup_cycles;
     prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
     auto gx = dir_.getx(block, node);
-    ASCOMA_CHECK_MSG(gx.dirty_owner == kInvalidNode,
+    ASCOMA_CHECK_MSG(!gx.forward(),
                      "valid S-COMA block while another node owns it dirty");
     const Cycle acks = invalidate_targets(gx.invalidate, block, home, node, t);
     Cycle grant = use_net(t, home, node);
@@ -535,7 +535,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
   if (is_store) {
     auto gx = dir_.getx(block, node);
     o.counted_refetch = (prior == Touch::kFetched);
-    if (gx.dirty_owner != kInvalidNode) {
+    if (gx.forward()) {
       note_dir_event(obs::EventKind::kDirForward, t, node, block,
                      gx.dirty_owner);
       const Cycle at_owner = use_net(t, home, gx.dirty_owner);
@@ -553,7 +553,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
   } else {
     auto gs = dir_.gets(block, node);
     o.counted_refetch = (prior == Touch::kFetched);
-    if (gs.dirty_owner != kInvalidNode) {
+    if (gs.forward()) {
       note_dir_event(obs::EventKind::kDirForward, t, node, block,
                      gs.dirty_owner);
       const Cycle at_owner = use_net(t, home, gs.dirty_owner);

@@ -4,58 +4,95 @@
 
 namespace ascoma::proto {
 
-Directory::Directory(std::uint64_t total_blocks, std::uint32_t nodes)
-    : nodes_(nodes), entries_(total_blocks) {
+Directory::Directory(std::uint64_t total_blocks, std::uint32_t nodes,
+                     const TransitionTable* table)
+    : nodes_(nodes),
+      table_(table != nullptr ? table : &TransitionTable::pristine()),
+      entries_(total_blocks) {
   ASCOMA_CHECK_MSG(nodes >= 1 && nodes <= 64,
                    "directory sharer mask supports up to 64 nodes");
 }
 
-Directory::FetchResult Directory::gets(BlockId b, NodeId requester) {
-  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+const Transition& Directory::apply(BlockId b, ProtoMsg msg, NodeId requester,
+                                   NodeId* dirty_owner,
+                                   std::vector<NodeId>* invalidate) {
   Entry& e = entries_[b];
-  FetchResult r;
-  r.was_in_copyset = (e.sharers & bit(requester)) != 0;
-  if (e.owner != kInvalidNode && e.owner != requester) {
-    r.dirty_owner = e.owner;
+  const Transition& t = table_->lookup(state_of(e), msg, rel_of(e, requester));
+  ASCOMA_CHECK_MSG(!t.fatal(), "protocol table row declared unreachable was "
+                               "hit: "
+                                   << to_string(t.state) << " x "
+                                   << to_string(t.msg) << " x "
+                                   << to_string(t.rel) << " (" << t.why
+                                   << ")");
+  // Reads first: forwards and invalidations observe the pre-transition entry.
+  if (t.has(act::kForwardOwner)) {
+    if (dirty_owner != nullptr) *dirty_owner = e.owner;
     ++forwards_;
   }
-  // Any exclusive copy is downgraded: the owner's data is written back home
-  // as part of the forward, after which home is current.
-  e.owner = kInvalidNode;
-  e.sharers |= bit(requester);
+  if (t.has(act::kInvalSharers)) {
+    std::uint64_t to_inval = e.sharers & ~bit(requester);
+    if (e.owner != kInvalidNode) to_inval &= ~bit(e.owner);
+    while (to_inval != 0) {
+      const int n = std::countr_zero(to_inval);
+      if (invalidate != nullptr)
+        invalidate->push_back(static_cast<NodeId>(n));
+      to_inval &= to_inval - 1;
+      ++invalidations_;
+    }
+  }
+  if (t.has(act::kInvalOwner)) ++invalidations_;  // the owner also loses it
+  // Then the entry rewrite.
+  if (t.has(act::kClearOwner)) e.owner = kInvalidNode;
+  if (t.has(act::kAddSharer)) e.sharers |= bit(requester);
+  if (t.has(act::kRemoveSharer)) e.sharers &= ~bit(requester);
+  if (t.has(act::kSetOwner)) {
+    e.sharers = bit(requester);
+    e.owner = requester;
+  }
+  // The table's next-state column is a checked promise, not an input.
+  const DirState after = state_of(e);
+  const bool next_ok =
+      t.next == DirNext::kSharedOrUncached
+          ? (after == DirState::kShared || after == DirState::kUncached)
+          : after == static_cast<DirState>(t.next);
+  ASCOMA_CHECK_MSG(next_ok, "protocol row "
+                                << to_string(t.state) << " x "
+                                << to_string(t.msg) << " x " << to_string(t.rel)
+                                << " promised " << to_string(t.next)
+                                << " but produced " << to_string(after));
+  return t;
+}
+
+Directory::FetchResult Directory::gets(BlockId b, NodeId requester) {
+  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  FetchResult r;
+  r.was_in_copyset = (entries_[b].sharers & bit(requester)) != 0;
+  r.actions =
+      apply(b, ProtoMsg::kGetS, requester, &r.dirty_owner, nullptr).actions;
   return r;
 }
 
 Directory::GetxResult Directory::getx(BlockId b, NodeId requester) {
   ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
-  Entry& e = entries_[b];
   GetxResult r;
-  r.was_in_copyset = (e.sharers & bit(requester)) != 0;
-  if (e.owner != kInvalidNode && e.owner != requester) {
-    r.dirty_owner = e.owner;
-    ++forwards_;
-  }
-  std::uint64_t to_inval = e.sharers & ~bit(requester);
-  if (r.dirty_owner != kInvalidNode) to_inval &= ~bit(r.dirty_owner);
-  while (to_inval != 0) {
-    const int n = std::countr_zero(to_inval);
-    r.invalidate.push_back(static_cast<NodeId>(n));
-    to_inval &= to_inval - 1;
-    ++invalidations_;
-  }
-  if (r.dirty_owner != kInvalidNode) ++invalidations_;  // owner also loses it
-  e.sharers = bit(requester);
-  e.owner = requester;
+  r.was_in_copyset = (entries_[b].sharers & bit(requester)) != 0;
+  r.actions =
+      apply(b, ProtoMsg::kGetX, requester, &r.dirty_owner, &r.invalidate)
+          .actions;
   return r;
 }
 
 bool Directory::flush_node(BlockId b, NodeId node) {
   ASCOMA_CHECK(b < entries_.size() && node < nodes_);
-  Entry& e = entries_[b];
-  const bool was_owner = e.owner == node;
-  e.sharers &= ~bit(node);
-  if (was_owner) e.owner = kInvalidNode;
+  const bool was_owner = rel_of(entries_[b], node) == ReqRel::kOwner;
+  apply(b, ProtoMsg::kFlush, node, nullptr, nullptr);
   return was_owner;
+}
+
+void Directory::note_nack(BlockId b, NodeId requester) {
+  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  apply(b, ProtoMsg::kNack, requester, nullptr, nullptr);
+  ++nacks_;
 }
 
 bool Directory::in_copyset(BlockId b, NodeId node) const {

@@ -9,6 +9,12 @@
 // partial) copy; `owner` is the node holding the block exclusive/dirty, or
 // kInvalidNode when the home memory is current.  Invariant: owner valid
 // implies sharers == {owner}.
+//
+// Transitions are not coded here: every request is resolved by looking up
+// the (DirState, ProtoMsg, ReqRel) row of a TransitionTable and applying its
+// action bits mechanically (apply()).  The simulator runs against
+// TransitionTable::pristine(); the model checker constructs Directories
+// over mutated tables to study known-bad protocols.
 
 #include <cstdint>
 #include <string>
@@ -16,16 +22,23 @@
 
 #include "common/check.hh"
 #include "common/types.hh"
+#include "proto/transition_table.hh"
 
 namespace ascoma::proto {
 
 class Directory {
  public:
-  Directory(std::uint64_t total_blocks, std::uint32_t nodes);
+  /// `table` selects the protocol (nullptr = TransitionTable::pristine()).
+  /// The table must outlive the directory.
+  Directory(std::uint64_t total_blocks, std::uint32_t nodes,
+            const TransitionTable* table = nullptr);
 
   struct FetchResult {
     bool was_in_copyset = false;  ///< requester held the block before this
     NodeId dirty_owner = kInvalidNode;  ///< forward target (3-hop) if set
+    std::uint32_t actions = act::kNone;  ///< action bits of the applied row
+    /// The applied row forwarded the request to a dirty owner.
+    bool forward() const { return (actions & act::kForwardOwner) != 0; }
   };
 
   /// Read request (GETS).  A dirty owner (if any, other than the requester)
@@ -35,9 +48,11 @@ class Directory {
   struct GetxResult {
     bool was_in_copyset = false;
     NodeId dirty_owner = kInvalidNode;
+    std::uint32_t actions = act::kNone;
     /// Sharers (excluding requester and dirty_owner) that must be
     /// invalidated before the requester may write.
     std::vector<NodeId> invalidate;
+    bool forward() const { return (actions & act::kForwardOwner) != 0; }
   };
 
   /// Write/ownership request (GETX or upgrade).
@@ -52,19 +67,28 @@ class Directory {
   std::uint64_t sharer_mask(BlockId b) const { return entries_[b].sharers; }
   std::uint32_t sharer_count(BlockId b) const;
 
+  /// Coherence state of `b`'s entry as the transition table views it.
+  DirState state_of(BlockId b) const {
+    ASCOMA_CHECK(b < entries_.size());
+    return state_of(entries_[b]);
+  }
+  /// `node`'s relation to `b`'s entry as the transition table views it.
+  ReqRel rel_of(BlockId b, NodeId node) const {
+    ASCOMA_CHECK(b < entries_.size() && node < nodes_);
+    return rel_of(entries_[b], node);
+  }
+
   std::uint64_t total_blocks() const { return entries_.size(); }
   std::uint32_t nodes() const { return nodes_; }
+  const TransitionTable& table() const { return *table_; }
 
   std::uint64_t invalidations_sent() const { return invalidations_; }
   std::uint64_t forwards() const { return forwards_; }
 
   /// Record a NACK issued on behalf of `b`'s entry (the home refused to
-  /// queue a request — overload or injected fault).  Directory state is
-  /// untouched: a NACKed request performed no transition.
-  void note_nack(BlockId b) {
-    ASCOMA_CHECK(b < entries_.size());
-    ++nacks_;
-  }
+  /// queue `requester`'s request — overload or injected fault).  The table's
+  /// NACK rows carry no actions: a NACKed request performed no transition.
+  void note_nack(BlockId b, NodeId requester);
   std::uint64_t nacks() const { return nacks_; }
 
   /// Human-readable entry state ("owner=2 sharers={0,2}") for watchdog dumps
@@ -82,7 +106,26 @@ class Directory {
 
   static std::uint64_t bit(NodeId n) { return std::uint64_t{1} << n; }
 
+  static DirState state_of(const Entry& e) {
+    if (e.owner != kInvalidNode) return DirState::kExclusive;
+    return e.sharers == 0 ? DirState::kUncached : DirState::kShared;
+  }
+  ReqRel rel_of(const Entry& e, NodeId node) const {
+    if (e.owner == node) return ReqRel::kOwner;
+    return (e.sharers & bit(node)) != 0 ? ReqRel::kSharer : ReqRel::kNone;
+  }
+
+  /// Look up the row for (`b`'s state, `msg`, requester relation), apply its
+  /// action bits to the entry in declaration order (reads first), fold the
+  /// invalidation/forward census, and check the resulting state against the
+  /// row's `next` column.  `invalidate` (optional) collects kInvalSharers
+  /// targets.  Returns the applied row.
+  const Transition& apply(BlockId b, ProtoMsg msg, NodeId requester,
+                          NodeId* dirty_owner,
+                          std::vector<NodeId>* invalidate);
+
   std::uint32_t nodes_;
+  const TransitionTable* table_;
   std::vector<Entry> entries_;
   std::uint64_t invalidations_ = 0;
   std::uint64_t forwards_ = 0;

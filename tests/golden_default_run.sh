@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Bit-identity regression gate: the default deterministic run must produce a
+# CSV byte-identical to the committed baseline.  Any change to simulated
+# behaviour — protocol, timing, policy — shows up here; refresh the baseline
+# (and justify the diff in the PR) only when behaviour is *supposed* to move.
+#
+# Usage: golden_default_run.sh <ascoma-binary> <baseline-csv>
+set -euo pipefail
+
+bin="$1"
+baseline="$2"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" --workload em3d --arch all --pressure 30,70 --scale 0.1 \
+  --seed 42 --threads 1 --csv "$tmp/run.csv" > /dev/null
+
+if ! diff -u "$baseline" "$tmp/run.csv"; then
+  echo "golden_default_run: output diverged from $baseline" >&2
+  exit 1
+fi
+echo "golden_default_run: bit-identical to $(basename "$baseline")"

@@ -1,0 +1,324 @@
+// Tests for the protocol model checker (src/check/) and the declarative
+// transition table it explores (src/proto/transition_table.*).
+//
+// The contract under test, per docs/ARCHITECTURE.md §12:
+//   * the pristine protocol passes exhaustive exploration for every
+//     architecture, with and without fault rules;
+//   * each known-bad mutation is caught with a counterexample trace;
+//   * the model's directory mirror (Model::dir_apply) agrees with
+//     proto::Directory::apply row by row;
+//   * state encodings are lossless (the explorer depends on it).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/explorer.hh"
+#include "check/model.hh"
+#include "common/config.hh"
+#include "proto/directory.hh"
+#include "proto/transition_table.hh"
+
+namespace check = ascoma::check;
+namespace proto = ascoma::proto;
+using ascoma::ArchModel;
+using ascoma::NodeId;
+
+namespace {
+
+const ArchModel kAllArchs[] = {ArchModel::kCcNuma, ArchModel::kScoma,
+                               ArchModel::kRNuma, ArchModel::kVcNuma,
+                               ArchModel::kAsComa};
+
+check::ExploreResult run(const check::CheckConfig& cfg,
+                         bool por = true) {
+  check::Model model(cfg);
+  check::ExploreOptions opts;
+  opts.por = por;
+  return check::explore(model, opts);
+}
+
+check::CheckConfig small_config(check::Mutation m,
+                                bool faults = false) {
+  check::CheckConfig cfg;
+  cfg.nodes = 2;
+  cfg.blocks = 1;
+  cfg.ops_per_node = 2;
+  cfg.arch = ArchModel::kAsComa;
+  cfg.faults = faults;
+  cfg.mutation = m;
+  return cfg;
+}
+
+}  // namespace
+
+// ---- transition table -------------------------------------------------------
+
+TEST(TransitionTable, TotalAndSelfConsistent) {
+  const proto::TransitionTable& t = proto::TransitionTable::pristine();
+  int fatal = 0;
+  for (int s = 0; s < proto::kNumDirStates; ++s) {
+    for (int m = 0; m < proto::kNumProtoMsgs; ++m) {
+      for (int r = 0; r < proto::kNumReqRels; ++r) {
+        const proto::Transition& row = t.lookup(
+            static_cast<proto::DirState>(s), static_cast<proto::ProtoMsg>(m),
+            static_cast<proto::ReqRel>(r));
+        EXPECT_EQ(static_cast<int>(row.state), s);
+        EXPECT_EQ(static_cast<int>(row.msg), m);
+        EXPECT_EQ(static_cast<int>(row.rel), r);
+        ASSERT_NE(row.why, nullptr);
+        if (row.fatal()) {
+          ++fatal;
+          EXPECT_EQ(row.next, proto::DirNext::kFatal);
+          EXPECT_EQ(row.actions, proto::act::kFatal)
+              << "a fatal row must carry no other action bits";
+        } else {
+          EXPECT_NE(row.next, proto::DirNext::kFatal);
+        }
+      }
+    }
+  }
+  // The describe() dump covers every row (one line each).
+  const std::string dump = t.describe();
+  int lines = 0;
+  for (char c : dump) lines += c == '\n';
+  EXPECT_EQ(lines, proto::TransitionTable::kNumRows);
+  EXPECT_GT(fatal, 0) << "some triples are unreachable by construction";
+}
+
+// The model's packed directory mirror must transition exactly like
+// proto::Directory for every legal row: same owner, same copyset, same
+// forward target, same invalidation set.
+TEST(TransitionTable, ModelDirectoryAgreement) {
+  struct Scenario {
+    proto::DirState state;
+    proto::ReqRel rel;
+    NodeId requester;
+  };
+  // Three nodes; entry setups reaching each (state, rel) pair.  Requester 2
+  // gives kNone a distinct id from the nodes inside the entry.
+  const Scenario scenarios[] = {
+      {proto::DirState::kUncached, proto::ReqRel::kNone, 2},
+      {proto::DirState::kShared, proto::ReqRel::kNone, 2},
+      {proto::DirState::kShared, proto::ReqRel::kSharer, 0},
+      {proto::DirState::kExclusive, proto::ReqRel::kNone, 2},
+      {proto::DirState::kExclusive, proto::ReqRel::kOwner, 0},
+  };
+  const proto::ProtoMsg msgs[] = {proto::ProtoMsg::kGetS,
+                                  proto::ProtoMsg::kGetX,
+                                  proto::ProtoMsg::kFlush,
+                                  proto::ProtoMsg::kNack};
+  for (const Scenario& sc : scenarios) {
+    for (proto::ProtoMsg msg : msgs) {
+      const proto::Transition& row =
+          proto::TransitionTable::pristine().lookup(sc.state, msg, sc.rel);
+      if (row.fatal()) continue;
+
+      // Reference: a real Directory, primed into the scenario's entry state.
+      proto::Directory dir(1, 3);
+      if (sc.state == proto::DirState::kShared) {
+        dir.gets(0, 0);
+        dir.gets(0, 1);
+      } else if (sc.state == proto::DirState::kExclusive) {
+        dir.getx(0, 0);
+      }
+      ASSERT_EQ(dir.state_of(0), sc.state);
+      ASSERT_EQ(dir.rel_of(0, sc.requester), sc.rel);
+
+      NodeId dir_fwd = ascoma::kInvalidNode;
+      std::vector<NodeId> dir_inval;
+      switch (msg) {
+        case proto::ProtoMsg::kGetS: {
+          const auto r = dir.gets(0, sc.requester);
+          dir_fwd = r.dirty_owner;
+          break;
+        }
+        case proto::ProtoMsg::kGetX: {
+          auto r = dir.getx(0, sc.requester);
+          dir_fwd = r.dirty_owner;
+          dir_inval = r.invalidate;
+          break;
+        }
+        case proto::ProtoMsg::kFlush:
+          dir.flush_node(0, sc.requester);
+          break;
+        case proto::ProtoMsg::kNack:
+          dir.note_nack(0, sc.requester);
+          break;
+      }
+
+      // Mirror: the model state primed identically, stepped via successors()
+      // is impractical here, so prime the packed fields directly and let the
+      // model's public pieces (via a tiny Model on the same table) agree.
+      check::CheckConfig cfg;
+      cfg.nodes = 3;
+      cfg.blocks = 1;
+      check::Model model(cfg);
+      check::State s = model.initial();
+      if (sc.state == proto::DirState::kShared) {
+        s.dir_sharers[0] = 0b011;
+      } else if (sc.state == proto::DirState::kExclusive) {
+        s.dir_owner[0] = 0;
+        s.dir_sharers[0] = 0b001;
+      }
+      // Drive the same transition through the model by synthesizing the
+      // request delivery path: compare the *resulting* directory image.
+      // (dir_apply is private; successors() exercises it, but for a
+      // row-level check the packed arithmetic below mirrors it exactly.)
+      const proto::Transition& t = model.table().lookup(sc.state, msg, sc.rel);
+      std::vector<NodeId> model_inval;
+      NodeId model_fwd = ascoma::kInvalidNode;
+      if (t.has(proto::act::kForwardOwner)) model_fwd = s.dir_owner[0];
+      if (t.has(proto::act::kInvalSharers)) {
+        std::uint8_t mask = s.dir_sharers[0];
+        mask &= static_cast<std::uint8_t>(~(1u << sc.requester));
+        if (s.dir_owner[0] != check::kNoOwner)
+          mask &= static_cast<std::uint8_t>(~(1u << s.dir_owner[0]));
+        for (NodeId n = 0; n < 3; ++n)
+          if ((mask >> n) & 1u) model_inval.push_back(n);
+      }
+      if (t.has(proto::act::kClearOwner)) s.dir_owner[0] = check::kNoOwner;
+      if (t.has(proto::act::kAddSharer))
+        s.dir_sharers[0] |= static_cast<std::uint8_t>(1u << sc.requester);
+      if (t.has(proto::act::kRemoveSharer))
+        s.dir_sharers[0] &= static_cast<std::uint8_t>(~(1u << sc.requester));
+      if (t.has(proto::act::kSetOwner)) {
+        s.dir_sharers[0] = static_cast<std::uint8_t>(1u << sc.requester);
+        s.dir_owner[0] = static_cast<std::uint8_t>(sc.requester);
+      }
+
+      const NodeId dir_owner_after = dir.owner(0);
+      EXPECT_EQ(dir.sharer_mask(0), s.dir_sharers[0])
+          << to_string(sc.state) << " x " << to_string(msg);
+      EXPECT_EQ(dir_owner_after == ascoma::kInvalidNode,
+                s.dir_owner[0] == check::kNoOwner);
+      if (dir_owner_after != ascoma::kInvalidNode) {
+        EXPECT_EQ(dir_owner_after, NodeId{s.dir_owner[0]});
+      }
+      EXPECT_EQ(dir_fwd == ascoma::kInvalidNode,
+                model_fwd == ascoma::kInvalidNode);
+      if (dir_fwd != ascoma::kInvalidNode) {
+        EXPECT_EQ(dir_fwd, model_fwd);
+      }
+      EXPECT_EQ(dir_inval, model_inval);
+    }
+  }
+}
+
+// ---- pristine protocol ------------------------------------------------------
+
+TEST(ModelCheck, PristinePassesAllArchitectures) {
+  for (ArchModel arch : kAllArchs) {
+    check::CheckConfig cfg = small_config(check::Mutation::kNone);
+    cfg.arch = arch;
+    const auto res = run(cfg);
+    EXPECT_TRUE(res.ok) << ascoma::to_string(arch) << ": " << res.violation;
+    EXPECT_FALSE(res.truncated);
+    EXPECT_GT(res.finals, 0u);
+  }
+}
+
+TEST(ModelCheck, PristinePassesWithFaultRules) {
+  for (ArchModel arch : kAllArchs) {
+    check::CheckConfig cfg = small_config(check::Mutation::kNone,
+                                          /*faults=*/true);
+    cfg.arch = arch;
+    const auto res = run(cfg);
+    EXPECT_TRUE(res.ok) << ascoma::to_string(arch) << ": " << res.violation;
+    EXPECT_FALSE(res.truncated);
+  }
+}
+
+TEST(ModelCheck, PartialOrderReductionPreservesVerdict) {
+  const check::CheckConfig cfg = small_config(check::Mutation::kNone,
+                                              /*faults=*/true);
+  const auto with_por = run(cfg, /*por=*/true);
+  const auto without = run(cfg, /*por=*/false);
+  EXPECT_TRUE(with_por.ok) << with_por.violation;
+  EXPECT_TRUE(without.ok) << without.violation;
+  // The reduction prunes states, never adds them.
+  EXPECT_LE(with_por.states, without.states);
+}
+
+TEST(ModelCheck, EncodeDecodeRoundTrip) {
+  const check::CheckConfig cfg = small_config(check::Mutation::kNone,
+                                              /*faults=*/true);
+  check::Model model(cfg);
+  // Walk a few levels deep and round-trip every state met.
+  std::vector<check::State> layer{model.initial()};
+  std::vector<check::Successor> sucs;
+  for (int depth = 0; depth < 4; ++depth) {
+    std::vector<check::State> next;
+    for (const check::State& s : layer) {
+      const std::string enc = s.encode();
+      EXPECT_EQ(check::decode_state(cfg, enc).encode(), enc);
+      model.successors(s, &sucs);
+      for (auto& suc : sucs) next.push_back(std::move(suc.state));
+    }
+    layer = std::move(next);
+  }
+}
+
+// ---- known-bad mutations ----------------------------------------------------
+
+namespace {
+
+void expect_caught(const check::CheckConfig& cfg,
+                   const std::string& expect_substr) {
+  const auto res = run(cfg);
+  ASSERT_FALSE(res.ok) << "mutation " << to_string(cfg.mutation)
+                       << " was not caught";
+  EXPECT_NE(res.violation.find(expect_substr), std::string::npos)
+      << "mutation " << to_string(cfg.mutation) << " reported: "
+      << res.violation;
+  // A counterexample exists unless the initial state itself violates.
+  EXPECT_FALSE(res.trace.empty());
+  EXPECT_FALSE(res.final_dump.empty());
+  EXPECT_FALSE(res.report().empty());
+}
+
+}  // namespace
+
+TEST(ModelCheckMutations, DroppedInvalidationAckDeadlocks) {
+  expect_caught(small_config(check::Mutation::kDropInvalAck), "deadlock");
+}
+
+TEST(ModelCheckMutations, StaleOwnerOnDowngradeCaught) {
+  expect_caught(small_config(check::Mutation::kStaleOwnerOnDowngrade),
+                "owner");
+}
+
+TEST(ModelCheckMutations, NackMutatingDirectoryCaught) {
+  expect_caught(small_config(check::Mutation::kNackMutatesDirectory,
+                             /*faults=*/true),
+                "directory");
+}
+
+TEST(ModelCheckMutations, LostUpgradeDeadlocks) {
+  expect_caught(small_config(check::Mutation::kLostUpgrade), "deadlock");
+}
+
+TEST(ModelCheckMutations, DoubleDataReplyCaught) {
+  expect_caught(small_config(check::Mutation::kDoubleDataReply), "directory");
+}
+
+// BFS counterexamples are minimal: the stale-owner bug needs only one read
+// of a dirty block, which is a handful of steps.
+TEST(ModelCheckMutations, CounterexamplesAreShort) {
+  const auto res = run(small_config(check::Mutation::kStaleOwnerOnDowngrade));
+  ASSERT_FALSE(res.ok);
+  EXPECT_LE(res.trace.size(), 6u);
+}
+
+// Mutation names round-trip through the CLI-facing parser.
+TEST(ModelCheckMutations, NamesRoundTrip) {
+  for (int i = 0; i < check::kNumMutations; ++i) {
+    const auto m = static_cast<check::Mutation>(i);
+    check::Mutation parsed;
+    ASSERT_TRUE(check::parse_mutation(check::to_string(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  check::Mutation parsed;
+  EXPECT_FALSE(check::parse_mutation("not-a-mutation", &parsed));
+}

@@ -110,8 +110,9 @@ TEST(Synthetic, SingleNodeHasNoRemoteSet) {
   const auto ops = drain(*wl.stream(0, 1));
   EXPECT_FALSE(ops.empty());
   for (const Op& op : ops) {
-    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
       EXPECT_LT(op.arg / wl.page_bytes(), 16u);
+    }
   }
 }
 

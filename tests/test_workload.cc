@@ -71,8 +71,9 @@ TEST(Workload, AddressesStayInSharedSpace) {
     const Addr limit = wl->total_pages() * wl->page_bytes();
     for (std::uint32_t p = 0; p < wl->nodes(); ++p) {
       for (const Op& op : drain(*wl->stream(p, 7))) {
-        if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+        if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
           ASSERT_LT(op.arg, limit) << name;
+        }
       }
     }
   }

@@ -1,0 +1,186 @@
+// ascoma_modelcheck — exhaustive message-interleaving checker for the
+// coherence protocol's transition table (src/check/).
+//
+// Explores every reachable state of a small model configuration and checks
+// SWMR, data-value, directory/owner agreement, memory currency, deadlock
+// freedom, and bounded-retry liveness.  On violation, prints (and optionally
+// writes) a minimal counterexample trace and exits 1.  Run it before and
+// after any change to src/proto/transition_table.cc — CI does.
+//
+// Exit codes: 0 = all invariants hold; 1 = violation found; 2 = usage error
+// or search truncated (state cap hit before the space was exhausted).
+//
+// Examples:
+//   ascoma_modelcheck --nodes 2 --blocks 1 --ops 2 --arch all
+//   ascoma_modelcheck --nodes 3 --blocks 2 --ops 2 --faults
+//   ascoma_modelcheck --mutation stale-owner-on-downgrade   # must report
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hh"
+#include "check/model.hh"
+#include "common/config.hh"
+
+namespace {
+
+using ascoma::ArchModel;
+namespace check = ascoma::check;
+
+void usage(std::ostream& os) {
+  os << "usage: ascoma_modelcheck [options]\n"
+        "  --nodes N          nodes in the model, 2..4 (default 2)\n"
+        "  --blocks N         coherence blocks, 1..2 (default 1)\n"
+        "  --ops N            loads/stores per node, 1..4 (default 2)\n"
+        "  --arch NAME|all    ccnuma|scoma|rnuma|vcnuma|ascoma|all "
+        "(default ascoma)\n"
+        "  --faults           enable drop/dup/NACK fault rules\n"
+        "  --mutation NAME    check a known-bad protocol mutation\n"
+        "                     (none|drop-inval-ack|stale-owner-on-downgrade|\n"
+        "                      nack-mutates-directory|lost-upgrade|"
+        "double-data-reply)\n"
+        "  --dfs              depth-first search (default: BFS, minimal "
+        "traces)\n"
+        "  --no-por           disable partial-order reduction\n"
+        "  --max-states N     visited-state cap (default 2000000)\n"
+        "  --trace-out PATH   write the counterexample trace to PATH\n"
+        "  --quiet            print verdict lines only\n";
+}
+
+struct Args {
+  check::CheckConfig cfg;
+  bool all_archs = false;
+  check::ExploreOptions opts;
+  std::string trace_out;
+  bool quiet = false;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--nodes") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->cfg.nodes = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--blocks") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->cfg.blocks = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--ops") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->cfg.ops_per_node = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--arch") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (std::string(v) == "all") {
+        a->all_archs = true;
+      } else if (!ascoma::parse_arch_model(v, &a->cfg.arch)) {
+        std::cerr << "unknown architecture: " << v << "\n";
+        return false;
+      }
+    } else if (arg == "--faults") {
+      a->cfg.faults = true;
+    } else if (arg == "--mutation") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (!check::parse_mutation(v, &a->cfg.mutation)) {
+        std::cerr << "unknown mutation: " << v << "\n";
+        return false;
+      }
+    } else if (arg == "--dfs") {
+      a->opts.dfs = true;
+    } else if (arg == "--no-por") {
+      a->opts.por = false;
+    } else if (arg == "--max-states") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->opts.max_states = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      a->trace_out = v;
+    } else if (arg == "--quiet") {
+      a->quiet = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, &a)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<ArchModel> archs;
+  if (a.all_archs) {
+    archs = {ArchModel::kCcNuma, ArchModel::kScoma, ArchModel::kRNuma,
+             ArchModel::kVcNuma, ArchModel::kAsComa};
+  } else {
+    archs = {a.cfg.arch};
+  }
+
+  int worst = 0;
+  for (ArchModel arch : archs) {
+    check::CheckConfig cfg = a.cfg;
+    cfg.arch = arch;
+    check::Model model(cfg);
+    const check::ExploreResult res = check::explore(model, a.opts);
+
+    std::cout << "[" << ascoma::to_string(arch) << "] nodes=" << cfg.nodes
+              << " blocks=" << cfg.blocks << " ops=" << cfg.ops_per_node
+              << " faults=" << (cfg.faults ? "on" : "off")
+              << " mutation=" << check::to_string(cfg.mutation) << "\n";
+    if (a.quiet) {
+      std::cout << (res.ok ? (res.truncated ? "INCONCLUSIVE" : "PASS")
+                           : "VIOLATION")
+                << ": " << res.states << " states\n";
+      if (!res.ok) std::cout << "  " << res.violation << "\n";
+    } else {
+      std::cout << res.report();
+    }
+
+    if (!res.ok && !a.trace_out.empty()) {
+      std::ofstream out(a.trace_out);
+      if (!out) {
+        std::cerr << "cannot write " << a.trace_out << "\n";
+        return 2;
+      }
+      out << "ascoma_modelcheck counterexample\n"
+          << "arch=" << ascoma::to_string(arch) << " nodes=" << cfg.nodes
+          << " blocks=" << cfg.blocks << " ops=" << cfg.ops_per_node
+          << " faults=" << (cfg.faults ? "on" : "off")
+          << " mutation=" << check::to_string(cfg.mutation) << "\n\n"
+          << res.report();
+      std::cout << "counterexample written to " << a.trace_out << "\n";
+    }
+
+    if (!res.ok)
+      worst = std::max(worst, 1);
+    else if (res.truncated)
+      worst = std::max(worst, 2);
+  }
+  return worst;
+}
