@@ -35,11 +35,11 @@ int main() {
     add(ArchModel::kAsComa, false, "numa-first");
     const auto rs = core::run_sweep(jobs, bench_threads());
     bj.add(app, rs);
-    const double cc = static_cast<double>(find(rs, "ccnuma").result.cycles());
+    const double cc = static_cast<double>(find(rs, "ccnuma").result.cycles().value());
     const auto& sf = find(rs, "scoma-first").result;
     const auto& nf = find(rs, "numa-first").result;
-    const double sfr = static_cast<double>(sf.cycles()) / cc;
-    const double nfr = static_cast<double>(nf.cycles()) / cc;
+    const double sfr = static_cast<double>(sf.cycles().value()) / cc;
+    const double nfr = static_cast<double>(nf.cycles().value()) / cc;
     t.add_row({app, Table::num(cc, 0), Table::num(sfr, 3), Table::num(nfr, 3),
                Table::pct((nfr - sfr) / nfr),
                std::to_string(nf.stats.totals.kernel.upgrades),

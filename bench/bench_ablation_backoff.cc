@@ -31,7 +31,7 @@ int main() {
           // Fully naive: no adaptation *and* an unthrottled BSD daemon —
           // the configuration prior hybrid studies implicitly evaluate.
           j.config.ascoma_backoff = false;
-          j.config.daemon_period = 50'000;
+          j.config.daemon_period = Cycle{50'000};
           name = "naive-daemon";
         }
         j.label = std::string(name) + "(" + std::to_string(pct) + "%)";
@@ -51,7 +51,7 @@ int main() {
     }
     const auto rs = core::run_sweep(jobs, bench_threads());
     bj.add(app, rs);
-    const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles().value());
 
     Table t({"config", "rel.time", "K-OVERHD%", "upgrades", "downgrades",
              "suppressed", "threshold raises", "induced cold"});
@@ -59,7 +59,7 @@ int main() {
       const auto& k = r.result.stats.totals.kernel;
       const auto& time = r.result.stats.totals.time;
       t.add_row({r.job.label,
-                 Table::num(static_cast<double>(r.result.cycles()) / cc, 3),
+                 Table::num(static_cast<double>(r.result.cycles().value()) / cc, 3),
                  Table::pct(time.frac(TimeBucket::kKernelOvhd)),
                  std::to_string(k.upgrades), std::to_string(k.downgrades),
                  std::to_string(k.remap_suppressed),

@@ -37,12 +37,12 @@ int main() {
   BenchJson bj("ablation_consistency");
   bj.add("radix", rs);
   const double base =
-      static_cast<double>(find(rs, "CCNUMA/blocking").result.cycles());
+      static_cast<double>(find(rs, "CCNUMA/blocking").result.cycles().value());
 
   Table t({"config", "cycles", "rel. to CCNUMA/blocking", "U-SH-MEM%"});
   for (const auto& r : rs) {
-    t.add_row({r.job.label, std::to_string(r.result.cycles()),
-               Table::num(static_cast<double>(r.result.cycles()) / base, 3),
+    t.add_row({r.job.label, std::to_string(r.result.cycles().value()),
+               Table::num(static_cast<double>(r.result.cycles().value()) / base, 3),
                Table::pct(r.result.stats.totals.time.frac(
                    TimeBucket::kUserShared))});
   }

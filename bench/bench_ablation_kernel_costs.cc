@@ -27,7 +27,7 @@ int main() {
       j.config.arch = arch;
       j.config.memory_pressure = 0.9;
       auto scaled = [&](Cycle c) {
-        return static_cast<Cycle>(static_cast<double>(c) * scale);
+        return Cycle{static_cast<Cycle::rep>(static_cast<double>(c.value()) * scale)};
       };
       j.config.cost_interrupt = scaled(j.config.cost_interrupt);
       j.config.cost_remap = scaled(j.config.cost_remap);
@@ -41,17 +41,17 @@ int main() {
     }
     const auto rs = core::run_sweep(jobs, bench_threads());
     bj.add("em3d/kcost=" + Table::num(scale, 1), rs);
-    const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles().value());
     auto rel = [&](const char* label) {
       return Table::num(
-          static_cast<double>(find(rs, label).result.cycles()) / cc, 3);
+          static_cast<double>(find(rs, label).result.cycles().value()) / cc, 3);
     };
     auto kovhd = [&](const char* label) {
       return Table::pct(find(rs, label).result.stats.totals.time.frac(
           TimeBucket::kKernelOvhd));
     };
     t.add_row({Table::num(scale, 1),
-               std::to_string(find(rs, "CCNUMA").result.cycles()),
+               std::to_string(find(rs, "CCNUMA").result.cycles().value()),
                rel("SCOMA"), rel("RNUMA"), rel("ASCOMA"), kovhd("RNUMA"),
                kovhd("ASCOMA")});
   }

@@ -22,7 +22,7 @@ int main() {
     for (ArchModel arch : {ArchModel::kCcNuma, ArchModel::kAsComa}) {
       core::SweepJob j;
       j.config.arch = arch;
-      j.config.l1_bytes = kb * 1024;
+      j.config.l1_bytes = ByteCount{kb * 1024ull};
       j.config.memory_pressure = 0.5;
       j.label = to_string(arch);
       j.workload = "barnes";
@@ -34,10 +34,10 @@ int main() {
     const auto& cc = find(rs, "CCNUMA").result;
     const auto& as = find(rs, "ASCOMA").result;
     const auto& m = as.stats.totals.misses;
-    t.add_row({std::to_string(kb) + "KB", std::to_string(cc.cycles()),
+    t.add_row({std::to_string(kb) + "KB", std::to_string(cc.cycles().value()),
                std::to_string(cc.stats.totals.misses.remote()),
-               Table::num(static_cast<double>(as.cycles()) /
-                              static_cast<double>(cc.cycles()),
+               Table::num(static_cast<double>(as.cycles().value()) /
+                              static_cast<double>(cc.cycles().value()),
                           3),
                Table::pct(m.total() ? static_cast<double>(m.local()) /
                                           static_cast<double>(m.total())

@@ -26,7 +26,7 @@ MachineConfig with_ratio(double target_ratio) {
   // fixed, solve for ni (>= 1).
   const double fixed = 2.0 * 4 + 3.0 * 2 + 8.0;
   const double ni = std::max(1.0, (needed_one_way - fixed) / 2.0);
-  cfg.net_interface_cycles = static_cast<Cycle>(ni + 0.5);
+  cfg.net_interface_cycles = Cycle{static_cast<Cycle::rep>(ni + 0.5)};
   return cfg;
 }
 
@@ -54,16 +54,16 @@ int main() {
     }
     const auto rs = core::run_sweep(jobs, bench_threads());
     bj.add("em3d/ratio=" + Table::num(ratio, 1), rs);
-    const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles().value());
     auto rel = [&](const char* label) {
       return Table::num(
-          static_cast<double>(find(rs, label).result.cycles()) / cc, 3);
+          static_cast<double>(find(rs, label).result.cycles().value()) / cc, 3);
     };
-    t.add_row({Table::num(static_cast<double>(base.min_remote_latency()) /
-                              static_cast<double>(base.min_local_latency()),
+    t.add_row({Table::num(static_cast<double>(base.min_remote_latency().value()) /
+                              static_cast<double>(base.min_local_latency().value()),
                           2),
-               std::to_string(base.min_remote_latency()),
-               std::to_string(find(rs, "CCNUMA").result.cycles()),
+               std::to_string(base.min_remote_latency().value()),
+               std::to_string(find(rs, "CCNUMA").result.cycles().value()),
                rel("ASCOMA"), rel("SCOMA"), rel("RNUMA")});
   }
   t.print(std::cout);

@@ -20,7 +20,7 @@ int main() {
       core::SweepJob j;
       j.config.arch = ArchModel::kCcNuma;
       j.config.memory_pressure = 0.5;
-      j.config.rac_bytes = rac_bytes;
+      j.config.rac_bytes = ByteCount{rac_bytes};
       j.label = "RAC=" + std::to_string(rac_bytes) + "B";
       j.workload = app;
       j.workload_scale = bench_scale();
@@ -28,14 +28,14 @@ int main() {
     }
     const auto rs = core::run_sweep(jobs, bench_threads());
     bj.add(app, rs);
-    const double base = static_cast<double>(find(rs, "RAC=128B").result.cycles());
+    const double base = static_cast<double>(find(rs, "RAC=128B").result.cycles().value());
 
     Table t({"config", "cycles", "rel. to 128B", "RAC hits",
              "remote fetches"});
     for (const auto& r : rs) {
       const auto& m = r.result.stats.totals.misses;
-      t.add_row({r.job.label, std::to_string(r.result.cycles()),
-                 Table::num(static_cast<double>(r.result.cycles()) / base, 3),
+      t.add_row({r.job.label, std::to_string(r.result.cycles().value()),
+                 Table::num(static_cast<double>(r.result.cycles().value()) / base, 3),
                  std::to_string(m[MissSource::kRac]),
                  std::to_string(m.remote())});
     }

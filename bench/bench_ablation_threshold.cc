@@ -39,7 +39,7 @@ int main() {
   const auto rs = core::run_sweep(jobs, bench_threads());
   BenchJson bj("ablation_threshold");
   bj.add("em3d", rs);
-  const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles());
+  const double cc = static_cast<double>(find(rs, "CCNUMA").result.cycles().value());
 
   Table t({"config", "rel.time", "upgrades", "K-OVERHD%", "SCOMA hits",
            "CONF/CAPC remote"});
@@ -47,7 +47,7 @@ int main() {
     const auto& k = r.result.stats.totals.kernel;
     const auto& m = r.result.stats.totals.misses;
     t.add_row({r.job.label,
-               Table::num(static_cast<double>(r.result.cycles()) / cc, 3),
+               Table::num(static_cast<double>(r.result.cycles().value()) / cc, 3),
                std::to_string(k.upgrades),
                Table::pct(r.result.stats.totals.time.frac(
                    TimeBucket::kKernelOvhd)),

@@ -33,10 +33,10 @@ int main() {
   std::cout << "=== claim checks (paper section 5.2) ===\n";
   {
     const auto& rs = all.at("em3d");
-    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles());
-    const double as90 = static_cast<double>(find(rs, "ASCOMA(90%)").result.cycles());
-    const double rn90 = static_cast<double>(find(rs, "RNUMA(90%)").result.cycles());
-    const double vc90 = static_cast<double>(find(rs, "VCNUMA(90%)").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles().value());
+    const double as90 = static_cast<double>(find(rs, "ASCOMA(90%)").result.cycles().value());
+    const double rn90 = static_cast<double>(find(rs, "RNUMA(90%)").result.cycles().value());
+    const double vc90 = static_cast<double>(find(rs, "VCNUMA(90%)").result.cycles().value());
     std::cout << "em3d @90%: AS-COMA/CC-NUMA = " << Table::num(as90 / cc, 3)
               << " (paper: AS-COMA outperforms CC-NUMA even at 90%)\n";
     std::cout << "em3d @90%: R-NUMA/CC-NUMA  = " << Table::num(rn90 / cc, 3)
@@ -47,9 +47,9 @@ int main() {
   }
   {
     const auto& rs = all.at("barnes");
-    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles());
-    const double as10 = static_cast<double>(find(rs, "ASCOMA(10%)").result.cycles());
-    const double as50 = static_cast<double>(find(rs, "ASCOMA(50%)").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles().value());
+    const double as10 = static_cast<double>(find(rs, "ASCOMA(10%)").result.cycles().value());
+    const double as50 = static_cast<double>(find(rs, "ASCOMA(50%)").result.cycles().value());
     std::cout << "barnes: AS-COMA/CC-NUMA = " << Table::num(as10 / cc, 3)
               << " @10%, " << Table::num(as50 / cc, 3)
               << " @50% (paper: AS-COMA consistently outperforms CC-NUMA)\n";
@@ -58,8 +58,8 @@ int main() {
     const auto& rs = all.at("fft");
     const auto& cc = find(rs, "CCNUMA(50%)").result;
     const auto& as90 = find(rs, "ASCOMA(90%)").result;
-    const double ratio = static_cast<double>(as90.cycles()) /
-                         static_cast<double>(cc.cycles());
+    const double ratio = static_cast<double>(as90.cycles().value()) /
+                         static_cast<double>(cc.cycles().value());
     const auto& m = cc.stats.totals.misses;
     std::cout << "fft: hybrids/CC-NUMA @90% = " << Table::num(ratio, 3)
               << " (paper: all architectures except pure S-COMA within a few %)\n";

@@ -31,12 +31,12 @@ int main() {
   std::cout << "=== claim checks (paper sections 5.1/5.2) ===\n";
   {
     const auto& rs = all.at("radix");
-    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles());
-    const double as10 = static_cast<double>(find(rs, "ASCOMA(10%)").result.cycles());
-    const double rn10 = static_cast<double>(find(rs, "RNUMA(10%)").result.cycles());
-    const double vc10 = static_cast<double>(find(rs, "VCNUMA(10%)").result.cycles());
-    const double as90 = static_cast<double>(find(rs, "ASCOMA(90%)").result.cycles());
-    const double rn90 = static_cast<double>(find(rs, "RNUMA(90%)").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles().value());
+    const double as10 = static_cast<double>(find(rs, "ASCOMA(10%)").result.cycles().value());
+    const double rn10 = static_cast<double>(find(rs, "RNUMA(10%)").result.cycles().value());
+    const double vc10 = static_cast<double>(find(rs, "VCNUMA(10%)").result.cycles().value());
+    const double as90 = static_cast<double>(find(rs, "ASCOMA(90%)").result.cycles().value());
+    const double rn90 = static_cast<double>(find(rs, "RNUMA(90%)").result.cycles().value());
     std::cout << "radix @10%: AS-COMA beats R-NUMA by "
               << Table::pct((rn10 - as10) / rn10) << ", VC-NUMA by "
               << Table::pct((vc10 - as10) / vc10)
@@ -48,11 +48,11 @@ int main() {
   }
   {
     const auto& rs = all.at("lu");
-    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles());
+    const double cc = static_cast<double>(find(rs, "CCNUMA(50%)").result.cycles().value());
     for (const char* label : {"ASCOMA(10%)", "ASCOMA(90%)", "RNUMA(90%)",
                               "VCNUMA(90%)"}) {
       std::cout << "lu: " << label << "/CC-NUMA = "
-                << Table::num(static_cast<double>(find(rs, label).result.cycles()) / cc, 3)
+                << Table::num(static_cast<double>(find(rs, label).result.cycles().value()) / cc, 3)
                 << '\n';
     }
     std::cout << "(paper: every hybrid outperforms CC-NUMA at all pressures "

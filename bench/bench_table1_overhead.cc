@@ -50,17 +50,17 @@ int main() {
                                                 m[MissSource::kCoherence]);
     const double n_cold = static_cast<double>(m[MissSource::kCold]);
     const double t_overhead =
-        static_cast<double>(time[TimeBucket::kKernelOvhd]);
+        static_cast<double>(time[TimeBucket::kKernelOvhd].value());
 
     const double estimate =
-        n_pagecache * static_cast<double>(cfg.min_local_latency()) +
-        (n_remote + n_cold) * static_cast<double>(cfg.min_remote_latency()) +
+        n_pagecache * static_cast<double>(cfg.min_local_latency().value()) +
+        (n_remote + n_cold) * static_cast<double>(cfg.min_remote_latency().value()) +
         t_overhead;
     // Realized cost of the same components: stall on shared memory minus the
     // part attributable to home/L1/RAC traffic is hard to isolate exactly, so
     // we compare against stall attributable to page-cache + remote + kernel.
     const double realized =
-        static_cast<double>(time[TimeBucket::kUserShared]) *
+        static_cast<double>(time[TimeBucket::kUserShared].value()) *
             ((n_pagecache + n_remote + n_cold) /
              std::max(1.0, static_cast<double>(m.total()))) +
         t_overhead;

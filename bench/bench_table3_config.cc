@@ -18,32 +18,32 @@ int main() {
   std::cout << "=== Table 3: cache and network characteristics ===\n\n";
 
   Table t({"component", "characteristic", "value"});
-  t.add_row({"L1 cache", "size", std::to_string(cfg.l1_bytes / 1024) + " KB"});
-  t.add_row({"", "line size", std::to_string(cfg.line_bytes) + " B"});
+  t.add_row({"L1 cache", "size", std::to_string(cfg.l1_bytes.value() / 1024) + " KB"});
+  t.add_row({"", "line size", std::to_string(cfg.line_bytes.value()) + " B"});
   t.add_row({"", "organization", "direct-mapped, write-back"});
   t.add_row({"", "outstanding misses", "1 (blocking)"});
-  t.add_row({"", "hit latency", std::to_string(cfg.l1_hit_cycles) + " cycle"});
-  t.add_row({"RAC", "line size", std::to_string(cfg.block_bytes) + " B"});
-  t.add_row({"", "size", std::to_string(cfg.rac_bytes) + " B (" +
+  t.add_row({"", "hit latency", std::to_string(cfg.l1_hit_cycles.value()) + " cycle"});
+  t.add_row({"RAC", "line size", std::to_string(cfg.block_bytes.value()) + " B"});
+  t.add_row({"", "size", std::to_string(cfg.rac_bytes.value()) + " B (" +
                              std::to_string(cfg.rac_entries()) + " block)"});
   t.add_row({"", "organization", "direct-mapped, non-inclusive"});
   t.add_row({"Memory", "banks", std::to_string(cfg.dram_banks)});
-  t.add_row({"", "bank access", std::to_string(cfg.dram_access_cycles) +
+  t.add_row({"", "bank access", std::to_string(cfg.dram_access_cycles.value()) +
                                     " cycles"});
   t.add_row({"Coherence", "transfer unit",
-             std::to_string(cfg.block_bytes) + " B (" +
+             std::to_string(cfg.block_bytes.value()) + " B (" +
                  std::to_string(cfg.lines_per_block()) + "-line chunks)"});
   t.add_row({"", "protocol", "write-invalidate, sequentially consistent"});
   t.add_row({"Network", "topology",
              std::to_string(cfg.switch_arity) + "x" +
                  std::to_string(cfg.switch_arity) + " switches, " +
                  std::to_string(cfg.net_stages()) + " stages"});
-  t.add_row({"", "propagation", std::to_string(cfg.net_propagation) +
+  t.add_row({"", "propagation", std::to_string(cfg.net_propagation.value()) +
                                     " cycles/hop"});
-  t.add_row({"", "fall-through", std::to_string(cfg.net_fall_through) +
+  t.add_row({"", "fall-through", std::to_string(cfg.net_fall_through.value()) +
                                      " cycles"});
   t.add_row({"", "contention model", "input-port contention only"});
-  t.add_row({"VM", "page size", std::to_string(cfg.page_bytes / 1024) +
+  t.add_row({"VM", "page size", std::to_string(cfg.page_bytes.value() / 1024) +
                                     " KB"});
   t.add_row({"", "relocation threshold",
              std::to_string(cfg.refetch_threshold) + " refetches"});
@@ -61,8 +61,8 @@ int main() {
   ASCOMA_CHECK(net.min_one_way_latency() == cfg.net_one_way_latency());
   std::cout << "\nself-check: component models agree with the table.  "
                "remote:local latency ratio = "
-            << Table::num(static_cast<double>(cfg.min_remote_latency()) /
-                              static_cast<double>(cfg.min_local_latency()),
+            << Table::num(static_cast<double>(cfg.min_remote_latency().value()) /
+                              static_cast<double>(cfg.min_local_latency().value()),
                           2)
             << " (paper: ~3:1)\n";
   return 0;

@@ -22,9 +22,10 @@ using namespace ascoma;
 struct Rig {
   Rig() : homes(64, 8) {
     homes.assign_contiguous();  // 8 pages per node
-    for (NodeId n = 0; n < 8; ++n) {
+    for (NodeId n{0}; n.value() < 8; ++n) {
       pts.push_back(std::make_unique<vm::PageTable>(64));
-      for (VPageId p = n * 8; p < (n + 1) * 8; ++p) pts[n]->map_home(p);
+      for (VPageId p{n.value() * 8ull}; p < VPageId{(n.value() + 1) * 8ull}; ++p)
+      pts[n.value()]->map_home(p);
     }
     cm = std::make_unique<proto::CoherentMemory>(cfg, homes);
     std::vector<const vm::PageTable*> ptrs;
@@ -33,7 +34,8 @@ struct Rig {
   }
 
   Addr addr(VPageId page, std::uint64_t line) const {
-    return page * cfg.page_bytes + line * cfg.line_bytes;
+    return Addr{page.value() * cfg.page_bytes.value() +
+                line * cfg.line_bytes.value()};
   }
 
   MachineConfig cfg;  // paper defaults: 8 nodes
@@ -44,69 +46,69 @@ struct Rig {
 
 void BM_L1Hit(benchmark::State& state) {
   Rig rig;
-  rig.cm->access(0, rig.addr(0, 0), false, 0);
-  Cycle now = 1000, last = 0;
+  rig.cm->access(0, rig.addr(VPageId{0}, 0), false, Cycle{0});
+  Cycle now = Cycle{1000}, last = Cycle{0};
   for (auto _ : state) {
-    const auto o = rig.cm->access(0, rig.addr(0, 0), false, now);
+    const auto o = rig.cm->access(0, rig.addr(VPageId{0}, 0), false, now);
     last = o.done - now;
-    now += 1000;
+    now += Cycle{1000};
     benchmark::DoNotOptimize(o);
   }
-  state.counters["sim_cycles"] = static_cast<double>(last);
+  state.counters["sim_cycles"] = static_cast<double>(last.value());
   state.counters["paper_table4"] = 1;
 }
 BENCHMARK(BM_L1Hit);
 
 void BM_LocalMemory(benchmark::State& state) {
   Rig rig;
-  Cycle now = 0, last = 0;
+  Cycle now = Cycle{0}, last = Cycle{0};
   std::uint64_t line = 0;
   for (auto _ : state) {
     // Rotate lines so every access is an L1 miss to the local home page but
     // never queues behind itself (gap >> DRAM time).
-    rig.cm->l1(0).invalidate_line(rig.cfg.line_of(rig.addr(0, line % 128)));
-    const auto o = rig.cm->access(0, rig.addr(0, line % 128), false, now);
+    rig.cm->l1(0).invalidate_line(rig.cfg.line_of(rig.addr(VPageId{0}, line % 128)));
+    const auto o = rig.cm->access(0, rig.addr(VPageId{0}, line % 128), false, now);
     last = o.done - now;
-    now += 10'000;
+    now += Cycle{10'000};
     ++line;
   }
-  state.counters["sim_cycles"] = static_cast<double>(last);
+  state.counters["sim_cycles"] = static_cast<double>(last.value());
   state.counters["paper_table4"] = 50;
 }
 BENCHMARK(BM_LocalMemory);
 
 void BM_RacHit(benchmark::State& state) {
   Rig rig;
-  rig.pts[0]->map_numa(8);  // homed at node 1
-  rig.cm->access(0, rig.addr(8, 0), false, 0);  // fill the RAC
-  Cycle now = 10'000, last = 0;
+  rig.pts[0]->map_numa(VPageId{8});  // homed at node 1
+  rig.cm->access(0, rig.addr(VPageId{8}, 0), false, Cycle{0});  // fill the RAC
+  Cycle now = Cycle{10'000}, last = Cycle{0};
   for (auto _ : state) {
-    rig.cm->l1(0).invalidate_line(rig.cfg.line_of(rig.addr(8, 1)));
-    const auto o = rig.cm->access(0, rig.addr(8, 1), false, now);
+    rig.cm->l1(0).invalidate_line(rig.cfg.line_of(rig.addr(VPageId{8}, 1)));
+    const auto o = rig.cm->access(0, rig.addr(VPageId{8}, 1), false, now);
     last = o.done - now;
-    now += 10'000;
+    now += Cycle{10'000};
   }
-  state.counters["sim_cycles"] = static_cast<double>(last);
+  state.counters["sim_cycles"] = static_cast<double>(last.value());
   state.counters["paper_table4"] = 36;
 }
 BENCHMARK(BM_RacHit);
 
 void BM_RemoteMemory(benchmark::State& state) {
   Rig rig;
-  rig.pts[0]->map_numa(8);
-  Cycle now = 0, last = 0;
+  rig.pts[0]->map_numa(VPageId{8});
+  Cycle now = Cycle{0}, last = Cycle{0};
   std::uint64_t i = 0;
   for (auto _ : state) {
     // Each access targets a different block so it is a genuine remote fetch.
     const std::uint64_t line = (i * 4) % 128;
-    rig.cm->l1(0).invalidate_line(rig.cfg.line_of(rig.addr(8, line)));
-    rig.cm->rac(0).invalidate(rig.cfg.block_of(rig.addr(8, line)));
-    const auto o = rig.cm->access(0, rig.addr(8, line), false, now);
+    rig.cm->l1(0).invalidate_line(rig.cfg.line_of(rig.addr(VPageId{8}, line)));
+    rig.cm->rac(NodeId{0}).invalidate(rig.cfg.block_of(rig.addr(VPageId{8}, line)));
+    const auto o = rig.cm->access(0, rig.addr(VPageId{8}, line), false, now);
     last = o.done - now;
-    now += 10'000;
+    now += Cycle{10'000};
     ++i;
   }
-  state.counters["sim_cycles"] = static_cast<double>(last);
+  state.counters["sim_cycles"] = static_cast<double>(last.value());
   state.counters["paper_table4"] = 150;
 }
 BENCHMARK(BM_RemoteMemory);
@@ -117,8 +119,8 @@ void BM_RemoteToLocalRatio(benchmark::State& state) {
     benchmark::DoNotOptimize(cfg.min_remote_latency());
   }
   state.counters["ratio"] =
-      static_cast<double>(cfg.min_remote_latency()) /
-      static_cast<double>(cfg.min_local_latency());
+      static_cast<double>(cfg.min_remote_latency().value()) /
+      static_cast<double>(cfg.min_local_latency().value());
 }
 BENCHMARK(BM_RemoteToLocalRatio);
 

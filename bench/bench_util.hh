@@ -80,7 +80,7 @@ class BenchJson {
                         "\",\"pressure_pct\":" +
                         std::to_string(static_cast<int>(
                             r.job.config.memory_pressure * 100.0 + 0.5)) +
-                        ",\"cycles\":" + std::to_string(r.result.cycles());
+                        ",\"cycles\":" + std::to_string(r.result.cycles().value());
       static constexpr std::pair<TimeBucket, const char*> kBuckets[] = {
           {TimeBucket::kUserInstr, "u_instr"},
           {TimeBucket::kUserLocal, "u_lc_mem"},
@@ -91,7 +91,7 @@ class BenchJson {
       };
       for (const auto& [b, name] : kBuckets)
         row += ",\"" + std::string(name) +
-               "\":" + std::to_string(tot.time[b]);
+               "\":" + std::to_string(tot.time[b].value());
       // Same tokens as report::csv_header() so both exports join trivially.
       static constexpr const char* kMissNames[kNumMissSources] = {
           "home", "scoma", "rac", "cold", "conf_capc", "coherence"};

@@ -29,7 +29,7 @@ class PipelineWorkload final : public workload::Workload {
   std::unique_ptr<workload::OpStream> stream(
       std::uint32_t proc, std::uint64_t /*seed*/) const override {
     workload::StreamBuilder b(page_bytes(), line_bytes());
-    const VPageId buffer_base = 0;        // node 0's partition
+    const VPageId buffer_base{0};        // node 0's partition
     const std::uint64_t buffer_pages = 48;
     for (std::uint32_t iter = 0; iter < 8; ++iter) {
       if (proc == 0) {
@@ -37,10 +37,10 @@ class PipelineWorkload final : public workload::Workload {
         for (std::uint64_t p = 0; p < buffer_pages; ++p)
           for (std::uint32_t l = 0; l < 16; ++l)
             b.store(buffer_base + p, l * 8);
-        b.compute(500);
+        b.compute(Cycle{500});
       } else {
         // Consumers do private work while the producer writes.
-        b.compute(2000);
+        b.compute(Cycle{2000});
         b.private_ops(200);
       }
       b.barrier();
@@ -51,7 +51,7 @@ class PipelineWorkload final : public workload::Workload {
             for (std::uint32_t l = 0; l < 16; ++l)
               b.load(buffer_base + p, l * 8);
       } else {
-        b.compute(3000);
+        b.compute(Cycle{3000});
       }
       b.barrier();
     }
@@ -81,7 +81,7 @@ int main() {
       const auto r = core::simulate(cfg, synthetic);
       const auto& m = r.stats.totals.misses;
       t1.add_row({to_string(arch), Table::pct(pressure, 0),
-                  std::to_string(r.cycles()),
+                  std::to_string(r.cycles().value()),
                   Table::pct(static_cast<double>(m.local()) /
                              static_cast<double>(m.total())),
                   std::to_string(r.stats.totals.kernel.upgrades)});
@@ -100,7 +100,7 @@ int main() {
     cfg.memory_pressure = 0.3;
     const auto r = core::simulate(cfg, pipeline);
     const auto& m = r.stats.totals.misses;
-    t2.add_row({to_string(arch), std::to_string(r.cycles()),
+    t2.add_row({to_string(arch), std::to_string(r.cycles().value()),
                 std::to_string(m[MissSource::kCoherence]),
                 std::to_string(m[MissSource::kScoma])});
   }

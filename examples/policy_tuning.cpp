@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
   add("increment=128", [](MachineConfig& c) { c.threshold_increment = 128; });
   add("free_target=15%", [](MachineConfig& c) { c.free_target_frac = 0.15; });
   add("free_target=3%", [](MachineConfig& c) { c.free_target_frac = 0.03; });
-  add("daemon=0.5M", [](MachineConfig& c) { c.daemon_period = 500'000; });
-  add("daemon=8M", [](MachineConfig& c) { c.daemon_period = 8'000'000; });
+  add("daemon=0.5M", [](MachineConfig& c) { c.daemon_period = Cycle{500'000}; });
+  add("daemon=8M", [](MachineConfig& c) { c.daemon_period = Cycle{8'000'000}; });
   add("no-scoma-first", [](MachineConfig& c) { c.ascoma_scoma_first = false; });
   add("no-backoff", [](MachineConfig& c) { c.ascoma_backoff = false; });
   {
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   const auto rs = core::run_sweep(jobs);
   double cc = 0.0;
   for (const auto& r : rs)
-    if (r.job.label == "CCNUMA-ref") cc = static_cast<double>(r.result.cycles());
+    if (r.job.label == "CCNUMA-ref") cc = static_cast<double>(r.result.cycles().value());
 
   std::cout << "AS-COMA policy knobs on " << name << " at "
             << Table::pct(pressure, 0) << " memory pressure\n\n";
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   for (const auto& r : rs) {
     const auto& k = r.result.stats.totals.kernel;
     t.add_row({r.job.label,
-               Table::num(static_cast<double>(r.result.cycles()) / cc, 3),
+               Table::num(static_cast<double>(r.result.cycles().value()) / cc, 3),
                std::to_string(k.upgrades), std::to_string(k.remap_suppressed),
                std::to_string(k.daemon_runs),
                Table::pct(r.result.stats.totals.time.frac(

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   double ccnuma = 0.0;
   for (const auto& r : results)
     if (r.job.config.arch == ArchModel::kCcNuma)
-      ccnuma = static_cast<double>(r.result.cycles());
+      ccnuma = static_cast<double>(r.result.cycles().value());
 
   std::cout << "workload: " << name
             << " — execution time relative to CC-NUMA\n\n";
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
             std::abs(r.job.config.memory_pressure - p) > 1e-9)
           continue;
         row.push_back(Table::num(
-            static_cast<double>(r.result.cycles()) / ccnuma, 3));
+            static_cast<double>(r.result.cycles().value()) / ccnuma, 3));
         found = true;
         break;
       }

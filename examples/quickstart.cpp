@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
 
     const auto& m = r.stats.totals.misses;
     const auto& time = r.stats.totals.time;
-    const double cycles = static_cast<double>(r.cycles());
+    const double cycles = static_cast<double>(r.cycles().value());
     if (arch == ArchModel::kCcNuma) ccnuma_cycles = cycles;
 
     t.add_row({std::string(to_string(arch)) + "(" +

@@ -40,12 +40,12 @@ int main(int argc, char** argv) {
     core::Machine m(cfg, wl);
     const auto r = m.run();
 
-    const double cycles = static_cast<double>(r.cycles());
+    const double cycles = static_cast<double>(r.cycles().value());
     if (ppn == 1) base = cycles;
     const double bus_util =
-        m.memory().bus(0).resource().utilization(r.cycles());
+        m.memory().bus(NodeId{0}).resource().utilization(r.cycles());
     t.add_row({std::to_string(ppn), std::to_string(4 * ppn),
-               std::to_string(r.cycles()),
+               std::to_string(r.cycles().value()),
                std::to_string(m.memory().sibling_transfers()),
                Table::pct(bus_util),
                Table::num(cycles / base, 2)});

@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
     cfg.memory_pressure = 0.5;
     const auto live = core::simulate(cfg, *wl);
     const auto traced = core::simulate(cfg, replay);
-    t.add_row({"generator", to_string(arch), std::to_string(live.cycles()),
+    t.add_row({"generator", to_string(arch), std::to_string(live.cycles().value()),
                std::to_string(live.stats.totals.misses.total()),
                std::to_string(live.stats.totals.misses.remote())});
-    t.add_row({"trace", to_string(arch), std::to_string(traced.cycles()),
+    t.add_row({"trace", to_string(arch), std::to_string(traced.cycles().value()),
                std::to_string(traced.stats.totals.misses.total()),
                std::to_string(traced.stats.totals.misses.remote())});
     if (live.cycles() != traced.cycles()) {

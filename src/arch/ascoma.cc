@@ -1,14 +1,13 @@
 #include "arch/ascoma.hh"
 
-#include <algorithm>
-
 namespace ascoma::arch {
 
 PageMode AsComaPolicy::initial_mode(PolicyEnv& env) {
   // S-COMA-preferred while the pool lasts; CC-NUMA once it drains or while
   // the node has concluded local memory cannot hold the working set.
   if (!env.cfg.ascoma_scoma_first) return PageMode::kNuma;
-  if (!thrashing_ && env.page_cache.free_frames() > 0) return PageMode::kScoma;
+  if (!kernel_.thrashing() && env.page_cache.free_frames() > 0)
+    return PageMode::kScoma;
   return PageMode::kNuma;
 }
 
@@ -18,21 +17,12 @@ void AsComaPolicy::back_off(PolicyEnv& env) {
   // but escalate at most once per daemon period: the back-off is a pageout
   // daemon decision, and a burst of suppressed remaps within one period is
   // one signal, not many.
-  thrashing_ = true;
-  if (backed_off_once_ && env.now < last_backoff_ + env.daemon_period) return;
-  backed_off_once_ = true;
-  last_backoff_ = env.now;
-  if (threshold_ <= threshold_max_ - increment_) {
-    threshold_ += increment_;
-    note_threshold_raise(env);
-  } else if (relocation_enabled_) {
-    // Extreme pressure: disable CC-NUMA -> S-COMA remapping entirely.
-    relocation_enabled_ = false;
-    note_threshold_raise(env);
-  }
-  env.daemon_period = std::min<Cycle>(
-      period_max_, static_cast<Cycle>(static_cast<double>(env.daemon_period) *
-                                      backoff_factor_));
+  const bool period_elapsed = env.now >= last_backoff_ + env.daemon_period;
+  const BackoffStep step =
+      kernel_.on_pressure(period_elapsed, &env.daemon_period);
+  sync_from_kernel();
+  if (step.accepted) last_backoff_ = env.now;
+  if (step.escalated) note_threshold_raise(env);
 }
 
 bool AsComaPolicy::should_relocate(PolicyEnv& env, VPageId page,
@@ -64,12 +54,12 @@ void AsComaPolicy::on_remap_suppressed(PolicyEnv& env) {
   // find cold pages (back_off via on_daemon_result) escalates the threshold;
   // if the daemon keeps succeeding (a phase-structured program like lu),
   // remapping continues at the pool-refill rate.
-  thrashing_ = true;
+  kernel_.mark_thrashing();
 }
 
 void AsComaPolicy::on_daemon_result(PolicyEnv& env, const vm::DaemonResult& r) {
   if (!r.met_target) {
-    success_streak_ = 0;
+    kernel_.clear_streak();
     back_off(env);
     return;
   }
@@ -78,25 +68,11 @@ void AsComaPolicy::on_daemon_result(PolicyEnv& env, const vm::DaemonResult& r) {
   // consecutive healthy runs that found genuinely cold pages (a program
   // phase change) to step the threshold back down — a single lucky run must
   // not reopen the remapping floodgates (radix would oscillate forever).
-  if (!thrashing_ || r.reclaimed == 0 || r.cold_pages_seen < r.reclaimed)
-    return;
-  if (++success_streak_ < 3) return;
-  success_streak_ = 0;
-  {
-    if (!relocation_enabled_) {
-      relocation_enabled_ = true;
-      note_threshold_drop(env);
-    } else if (threshold_ > initial_threshold_) {
-      threshold_ = std::max(initial_threshold_, threshold_ - increment_);
-      note_threshold_drop(env);
-    }
-    env.daemon_period = std::max<Cycle>(
-        initial_period_,
-        static_cast<Cycle>(static_cast<double>(env.daemon_period) /
-                           backoff_factor_));
-    if (threshold_ == initial_threshold_ && relocation_enabled_)
-      thrashing_ = false;
-  }
+  const bool cold_evidence =
+      r.reclaimed != 0 && r.cold_pages_seen >= r.reclaimed;
+  const BackoffStep step = kernel_.on_healthy(cold_evidence, &env.daemon_period);
+  sync_from_kernel();
+  if (step.relaxed) note_threshold_drop(env);
 }
 
 }  // namespace ascoma::arch

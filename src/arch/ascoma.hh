@@ -14,9 +14,15 @@
 //    CC-NUMA -> S-COMA remapping entirely, converging to CC-NUMA behaviour.
 //    When the daemon later finds ample cold pages (a program phase change),
 //    the threshold steps back down and remapping resumes.
+//
+// The back-off/relaxation state machine itself lives in BackoffKernel
+// (backoff_kernel.hh) so check::PolicyModel can explore the exact same
+// transition logic exhaustively; this class owns the simulator-facing glue
+// (time, stats, the hot-page-churn detector).
 
 #include <unordered_map>
 
+#include "arch/backoff_kernel.hh"
 #include "arch/policy.hh"
 
 namespace ascoma::arch {
@@ -25,12 +31,11 @@ class AsComaPolicy final : public Policy {
  public:
   explicit AsComaPolicy(const MachineConfig& cfg)
       : Policy(cfg),
-        increment_(cfg.threshold_increment),
-        initial_threshold_(cfg.refetch_threshold),
-        threshold_max_(cfg.threshold_max),
-        backoff_factor_(cfg.daemon_backoff_factor),
-        initial_period_(cfg.daemon_period),
-        period_max_(cfg.daemon_period_max) {}
+        kernel_(BackoffSettings{cfg.refetch_threshold, cfg.threshold_increment,
+                                cfg.threshold_max, cfg.daemon_period,
+                                cfg.daemon_period_max,
+                                cfg.daemon_backoff_factor,
+                                /*relax_streak=*/3}) {}
 
   ArchModel model() const override { return ArchModel::kAsComa; }
 
@@ -41,21 +46,20 @@ class AsComaPolicy final : public Policy {
   void on_replacement(PolicyEnv& env, VPageId victim) override;
   void on_remap_suppressed(PolicyEnv& env) override;
 
-  bool thrashing() const { return thrashing_; }
+  bool thrashing() const { return kernel_.thrashing(); }
+  const BackoffKernel& kernel() const { return kernel_; }
 
  private:
   void back_off(PolicyEnv& env);
+  /// Mirror the kernel's threshold/remap decision into the Policy base
+  /// fields the rest of the simulator reads.
+  void sync_from_kernel() {
+    threshold_ = kernel_.threshold();
+    relocation_enabled_ = kernel_.relocation_enabled();
+  }
 
-  std::uint32_t increment_;
-  std::uint32_t initial_threshold_;
-  std::uint32_t threshold_max_;
-  double backoff_factor_;
-  Cycle initial_period_;
-  Cycle period_max_;
-  bool thrashing_ = false;
-  Cycle last_backoff_ = 0;
-  bool backed_off_once_ = false;
-  std::uint32_t success_streak_ = 0;  ///< healthy daemon runs since failure
+  BackoffKernel kernel_;
+  Cycle last_backoff_{0};
   /// Downgrade timestamps: a page re-earning its upgrade shortly after being
   /// evicted means the cache is churning equally-hot pages — the paper's
   /// "replacing hot pages with other hot pages" thrash signature.

@@ -28,7 +28,7 @@ struct PolicyEnv {
   vm::PageCache& page_cache;
   KernelStats& kernel;
   Cycle& daemon_period;  ///< node's current pageout-daemon period (cycles)
-  Cycle now = 0;         ///< current simulated cycle
+  Cycle now{0};         ///< current simulated cycle
   obs::EventSink* sink = nullptr;  ///< observability sink (may be null)
 };
 

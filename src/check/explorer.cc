@@ -1,138 +1,32 @@
 #include "check/explorer.hh"
 
-#include <algorithm>
-#include <deque>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
 
 namespace ascoma::check {
 
 namespace {
 
-/// Search bookkeeping for one visited state: how we got there.
-struct NodeRec {
-  std::uint32_t parent = 0;  ///< index of the predecessor (self for root)
-  Action action;             ///< label of the edge from the predecessor
-};
+/// Adapts check::Model (whose decode/describe are free functions taking the
+/// configuration) to the interface explore_model<ModelT> expects.
+struct ProtocolModelView {
+  using StateT = State;
+  using ActionT = Action;
+  using SuccessorT = Successor;
 
-struct Search {
-  const Model& model;
-  const ExploreOptions& opts;
-  ExploreResult result;
+  const Model& m;
 
-  // encoding -> node index; the key string is stable (node-based map), so
-  // `encodings` can point into it instead of duplicating bytes.
-  std::unordered_map<std::string, std::uint32_t> visited;
-  std::vector<NodeRec> nodes;
-  std::vector<const std::string*> encodings;
-  std::deque<std::uint32_t> frontier;
-
-  explicit Search(const Model& m, const ExploreOptions& o)
-      : model(m), opts(o) {}
-
-  /// Registers `enc` if unseen; returns true when it was new.
-  bool insert(std::string enc, std::uint32_t parent, const Action& a,
-              std::uint32_t* idx) {
-    auto [it, fresh] = visited.emplace(std::move(enc),
-                                       static_cast<std::uint32_t>(nodes.size()));
-    *idx = it->second;
-    if (!fresh) return false;
-    nodes.push_back(NodeRec{parent, a});
-    encodings.push_back(&it->first);
-    return true;
+  State initial() const { return m.initial(); }
+  State decode(const std::string& enc) const {
+    return decode_state(m.config(), enc);
   }
-
-  std::vector<std::string> trace_to(std::uint32_t idx) const {
-    std::vector<std::string> steps;
-    while (nodes[idx].parent != idx) {
-      steps.push_back(nodes[idx].action.format());
-      idx = nodes[idx].parent;
-    }
-    std::reverse(steps.begin(), steps.end());
-    return steps;
+  void successors(const State& s, std::vector<Successor>* out) const {
+    m.successors(s, out);
   }
-
-  void report_violation(std::uint32_t parent_idx, const Successor& suc,
-                        const std::string& why) {
-    result.ok = false;
-    result.violation = why;
-    result.trace = trace_to(parent_idx);
-    result.trace.push_back(suc.action.format());
-    result.final_dump = describe_state(model.config(), suc.state);
-  }
-
-  void run() {
-    const State init = model.initial();
-    {
-      const std::string why = model.check(init);
-      if (!why.empty()) {
-        result.ok = false;
-        result.violation = why;
-        result.final_dump = describe_state(model.config(), init);
-        return;
-      }
-    }
-    std::uint32_t root = 0;
-    insert(init.encode(), 0, Action{}, &root);
-    frontier.push_back(root);
-    result.states = 1;
-
-    std::vector<Successor> sucs;
-    while (!frontier.empty()) {
-      std::uint32_t idx;
-      if (opts.dfs) {
-        idx = frontier.back();
-        frontier.pop_back();
-      } else {
-        idx = frontier.front();
-        frontier.pop_front();
-      }
-      const State s = decode_state(model.config(), *encodings[idx]);
-      model.successors(s, &sucs);
-
-      if (sucs.empty()) {
-        if (model.final_state(s)) {
-          ++result.finals;
-        } else {
-          result.ok = false;
-          result.violation =
-              "deadlock: no enabled transition in a non-quiescent state";
-          result.trace = trace_to(idx);
-          result.final_dump = describe_state(model.config(), s);
-          return;
-        }
-        continue;
-      }
-
-      // Partial-order reduction: one invisible successor is an ample set.
-      if (opts.por) {
-        for (auto& suc : sucs) {
-          if (!suc.invisible) continue;
-          Successor only = std::move(suc);
-          sucs.clear();
-          sucs.push_back(std::move(only));
-          break;
-        }
-      }
-
-      for (const Successor& suc : sucs) {
-        ++result.transitions;
-        const std::string why = model.check(suc.state);
-        if (!why.empty()) {
-          report_violation(idx, suc, why);
-          return;
-        }
-        std::uint32_t child;
-        if (insert(suc.state.encode(), idx, suc.action, &child)) {
-          ++result.states;
-          if (result.states >= opts.max_states) {
-            result.truncated = true;
-            return;
-          }
-          frontier.push_back(child);
-        }
-      }
-    }
+  std::string check(const State& s) const { return m.check(s); }
+  bool final_state(const State& s) const { return m.final_state(s); }
+  std::string describe(const State& s) const {
+    return describe_state(m.config(), s);
   }
 };
 
@@ -157,9 +51,7 @@ std::string ExploreResult::report() const {
 }
 
 ExploreResult explore(const Model& model, const ExploreOptions& opts) {
-  Search search(model, opts);
-  search.run();
-  return std::move(search.result);
+  return explore_model(ProtocolModelView{model}, opts);
 }
 
 }  // namespace ascoma::check

@@ -18,34 +18,14 @@
 // action sequence from the initial state) plus a rendering of the violating
 // state.  Deadlocks are detected structurally: a non-quiescent state with no
 // successors.
+//
+// The search loop itself is model-agnostic and lives in explore_core.hh
+// (explore_model<ModelT>); this header keeps the protocol-model entry point.
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
+#include "check/explore_core.hh"
 #include "check/model.hh"
 
 namespace ascoma::check {
-
-struct ExploreOptions {
-  bool dfs = false;       ///< depth-first instead of breadth-first
-  bool por = true;        ///< partial-order reduction on invisible steps
-  std::uint64_t max_states = 2'000'000;  ///< visited-set cap (then truncated)
-};
-
-struct ExploreResult {
-  bool ok = true;          ///< no violation found
-  bool truncated = false;  ///< hit max_states before exhausting the space
-  std::string violation;   ///< first violation (empty when ok)
-  std::vector<std::string> trace;  ///< action sequence reaching the violation
-  std::string final_dump;  ///< rendering of the violating state
-  std::uint64_t states = 0;       ///< distinct states visited
-  std::uint64_t transitions = 0;  ///< edges explored (post-reduction)
-  std::uint64_t finals = 0;       ///< quiescent-complete states reached
-
-  /// Multi-line report (verdict, stats, counterexample if any).
-  std::string report() const;
-};
 
 /// Explores every state of `model` reachable from Model::initial().
 ExploreResult explore(const Model& model, const ExploreOptions& opts);

@@ -262,11 +262,12 @@ std::string describe_state(const CheckConfig& cfg, const State& s) {
   std::ostringstream os;
   for (std::uint32_t b = 0; b < cfg.blocks; ++b) {
     os << "  b" << b << ": dir owner="
-       << (s.dir_owner[b] == kNoOwner ? std::string("-")
-                                      : "n" + std::to_string(s.dir_owner[b]))
+       << (s.dir_owner[b] == kNoOwner
+               ? std::string("-")
+               : "n" + std::to_string(int(s.dir_owner[b])))
        << " copyset={";
     bool first = true;
-    for (NodeId n = 0; n < cfg.nodes; ++n) {
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
       if (((s.dir_sharers[b] >> n) & 1u) == 0) continue;
       if (!first) os << ",";
       os << "n" << n;
@@ -278,14 +279,14 @@ std::string describe_state(const CheckConfig& cfg, const State& s) {
                           : "")
        << " queued " << s.home[b].queue.size() << "\n";
     os << "     caches:";
-    for (NodeId n = 0; n < cfg.nodes; ++n) {
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
       const auto line = s.cache[n * cfg.blocks + b];
       os << " n" << n << "=" << kCacheNames[line[0] <= 2 ? line[0] : 0];
       if (line[0] != 0) os << "(v" << int(line[1]) << ")";
     }
     os << "\n";
   }
-  for (NodeId n = 0; n < cfg.nodes; ++n) {
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     const Pending& p = s.pending[n];
     if (!p.active) continue;
     os << "  n" << n << " pending "
@@ -367,15 +368,17 @@ proto::DirState Model::dir_state(const State& s, std::uint32_t b) const {
   return s.dir_sharers[b] == 0 ? DirState::kUncached : DirState::kShared;
 }
 
-proto::ReqRel Model::dir_rel(const State& s, std::uint32_t b, NodeId n) const {
+proto::ReqRel Model::dir_rel(const State& s, std::uint32_t b,
+                             std::uint8_t n) const {
   if (s.dir_owner[b] == n) return ReqRel::kOwner;
   return (s.dir_sharers[b] >> n) & 1u ? ReqRel::kSharer : ReqRel::kNone;
 }
 
 const Transition& Model::dir_apply(State* s, std::uint32_t block,
-                                   ProtoMsg msg, NodeId requester,
-                                   NodeId* dirty_owner,
-                                   std::vector<NodeId>* invalidate) const {
+                                   ProtoMsg msg, std::uint8_t requester,
+                                   std::uint8_t* dirty_owner,
+                                   std::vector<std::uint8_t>* invalidate)
+    const {
   const Transition& t =
       table_.lookup(dir_state(*s, block), msg, dir_rel(*s, block, requester));
   if (t.fatal()) {
@@ -394,7 +397,7 @@ const Transition& Model::dir_apply(State* s, std::uint32_t block,
     mask = static_cast<std::uint8_t>(mask & ~(1u << requester));
     if (s->dir_owner[block] != kNoOwner)
       mask = static_cast<std::uint8_t>(mask & ~(1u << s->dir_owner[block]));
-    for (NodeId n = 0; n < cfg_.nodes; ++n)
+    for (std::uint8_t n = 0; n < cfg_.nodes; ++n)
       if ((mask >> n) & 1u) invalidate->push_back(n);
   }
   // Then the entry rewrite.
@@ -407,7 +410,7 @@ const Transition& Model::dir_apply(State* s, std::uint32_t block,
         static_cast<std::uint8_t>(s->dir_sharers[block] & ~(1u << requester));
   if (t.has(act::kSetOwner)) {
     s->dir_sharers[block] = static_cast<std::uint8_t>(1u << requester);
-    s->dir_owner[block] = static_cast<std::uint8_t>(requester);
+    s->dir_owner[block] = requester;
   }
   // Check the promised next state (kSharedOrUncached accepts either).
   const DirState after = dir_state(*s, block);
@@ -427,66 +430,59 @@ const Transition& Model::dir_apply(State* s, std::uint32_t block,
 
 void Model::apply_request(State* s, const Msg& m) const {
   const std::uint32_t b = m.block;
-  const NodeId r = m.src;
+  const std::uint8_t r = m.src;
   const ReqRel rel_before = dir_rel(*s, b, r);
   const ProtoMsg pm = static_cast<MsgKind>(m.kind) == MsgKind::kReqS
                           ? ProtoMsg::kGetS
                           : ProtoMsg::kGetX;
-  NodeId fwd = kInvalidNode;
-  std::vector<NodeId> inval;
+  std::uint8_t fwd = kNoOwner;
+  std::vector<std::uint8_t> inval;
   const Transition& t = dir_apply(s, b, pm, r, &fwd, &inval);
   if (!s->violation.empty()) return;
 
   s->home_served[r] = std::max(s->home_served[r], m.aux);
   HomeBlock& hb = s->home[b];
   hb.busy = 1;
-  hb.busy_req = static_cast<std::uint8_t>(r);
+  hb.busy_req = r;
   const std::uint8_t acks = static_cast<std::uint8_t>(inval.size());
-  const std::uint8_t home = static_cast<std::uint8_t>(home_of(b));
+  const std::uint8_t home = home_of(b);
 
-  for (NodeId n : inval)
-    s->net.push_back(Msg{std::uint8_t(MsgKind::kInval), home,
-                         static_cast<std::uint8_t>(n), m.block, 0,
-                         static_cast<std::uint8_t>(r)});
+  for (std::uint8_t n : inval)
+    s->net.push_back(Msg{std::uint8_t(MsgKind::kInval), home, n, m.block, 0,
+                         r});
 
   if (t.has(act::kForwardOwner)) {
     const MsgKind k =
         pm == ProtoMsg::kGetS ? MsgKind::kFwdS : MsgKind::kFwdX;
-    s->net.push_back(Msg{std::uint8_t(k), home,
-                         static_cast<std::uint8_t>(fwd), m.block, acks,
-                         static_cast<std::uint8_t>(r)});
+    s->net.push_back(Msg{std::uint8_t(k), home, fwd, m.block, acks, r});
     return;
   }
 
   // Home supplies the data (or just ownership, for a held-copy upgrade).
   switch (static_cast<MsgKind>(m.kind)) {
     case MsgKind::kReqS: {
-      const Msg reply{std::uint8_t(MsgKind::kData), home,
-                      static_cast<std::uint8_t>(r), m.block, hb.mem_version,
-                      0};
+      const Msg reply{std::uint8_t(MsgKind::kData), home, r, m.block,
+                      hb.mem_version, 0};
       s->net.push_back(reply);
       if (cfg_.mutation == Mutation::kDoubleDataReply)
         s->net.push_back(reply);
       break;
     }
     case MsgKind::kReqX:
-      s->net.push_back(Msg{std::uint8_t(MsgKind::kDataEx), home,
-                           static_cast<std::uint8_t>(r), m.block,
+      s->net.push_back(Msg{std::uint8_t(MsgKind::kDataEx), home, r, m.block,
                            hb.mem_version, acks});
       break;
     case MsgKind::kReqUp:
       if (rel_before == ReqRel::kSharer) {
         if (cfg_.mutation != Mutation::kLostUpgrade)
-          s->net.push_back(Msg{std::uint8_t(MsgKind::kGrant), home,
-                               static_cast<std::uint8_t>(r), m.block, 0,
-                               acks});
+          s->net.push_back(Msg{std::uint8_t(MsgKind::kGrant), home, r,
+                               m.block, 0, acks});
         // kLostUpgrade: ownership recorded, grant never sent.
       } else {
         // Upgrade race: the requester's copy was invalidated while the
         // upgrade was in flight — serve it a full exclusive fill.
-        s->net.push_back(Msg{std::uint8_t(MsgKind::kDataEx), home,
-                             static_cast<std::uint8_t>(r), m.block,
-                             hb.mem_version, acks});
+        s->net.push_back(Msg{std::uint8_t(MsgKind::kDataEx), home, r,
+                             m.block, hb.mem_version, acks});
       }
       break;
     default:
@@ -494,7 +490,7 @@ void Model::apply_request(State* s, const Msg& m) const {
   }
 }
 
-void Model::complete_if_ready(State* s, NodeId n) const {
+void Model::complete_if_ready(State* s, std::uint8_t n) const {
   Pending& p = s->pending[n];
   if (!p.active || !p.have_data || p.acks_got < p.acks_needed) return;
   const std::uint32_t b = p.block;
@@ -535,8 +531,7 @@ void Model::process_request(const State& s, const Msg& m, Action::Type label,
     ++suc.state.nacks_used;
     dir_apply(&suc.state, m.block, ProtoMsg::kNack, m.src, nullptr, nullptr);
     suc.state.net.push_back(Msg{std::uint8_t(MsgKind::kNackMsg),
-                                static_cast<std::uint8_t>(home_of(m.block)),
-                                m.src, m.block, 0, 0});
+                                home_of(m.block), m.src, m.block, 0, 0});
     suc.action.type = Action::Type::kNack;
     suc.action.msg = m;
     out->push_back(std::move(suc));
@@ -546,7 +541,7 @@ void Model::process_request(const State& s, const Msg& m, Action::Type label,
 void Model::deliver(const State& base, const Msg& m,
                     std::vector<Successor>* out) const {
   const auto kind = static_cast<MsgKind>(m.kind);
-  const NodeId n = m.dst;
+  const std::uint8_t n = m.dst;
 
   if (is_request(m.kind)) {
     // `m.dst` is the block's home.  The home dedups on the per-node request
@@ -626,13 +621,12 @@ void Model::deliver(const State& base, const Msg& m,
       const std::uint8_t v = line[1];
       if (kind == MsgKind::kFwdS) {
         line[0] = std::uint8_t(CacheState::kS);  // downgrade, keep data
-        s->net.push_back(Msg{std::uint8_t(MsgKind::kOwnerData),
-                             static_cast<std::uint8_t>(n), m.aux, m.block, v,
-                             0});
+        s->net.push_back(Msg{std::uint8_t(MsgKind::kOwnerData), n, m.aux,
+                             m.block, v, 0});
       } else {
         line = {std::uint8_t(CacheState::kI), 0};
-        s->net.push_back(Msg{std::uint8_t(MsgKind::kOwnerDataEx),
-                             static_cast<std::uint8_t>(n), m.aux, m.block, v,
+        s->net.push_back(Msg{std::uint8_t(MsgKind::kOwnerDataEx), n, m.aux,
+                             m.block, v,
                              m.version /* acks piggybacked on the fwd */});
       }
       break;
@@ -640,9 +634,8 @@ void Model::deliver(const State& base, const Msg& m,
     case MsgKind::kInval:
       line = {std::uint8_t(CacheState::kI), 0};
       if (cfg_.mutation != Mutation::kDropInvalAck)
-        s->net.push_back(Msg{std::uint8_t(MsgKind::kInvAck),
-                             static_cast<std::uint8_t>(n), m.aux, m.block, 0,
-                             0});
+        s->net.push_back(Msg{std::uint8_t(MsgKind::kInvAck), n, m.aux,
+                             m.block, 0, 0});
       break;
     case MsgKind::kInvAck: {
       Pending& p = s->pending[n];
@@ -668,9 +661,8 @@ void Model::deliver(const State& base, const Msg& m,
              << " retries > retry_max " << cfg_.retry_max;
           fail_step(s, os.str());
         }
-        s->net.push_back(Msg{p.kind, static_cast<std::uint8_t>(n),
-                             static_cast<std::uint8_t>(home_of(p.block)),
-                             p.block, 0, p.serial});
+        s->net.push_back(Msg{p.kind, n, home_of(p.block), p.block, 0,
+                             p.serial});
       } else {
         suc.invisible = true;
       }
@@ -683,7 +675,7 @@ void Model::deliver(const State& base, const Msg& m,
 }
 
 void Model::issue_ops(const State& s, std::vector<Successor>* out) const {
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
     if (s.pending[n].active || s.ops_done[n] >= cfg_.ops_per_node) continue;
     for (std::uint32_t b = 0; b < cfg_.blocks; ++b) {
       const auto line = s.cache[n * cfg_.blocks + b];
@@ -715,8 +707,7 @@ void Model::issue_ops(const State& s, std::vector<Successor>* out) const {
           p.block = static_cast<std::uint8_t>(b);
           p.serial = serial;
           const Msg req{std::uint8_t(kind), static_cast<std::uint8_t>(n),
-                        static_cast<std::uint8_t>(home_of(b)),
-                        static_cast<std::uint8_t>(b), 0, serial};
+                        home_of(b), static_cast<std::uint8_t>(b), 0, serial};
           suc.state.net.push_back(req);
           suc.action.type = Action::Type::kIssue;
           suc.action.msg = req;
@@ -728,7 +719,7 @@ void Model::issue_ops(const State& s, std::vector<Successor>* out) const {
 }
 
 void Model::kernel_steps(const State& s, std::vector<Successor>* out) const {
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
     if (s.pending[n].active) continue;  // the processor is not blocked
     for (std::uint32_t b = 0; b < cfg_.blocks; ++b) {
       const auto line = s.cache[n * cfg_.blocks + b];
@@ -739,8 +730,10 @@ void Model::kernel_steps(const State& s, std::vector<Successor>* out) const {
         Successor suc;
         suc.state = s;
         ++suc.state.flushes_used;
-        const bool owner = dir_rel(s, b, n) == ReqRel::kOwner;
-        dir_apply(&suc.state, b, ProtoMsg::kFlush, n, nullptr, nullptr);
+        const bool owner =
+            dir_rel(s, b, static_cast<std::uint8_t>(n)) == ReqRel::kOwner;
+        dir_apply(&suc.state, b, ProtoMsg::kFlush,
+                  static_cast<std::uint8_t>(n), nullptr, nullptr);
         if (owner) suc.state.home[b].mem_version = line[1];  // writeback
         suc.state.cache[n * cfg_.blocks + b] = {0, 0};
         suc.action.type = Action::Type::kFlush;
@@ -833,12 +826,12 @@ std::string Model::check(const State& s) const {
   if (!s.violation.empty()) return s.violation;
   std::ostringstream os;
   for (std::uint32_t b = 0; b < cfg_.blocks; ++b) {
-    NodeId writer = kInvalidNode;
-    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    std::uint32_t writer = kNoOwner;
+    for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
       const auto line = s.cache[n * cfg_.blocks + b];
       const auto cs = static_cast<CacheState>(line[0]);
       if (cs == CacheState::kM) {
-        if (writer != kInvalidNode) {
+        if (writer != kNoOwner) {
           os << "SWMR violated on b" << b << ": n" << writer << " and n" << n
              << " both hold it modified";
           return os.str();
@@ -846,8 +839,8 @@ std::string Model::check(const State& s) const {
         writer = n;
       }
     }
-    if (writer != kInvalidNode) {
-      for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    if (writer != kNoOwner) {
+      for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
         if (n == writer) continue;
         if (static_cast<CacheState>(s.cache[n * cfg_.blocks + b][0]) !=
             CacheState::kI) {
@@ -858,7 +851,7 @@ std::string Model::check(const State& s) const {
       }
     }
     // Data value: every readable copy carries the last *completed* store.
-    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
       const auto line = s.cache[n * cfg_.blocks + b];
       if (static_cast<CacheState>(line[0]) == CacheState::kI) continue;
       if (line[1] != s.committed[b]) {
@@ -879,7 +872,7 @@ std::string Model::check(const State& s) const {
     }
     // Agreement checks hold between transactions only.
     if (!s.home[b].busy) {
-      for (NodeId n = 0; n < cfg_.nodes; ++n) {
+      for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
         const auto line = s.cache[n * cfg_.blocks + b];
         const auto cs = static_cast<CacheState>(line[0]);
         if (cs == CacheState::kM && s.dir_owner[b] != n) {
@@ -897,7 +890,7 @@ std::string Model::check(const State& s) const {
         }
       }
       if (s.dir_owner[b] != kNoOwner) {
-        const NodeId o = s.dir_owner[b];
+        const std::uint32_t o = s.dir_owner[b];
         if (static_cast<CacheState>(s.cache[o * cfg_.blocks + b][0]) !=
             CacheState::kM) {
           os << "directory/owner disagreement on b" << b
@@ -922,7 +915,7 @@ std::string Model::check(const State& s) const {
 }
 
 bool Model::final_state(const State& s) const {
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
     if (s.ops_done[n] < cfg_.ops_per_node) return false;
     if (s.pending[n].active) return false;
   }

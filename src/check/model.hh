@@ -259,7 +259,12 @@ class Model {
   /// nothing is pending, in flight, queued, or busy.
   bool final_state(const State& s) const;
 
-  NodeId home_of(std::uint32_t block) const { return block % cfg_.nodes; }
+  /// Model node index of block's home.  The model's node currency is the
+  /// packed std::uint8_t index of its abstract state (NodeId belongs to the
+  /// simulated machine); conversions happen at the tests' comparison points.
+  std::uint8_t home_of(std::uint32_t block) const {
+    return static_cast<std::uint8_t>(block % cfg_.nodes);
+  }
 
  private:
   /// Deliver `m` (already removed from `base.net`): appends one successor
@@ -271,7 +276,7 @@ class Model {
   void process_request(const State& s, const Msg& m, Action::Type label,
                        std::vector<Successor>* out) const;
   void apply_request(State* s, const Msg& m) const;
-  void complete_if_ready(State* s, NodeId n) const;
+  void complete_if_ready(State* s, std::uint8_t n) const;
   void issue_ops(const State& s, std::vector<Successor>* out) const;
   void fault_steps(const State& s, std::vector<Successor>* out) const;
   void kernel_steps(const State& s, std::vector<Successor>* out) const;
@@ -279,12 +284,14 @@ class Model {
   /// Mirror of Directory::apply over the packed entry; kept in lock-step by
   /// ModelDirectoryAgreement in tests/test_check.cc.
   const proto::Transition& dir_apply(State* s, std::uint32_t block,
-                                     proto::ProtoMsg msg, NodeId requester,
-                                     NodeId* dirty_owner,
-                                     std::vector<NodeId>* invalidate) const;
+                                     proto::ProtoMsg msg,
+                                     std::uint8_t requester,
+                                     std::uint8_t* dirty_owner,
+                                     std::vector<std::uint8_t>* invalidate)
+      const;
 
   proto::DirState dir_state(const State& s, std::uint32_t b) const;
-  proto::ReqRel dir_rel(const State& s, std::uint32_t b, NodeId n) const;
+  proto::ReqRel dir_rel(const State& s, std::uint32_t b, std::uint8_t n) const;
 
   static void fail_step(State* s, std::string why);
 

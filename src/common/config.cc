@@ -69,14 +69,14 @@ std::string MachineConfig::validate() const {
   if (nodes == 0) err << "nodes must be > 0; ";
   if (procs_per_node == 0 || procs_per_node > 16)
     err << "procs_per_node must be in [1, 16]; ";
-  if (!is_pow2(page_bytes)) err << "page_bytes must be a power of two; ";
-  if (!is_pow2(block_bytes)) err << "block_bytes must be a power of two; ";
-  if (!is_pow2(line_bytes)) err << "line_bytes must be a power of two; ";
-  if (block_bytes % line_bytes != 0) err << "block_bytes % line_bytes != 0; ";
-  if (page_bytes % block_bytes != 0) err << "page_bytes % block_bytes != 0; ";
-  if (l1_bytes % line_bytes != 0) err << "l1_bytes % line_bytes != 0; ";
+  if (!is_pow2(page_bytes.value())) err << "page_bytes must be a power of two; ";
+  if (!is_pow2(block_bytes.value())) err << "block_bytes must be a power of two; ";
+  if (!is_pow2(line_bytes.value())) err << "line_bytes must be a power of two; ";
+  if ((block_bytes % line_bytes) != ByteCount{0}) err << "block_bytes % line_bytes != 0; ";
+  if ((page_bytes % block_bytes) != ByteCount{0}) err << "page_bytes % block_bytes != 0; ";
+  if ((l1_bytes % line_bytes) != ByteCount{0}) err << "l1_bytes % line_bytes != 0; ";
   if (!is_pow2(l1_lines())) err << "L1 line count must be a power of two; ";
-  if (rac_bytes % block_bytes != 0) err << "rac_bytes % block_bytes != 0; ";
+  if ((rac_bytes % block_bytes) != ByteCount{0}) err << "rac_bytes % block_bytes != 0; ";
   if (dram_banks == 0) err << "dram_banks must be > 0; ";
   if (switch_arity < 2) err << "switch_arity must be >= 2; ";
   if (memory_pressure <= 0.0 || memory_pressure > 1.0)
@@ -100,10 +100,10 @@ std::string MachineConfig::validate() const {
   if (!prob_ok(fault_drop)) err << "fault_drop must be in [0, 1]; ";
   if (!prob_ok(fault_dup)) err << "fault_dup must be in [0, 1]; ";
   if (!prob_ok(fault_jitter)) err << "fault_jitter must be in [0, 1]; ";
-  if (fault_jitter > 0.0 && fault_jitter_cycles == 0)
+  if (fault_jitter > 0.0 && fault_jitter_cycles == Cycles{0})
     err << "fault_jitter_cycles must be > 0 when jitter is enabled; ";
-  if (retry_timeout == 0) err << "retry_timeout must be > 0; ";
-  if (retry_backoff_base == 0) err << "retry_backoff_base must be > 0; ";
+  if (retry_timeout == Cycles{0}) err << "retry_timeout must be > 0; ";
+  if (retry_backoff_base == Cycles{0}) err << "retry_backoff_base must be > 0; ";
   if (retry_backoff_max < retry_backoff_base)
     err << "retry_backoff_max must be >= retry_backoff_base; ";
   if (retry_max_attempts == 0) err << "retry_max_attempts must be > 0; ";

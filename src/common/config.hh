@@ -45,52 +45,52 @@ struct MachineConfig {
   std::uint32_t procs_per_node = 1;
 
   std::uint32_t total_procs() const { return nodes * procs_per_node; }
-  Cycle sibling_transfer_cycles = 20;   ///< cache-to-cache supply over the bus
+  Cycles sibling_transfer_cycles{20};   ///< cache-to-cache supply over the bus
 
   // ---- granularities ------------------------------------------------------
-  std::uint32_t page_bytes = 4096;      ///< 4 KB pages
-  std::uint32_t block_bytes = 128;      ///< coherence/transfer unit (4 lines)
-  std::uint32_t line_bytes = 32;        ///< L1 line
+  ByteCount page_bytes{4096};      ///< 4 KB pages
+  ByteCount block_bytes{128};      ///< coherence/transfer unit (4 lines)
+  ByteCount line_bytes{32};        ///< L1 line
 
   // ---- L1 cache (Table 3) -------------------------------------------------
-  std::uint32_t l1_bytes = 16 * 1024;   ///< direct-mapped, write-back
-  Cycle l1_hit_cycles = 1;
+  ByteCount l1_bytes{16 * 1024};   ///< direct-mapped, write-back
+  Cycles l1_hit_cycles{1};
 
   // ---- RAC (Table 3): 128 B total for CC-NUMA & hybrids ------------------
-  std::uint32_t rac_bytes = 128;        ///< direct-mapped, 128 B lines;
+  ByteCount rac_bytes{128};        ///< direct-mapped, 128 B lines;
                                         ///< 0 disables the RAC (ablation)
-  Cycle rac_array_cycles = 21;          ///< RAC data-array access time
+  Cycles rac_array_cycles{21};          ///< RAC data-array access time
                                         ///< (total RAC hit = bus+engine+array
                                         ///<  = 10+5+21 = 36, Table 4)
 
   // ---- buses / memory (Table 4 shape: local 50, remote 150) --------------
-  Cycle bus_occupancy = 10;             ///< split-transaction request+data
+  Cycles bus_occupancy{10};             ///< split-transaction request+data
   std::uint32_t dram_banks = 4;
-  Cycle dram_access_cycles = 30;        ///< per-bank service time
-  Cycle dsm_engine_cycles = 5;          ///< controller occupancy per request
-  Cycle dir_lookup_cycles = 11;         ///< home directory state access
+  Cycles dram_access_cycles{30};        ///< per-bank service time
+  Cycles dsm_engine_cycles{5};          ///< controller occupancy per request
+  Cycles dir_lookup_cycles{11};         ///< home directory state access
                                         ///< (min remote = 55+2*net+11 = 150)
 
   // ---- network (Table 3) --------------------------------------------------
   std::uint32_t switch_arity = 4;       ///< 4x4 switches
-  Cycle net_fall_through = 4;           ///< per-hop fall-through delay
-  Cycle net_propagation = 2;            ///< wire propagation per hop
-  Cycle net_interface_cycles = 10;      ///< NI packetize/depacketize
-  Cycle net_port_occupancy = 8;         ///< input-port busy time per message
+  Cycles net_fall_through{4};           ///< per-hop fall-through delay
+  Cycles net_propagation{2};            ///< wire propagation per hop
+  Cycles net_interface_cycles{10};      ///< NI packetize/depacketize
+  Cycles net_port_occupancy{8};         ///< input-port busy time per message
                                         ///< ("port contention (only) modeled")
 
   // ---- kernel costs (Section 5.1: "highly optimized") ---------------------
-  Cycle cost_page_fault = 500;          ///< map a page (K-BASE on first touch)
-  Cycle cost_interrupt = 500;           ///< relocation interrupt delivery
-  Cycle cost_remap = 2000;              ///< unmap+flush bookkeeping+remap+TLB
-  Cycle cost_flush_line = 10;           ///< per valid line flushed from L1
-  Cycle cost_daemon_wakeup = 1000;      ///< pageout daemon context switch+setup
-  Cycle cost_daemon_scan_page = 20;     ///< second-chance examination per page
+  Cycles cost_page_fault{500};          ///< map a page (K-BASE on first touch)
+  Cycles cost_interrupt{500};           ///< relocation interrupt delivery
+  Cycles cost_remap{2000};              ///< unmap+flush bookkeeping+remap+TLB
+  Cycles cost_flush_line{10};           ///< per valid line flushed from L1
+  Cycles cost_daemon_wakeup{1000};      ///< pageout daemon context switch+setup
+  Cycles cost_daemon_scan_page{20};     ///< second-chance examination per page
 
   // ---- processor-side costs -------------------------------------------------
-  Cycle private_op_cycles = 3;          ///< average private-memory op cost
-  Cycle lock_op_cycles = 50;            ///< lock acquire/release service time
-  Cycle barrier_cycles = 100;           ///< barrier release broadcast cost
+  Cycles private_op_cycles{3};          ///< average private-memory op cost
+  Cycles lock_op_cycles{50};            ///< lock acquire/release service time
+  Cycles barrier_cycles{100};           ///< barrier release broadcast cost
 
   // ---- consistency model (extension) ----------------------------------------
   // The paper models sequentially-consistent blocking processors.  Setting
@@ -111,7 +111,7 @@ struct MachineConfig {
   /// period so its second-chance window is comparable to page reuse
   /// distances (a real BSD daemon runs a few times per second; at 120 MHz
   /// that is millions of cycles).
-  Cycle daemon_period = 2'000'000;
+  Cycles daemon_period{2'000'000};
 
   // ---- hybrid relocation policy (Section 4.1) -----------------------------
   std::uint32_t refetch_threshold = 64;   ///< initial relocation threshold
@@ -121,7 +121,7 @@ struct MachineConfig {
   double vcnuma_eval_replacements = 2.0;  ///< evaluate after this many
                                           ///< replacements per cached page
   double daemon_backoff_factor = 2.0;     ///< AS-COMA daemon period stretch
-  Cycle daemon_period_max = 32'000'000;
+  Cycles daemon_period_max{32'000'000};
   // Ablation switches for AS-COMA's two contributions (both on = the paper's
   // design; turning one off isolates the other's benefit).
   bool ascoma_scoma_first = true;         ///< S-COMA-preferred allocation
@@ -143,7 +143,7 @@ struct MachineConfig {
   // changes simulated behaviour, only records it.  Sinks are not
   // thread-safe: do not share one across concurrent simulate() calls.
   obs::EventSink* sink = nullptr;
-  Cycle sample_every = 0;
+  Cycles sample_every{0};
 
   // ---- profiling (src/prof) -------------------------------------------------
   // Non-owning: when set, every blocking demand access is bracketed and its
@@ -163,7 +163,7 @@ struct MachineConfig {
   double fault_drop = 0.0;        ///< P(message lost in the fabric)
   double fault_dup = 0.0;         ///< P(message delivered twice)
   double fault_jitter = 0.0;      ///< P(message delayed by random jitter)
-  Cycle fault_jitter_cycles = 64; ///< max injected jitter per message
+  Cycles fault_jitter_cycles{64}; ///< max injected jitter per message
   std::uint64_t fault_seed = 0;   ///< 0 = derive from `seed` (component_seed)
 
   // Loss recovery: a sender that hears nothing for `retry_timeout` cycles
@@ -171,22 +171,22 @@ struct MachineConfig {
   // off exponentially from `retry_backoff_base`, doubling per attempt and
   // capping at `retry_backoff_max`; `retry_max_attempts` is a hard backstop
   // that fails the run rather than spinning forever.
-  Cycle retry_timeout = 128;
-  Cycle retry_backoff_base = 32;
-  Cycle retry_backoff_max = 4096;
+  Cycles retry_timeout{128};
+  Cycles retry_backoff_base{32};
+  Cycles retry_backoff_max{4096};
   std::uint32_t retry_max_attempts = 4096;
 
   /// A home whose DSM engine is backlogged more than this many cycles past a
   /// request's arrival NACKs the request instead of queueing it; the
   /// requester retries with capped exponential backoff.  0 disables
   /// overload NACKs (the paper's infinite-queue model).
-  Cycle nack_busy_cycles = 0;
+  Cycles nack_busy_cycles{0};
 
   /// Forward-progress watchdog: a single memory transaction outstanding for
   /// more than this many cycles (retry/NACK livelock, fault storm) fails the
   /// run with a fault::WatchdogError carrying a dump of in-flight protocol
   /// state.  0 disables the watchdog.
-  Cycle watchdog_cycles = 0;
+  Cycles watchdog_cycles{0};
 
   // ---- misc ----------------------------------------------------------------
   /// Top-level RNG seed.  Every stochastic component derives its own stream
@@ -218,19 +218,54 @@ struct MachineConfig {
   }
 
   // ---- derived quantities ---------------------------------------------------
-  std::uint32_t lines_per_block() const { return block_bytes / line_bytes; }
-  std::uint32_t blocks_per_page() const { return page_bytes / block_bytes; }
-  std::uint32_t lines_per_page() const { return page_bytes / line_bytes; }
-  std::uint32_t l1_lines() const { return l1_bytes / line_bytes; }
-  std::uint32_t rac_entries() const { return rac_bytes / block_bytes; }
-
-  VPageId page_of(Addr a) const { return a / page_bytes; }
-  BlockId block_of(Addr a) const { return a / block_bytes; }
-  LineId line_of(Addr a) const { return a / line_bytes; }
-  BlockId first_block_of_page(VPageId p) const {
-    return static_cast<BlockId>(p) * blocks_per_page();
+  std::uint32_t lines_per_block() const {
+    return static_cast<std::uint32_t>(block_bytes / line_bytes);
   }
-  Addr page_base(VPageId p) const { return static_cast<Addr>(p) * page_bytes; }
+  std::uint32_t blocks_per_page() const {
+    return static_cast<std::uint32_t>(page_bytes / block_bytes);
+  }
+  std::uint32_t lines_per_page() const {
+    return static_cast<std::uint32_t>(page_bytes / line_bytes);
+  }
+  std::uint32_t l1_lines() const {
+    return static_cast<std::uint32_t>(l1_bytes / line_bytes);
+  }
+  std::uint32_t rac_entries() const {
+    return static_cast<std::uint32_t>(rac_bytes / block_bytes);
+  }
+
+  // ---- named dimension conversions ------------------------------------------
+  // The *only* sanctioned paths between the address-like dimensions; new
+  // conversions belong here, next to the granularities that define them.
+  PageId page_of(Addr a) const { return PageId{a.value() / page_bytes.value()}; }
+  BlockId block_of(Addr a) const {
+    return BlockId{a.value() / block_bytes.value()};
+  }
+  LineAddr line_of(Addr a) const {
+    return LineAddr{a.value() / line_bytes.value()};
+  }
+  PageId page_of_block(BlockId b) const {
+    return PageId{b.value() / blocks_per_page()};
+  }
+  PageId page_of_line(LineAddr l) const {
+    return PageId{l.value() / lines_per_page()};
+  }
+  BlockId block_of_line(LineAddr l) const {
+    return BlockId{l.value() / lines_per_block()};
+  }
+  BlockId first_block_of_page(PageId p) const {
+    return BlockId{p.value() * blocks_per_page()};
+  }
+  LineAddr first_line_of_block(BlockId b) const {
+    return LineAddr{b.value() * lines_per_block()};
+  }
+  Addr page_base(PageId p) const { return Addr{p.value() * page_bytes.value()}; }
+  Addr block_base(BlockId b) const {
+    return Addr{b.value() * block_bytes.value()};
+  }
+  Addr line_base(LineAddr l) const {
+    return Addr{l.value() * line_bytes.value()};
+  }
 
   // ---- derived minimum latencies (Table 4) ---------------------------------
   /// Switch stages a message traverses (ceil(log_arity(nodes))).

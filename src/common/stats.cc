@@ -14,8 +14,9 @@ void TimeBreakdown::add(const TimeBreakdown& other) {
 
 double TimeBreakdown::frac(TimeBucket b) const {
   const Cycle t = total();
-  if (t == 0) return 0.0;
-  return static_cast<double>((*this)[b]) / static_cast<double>(t);
+  if (t == Cycle{0}) return 0.0;
+  return static_cast<double>((*this)[b].value()) /
+         static_cast<double>(t.value());
 }
 
 const char* to_string(TimeBucket b) {
@@ -94,8 +95,9 @@ double RunStats::remote_overhead_cycles() const {
   // + T_overhead, per Section 2.1.  T terms are reported by the simulator via
   // the time buckets, so here we return the shared-stall + kernel-overhead sum
   // which is the realized value of the formula.
-  return static_cast<double>(totals.time[TimeBucket::kUserShared] +
-                             totals.time[TimeBucket::kKernelOvhd]);
+  return static_cast<double>((totals.time[TimeBucket::kUserShared] +
+                              totals.time[TimeBucket::kKernelOvhd])
+                                 .value());
 }
 
 }  // namespace ascoma

@@ -91,7 +91,7 @@ struct NodeStats {
 /// Whole-run result (sum over nodes plus machine-level facts).
 struct RunStats {
   NodeStats totals;
-  Cycle parallel_cycles = 0;      ///< makespan of the parallel phase
+  Cycle parallel_cycles{0};      ///< makespan of the parallel phase
   std::uint32_t nodes = 0;
   std::uint64_t frames_per_node = 0;
   std::uint64_t home_pages_per_node = 0;  ///< max over nodes

@@ -54,7 +54,7 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
 
   // Home assignment: the workload's declared layout (equivalent to the
   // paper's capped first-touch for these SPMD programs).
-  for (VPageId p = 0; p < wl_.total_pages(); ++p)
+  for (VPageId p{0}; p.value() < wl_.total_pages(); ++p)
     homes_.claim(p, wl_.home_of(p));
 
   // Memory pressure P => each node has ceil(home_pages / P) frames, of which
@@ -64,7 +64,7 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
   cmem_ = std::make_unique<proto::CoherentMemory>(cfg_, homes_);
 
   std::vector<const vm::PageTable*> table_ptrs;
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (NodeId n{0}; n.value() < cfg_.nodes; ++n) {
     page_tables_.push_back(
         std::make_unique<vm::PageTable>(wl_.total_pages()));
     const std::uint64_t home_n = homes_.home_pages(n);
@@ -98,7 +98,7 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
     }
 
     // Home pages are mapped up front (before the measured parallel phase).
-    for (VPageId p = 0; p < wl_.total_pages(); ++p)
+    for (VPageId p{0}; p.value() < wl_.total_pages(); ++p)
       if (homes_.home_of(p) == n) page_tables_[n]->map_home(p);
 
     table_ptrs.push_back(page_tables_[n].get());
@@ -113,7 +113,8 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
   node_stats_.assign(cfg_.total_procs(), NodeStats{});
   if (!cfg_.blocking_stores) {
     store_buffer_.assign(cfg_.total_procs(),
-                         std::vector<Cycle>(cfg_.store_buffer_entries, 0));
+                         std::vector<Cycle>(cfg_.store_buffer_entries,
+                                            Cycle{0}));
   }
   daemon_period_.assign(cfg_.nodes, cfg_.daemon_period);
   next_daemon_.assign(cfg_.nodes, cfg_.daemon_period);
@@ -126,7 +127,7 @@ void Machine::install_sink(obs::EventSink* sink, Cycle sample_every) {
   ASCOMA_CHECK_MSG(!ran_, "install_sink must precede run()");
   sink_ = sink;
   cmem_->set_sink(sink);
-  if (sample_every > 0) sampler_ = obs::Sampler(sample_every);
+  if (sample_every > Cycle{0}) sampler_ = obs::Sampler(sample_every);
   if (sink_ && prof_) sink_->set_observer(prof_);
 }
 
@@ -138,15 +139,15 @@ void Machine::install_profiler(prof::Profiler* profiler) {
 }
 
 void Machine::take_samples(Cycle cycle) {
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (NodeId n{0}; n.value() < cfg_.nodes; ++n) {
     obs::Sample s;
     s.cycle = cycle;
     s.node = n;
     s.free_frames = page_caches_[n]->free_frames();
     s.threshold = policies_[n]->threshold();
     s.cache_active = page_caches_[n]->active_pages();
-    for (std::uint32_t p = n * cfg_.procs_per_node;
-         p < (n + 1) * cfg_.procs_per_node; ++p)
+    for (std::uint32_t p = n.value() * cfg_.procs_per_node;
+         p < (n.value() + 1) * cfg_.procs_per_node; ++p)
       s.remote_misses += node_stats_[p].misses.remote();
     sink_->add_sample(s);
   }
@@ -225,7 +226,7 @@ std::pair<Cycle, Cycle> Machine::handle_fault(std::uint32_t proc,
   auto e = env(proc, now);
   const PageMode mode = policies_[node]->initial_mode(e);
   const Cycle base = cfg_.cost_page_fault;
-  Cycle overhead = 0;
+  Cycle overhead{0};
 
   note(obs::EventKind::kPageFault, now, node, page);
   if (mode == PageMode::kNuma) {
@@ -252,7 +253,7 @@ std::pair<Cycle, Cycle> Machine::handle_fault(std::uint32_t proc,
 
 Cycle Machine::run_daemon(std::uint32_t proc, Cycle now) {
   const NodeId node = node_of(proc);
-  if (!policies_[node]->runs_daemon()) return 0;
+  if (!policies_[node]->runs_daemon()) return Cycle{0};
   vm::PageCache& cache = *page_caches_[node];
   vm::PageTable& pt = *page_tables_[node];
   KernelStats& k = node_stats_[proc].kernel;
@@ -261,7 +262,7 @@ Cycle Machine::run_daemon(std::uint32_t proc, Cycle now) {
   Cycle cost = cfg_.cost_daemon_wakeup;
   Evictor handler(this, proc, now, &cost);
   const vm::DaemonResult r = daemons_[node]->run(cache, pt, handler);
-  cost += static_cast<Cycle>(r.scanned) * cfg_.cost_daemon_scan_page;
+  cost += r.scanned * cfg_.cost_daemon_scan_page;
   k.daemon_pages_scanned += r.scanned;
   k.daemon_pages_reclaimed += r.reclaimed;
   if (!r.met_target) ++k.daemon_reclaim_failures;
@@ -275,11 +276,11 @@ Cycle Machine::run_daemon(std::uint32_t proc, Cycle now) {
 
 Cycle Machine::maybe_run_daemon(std::uint32_t proc, Cycle now) {
   const NodeId node = node_of(proc);
-  if (!policies_[node]->runs_daemon()) return 0;
-  if (now < next_daemon_[node]) return 0;
+  if (!policies_[node]->runs_daemon()) return Cycle{0};
+  if (now < next_daemon_[node]) return Cycle{0};
   if (!daemons_[node]->should_run(*page_caches_[node])) {
     next_daemon_[node] = now + daemon_period_[node];
-    return 0;
+    return Cycle{0};
   }
   const Cycle cost = run_daemon(proc, now);
   next_daemon_[node] = now + cost + daemon_period_[node];
@@ -340,7 +341,7 @@ Cycle Machine::handle_relocation(std::uint32_t proc, VPageId page,
 
 void Machine::release_barrier(Cycle release) {
   // Barrier episodes are machine-global; they ride on node 0's track.
-  note(obs::EventKind::kBarrierRelease, release, 0, kInvalidPage,
+  note(obs::EventKind::kBarrierRelease, release, NodeId{0}, kInvalidPage,
        barrier_.episodes());
   for (std::uint32_t q = 0; q < cfg_.total_procs(); ++q) {
     if (!waiting_in_barrier_[q]) continue;
@@ -358,8 +359,8 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
 
   switch (op.kind) {
     case OpKind::kCompute:
-      s.time[TimeBucket::kUserInstr] += op.arg;
-      sched_.set_ready(p, now + op.arg);
+      s.time[TimeBucket::kUserInstr] += Cycle{op.arg};
+      sched_.set_ready(p, now + Cycle{op.arg});
       return;
 
     case OpKind::kPrivate: {
@@ -372,9 +373,9 @@ void Machine::execute_op(std::uint32_t p, const Op& op) {
     case OpKind::kLoad:
     case OpKind::kStore: {
       const bool is_store = op.kind == OpKind::kStore;
-      const Addr addr = op.arg;
+      const Addr addr{op.arg};
       const VPageId page = cfg_.page_of(addr);
-      ASCOMA_CHECK(page < wl_.total_pages());
+      ASCOMA_CHECK(page.value() < wl_.total_pages());
       if (is_store)
         ++s.shared_stores;
       else
@@ -541,7 +542,7 @@ RunResult Machine::run() {
   for (std::uint32_t p = 0; p < cfg_.total_procs(); ++p)
     streams_.push_back(wl_.stream(p, wl_seed));
 
-  Cycle end_cycle = 0;
+  Cycle end_cycle{0};
   while (!sched_.all_done()) {
     const std::uint32_t p = sched_.pick();
     const Cycle now = sched_.ready_at(p);
@@ -555,7 +556,7 @@ RunResult Machine::run() {
     }
 
     // Demand-driven, rate-limited pageout-daemon tick for this node.
-    if (const Cycle c = maybe_run_daemon(p, now); c > 0) {
+    if (const Cycle c = maybe_run_daemon(p, now); c > Cycle{0}) {
       node_stats_[p].time[TimeBucket::kKernelOvhd] += c;
       sched_.set_ready(p, now + c);
       continue;
@@ -592,7 +593,7 @@ RunResult Machine::run() {
     }
     r.stats.totals.add(r.per_node[p]);
   }
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (NodeId n{0}; n.value() < cfg_.nodes; ++n) {
     r.final_threshold.push_back(policies_[n]->threshold());
     r.relocation_enabled.push_back(policies_[n]->relocation_enabled() ? 1
                                                                       : 0);
@@ -622,7 +623,7 @@ RunResult Machine::run() {
 fault::InvariantReport Machine::invariant_report() const {
   std::vector<const vm::PageTable*> tables;
   std::vector<const vm::PageCache*> caches;
-  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+  for (NodeId n{0}; n.value() < cfg_.nodes; ++n) {
     tables.push_back(page_tables_[n].get());
     caches.push_back(page_caches_[n].get());
   }

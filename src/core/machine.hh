@@ -98,7 +98,7 @@ class Machine {
   /// Attach/detach an observability sink after construction (equivalent to
   /// setting MachineConfig::sink; `sample_every` of 0 keeps the config's
   /// sampling period).  Must be called before run().
-  void install_sink(obs::EventSink* sink, Cycle sample_every = 0);
+  void install_sink(obs::EventSink* sink, Cycle sample_every = Cycle{0});
 
   /// Attach/detach a latency-attribution profiler after construction
   /// (equivalent to setting MachineConfig::profiler).  When a sink is also
@@ -108,7 +108,7 @@ class Machine {
 
   /// Node hosting processor `proc` (identity when procs_per_node == 1).
   NodeId node_of(std::uint32_t proc) const {
-    return proc / cfg_.procs_per_node;
+    return NodeId{proc / cfg_.procs_per_node};
   }
 
  private:
@@ -158,10 +158,10 @@ class Machine {
   std::uint64_t frames_per_node_ = 0;
 
   vm::HomeMap homes_;
-  std::vector<std::unique_ptr<vm::PageTable>> page_tables_;
-  std::vector<std::unique_ptr<vm::PageCache>> page_caches_;
-  std::vector<std::unique_ptr<vm::PageoutDaemon>> daemons_;
-  std::vector<std::unique_ptr<arch::Policy>> policies_;
+  IdVector<NodeId, std::unique_ptr<vm::PageTable>> page_tables_;
+  IdVector<NodeId, std::unique_ptr<vm::PageCache>> page_caches_;
+  IdVector<NodeId, std::unique_ptr<vm::PageoutDaemon>> daemons_;
+  IdVector<NodeId, std::unique_ptr<arch::Policy>> policies_;
   std::unique_ptr<proto::CoherentMemory> cmem_;
 
   sim::Scheduler sched_;
@@ -173,8 +173,8 @@ class Machine {
   /// Per-processor store-buffer entries (completion cycle per slot); only
   /// used when cfg_.blocking_stores is false.
   std::vector<std::vector<Cycle>> store_buffer_;
-  std::vector<Cycle> daemon_period_;
-  std::vector<Cycle> next_daemon_;
+  IdVector<NodeId, Cycle> daemon_period_;
+  IdVector<NodeId, Cycle> next_daemon_;
   std::vector<std::uint8_t> waiting_in_barrier_;
   obs::EventSink* sink_ = nullptr;  ///< non-owning; null = observability off
   obs::Sampler sampler_;

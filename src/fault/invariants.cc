@@ -61,7 +61,7 @@ InvariantReport check_coherence_invariants(
   Reporter out(report);
 
   // --- directory structure: at most one exclusive claim per block -----------
-  for (BlockId b = 0; b < blocks; ++b) {
+  for (BlockId b{0}; b.value() < blocks; ++b) {
     const NodeId owner = dir.owner(b);
     const std::uint64_t mask = dir.sharer_mask(b);
     if (cfg.nodes < 64 && (mask >> cfg.nodes) != 0) {
@@ -70,10 +70,10 @@ InvariantReport check_coherence_invariants(
       out.commit();
     }
     if (owner == kInvalidNode) continue;
-    if (owner >= cfg.nodes) {
+    if (owner.value() >= cfg.nodes) {
       out.next() << "block " << b << ": owner " << owner << " out of range";
       out.commit();
-    } else if (mask != (std::uint64_t{1} << owner)) {
+    } else if (mask != (std::uint64_t{1} << owner.value())) {
       out.next() << "block " << b
                  << ": exclusive owner must be the sole sharer ("
                  << dir.describe(b) << ")";
@@ -83,8 +83,8 @@ InvariantReport check_coherence_invariants(
 
   // --- residency: every locally valid copy must be in the copyset -----------
   const std::uint32_t ppn = cfg.procs_per_node;
-  for (NodeId n = 0; n < cfg.nodes; ++n) {
-    for (BlockId b = 0; b < blocks; ++b) {
+  for (NodeId n{0}; n.value() < cfg.nodes; ++n) {
+    for (BlockId b{0}; b.value() < blocks; ++b) {
       if (cmem.scoma_block_valid(n, b) && !dir.in_copyset(b, n)) {
         out.next() << "node " << n << " block " << b
                    << ": S-COMA valid bit set but node not in copyset ("
@@ -98,10 +98,10 @@ InvariantReport check_coherence_invariants(
         out.commit();
       }
     }
-    for (std::uint32_t q = n * ppn; q < (n + 1) * ppn; ++q) {
+    for (std::uint32_t q = n.value() * ppn; q < (n.value() + 1) * ppn; ++q) {
       for (const LineId line : cmem.l1(q).valid_line_ids()) {
-        const BlockId b = cfg.block_of(line * cfg.line_bytes);
-        if (b < blocks && !dir.in_copyset(b, n)) {
+        const BlockId b = cfg.block_of_line(line);
+        if (b.value() < blocks && !dir.in_copyset(b, n)) {
           out.next() << "proc " << q << " line " << line << " (block " << b
                      << "): valid L1 line but node " << n
                      << " not in copyset (" << dir.describe(b) << ")";
@@ -110,7 +110,7 @@ InvariantReport check_coherence_invariants(
       }
     }
     for (const BlockId b : cmem.rac(n).valid_block_ids()) {
-      if (b < blocks && !dir.in_copyset(b, n)) {
+      if (b.value() < blocks && !dir.in_copyset(b, n)) {
         out.next() << "node " << n << " block " << b
                    << ": valid RAC entry but node not in copyset ("
                    << dir.describe(b) << ")";
@@ -120,11 +120,12 @@ InvariantReport check_coherence_invariants(
   }
 
   // --- VM: mappings, frames, and page-cache accounting -----------------------
-  for (NodeId n = 0; n < cfg.nodes && n < tables.size() && n < caches.size();
+  for (NodeId n{0}; n.value() < cfg.nodes && n.value() < tables.size() &&
+                    n.value() < caches.size();
        ++n) {
-    const vm::PageTable& pt = *tables[n];
-    const vm::PageCache& pc = *caches[n];
-    for (VPageId p = 0; p < pages; ++p) {
+    const vm::PageTable& pt = *tables[n.value()];
+    const vm::PageCache& pc = *caches[n.value()];
+    for (VPageId p{0}; p.value() < pages; ++p) {
       const PageMode mode = pt.mode(p);
       if (mode == PageMode::kScoma) {
         if (pt.frame(p) == kInvalidFrame) {

@@ -43,25 +43,25 @@ FaultDecision FaultPlan::decide(Cycle now, NodeId src, NodeId dst) {
     if (rule_matches(r, FaultKind::kDrop, now, src, dst)) d.drop = true;
     if (rule_matches(r, FaultKind::kDuplicate, now, src, dst))
       d.duplicate = true;
-    if (rule_matches(r, FaultKind::kJitter, now, src, dst) && d.jitter == 0)
-      d.jitter = jitter_max_ == 0 ? 1 : jitter_max_;
+    if (rule_matches(r, FaultKind::kJitter, now, src, dst) && d.jitter == Cycle{0})
+      d.jitter = jitter_max_ == Cycle{0} ? Cycle{1} : jitter_max_;
   }
   // Probabilistic draws happen unconditionally per enabled knob so the RNG
   // stream consumed by one message never depends on rule outcomes.
   if (drop_p_ > 0.0 && rng_.chance(drop_p_)) d.drop = true;
   if (dup_p_ > 0.0 && rng_.chance(dup_p_)) d.duplicate = true;
-  if (jitter_p_ > 0.0 && rng_.chance(jitter_p_) && d.jitter == 0)
-    d.jitter = rng_.range(1, jitter_max_);
+  if (jitter_p_ > 0.0 && rng_.chance(jitter_p_) && d.jitter == Cycle{0})
+    d.jitter = Cycle{rng_.range(1, jitter_max_.value())};
   // A dropped message never reaches the destination: duplication and jitter
   // are moot (the copy dies in the same fabric).
   if (d.drop) {
     d.duplicate = false;
-    d.jitter = 0;
+    d.jitter = Cycle{0};
     ++drops_;
     return d;
   }
   if (d.duplicate) ++duplicates_;
-  if (d.jitter > 0) ++jitters_;
+  if (d.jitter > Cycle{0}) ++jitters_;
   return d;
 }
 

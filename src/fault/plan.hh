@@ -39,7 +39,7 @@ struct TargetRule {
   FaultKind kind = FaultKind::kDrop;
   NodeId src = kInvalidNode;  ///< sending node filter (kNack: ignored)
   NodeId dst = kInvalidNode;  ///< receiving node filter (kNack: the home)
-  Cycle begin = 0;            ///< window start, inclusive
+  Cycle begin{0};            ///< window start, inclusive
   Cycle end = kNeverCycle;    ///< window end, exclusive
 };
 
@@ -47,7 +47,7 @@ struct TargetRule {
 struct FaultDecision {
   bool drop = false;
   bool duplicate = false;
-  Cycle jitter = 0;
+  Cycle jitter{0};
 };
 
 class FaultPlan {
@@ -93,7 +93,7 @@ class FaultPlan {
   double drop_p_ = 0.0;
   double dup_p_ = 0.0;
   double jitter_p_ = 0.0;
-  Cycle jitter_max_ = 0;
+  Cycle jitter_max_{0};
   std::vector<TargetRule> rules_;
 
   std::uint64_t decisions_ = 0;

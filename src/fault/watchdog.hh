@@ -34,16 +34,16 @@ class Watchdog {
   Watchdog() = default;
   explicit Watchdog(Cycle bound) : bound_(bound) {}
 
-  bool enabled() const { return bound_ != 0; }
+  bool enabled() const { return bound_ != Cycle{0}; }
   Cycle bound() const { return bound_; }
 
   /// The transaction currently under the bound.
   struct InFlight {
     bool active = false;
     std::uint32_t proc = 0;
-    Addr addr = 0;
+    Addr addr{0};
     bool is_store = false;
-    Cycle start = 0;
+    Cycle start{0};
     std::uint32_t retries = 0;  ///< network retransmissions so far
     std::uint32_t nacks = 0;    ///< NACKs received so far
   };
@@ -73,7 +73,7 @@ class Watchdog {
   [[noreturn]] void trip(Cycle now, const std::string& state_dump);
 
  private:
-  Cycle bound_ = 0;
+  Cycle bound_{0};
   InFlight tx_;
   std::uint64_t trips_ = 0;
 };

@@ -23,7 +23,7 @@ class Bus {
 
   /// A shorter address-only transaction (coherence responses, invalidates).
   Cycle transact_short(Cycle now) {
-    return res_.acquire_until(now, (occupancy_ + 1) / 2);
+    return res_.acquire_until(now, (occupancy_ + Cycle{1}) / 2);
   }
 
   const sim::Resource& resource() const { return res_; }

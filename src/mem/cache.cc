@@ -51,7 +51,7 @@ bool L1Cache::invalidate_line(LineId line) {
 }
 
 std::uint32_t L1Cache::invalidate_block(BlockId block) {
-  const LineId first = static_cast<LineId>(block) * lines_per_block_;
+  const LineId first{block.value() * lines_per_block_};
   std::uint32_t n = 0;
   for (std::uint32_t i = 0; i < lines_per_block_; ++i)
     n += invalidate_line(first + i) ? 1 : 0;
@@ -59,7 +59,7 @@ std::uint32_t L1Cache::invalidate_block(BlockId block) {
 }
 
 L1Cache::FlushResult L1Cache::flush_page(VPageId page) {
-  const LineId first = static_cast<LineId>(page) * lines_per_page_;
+  const LineId first{page.value() * lines_per_page_};
   FlushResult r;
   for (std::uint32_t i = 0; i < lines_per_page_; ++i) {
     Slot& s = lines_[index_of(first + i)];

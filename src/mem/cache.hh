@@ -25,7 +25,7 @@ class L1Cache {
   struct AccessResult {
     bool hit = false;
     bool writeback = false;  ///< a dirty victim line was evicted
-    LineId victim = 0;       ///< valid when a (clean or dirty) line was evicted
+    LineId victim{0};       ///< valid when a (clean or dirty) line was evicted
     bool evicted = false;
   };
 
@@ -72,13 +72,13 @@ class L1Cache {
 
  private:
   struct Slot {
-    LineId tag = 0;
+    LineId tag{0};
     bool valid = false;
     bool dirty = false;
   };
 
   std::uint32_t index_of(LineId line) const {
-    return static_cast<std::uint32_t>(line) & index_mask_;
+    return static_cast<std::uint32_t>(line.value()) & index_mask_;
   }
 
   std::uint32_t lines_per_block_;

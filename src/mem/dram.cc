@@ -13,7 +13,7 @@ Dram::Dram(const MachineConfig& cfg) : access_cycles_(cfg.dram_access_cycles) {
 
 Cycle Dram::access(Cycle now, BlockId block) {
   ++accesses_;
-  sim::Resource& bank = banks_[block % banks_.size()];
+  sim::Resource& bank = banks_[block.value() % banks_.size()];
   return bank.acquire_until(now, access_cycles_);
 }
 

@@ -31,7 +31,7 @@ bool Rac::invalidate(BlockId block) {
 }
 
 std::uint32_t Rac::invalidate_page(VPageId page) {
-  const BlockId first = static_cast<BlockId>(page) * blocks_per_page_;
+  const BlockId first{page.value() * blocks_per_page_};
   std::uint32_t n = 0;
   for (std::uint32_t i = 0; i < blocks_per_page_; ++i)
     n += invalidate(first + i) ? 1 : 0;

@@ -48,12 +48,12 @@ class Rac {
 
  private:
   struct Slot {
-    BlockId tag = 0;
+    BlockId tag{0};
     bool valid = false;
   };
 
   std::uint32_t index_of(BlockId b) const {
-    return slots_.empty() ? 0 : static_cast<std::uint32_t>(b % slots_.size());
+    return slots_.empty() ? 0 : static_cast<std::uint32_t>(b.value() % slots_.size());
   }
 
   std::uint32_t blocks_per_page_;

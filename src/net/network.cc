@@ -18,7 +18,7 @@ Network::Network(const MachineConfig& cfg)
 }
 
 Network::Attempt Network::try_deliver(Cycle now, NodeId src, NodeId dst) {
-  ASCOMA_CHECK(src < ports_.size() && dst < ports_.size());
+  ASCOMA_CHECK(src.value() < ports_.size() && dst.value() < ports_.size());
   ++messages_;
   if (src == dst) return {now, false};  // loopback: NI shortcut, no fabric
   const std::uint32_t stages = topo_.stages();
@@ -30,15 +30,15 @@ Network::Attempt Network::try_deliver(Cycle now, NodeId src, NodeId dst) {
     if (d.drop) {
       if (sink_)
         sink_->emit(obs::EventKind::kFaultInjected, now, src, kInvalidPage,
-                    static_cast<std::uint64_t>(fault::FaultKind::kDrop), dst);
+                    static_cast<std::uint64_t>(fault::FaultKind::kDrop), dst.value());
       return {at_port, true};  // died in the fabric: never touches the port
     }
-    if (d.jitter > 0) {
+    if (d.jitter > Cycle{0}) {
       at_port += d.jitter;
       if (sink_)
         sink_->emit(obs::EventKind::kFaultInjected, now, src, kInvalidPage,
-                    static_cast<std::uint64_t>(fault::FaultKind::kJitter), dst,
-                    d.jitter);
+                    static_cast<std::uint64_t>(fault::FaultKind::kJitter), dst.value(),
+                    d.jitter.value());
     }
     if (d.duplicate) {
       // The spurious copy occupies the destination input port ahead of the
@@ -47,7 +47,7 @@ Network::Attempt Network::try_deliver(Cycle now, NodeId src, NodeId dst) {
       if (sink_)
         sink_->emit(obs::EventKind::kFaultInjected, now, src, kInvalidPage,
                     static_cast<std::uint64_t>(fault::FaultKind::kDuplicate),
-                    dst);
+                    dst.value());
     }
   }
   // The input port serializes arriving messages, then the destination NI

@@ -43,7 +43,7 @@ class Network {
 
   /// One delivery attempt src -> dst injected at `now`.
   struct Attempt {
-    Cycle arrival = 0;   ///< delivery cycle, or (when dropped) the cycle the
+    Cycle arrival{0};   ///< delivery cycle, or (when dropped) the cycle the
                          ///< message died in the fabric
     bool dropped = false;
   };
@@ -61,7 +61,7 @@ class Network {
   /// (which never enters the fabric), else min_one_way_latency().  The
   /// profiler uses this to split a delivery into fabric vs queueing cycles.
   Cycle uncontended_latency(NodeId src, NodeId dst) const {
-    return src == dst ? 0 : min_one_way_latency();
+    return src == dst ? Cycle{0} : min_one_way_latency();
   }
 
   /// Sender loss-detection timeout used by deliver() and protocol retries.
@@ -86,7 +86,7 @@ class Network {
   Cycle port_occupancy_;
   Cycle retry_timeout_;
   std::uint32_t retry_max_attempts_;
-  std::vector<sim::Resource> ports_;
+  IdVector<NodeId, sim::Resource> ports_;
   std::uint64_t messages_ = 0;
   std::uint64_t retransmits_ = 0;
   fault::FaultPlan* plan_ = nullptr;  // non-owning

@@ -47,9 +47,9 @@ const char* arg_name(EventKind k, int i);
 /// One observed transition.  `page` is kInvalidPage for events without a
 /// page subject; the meaning of a/b/c is per-kind (see EventKind comments).
 struct Event {
-  Cycle cycle = 0;
+  Cycle cycle{0};
   EventKind kind = EventKind::kPageFault;
-  NodeId node = 0;
+  NodeId node{0};
   VPageId page = kInvalidPage;
   std::uint64_t a = 0;
   std::uint64_t b = 0;

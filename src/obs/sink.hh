@@ -26,8 +26,8 @@ namespace ascoma::obs {
 
 /// One row of the time-series: the value of every per-node gauge at `cycle`.
 struct Sample {
-  Cycle cycle = 0;
-  NodeId node = 0;
+  Cycle cycle{0};
+  NodeId node{0};
   std::uint64_t free_frames = 0;     ///< node's free page-cache frames
   std::uint64_t threshold = 0;       ///< node's current refetch threshold
   std::uint64_t cache_active = 0;    ///< active S-COMA pages (occupancy)
@@ -112,9 +112,9 @@ class EventSink {
 /// not a burst).  A period of 0 disables the sampler.
 class Sampler {
  public:
-  explicit Sampler(Cycle period = 0) : period_(period), next_(period) {}
+  explicit Sampler(Cycle period = Cycle{0}) : period_(period), next_(period) {}
 
-  bool enabled() const { return period_ != 0; }
+  bool enabled() const { return period_ != Cycle{0}; }
   Cycle period() const { return period_; }
 
   bool due(Cycle now) const { return enabled() && now >= next_; }

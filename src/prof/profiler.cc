@@ -15,7 +15,7 @@ constexpr std::uint64_t kNeverEpoch = ~std::uint64_t{0};
 
 /// (node, raise-count) key identifying one node's current back-off epoch.
 std::uint64_t epoch_key(NodeId node, std::uint64_t raises) {
-  return (static_cast<std::uint64_t>(node) << 32) ^ raises;
+  return (static_cast<std::uint64_t>(node.value()) << 32) ^ raises;
 }
 
 void json_hist(std::ostream& os, const LatencyHistogram& h) {
@@ -78,7 +78,7 @@ void Profiler::set_meta(std::string workload, std::string arch,
 }
 
 void Profiler::begin_access(Cycle) {
-  scratch_.fill(0);
+  scratch_.fill(Cycle{0});
   in_access_ = true;
 }
 
@@ -88,14 +88,14 @@ void Profiler::end_access(AccessClass cls, VPageId p, Cycle end_to_end,
   in_access_ = false;
   ++accesses_;
 
-  Cycle attributed = 0;
+  Cycle attributed{0};
   const int ci = static_cast<int>(cls);
   for (int c = 0; c < kNumComponents; ++c) {
     attributed += scratch_[c];
-    if (scratch_[c] > 0) segments_[ci][c].record(scratch_[c]);
+    if (scratch_[c] > Cycle{0}) segments_[ci][c].record(scratch_[c].value());
   }
   if (attributed != end_to_end) ++mismatches_;
-  end_to_end_[ci].record(end_to_end);
+  end_to_end_[ci].record(end_to_end.value());
 
   if (p != kInvalidPage) {
     PageHeat& h = page(p);
@@ -106,7 +106,7 @@ void Profiler::end_access(AccessClass cls, VPageId p, Cycle end_to_end,
 }
 
 PageHeat& Profiler::page(VPageId p) {
-  const auto idx = static_cast<std::size_t>(p);
+  const std::size_t idx = p.value();
   if (idx >= pages_.size()) {
     pages_.resize(idx + 1);
     page_last_epoch_.resize(idx + 1, kNeverEpoch);
@@ -117,8 +117,8 @@ PageHeat& Profiler::page(VPageId p) {
 }
 
 void Profiler::on_event(const obs::Event& e) {
-  if (e.node >= nodes_.size()) nodes_.resize(e.node + 1);
-  NodeHeat& n = nodes_[e.node];
+  if (e.node.value() >= nodes_.size()) nodes_.resize(e.node.value() + 1);
+  NodeHeat& n = nodes_[e.node.value()];
   switch (e.kind) {
     case obs::EventKind::kPageFault:
       ++page(e.page).faults;
@@ -136,8 +136,8 @@ void Profiler::on_event(const obs::Event& e) {
       PageHeat& h = page(e.page);
       ++h.downgrades;
       const std::uint64_t key = epoch_key(e.node, n.threshold_raises);
-      if (page_last_epoch_[static_cast<std::size_t>(e.page)] != key) {
-        page_last_epoch_[static_cast<std::size_t>(e.page)] = key;
+      if (page_last_epoch_[e.page.value()] != key) {
+        page_last_epoch_[e.page.value()] = key;
         ++h.backoff_epochs;
       }
       break;

@@ -219,7 +219,7 @@ class Profiler final : public obs::EventObserver {
   std::string arch_;
   double pressure_ = 0.0;
   std::uint64_t seed_ = 0;
-  Cycle run_cycles_ = 0;
+  Cycle run_cycles_{0};
 };
 
 }  // namespace ascoma::prof

@@ -36,7 +36,8 @@ CoherentMemory::CoherentMemory(const MachineConfig& cfg,
   remote_pages_touched_.assign(cfg.nodes, 0);
   if (cfg.check_invariants) {
     global_version_.assign(blocks, 0);
-    local_version_.assign(cfg.nodes, std::vector<std::uint32_t>(blocks, 0));
+    local_version_.assign(cfg.nodes,
+                          IdVector<BlockId, std::uint32_t>(blocks, 0));
   }
 }
 
@@ -67,7 +68,7 @@ void CoherentMemory::set_page_tables(
 }
 
 void CoherentMemory::apply_invalidation(NodeId s, BlockId b) {
-  for (std::uint32_t q = s * ppn_; q < (s + 1) * ppn_; ++q)
+  for (std::uint32_t q = s.value() * ppn_; q < (s.value() + 1) * ppn_; ++q)
     l1_[q]->invalidate_block(b);
   rac_[s]->invalidate(b);
   scoma_valid_[s][b] = 0;
@@ -78,7 +79,7 @@ void CoherentMemory::invalidate_sibling_line(std::uint32_t proc,
                                              LineId line) {
   if (ppn_ == 1) return;
   const NodeId n = node_of(proc);
-  for (std::uint32_t q = n * ppn_; q < (n + 1) * ppn_; ++q)
+  for (std::uint32_t q = n.value() * ppn_; q < (n.value() + 1) * ppn_; ++q)
     if (q != proc) l1_[q]->invalidate_line(line);
 }
 
@@ -86,7 +87,7 @@ int CoherentMemory::sibling_with_line(std::uint32_t proc,
                                       LineId line) const {
   if (ppn_ == 1) return -1;
   const NodeId n = node_of(proc);
-  for (std::uint32_t q = n * ppn_; q < (n + 1) * ppn_; ++q)
+  for (std::uint32_t q = n.value() * ppn_; q < (n.value() + 1) * ppn_; ++q)
     if (q != proc && l1_[q]->probe(line)) return static_cast<int>(q);
   return -1;
 }
@@ -100,7 +101,7 @@ Cycle CoherentMemory::use_bus(NodeId n, Cycle t) {
 }
 
 Cycle CoherentMemory::use_bus_short(NodeId n, Cycle t) {
-  if (background_) return t + (cfg_.bus_occupancy + 1) / 2;
+  if (background_) return t + (cfg_.bus_occupancy + Cycle{1}) / 2;
   const Cycle r = bus_[n]->transact_short(t);
   prof_add(prof::Component::kBus, t, r);
   return r;
@@ -153,25 +154,27 @@ Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
     watchdog_.note_retry();
     const Cycle resend = t + net_.retry_timeout() + backoff;
     if (sink_)
-      sink_->emit(obs::EventKind::kRetry, resend, src, kInvalidPage, dst,
+      sink_->emit(obs::EventKind::kRetry, resend, src, kInvalidPage, dst.value(),
                   attempt);
     check_watchdog(resend);
     if (attempt >= cfg_.retry_max_attempts)
       throw fault::WatchdogError(
           "request retry budget exhausted (" +
           std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
-          std::to_string(src) + " -> " + std::to_string(dst) + ")\n  " +
+          std::to_string(src.value()) + " -> " + std::to_string(dst.value()) +
+          ")\n  " +
           watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
     prof_add(prof::Component::kBackoff, t, resend);
     t = resend;
-    backoff = std::min<Cycle>(backoff * 2, cfg_.retry_backoff_max);
+    backoff = std::min(backoff * 2, cfg_.retry_backoff_max);
   }
 }
 
 Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
                                      Cycle t) {
   t = use_net(t, src, dst);
-  if (background_ || (cfg_.nack_busy_cycles == 0 && !plan_.enabled()))
+  if (background_ ||
+      (cfg_.nack_busy_cycles == Cycle{0} && !plan_.enabled()))
     return use_engine(dst, t);
   // NACK-on-overload: a home engine whose backlog exceeds the threshold (or
   // a fault rule forcing a NACK) refuses the request; the requester backs
@@ -180,16 +183,17 @@ Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
   for (std::uint32_t attempt = 1;; ++attempt) {
     const Cycle free_at = engine_[dst].free_at();
     const bool overloaded =
-        cfg_.nack_busy_cycles > 0 && free_at > t + cfg_.nack_busy_cycles;
+        cfg_.nack_busy_cycles > Cycle{0} &&
+        free_at > t + cfg_.nack_busy_cycles;
     if (!overloaded && !plan_.nack_forced(t, dst)) break;
     ++nacks_;
     ++cur_nacks_;
     watchdog_.note_nack();
     dir_.note_nack(block, src);
     if (sink_)
-      sink_->emit(obs::EventKind::kNack, t, dst,
-                  block / cfg_.blocks_per_page(), src,
-                  free_at > t ? free_at - t : 0);
+      sink_->emit(obs::EventKind::kNack, t, dst, cfg_.page_of_block(block),
+                  src.value(),
+                  free_at > t ? (free_at - t).value() : 0);
     const Cycle nack_at = use_net(t, dst, src);  // NACK reply to requester
     const Cycle resend = nack_at + backoff;
     prof_add(prof::Component::kBackoff, nack_at, resend);
@@ -198,10 +202,11 @@ Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
       throw fault::WatchdogError(
           "NACK retry budget exhausted (" +
           std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
-          std::to_string(src) + " -> home " + std::to_string(dst) + ")\n  " +
+          std::to_string(src.value()) + " -> home " +
+          std::to_string(dst.value()) + ")\n  " +
           watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
     t = use_net(resend, src, dst);  // re-issued request
-    backoff = std::min<Cycle>(backoff * 2, cfg_.retry_backoff_max);
+    backoff = std::min(backoff * 2, cfg_.retry_backoff_max);
   }
   return use_engine(dst, t);
 }
@@ -211,7 +216,8 @@ void CoherentMemory::check_watchdog(Cycle now) {
   const fault::Watchdog::InFlight& tx = watchdog_.in_flight();
   if (sink_)
     sink_->emit(obs::EventKind::kWatchdogTrip, now, node_of(tx.proc),
-                cfg_.page_of(tx.addr), now - tx.start, tx.retries, tx.nacks);
+                cfg_.page_of(tx.addr), (now - tx.start).value(), tx.retries,
+                tx.nacks);
   watchdog_.trip(now, dump_in_flight_state(now));
 }
 
@@ -225,7 +231,7 @@ std::string CoherentMemory::dump_in_flight_state(Cycle now) const {
     os << "\n  block " << b << " (page " << page << ", home "
        << home_of_page(page) << "): " << dir_.describe(b);
   }
-  for (NodeId n = 0; n < cfg_.nodes; ++n)
+  for (NodeId n{0}; n.value() < cfg_.nodes; ++n)
     os << "\n  node " << n << ": engine free_at=" << engine_[n].free_at()
        << ", input port free_at=" << net_.input_port(n).free_at();
   os << "\n  faults injected=" << plan_.injected()
@@ -263,7 +269,7 @@ Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
 void CoherentMemory::victim_writeback(std::uint32_t proc, LineId victim_line,
                                       Cycle now) {
   const NodeId node = node_of(proc);
-  const Addr addr = victim_line * cfg_.line_bytes;
+  const Addr addr = cfg_.line_base(victim_line);
   const VPageId page = cfg_.page_of(addr);
   const BlockId block = cfg_.block_of(addr);
   const PageMode mode = page_tables_[node]->mode(page);
@@ -350,7 +356,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       o.remote = true;
     }
     t += cfg_.dir_lookup_cycles;
-    prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
+    prof_add(prof::Component::kDirectory, Cycle{0}, cfg_.dir_lookup_cycles);
     auto gx = dir_.getx(block, node);
     ASCOMA_CHECK_MSG(!gx.forward(),
                      "valid L1 line while another node owns the block dirty");
@@ -414,9 +420,9 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       if (gx.forward()) {
         // 3-hop: fetch the dirty data from its owner, invalidating it.
         t += cfg_.dir_lookup_cycles;
-        prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
+        prof_add(prof::Component::kDirectory, Cycle{0}, cfg_.dir_lookup_cycles);
         note_dir_event(obs::EventKind::kDirForward, t, node, block,
-                       gx.dirty_owner);
+                       gx.dirty_owner.value());
         const Cycle at_owner = use_net(t, node, gx.dirty_owner);
         const Cycle eo = use_engine(gx.dirty_owner, at_owner);
         const Cycle data = use_dram(gx.dirty_owner, eo, block);
@@ -443,9 +449,9 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
       auto gs = dir_.gets(block, node);
       if (gs.forward()) {
         t += cfg_.dir_lookup_cycles;
-        prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
+        prof_add(prof::Component::kDirectory, Cycle{0}, cfg_.dir_lookup_cycles);
         note_dir_event(obs::EventKind::kDirForward, t, node, block,
-                       gs.dirty_owner);
+                       gs.dirty_owner.value());
         const Cycle at_owner = use_net(t, node, gs.dirty_owner);
         const Cycle eo = use_engine(gs.dirty_owner, at_owner);
         const Cycle data = use_dram(gs.dirty_owner, eo, block);
@@ -492,7 +498,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     t = use_engine(node, t);
     t = request_engine(node, home, block, t);
     t += cfg_.dir_lookup_cycles;
-    prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
+    prof_add(prof::Component::kDirectory, Cycle{0}, cfg_.dir_lookup_cycles);
     auto gx = dir_.getx(block, node);
     ASCOMA_CHECK_MSG(!gx.forward(),
                      "valid S-COMA block while another node owns it dirty");
@@ -528,7 +534,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
   t = use_engine(node, t);
   t = request_engine(node, home, block, t);
   t += cfg_.dir_lookup_cycles;
-  prof_add(prof::Component::kDirectory, 0, cfg_.dir_lookup_cycles);
+  prof_add(prof::Component::kDirectory, Cycle{0}, cfg_.dir_lookup_cycles);
 
   Cycle data_done;
   Cycle acks = t;
@@ -537,7 +543,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     o.counted_refetch = (prior == Touch::kFetched);
     if (gx.forward()) {
       note_dir_event(obs::EventKind::kDirForward, t, node, block,
-                     gx.dirty_owner);
+                     gx.dirty_owner.value());
       const Cycle at_owner = use_net(t, home, gx.dirty_owner);
       const Cycle eo = use_engine(gx.dirty_owner, at_owner);
       const Cycle data = use_dram(gx.dirty_owner, eo, block);
@@ -555,7 +561,7 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
     o.counted_refetch = (prior == Touch::kFetched);
     if (gs.forward()) {
       note_dir_event(obs::EventKind::kDirForward, t, node, block,
-                     gs.dirty_owner);
+                     gs.dirty_owner.value());
       const Cycle at_owner = use_net(t, home, gs.dirty_owner);
       const Cycle eo = use_engine(gs.dirty_owner, at_owner);
       const Cycle data = use_dram(gs.dirty_owner, eo, block);
@@ -609,9 +615,10 @@ CoherentMemory::Outcome CoherentMemory::access_impl(std::uint32_t proc,
 CoherentMemory::FlushOutcome CoherentMemory::flush_page(NodeId node,
                                                         VPageId page,
                                                         Cycle now) {
-  ASCOMA_CHECK(node < cfg_.nodes);
+  ASCOMA_CHECK(node.value() < cfg_.nodes);
   FlushOutcome fo;
-  for (std::uint32_t q = node * ppn_; q < (node + 1) * ppn_; ++q) {
+  for (std::uint32_t q = node.value() * ppn_; q < (node.value() + 1) * ppn_;
+       ++q) {
     const auto l1res = l1_[q]->flush_page(page);
     fo.l1_valid_lines += l1res.valid_lines;
     fo.l1_dirty_lines += l1res.dirty_lines;
@@ -644,9 +651,9 @@ CoherentMemory::FlushOutcome CoherentMemory::flush_page(NodeId node,
 
 void CoherentMemory::audit() const {
   const std::uint64_t blocks = dir_.total_blocks();
-  for (BlockId b = 0; b < blocks; ++b) {
+  for (BlockId b{0}; b.value() < blocks; ++b) {
     dir_.check_entry(b);
-    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    for (NodeId n{0}; n.value() < cfg_.nodes; ++n) {
       if (scoma_valid_[n][b]) {
         ASCOMA_CHECK_MSG(dir_.in_copyset(b, n),
                          "S-COMA valid block not in directory copyset");

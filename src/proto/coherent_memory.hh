@@ -67,7 +67,7 @@ class CoherentMemory {
   void set_profiler(prof::Profiler* p) { prof_ = p; }
 
   struct Outcome {
-    Cycle done = 0;          ///< completion cycle of the access
+    Cycle done{0};          ///< completion cycle of the access
     bool l1_hit = false;     ///< satisfied entirely by the processor's L1
     bool counted_miss = false;  ///< contributes to the miss breakdown
     MissSource source = MissSource::kHome;  ///< valid when counted_miss
@@ -143,7 +143,7 @@ class CoherentMemory {
     return remote_pages_touched_[n];
   }
 
-  NodeId node_of(std::uint32_t proc) const { return proc / ppn_; }
+  NodeId node_of(std::uint32_t proc) const { return NodeId{proc / ppn_}; }
 
   /// Cross-checks directory state against per-node block state; throws
   /// CheckFailure on violation.  O(blocks * nodes) — test/diagnostic use.
@@ -210,8 +210,8 @@ class CoherentMemory {
   void note_dir_event(obs::EventKind kind, Cycle cycle, NodeId requester,
                       BlockId block, std::uint64_t arg) {
     if (!sink_) return;
-    sink_->emit(kind, cycle, requester, block / cfg_.blocks_per_page(), block,
-                arg);
+    sink_->emit(kind, cycle, requester, cfg_.page_of_block(block),
+                block.value(), arg);
   }
 
   /// Attribute `to - from` critical-path cycles to `c` when recording is on.
@@ -233,13 +233,13 @@ class CoherentMemory {
   const MachineConfig cfg_;
   const vm::HomeMap& homes_;
   const std::uint32_t ppn_;
-  std::vector<const vm::PageTable*> page_tables_;
+  IdVector<NodeId, const vm::PageTable*> page_tables_;
 
   std::vector<std::unique_ptr<mem::L1Cache>> l1_;   // per processor
-  std::vector<std::unique_ptr<mem::Rac>> rac_;      // per node
-  std::vector<std::unique_ptr<mem::Dram>> dram_;    // per node
-  std::vector<std::unique_ptr<mem::Bus>> bus_;      // per node
-  std::vector<sim::Resource> engine_;               // per node
+  IdVector<NodeId, std::unique_ptr<mem::Rac>> rac_;    // per node
+  IdVector<NodeId, std::unique_ptr<mem::Dram>> dram_;  // per node
+  IdVector<NodeId, std::unique_ptr<mem::Bus>> bus_;    // per node
+  IdVector<NodeId, sim::Resource> engine_;              // per node
   fault::FaultPlan plan_;
   fault::Watchdog watchdog_;
   net::Network net_;
@@ -247,11 +247,11 @@ class CoherentMemory {
   RefetchTable refetch_;
 
   // Per-node, per-block requester-side state.
-  std::vector<std::vector<std::uint8_t>> touched_;      // Touch enum
-  std::vector<std::vector<std::uint8_t>> ever_fetched_; // sticky, for stats
-  std::vector<std::vector<std::uint8_t>> scoma_valid_;  // S-COMA valid bits
-  std::vector<std::vector<std::uint8_t>> remote_page_seen_;
-  std::vector<std::uint64_t> remote_pages_touched_;
+  IdVector<NodeId, IdVector<BlockId, std::uint8_t>> touched_;      // Touch enum
+  IdVector<NodeId, IdVector<BlockId, std::uint8_t>> ever_fetched_; // sticky, for stats
+  IdVector<NodeId, IdVector<BlockId, std::uint8_t>> scoma_valid_;  // S-COMA valid bits
+  IdVector<NodeId, IdVector<PageId, std::uint8_t>> remote_page_seen_;
+  IdVector<NodeId, std::uint64_t> remote_pages_touched_;
 
   std::uint64_t wb_local_ = 0;
   std::uint64_t wb_remote_ = 0;
@@ -269,8 +269,8 @@ class CoherentMemory {
   void shadow_commit_store(NodeId node, BlockId b);
   void shadow_fetch(NodeId node, BlockId b);
   void shadow_check_local(NodeId node, BlockId b, const char* where) const;
-  std::vector<std::uint32_t> global_version_;
-  std::vector<std::vector<std::uint32_t>> local_version_;
+  IdVector<BlockId, std::uint32_t> global_version_;
+  IdVector<NodeId, IdVector<BlockId, std::uint32_t>> local_version_;
 };
 
 }  // namespace ascoma::proto

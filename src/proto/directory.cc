@@ -35,7 +35,7 @@ const Transition& Directory::apply(BlockId b, ProtoMsg msg, NodeId requester,
     while (to_inval != 0) {
       const int n = std::countr_zero(to_inval);
       if (invalidate != nullptr)
-        invalidate->push_back(static_cast<NodeId>(n));
+        invalidate->push_back(NodeId(n));
       to_inval &= to_inval - 1;
       ++invalidations_;
     }
@@ -64,7 +64,7 @@ const Transition& Directory::apply(BlockId b, ProtoMsg msg, NodeId requester,
 }
 
 Directory::FetchResult Directory::gets(BlockId b, NodeId requester) {
-  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  ASCOMA_CHECK(b.value() < entries_.size() && requester.value() < nodes_);
   FetchResult r;
   r.was_in_copyset = (entries_[b].sharers & bit(requester)) != 0;
   r.actions =
@@ -73,7 +73,7 @@ Directory::FetchResult Directory::gets(BlockId b, NodeId requester) {
 }
 
 Directory::GetxResult Directory::getx(BlockId b, NodeId requester) {
-  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  ASCOMA_CHECK(b.value() < entries_.size() && requester.value() < nodes_);
   GetxResult r;
   r.was_in_copyset = (entries_[b].sharers & bit(requester)) != 0;
   r.actions =
@@ -83,39 +83,39 @@ Directory::GetxResult Directory::getx(BlockId b, NodeId requester) {
 }
 
 bool Directory::flush_node(BlockId b, NodeId node) {
-  ASCOMA_CHECK(b < entries_.size() && node < nodes_);
+  ASCOMA_CHECK(b.value() < entries_.size() && node.value() < nodes_);
   const bool was_owner = rel_of(entries_[b], node) == ReqRel::kOwner;
   apply(b, ProtoMsg::kFlush, node, nullptr, nullptr);
   return was_owner;
 }
 
 void Directory::note_nack(BlockId b, NodeId requester) {
-  ASCOMA_CHECK(b < entries_.size() && requester < nodes_);
+  ASCOMA_CHECK(b.value() < entries_.size() && requester.value() < nodes_);
   apply(b, ProtoMsg::kNack, requester, nullptr, nullptr);
   ++nacks_;
 }
 
 bool Directory::in_copyset(BlockId b, NodeId node) const {
-  ASCOMA_CHECK(b < entries_.size() && node < nodes_);
+  ASCOMA_CHECK(b.value() < entries_.size() && node.value() < nodes_);
   return (entries_[b].sharers & bit(node)) != 0;
 }
 
 std::uint32_t Directory::sharer_count(BlockId b) const {
-  ASCOMA_CHECK(b < entries_.size());
+  ASCOMA_CHECK(b.value() < entries_.size());
   return static_cast<std::uint32_t>(std::popcount(entries_[b].sharers));
 }
 
 std::string Directory::describe(BlockId b) const {
-  ASCOMA_CHECK(b < entries_.size());
+  ASCOMA_CHECK(b.value() < entries_.size());
   const Entry& e = entries_[b];
   std::string out = "owner=";
-  out += e.owner == kInvalidNode ? "-" : std::to_string(e.owner);
+  out += e.owner == kInvalidNode ? "-" : std::to_string(e.owner.value());
   out += " sharers={";
   bool first = true;
-  for (NodeId n = 0; n < nodes_; ++n) {
+  for (NodeId n{0}; n.value() < nodes_; ++n) {
     if ((e.sharers & bit(n)) == 0) continue;
     if (!first) out += ',';
-    out += std::to_string(n);
+    out += std::to_string(n.value());
     first = false;
   }
   out += '}';
@@ -123,10 +123,10 @@ std::string Directory::describe(BlockId b) const {
 }
 
 void Directory::check_entry(BlockId b) const {
-  ASCOMA_CHECK(b < entries_.size());
+  ASCOMA_CHECK(b.value() < entries_.size());
   const Entry& e = entries_[b];
   if (e.owner != kInvalidNode) {
-    ASCOMA_CHECK_MSG(e.owner < nodes_, "owner out of range");
+    ASCOMA_CHECK_MSG(e.owner.value() < nodes_, "owner out of range");
     ASCOMA_CHECK_MSG(e.sharers == bit(e.owner),
                      "exclusive block must have exactly its owner as sharer");
   }

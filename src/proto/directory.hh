@@ -69,12 +69,12 @@ class Directory {
 
   /// Coherence state of `b`'s entry as the transition table views it.
   DirState state_of(BlockId b) const {
-    ASCOMA_CHECK(b < entries_.size());
+    ASCOMA_CHECK(b.value() < entries_.size());
     return state_of(entries_[b]);
   }
   /// `node`'s relation to `b`'s entry as the transition table views it.
   ReqRel rel_of(BlockId b, NodeId node) const {
-    ASCOMA_CHECK(b < entries_.size() && node < nodes_);
+    ASCOMA_CHECK(b.value() < entries_.size() && node.value() < nodes_);
     return rel_of(entries_[b], node);
   }
 
@@ -104,7 +104,7 @@ class Directory {
     NodeId owner = kInvalidNode;
   };
 
-  static std::uint64_t bit(NodeId n) { return std::uint64_t{1} << n; }
+  static std::uint64_t bit(NodeId n) { return std::uint64_t{1} << n.value(); }
 
   static DirState state_of(const Entry& e) {
     if (e.owner != kInvalidNode) return DirState::kExclusive;
@@ -126,7 +126,7 @@ class Directory {
 
   std::uint32_t nodes_;
   const TransitionTable* table_;
-  std::vector<Entry> entries_;
+  IdVector<BlockId, Entry> entries_;
   std::uint64_t invalidations_ = 0;
   std::uint64_t forwards_ = 0;
   std::uint64_t nacks_ = 0;

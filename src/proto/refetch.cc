@@ -5,8 +5,8 @@ namespace ascoma::proto {
 RefetchTable::RefetchTable(std::uint64_t total_pages, std::uint32_t nodes)
     : pages_(total_pages),
       nodes_(nodes),
-      counts_(static_cast<std::size_t>(total_pages) * nodes, 0),
-      cumulative_(static_cast<std::size_t>(total_pages) * nodes, 0) {}
+      counts_(total_pages * nodes, 0),
+      cumulative_(total_pages * nodes, 0) {}
 
 std::uint32_t RefetchTable::increment(VPageId page, NodeId node) {
   ++total_;
@@ -37,7 +37,7 @@ std::uint64_t RefetchTable::pages_at_least(std::uint32_t threshold) const {
   std::uint64_t n = 0;
   for (std::uint64_t p = 0; p < pages_; ++p) {
     for (std::uint32_t nd = 0; nd < nodes_; ++nd) {
-      if (cumulative_[static_cast<std::size_t>(p) * nodes_ + nd] >= threshold) {
+      if (cumulative_[p * nodes_ + nd] >= threshold) {
         ++n;
         break;
       }

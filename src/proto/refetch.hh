@@ -43,8 +43,8 @@ class RefetchTable {
 
  private:
   std::size_t idx(VPageId page, NodeId node) const {
-    ASCOMA_CHECK(page < pages_ && node < nodes_);
-    return static_cast<std::size_t>(page) * nodes_ + node;
+    ASCOMA_CHECK(page.value() < pages_ && node.value() < nodes_);
+    return page.value() * nodes_ + node.value();
   }
 
   std::uint64_t pages_;

@@ -12,9 +12,9 @@ double baseline_cycles(const std::vector<LabeledResult>& results) {
   for (const auto& r : results) {
     ASCOMA_CHECK(r.result != nullptr);
     if (r.result->config.arch == ArchModel::kCcNuma)
-      return static_cast<double>(r.result->cycles());
+      return static_cast<double>(r.result->cycles().value());
   }
-  return static_cast<double>(results.front().result->cycles());
+  return static_cast<double>(results.front().result->cycles().value());
 }
 
 Table time_breakdown_table(const std::vector<LabeledResult>& results,
@@ -24,12 +24,13 @@ Table time_breakdown_table(const std::vector<LabeledResult>& results,
            "U-LC-MEM", "SYNC"});
   for (const auto& lr : results) {
     const auto& time = lr.result->stats.totals.time;
-    const double total = static_cast<double>(time.total());
+    const double total = static_cast<double>(time.total().value());
     const double rel =
-        static_cast<double>(lr.result->cycles()) / baseline;
+        static_cast<double>(lr.result->cycles().value()) / baseline;
     auto share = [&](TimeBucket b) {
       return Table::num(
-          total > 0 ? rel * static_cast<double>(time[b]) / total : 0.0, 3);
+          total > 0 ? rel * static_cast<double>(time[b].value()) / total : 0.0,
+          3);
     };
     t.add_row({lr.label, Table::num(rel, 3), share(TimeBucket::kUserShared),
                share(TimeBucket::kKernelBase), share(TimeBucket::kKernelOvhd),

@@ -45,7 +45,7 @@ std::optional<Cycle> Barrier::maybe_release() {
   const Cycle release = max_arrival_ + release_cost_;
   std::fill(arrived_.begin(), arrived_.end(), false);
   arrived_count_ = 0;
-  max_arrival_ = 0;
+  max_arrival_ = Cycle{0};
   ++episodes_;
   return release;
 }

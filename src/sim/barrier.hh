@@ -43,7 +43,7 @@ class Barrier {
   std::vector<Cycle> arrival_cycle_;
   std::uint32_t arrived_count_ = 0;
   std::uint32_t departed_count_ = 0;
-  Cycle max_arrival_ = 0;
+  Cycle max_arrival_{0};
   std::uint64_t episodes_ = 0;
 };
 

@@ -3,14 +3,15 @@
 namespace ascoma::sim {
 
 double Resource::utilization(Cycle horizon) const {
-  if (horizon == 0) return 0.0;
-  return static_cast<double>(busy_cycles_) / static_cast<double>(horizon);
+  if (horizon == Cycle{0}) return 0.0;
+  return static_cast<double>(busy_cycles_.value()) /
+         static_cast<double>(horizon.value());
 }
 
 void Resource::reset() {
-  free_at_ = 0;
-  busy_cycles_ = 0;
-  wait_cycles_ = 0;
+  free_at_ = Cycle{0};
+  busy_cycles_ = Cycle{0};
+  wait_cycles_ = Cycle{0};
   transactions_ = 0;
 }
 

@@ -52,9 +52,9 @@ class Resource {
 
  private:
   std::string name_;
-  Cycle free_at_ = 0;
-  Cycle busy_cycles_ = 0;
-  Cycle wait_cycles_ = 0;
+  Cycle free_at_{0};
+  Cycle busy_cycles_{0};
+  Cycle wait_cycles_{0};
   std::uint64_t transactions_ = 0;
 };
 

@@ -35,8 +35,8 @@ std::uint64_t record(const workload::Workload& wl, std::uint64_t seed,
   put<std::uint32_t>(os, kVersion);
   put<std::uint32_t>(os, wl.nodes());
   put<std::uint64_t>(os, wl.total_pages());
-  put<std::uint32_t>(os, wl.page_bytes());
-  put<std::uint32_t>(os, wl.line_bytes());
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(wl.page_bytes().value()));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(wl.line_bytes().value()));
 
   std::uint64_t total = 0;
   for (std::uint32_t p = 0; p < wl.nodes(); ++p) {
@@ -67,8 +67,8 @@ TraceWorkload::TraceWorkload(const std::string& path) {
   ASCOMA_CHECK_MSG(version == kVersion, "unsupported trace version");
   nodes_ = get<std::uint32_t>(is);
   total_pages_ = get<std::uint64_t>(is);
-  page_bytes_ = get<std::uint32_t>(is);
-  line_bytes_ = get<std::uint32_t>(is);
+  page_bytes_ = ByteCount{get<std::uint32_t>(is)};
+  line_bytes_ = ByteCount{get<std::uint32_t>(is)};
   ASCOMA_CHECK_MSG(nodes_ > 0 && nodes_ <= 64, "bad node count in trace");
   ASCOMA_CHECK_MSG(total_pages_ > 0, "empty address space in trace");
 
@@ -86,7 +86,7 @@ TraceWorkload::TraceWorkload(const std::string& path) {
       op.arg = get<std::uint64_t>(is);
       ASCOMA_CHECK_MSG(op.kind < OpKind::kEnd, "bad op kind in trace");
       if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
-        ASCOMA_CHECK_MSG(op.arg / page_bytes_ < total_pages_,
+        ASCOMA_CHECK_MSG(op.arg / page_bytes_.value() < total_pages_,
                          "trace address outside the shared space");
       }
       ops.push_back(op);

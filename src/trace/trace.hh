@@ -32,8 +32,8 @@ class TraceWorkload final : public workload::Workload {
   std::string name() const override { return name_; }
   std::uint32_t nodes() const override { return nodes_; }
   std::uint64_t total_pages() const override { return total_pages_; }
-  std::uint32_t page_bytes() const override { return page_bytes_; }
-  std::uint32_t line_bytes() const override { return line_bytes_; }
+  ByteCount page_bytes() const override { return page_bytes_; }
+  ByteCount line_bytes() const override { return line_bytes_; }
 
   std::unique_ptr<workload::OpStream> stream(
       std::uint32_t proc, std::uint64_t seed) const override;
@@ -44,8 +44,8 @@ class TraceWorkload final : public workload::Workload {
   std::string name_;
   std::uint32_t nodes_ = 0;
   std::uint64_t total_pages_ = 0;
-  std::uint32_t page_bytes_ = 4096;
-  std::uint32_t line_bytes_ = 32;
+  ByteCount page_bytes_{4096};
+  ByteCount line_bytes_{32};
   std::vector<std::vector<Op>> streams_;
 };
 

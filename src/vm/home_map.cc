@@ -12,14 +12,14 @@ HomeMap::HomeMap(std::uint64_t total_pages, std::uint32_t nodes)
 }
 
 NodeId HomeMap::claim(VPageId page, NodeId node) {
-  ASCOMA_CHECK(page < homes_.size());
-  ASCOMA_CHECK(node < count_.size());
+  ASCOMA_CHECK(page.value() < homes_.size());
+  ASCOMA_CHECK(node.value() < count_.size());
   if (homes_[page] != kInvalidNode) return homes_[page];
   NodeId home = node;
   if (count_[home] >= cap_) {
     // First-touch cap reached: round-robin over nodes still under the cap.
     home = next_under_cap(rr_cursor_);
-    rr_cursor_ = (home + 1) % nodes();
+    rr_cursor_ = NodeId{(home.value() + 1) % nodes()};
   }
   homes_[page] = home;
   ++count_[home];
@@ -30,21 +30,22 @@ void HomeMap::assign_contiguous() {
   const std::uint64_t total = homes_.size();
   const std::uint32_t n = nodes();
   const std::uint64_t per = (total + n - 1) / n;
-  for (VPageId p = 0; p < total; ++p) {
+  for (VPageId p{0}; p.value() < total; ++p) {
     if (homes_[p] != kInvalidNode) continue;
-    const NodeId home = static_cast<NodeId>(std::min<std::uint64_t>(p / per, n - 1));
+    const NodeId home{static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(p.value() / per, n - 1))};
     homes_[p] = home;
     ++count_[home];
   }
 }
 
 bool HomeMap::assigned(VPageId page) const {
-  ASCOMA_CHECK(page < homes_.size());
+  ASCOMA_CHECK(page.value() < homes_.size());
   return homes_[page] != kInvalidNode;
 }
 
 NodeId HomeMap::home_of(VPageId page) const {
-  ASCOMA_CHECK(page < homes_.size());
+  ASCOMA_CHECK(page.value() < homes_.size());
   ASCOMA_CHECK_MSG(homes_[page] != kInvalidNode, "home_of unassigned page");
   return homes_[page];
 }
@@ -56,12 +57,12 @@ std::uint64_t HomeMap::max_home_pages() const {
 NodeId HomeMap::next_under_cap(NodeId start) const {
   const std::uint32_t n = nodes();
   for (std::uint32_t i = 0; i < n; ++i) {
-    const NodeId cand = (start + i) % n;
+    const NodeId cand{(start.value() + i) % n};
     if (count_[cand] < cap_) return cand;
   }
   // All nodes at cap (can only happen when total == cap * nodes exactly and
   // every page is assigned); fall back to the starting node.
-  return start % n;
+  return NodeId{start.value() % n};
 }
 
 }  // namespace ascoma::vm

@@ -37,10 +37,10 @@ class HomeMap {
  private:
   NodeId next_under_cap(NodeId start) const;
 
-  std::vector<NodeId> homes_;
-  std::vector<std::uint64_t> count_;
+  IdVector<PageId, NodeId> homes_;
+  IdVector<NodeId, std::uint64_t> count_;
   std::uint64_t cap_;
-  NodeId rr_cursor_ = 0;
+  NodeId rr_cursor_{0};
 };
 
 }  // namespace ascoma::vm

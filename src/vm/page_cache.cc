@@ -6,7 +6,7 @@ PageCache::PageCache(std::uint32_t capacity) : capacity_(capacity) {
   free_.reserve(capacity);
   // Frames handed out lowest-first for deterministic behaviour.
   for (std::uint32_t f = capacity; f > 0; --f)
-    free_.push_back(static_cast<FrameId>(f - 1));
+    free_.push_back(FrameId(f - 1));
 }
 
 std::optional<FrameId> PageCache::alloc() {
@@ -17,7 +17,7 @@ std::optional<FrameId> PageCache::alloc() {
 }
 
 void PageCache::release(FrameId f) {
-  ASCOMA_CHECK(f < capacity_);
+  ASCOMA_CHECK(f.value() < capacity_);
   ASCOMA_CHECK_MSG(free_.size() < capacity_, "double release of a frame");
   free_.push_back(f);
 }

@@ -46,7 +46,7 @@ class PageTable {
     bool referenced = false;
     FrameId frame = kInvalidFrame;
   };
-  std::vector<Entry> entries_;
+  IdVector<PageId, Entry> entries_;
   std::uint64_t mapped_ = 0;
   std::uint64_t scoma_ = 0;
 };

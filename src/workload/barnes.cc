@@ -16,7 +16,7 @@ std::unique_ptr<OpStream> BarnesWorkload::stream(std::uint32_t proc,
   Rng rng(seed, mix64(0xBA27E5, proc));
 
   const std::uint64_t H = home_pages_;
-  const VPageId my_base = partition_base(proc);
+  const VPageId my_base = partition_base(NodeId{proc});
   const std::uint64_t remote_pages = (H * 2) / 5;  // 40% of each partition
   const std::uint32_t iters = scaled(4);
 
@@ -24,7 +24,7 @@ std::unique_ptr<OpStream> BarnesWorkload::stream(std::uint32_t proc,
     // --- tree build: local partition, read-modify-write with cell locks ---
     for (std::uint64_t p = 0; p < H; ++p) {
       const VPageId page = my_base + p;
-      b.compute(20);
+      b.compute(Cycle{20});
       for (std::uint32_t l = 0; l < 16; ++l) b.load(page, l * 8);
       const std::uint64_t lock_id = (proc * 37 + p) % 32;
       b.lock(lock_id);
@@ -39,13 +39,13 @@ std::unique_ptr<OpStream> BarnesWorkload::stream(std::uint32_t proc,
     for (std::uint32_t pass = 0; pass < 2; ++pass) {
       for (std::uint32_t q = 0; q < nodes_; ++q) {
         if (q == proc) continue;
-        const VPageId q_base = partition_base(q);
+        const VPageId q_base = partition_base(NodeId{q});
         // The dense region starts at a per-(proc,q) deterministic offset so
         // partitions overlap differently per reader.
         const std::uint64_t off = mix64(proc, q) % (H - remote_pages);
         for (std::uint64_t p = 0; p < remote_pages; ++p) {
           const VPageId page = q_base + off + p;
-          b.compute(30);  // barnes is compute-heavy
+          b.compute(Cycle{30});  // barnes is compute-heavy
           for (std::uint32_t l = 0; l < 32; ++l) b.load(page, l * 4);
           b.private_ops(12);
         }
@@ -57,7 +57,7 @@ std::unique_ptr<OpStream> BarnesWorkload::stream(std::uint32_t proc,
     for (std::uint64_t p = 0; p < H; ++p) {
       const VPageId page = my_base + p;
       for (std::uint32_t l = 0; l < 8; ++l) b.store(page, l * 16);
-      b.compute(10);
+      b.compute(Cycle{10});
     }
     b.barrier();
     (void)rng;

@@ -18,7 +18,7 @@ std::unique_ptr<OpStream> Em3dWorkload::stream(std::uint32_t proc,
   Rng rng(seed, mix64(0xE3D, proc));
 
   const std::uint64_t H = home_pages_;
-  const VPageId my_base = partition_base(proc);
+  const VPageId my_base = partition_base(NodeId{proc});
   const std::uint64_t remote_count = 160;
 
   // Fixed remote neighbour set: sampled without replacement from the other
@@ -27,10 +27,10 @@ std::unique_ptr<OpStream> Em3dWorkload::stream(std::uint32_t proc,
   neighbours.reserve(remote_count);
   std::vector<std::uint8_t> chosen(total_pages(), 0);
   while (neighbours.size() < remote_count) {
-    const VPageId cand = rng.below(total_pages());
+    const VPageId cand{rng.below(total_pages())};
     if (cand >= my_base && cand < my_base + H) continue;
-    if (chosen[cand]) continue;
-    chosen[cand] = 1;
+    if (chosen[cand.value()]) continue;
+    chosen[cand.value()] = 1;
     neighbours.push_back(cand);
   }
   std::sort(neighbours.begin(), neighbours.end());
@@ -43,7 +43,7 @@ std::unique_ptr<OpStream> Em3dWorkload::stream(std::uint32_t proc,
       for (std::uint32_t l = 0; l < 8; ++l) b.load(page, l * 16);
       b.store(page, (it * 4 + p) % 128);
       b.store(page, (it * 4 + p + 64) % 128);
-      b.compute(10);
+      b.compute(Cycle{10});
       b.private_ops(4);
     }
     b.barrier();
@@ -51,7 +51,7 @@ std::unique_ptr<OpStream> Em3dWorkload::stream(std::uint32_t proc,
     for (std::uint32_t sweep = 0; sweep < 2; ++sweep) {
       for (const VPageId page : neighbours) {
         for (std::uint32_t l = 0; l < 16; ++l) b.load(page, l * 8);
-        b.compute(6);
+        b.compute(Cycle{6});
       }
     }
     b.barrier();

@@ -15,7 +15,7 @@ std::unique_ptr<OpStream> FftWorkload::stream(std::uint32_t proc,
 
   const std::uint64_t H = home_pages_;
   const std::uint64_t chunk = H / nodes_;  // pages each peer reads from me
-  const VPageId my_base = partition_base(proc);
+  const VPageId my_base = partition_base(NodeId{proc});
   const std::uint32_t iters = scaled(2);
 
   for (std::uint32_t it = 0; it < iters; ++it) {
@@ -24,7 +24,7 @@ std::unique_ptr<OpStream> FftWorkload::stream(std::uint32_t proc,
       const VPageId page = my_base + p;
       for (std::uint32_t l = 0; l < 32; ++l) b.load(page, l * 4);
       for (std::uint32_t l = 0; l < 8; ++l) b.store(page, l * 16 + 1);
-      b.compute(15);
+      b.compute(Cycle{15});
       b.private_ops(6);
     }
     b.barrier();
@@ -32,7 +32,7 @@ std::unique_ptr<OpStream> FftWorkload::stream(std::uint32_t proc,
     // Transpose: stream my chunk out of every peer, fully sequentially.
     for (std::uint32_t q = 0; q < nodes_; ++q) {
       if (q == proc) continue;
-      const VPageId src_base = partition_base(q) + proc * chunk;
+      const VPageId src_base = partition_base(NodeId{q}) + proc * chunk;
       for (std::uint64_t p = 0; p < chunk; ++p) {
         const VPageId src = src_base + p;
         const VPageId dst = my_base + (q * chunk + p) % H;
@@ -40,7 +40,7 @@ std::unique_ptr<OpStream> FftWorkload::stream(std::uint32_t proc,
           b.load(src, l);
           if (l % 4 == 3) b.store(dst, l);
         }
-        b.compute(8);
+        b.compute(Cycle{8});
       }
     }
     b.barrier();

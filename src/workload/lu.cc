@@ -23,12 +23,12 @@ std::unique_ptr<OpStream> LuWorkload::stream(std::uint32_t proc,
   const std::uint64_t windows_per_node = H / kWindow;
   const std::uint32_t phases =
       scaled(static_cast<std::uint32_t>(nodes_ * windows_per_node));
-  const VPageId my_base = partition_base(proc);
+  const VPageId my_base = partition_base(NodeId{proc});
 
   for (std::uint32_t k = 0; k < phases; ++k) {
-    const NodeId pivot = k % nodes_;
+    const NodeId pivot{k % nodes_};
     const std::uint64_t w = (k / nodes_) % windows_per_node;
-    const VPageId win_base = partition_base(pivot) + w * kWindow;
+    const VPageId win_base = partition_base(NodeId{pivot}) + w * kWindow;
 
     // Repeated sweeps of the pivot window (reads; local for the pivot node).
     // Stride 4 lines = one line per coherence block: every sweep refetches
@@ -36,7 +36,7 @@ std::unique_ptr<OpStream> LuWorkload::stream(std::uint32_t proc,
     for (std::uint32_t sweep = 0; sweep < kSweeps; ++sweep) {
       for (std::uint64_t p = 0; p < kWindow; ++p) {
         for (std::uint32_t l = 0; l < 32; ++l) b.load(win_base + p, l * 4);
-        b.compute(12);
+        b.compute(Cycle{12});
       }
     }
 
@@ -47,7 +47,7 @@ std::unique_ptr<OpStream> LuWorkload::stream(std::uint32_t proc,
         b.load(page, l * 16);
         b.store(page, l * 16 + 2);
       }
-      b.compute(10);
+      b.compute(Cycle{10});
       b.private_ops(4);
     }
     b.barrier();

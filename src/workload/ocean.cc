@@ -15,9 +15,9 @@ std::unique_ptr<OpStream> OceanWorkload::stream(std::uint32_t proc,
 
   const std::uint64_t H = home_pages_;
   constexpr std::uint64_t kBoundary = 32;  // pages shared with each neighbour
-  const VPageId my_base = partition_base(proc);
-  const NodeId prev = (proc + nodes_ - 1) % nodes_;
-  const NodeId next = (proc + 1) % nodes_;
+  const VPageId my_base = partition_base(NodeId{proc});
+  const NodeId prev{(proc + nodes_ - 1) % nodes_};
+  const NodeId next{(proc + 1) % nodes_};
   const std::uint32_t iters = scaled(10);
 
   for (std::uint32_t it = 0; it < iters; ++it) {
@@ -26,7 +26,7 @@ std::unique_ptr<OpStream> OceanWorkload::stream(std::uint32_t proc,
       const VPageId page = my_base + p;
       for (std::uint32_t l = 0; l < 8; ++l) b.load(page, l * 16);
       for (std::uint32_t l = 0; l < 4; ++l) b.store(page, l * 32 + 3);
-      b.compute(8);
+      b.compute(Cycle{8});
       b.private_ops(3);
     }
     b.barrier();
@@ -37,13 +37,13 @@ std::unique_ptr<OpStream> OceanWorkload::stream(std::uint32_t proc,
     for (std::uint32_t sweep = 0; sweep < 2; ++sweep) {
       for (std::uint64_t p = 0; p < kBoundary; ++p) {
         // prev's last pages and next's first pages form the halo.
-        const VPageId from_prev = partition_base(prev) + H - kBoundary + p;
-        const VPageId from_next = partition_base(next) + p;
+        const VPageId from_prev = partition_base(NodeId{prev}) + (H - kBoundary + p);
+        const VPageId from_next = partition_base(NodeId{next}) + p;
         for (std::uint32_t l = 0; l < 16; ++l) {
           b.load(from_prev, l * 8);
           b.load(from_next, l * 8);
         }
-        b.compute(6);
+        b.compute(Cycle{6});
       }
     }
     b.barrier();

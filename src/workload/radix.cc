@@ -17,7 +17,7 @@ std::unique_ptr<OpStream> RadixWorkload::stream(std::uint32_t proc,
 
   const std::uint64_t H = home_pages_;
   const std::uint64_t all_pages = total_pages();
-  const VPageId my_base = partition_base(proc);
+  const VPageId my_base = partition_base(NodeId{proc});
   const std::uint32_t iters = scaled(4);
   const std::uint64_t scatter_per_iter = 30'000;
 
@@ -26,7 +26,7 @@ std::unique_ptr<OpStream> RadixWorkload::stream(std::uint32_t proc,
     for (std::uint64_t p = 0; p < H; ++p) {
       const VPageId page = my_base + p;
       for (std::uint32_t l = 0; l < 64; ++l) b.load(page, l * 2);
-      b.compute(6);
+      b.compute(Cycle{6});
     }
     b.barrier();
 
@@ -35,11 +35,11 @@ std::unique_ptr<OpStream> RadixWorkload::stream(std::uint32_t proc,
     // source of radix's uniform, machine-wide conflict refetch pressure —
     // every page ends up roughly as hot as any other.
     for (std::uint32_t pass = 0; pass < 3; ++pass) {
-      for (VPageId page = 0; page < all_pages; ++page) {
+      for (VPageId page{0}; page.value() < all_pages; ++page) {
         if (page >= my_base && page < my_base + H) continue;  // local copy
         for (std::uint32_t l = 0; l < 16; ++l) b.load(page, l * 8);
       }
-      b.compute(200);
+      b.compute(Cycle{200});
     }
     b.barrier();
 
@@ -47,7 +47,7 @@ std::unique_ptr<OpStream> RadixWorkload::stream(std::uint32_t proc,
     for (std::uint32_t h = 0; h < 64; ++h) {
       const std::uint64_t lock_id = h;
       b.lock(lock_id);
-      const VPageId page = h % all_pages;
+      const VPageId page{h % all_pages};
       b.load(page, h * 2);
       b.store(page, h * 2);
       b.unlock(lock_id);
@@ -58,10 +58,10 @@ std::unique_ptr<OpStream> RadixWorkload::stream(std::uint32_t proc,
     // Scatter: write each key to its destination bucket — uniformly random
     // page and line, machine-wide.
     for (std::uint64_t s = 0; s < scatter_per_iter; ++s) {
-      const VPageId page = rng.below(all_pages);
+      const VPageId page{rng.below(all_pages)};
       const std::uint64_t line = rng.below(128);
       b.store(page, line);
-      if ((s & 7) == 0) b.compute(4);
+      if ((s & 7) == 0) b.compute(Cycle{4});
     }
     b.barrier();
   }

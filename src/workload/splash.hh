@@ -20,7 +20,9 @@ class SplashWorkload : public Workload {
   std::uint64_t total_pages() const override { return nodes_ * home_pages_; }
 
   std::uint64_t home_pages_per_node() const { return home_pages_; }
-  VPageId partition_base(NodeId n) const { return n * home_pages_; }
+  VPageId partition_base(NodeId n) const {
+    return VPageId{n.value() * home_pages_};
+  }
 
  protected:
   std::uint32_t scaled(std::uint32_t iters) const {

@@ -29,7 +29,7 @@ std::unique_ptr<OpStream> SyntheticWorkload::stream(std::uint32_t proc,
   // Processes on the same node share the node's partition (SMP extension);
   // each process still has its own hot remote set.
   const std::uint32_t node = proc / p.procs_per_node;
-  const VPageId my_base = node * H;
+  const VPageId my_base{node * H};
   const std::uint64_t all = total_pages();
 
   // Fixed hot remote set, sampled deterministically outside our partition.
@@ -38,21 +38,21 @@ std::unique_ptr<OpStream> SyntheticWorkload::stream(std::uint32_t proc,
     hot.reserve(p.remote_pages);
     std::vector<std::uint8_t> chosen(all, 0);
     while (hot.size() < p.remote_pages) {
-      const VPageId cand = rng.below(all);
+      const VPageId cand{rng.below(all)};
       if (cand >= my_base && cand < my_base + H) continue;
-      if (chosen[cand]) continue;
-      chosen[cand] = 1;
+      if (chosen[cand.value()]) continue;
+      chosen[cand.value()] = 1;
       hot.push_back(cand);
     }
   }
 
-  const std::uint32_t lines = b.lines_per_page();
-  const std::uint32_t stride = lines / std::max(1u, p.loads_per_page);
+  const std::uint64_t lines = b.lines_per_page();
+  const std::uint64_t stride = lines / std::max(1u, p.loads_per_page);
 
   auto visit = [&](VPageId page) {
     for (std::uint32_t l = 0; l < p.loads_per_page; ++l) {
       const std::uint64_t line = static_cast<std::uint64_t>(l) *
-                                 std::max(1u, stride);
+                                 std::max<std::uint64_t>(1, stride);
       if (rng.chance(p.write_fraction))
         b.store(page, line);
       else
@@ -68,7 +68,7 @@ std::unique_ptr<OpStream> SyntheticWorkload::stream(std::uint32_t proc,
     if (p.locks > 0) {
       const std::uint64_t id = rng.below(p.locks);
       b.lock(id);
-      b.store(id % all, id % lines);
+      b.store(VPageId{id % all}, id % lines);
       b.unlock(id);
     }
     if (p.barriers) b.barrier();
@@ -77,7 +77,7 @@ std::unique_ptr<OpStream> SyntheticWorkload::stream(std::uint32_t proc,
     for (std::uint32_t s = 0; s < p.sweeps_per_iteration; ++s) {
       for (const VPageId page : hot) {
         if (rng.chance(p.random_fraction))
-          visit(rng.below(all));
+          visit(VPageId{rng.below(all)});
         else
           visit(page);
       }

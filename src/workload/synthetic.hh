@@ -21,7 +21,7 @@ struct SyntheticParams {
   std::uint32_t loads_per_page = 16;   ///< per sweep, stride-spread
   double write_fraction = 0.1;         ///< fraction of accesses that store
   double random_fraction = 0.0;        ///< accesses to uniform random pages
-  std::uint64_t compute_per_page = 10; ///< cycles between page visits
+  Cycle compute_per_page{10};          ///< cycles between page visits
   std::uint64_t private_per_page = 4;
   bool barriers = true;
   std::uint32_t locks = 0;             ///< lock ids used (0 = none)

@@ -9,8 +9,9 @@ namespace ascoma::workload {
 
 NodeId Workload::home_of(VPageId page) const {
   const std::uint64_t per = pages_per_node();
-  ASCOMA_CHECK(page < total_pages());
-  return static_cast<NodeId>(std::min<std::uint64_t>(page / per, nodes() - 1));
+  ASCOMA_CHECK(page.value() < total_pages());
+  return NodeId(static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(page.value() / per, nodes() - 1)));
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& name,

@@ -64,8 +64,8 @@ class Workload {
 
   /// Granularities the generated addresses assume; the machine validates its
   /// MachineConfig against these.
-  virtual std::uint32_t page_bytes() const { return 4096; }
-  virtual std::uint32_t line_bytes() const { return 32; }
+  virtual ByteCount page_bytes() const { return ByteCount{4096}; }
+  virtual ByteCount line_bytes() const { return ByteCount{32}; }
 
   std::uint64_t pages_per_node() const { return total_pages() / nodes(); }
 };
@@ -74,15 +74,15 @@ class Workload {
 /// address arithmetic over a given page size.
 class StreamBuilder {
  public:
-  explicit StreamBuilder(std::uint32_t page_bytes, std::uint32_t line_bytes)
+  explicit StreamBuilder(ByteCount page_bytes, ByteCount line_bytes)
       : page_bytes_(page_bytes), line_bytes_(line_bytes) {}
 
-  void compute(std::uint64_t cycles) {
-    if (cycles == 0) return;
+  void compute(Cycle cycles) {
+    if (cycles == Cycle{0}) return;
     if (!ops_.empty() && ops_.back().kind == OpKind::kCompute)
-      ops_.back().arg += cycles;
+      ops_.back().arg += cycles.value();
     else
-      ops_.push_back({OpKind::kCompute, cycles});
+      ops_.push_back({OpKind::kCompute, cycles.value()});
   }
   void private_ops(std::uint64_t count) {
     if (count == 0) return;
@@ -91,17 +91,17 @@ class StreamBuilder {
     else
       ops_.push_back({OpKind::kPrivate, count});
   }
-  void load(VPageId page, std::uint64_t line_in_page) {
-    ops_.push_back({OpKind::kLoad, addr(page, line_in_page)});
+  void load(VPageId page, std::uint64_t line_idx) {
+    ops_.push_back({OpKind::kLoad, addr(page, line_idx).value()});
   }
-  void store(VPageId page, std::uint64_t line_in_page) {
-    ops_.push_back({OpKind::kStore, addr(page, line_in_page)});
+  void store(VPageId page, std::uint64_t line_idx) {
+    ops_.push_back({OpKind::kStore, addr(page, line_idx).value()});
   }
   void barrier() { ops_.push_back({OpKind::kBarrier, barrier_seq_++}); }
   void lock(std::uint64_t id) { ops_.push_back({OpKind::kLock, id}); }
   void unlock(std::uint64_t id) { ops_.push_back({OpKind::kUnlock, id}); }
 
-  std::uint32_t lines_per_page() const { return page_bytes_ / line_bytes_; }
+  std::uint64_t lines_per_page() const { return page_bytes_ / line_bytes_; }
 
   std::vector<Op> take() {
     ops_.push_back({OpKind::kEnd, 0});
@@ -109,13 +109,13 @@ class StreamBuilder {
   }
 
  private:
-  Addr addr(VPageId page, std::uint64_t line_in_page) const {
-    return static_cast<Addr>(page) * page_bytes_ +
-           (line_in_page % lines_per_page()) * line_bytes_;
+  Addr addr(VPageId page, std::uint64_t line_idx) const {
+    return Addr{page.value() * page_bytes_.value() +
+                (line_idx % lines_per_page()) * line_bytes_.value()};
   }
 
-  std::uint32_t page_bytes_;
-  std::uint32_t line_bytes_;
+  ByteCount page_bytes_;
+  ByteCount line_bytes_;
   std::vector<Op> ops_;
   std::uint64_t barrier_seq_ = 0;
 };

@@ -8,84 +8,84 @@ namespace ascoma::sim {
 namespace {
 
 TEST(Barrier, LastArrivalReleasesAtMaxPlusCost) {
-  Barrier b(3, 100);
-  EXPECT_FALSE(b.arrive(0, 10).has_value());
-  EXPECT_FALSE(b.arrive(1, 50).has_value());
-  const auto rel = b.arrive(2, 30);
+  Barrier b(3, Cycle{100});
+  EXPECT_FALSE(b.arrive(0, Cycle{10}).has_value());
+  EXPECT_FALSE(b.arrive(1, Cycle{50}).has_value());
+  const auto rel = b.arrive(2, Cycle{30});
   ASSERT_TRUE(rel.has_value());
-  EXPECT_EQ(*rel, 150u);  // max arrival 50 + cost 100
+  EXPECT_EQ(*rel, Cycle{150});  // max arrival 50 + cost 100
   EXPECT_EQ(b.episodes(), 1u);
 }
 
 TEST(Barrier, ArrivalTimesRecorded) {
-  Barrier b(2, 10);
-  b.arrive(0, 42);
-  b.arrive(1, 99);
-  EXPECT_EQ(b.arrival_of(0), 42u);
-  EXPECT_EQ(b.arrival_of(1), 99u);
+  Barrier b(2, Cycle{10});
+  b.arrive(0, Cycle{42});
+  b.arrive(1, Cycle{99});
+  EXPECT_EQ(b.arrival_of(0), Cycle{42});
+  EXPECT_EQ(b.arrival_of(1), Cycle{99});
 }
 
 TEST(Barrier, EpisodesResetForReuse) {
-  Barrier b(2, 10);
-  b.arrive(0, 0);
-  EXPECT_TRUE(b.arrive(1, 5).has_value());
+  Barrier b(2, Cycle{10});
+  b.arrive(0, Cycle{0});
+  EXPECT_TRUE(b.arrive(1, Cycle{5}).has_value());
   // Second episode works identically.
-  EXPECT_FALSE(b.arrive(0, 100).has_value());
-  const auto rel = b.arrive(1, 120);
+  EXPECT_FALSE(b.arrive(0, Cycle{100}).has_value());
+  const auto rel = b.arrive(1, Cycle{120});
   ASSERT_TRUE(rel.has_value());
-  EXPECT_EQ(*rel, 130u);
+  EXPECT_EQ(*rel, Cycle{130});
   EXPECT_EQ(b.episodes(), 2u);
 }
 
 TEST(Barrier, DoubleArrivalThrows) {
-  Barrier b(2, 10);
-  b.arrive(0, 0);
-  EXPECT_THROW(b.arrive(0, 1), CheckFailure);
+  Barrier b(2, Cycle{10});
+  b.arrive(0, Cycle{0});
+  EXPECT_THROW(b.arrive(0, Cycle{1}), CheckFailure);
 }
 
 TEST(Barrier, DepartCompletesEpisode) {
-  Barrier b(3, 10);
-  b.arrive(0, 5);
-  b.arrive(1, 8);
+  Barrier b(3, Cycle{10});
+  b.arrive(0, Cycle{5});
+  b.arrive(1, Cycle{8});
   // Processor 2 ends its stream instead of arriving.
-  const auto rel = b.depart(2, 20);
+  const auto rel = b.depart(2, Cycle{20});
   ASSERT_TRUE(rel.has_value());
-  EXPECT_EQ(*rel, 30u);  // max(8, 20) + 10
+  EXPECT_EQ(*rel, Cycle{30});  // max(8, 20) + 10
 }
 
 TEST(Barrier, DepartedProcessorNotRequiredLater) {
-  Barrier b(3, 10);
-  b.depart(2, 0);
-  b.arrive(0, 5);
-  const auto rel = b.arrive(1, 7);
+  Barrier b(3, Cycle{10});
+  b.depart(2, Cycle{0});
+  b.arrive(0, Cycle{5});
+  const auto rel = b.arrive(1, Cycle{7});
   ASSERT_TRUE(rel.has_value());
-  EXPECT_EQ(*rel, 17u);
+  EXPECT_EQ(*rel, Cycle{17});
 }
 
 TEST(Barrier, DepartWithNoWaitersReleasesNothing) {
-  Barrier b(2, 10);
-  EXPECT_FALSE(b.depart(0, 5).has_value());
-  EXPECT_FALSE(b.depart(1, 6).has_value());
+  Barrier b(2, Cycle{10});
+  EXPECT_FALSE(b.depart(0, Cycle{5}).has_value());
+  EXPECT_FALSE(b.depart(1, Cycle{6}).has_value());
   EXPECT_EQ(b.episodes(), 0u);
 }
 
 TEST(Barrier, DoubleDepartIsIdempotent) {
-  Barrier b(2, 10);
-  EXPECT_FALSE(b.depart(0, 5).has_value());
-  EXPECT_FALSE(b.depart(0, 6).has_value());
+  Barrier b(2, Cycle{10});
+  EXPECT_FALSE(b.depart(0, Cycle{5}).has_value());
+  EXPECT_FALSE(b.depart(0, Cycle{6}).has_value());
 }
 
 TEST(Barrier, ArrivalAfterDepartureThrows) {
-  Barrier b(2, 10);
-  b.depart(0, 5);
-  EXPECT_THROW(b.arrive(0, 6), CheckFailure);
+  Barrier b(2, Cycle{10});
+  b.depart(0, Cycle{5});
+  EXPECT_THROW(b.arrive(0, Cycle{6}), CheckFailure);
 }
 
 TEST(Barrier, SingleParticipantReleasesImmediately) {
-  Barrier b(1, 7);
-  const auto rel = b.arrive(0, 3);
+  Barrier b(1, Cycle{7});
+  const auto rel = b.arrive(0, Cycle{3});
   ASSERT_TRUE(rel.has_value());
-  EXPECT_EQ(*rel, 10u);
+  EXPECT_EQ(*rel, Cycle{10});
 }
 
 }  // namespace

@@ -14,16 +14,16 @@ MachineConfig small_cfg() {
 
 TEST(L1Cache, MissThenFillThenHit) {
   L1Cache c(small_cfg());
-  EXPECT_FALSE(c.probe(100));
-  c.fill(100, false);
-  EXPECT_TRUE(c.probe(100));
+  EXPECT_FALSE(c.probe(LineId{100}));
+  c.fill(LineId{100}, false);
+  EXPECT_TRUE(c.probe(LineId{100}));
   EXPECT_EQ(c.valid_lines(), 1u);
 }
 
 TEST(L1Cache, DirectMappedConflictEvicts) {
   L1Cache c(small_cfg());
-  const LineId a = 7;
-  const LineId b = 7 + 512;  // same index
+  const LineId a{7};
+  const LineId b{7 + 512};  // same index
   c.fill(a, false);
   const auto r = c.fill(b, false);
   EXPECT_TRUE(r.evicted);
@@ -36,55 +36,55 @@ TEST(L1Cache, DirectMappedConflictEvicts) {
 
 TEST(L1Cache, DirtyVictimSignalsWriteback) {
   L1Cache c(small_cfg());
-  c.fill(7, true);
-  EXPECT_TRUE(c.line_dirty(7));
-  const auto r = c.fill(7 + 512, false);
+  c.fill(LineId{7}, true);
+  EXPECT_TRUE(c.line_dirty(LineId{7}));
+  const auto r = c.fill(LineId{7 + 512}, false);
   EXPECT_TRUE(r.writeback);
-  EXPECT_EQ(r.victim, 7u);
+  EXPECT_EQ(r.victim, LineId{7});
 }
 
 TEST(L1Cache, RefillKeepsDirtySticky) {
   L1Cache c(small_cfg());
-  c.fill(9, true);
-  const auto r = c.fill(9, false);  // refill same line, clean
+  c.fill(LineId{9}, true);
+  const auto r = c.fill(LineId{9}, false);  // refill same line, clean
   EXPECT_FALSE(r.evicted);
-  EXPECT_TRUE(c.line_dirty(9));  // dirty bit preserved
+  EXPECT_TRUE(c.line_dirty(LineId{9}));  // dirty bit preserved
 }
 
 TEST(L1Cache, TouchStoreMarksDirty) {
   L1Cache c(small_cfg());
-  c.fill(11, false);
-  EXPECT_FALSE(c.line_dirty(11));
-  c.touch_store(11);
-  EXPECT_TRUE(c.line_dirty(11));
+  c.fill(LineId{11}, false);
+  EXPECT_FALSE(c.line_dirty(LineId{11}));
+  c.touch_store(LineId{11});
+  EXPECT_TRUE(c.line_dirty(LineId{11}));
 }
 
 TEST(L1Cache, TouchStoreOnAbsentLineThrows) {
   L1Cache c(small_cfg());
-  EXPECT_THROW(c.touch_store(13), ascoma::CheckFailure);
+  EXPECT_THROW(c.touch_store(LineId{13}), ascoma::CheckFailure);
 }
 
 TEST(L1Cache, InvalidateLine) {
   L1Cache c(small_cfg());
-  c.fill(5, true);
-  EXPECT_TRUE(c.invalidate_line(5));
-  EXPECT_FALSE(c.probe(5));
-  EXPECT_FALSE(c.invalidate_line(5));  // already gone
+  c.fill(LineId{5}, true);
+  EXPECT_TRUE(c.invalidate_line(LineId{5}));
+  EXPECT_FALSE(c.probe(LineId{5}));
+  EXPECT_FALSE(c.invalidate_line(LineId{5}));  // already gone
   EXPECT_EQ(c.valid_lines(), 0u);
 }
 
 TEST(L1Cache, InvalidateLineChecksTagNotJustIndex) {
   L1Cache c(small_cfg());
-  c.fill(5, false);
-  EXPECT_FALSE(c.invalidate_line(5 + 512));  // same slot, different tag
-  EXPECT_TRUE(c.probe(5));
+  c.fill(LineId{5}, false);
+  EXPECT_FALSE(c.invalidate_line(LineId{5 + 512}));  // same slot, different tag
+  EXPECT_TRUE(c.probe(LineId{5}));
 }
 
 TEST(L1Cache, InvalidateBlockCoversFourLines) {
   MachineConfig cfg = small_cfg();
   L1Cache c(cfg);
-  const BlockId block = 10;
-  const LineId first = block * cfg.lines_per_block();
+  const BlockId block{10};
+  const LineId first = cfg.first_line_of_block(block);
   for (std::uint32_t i = 0; i < 4; ++i) c.fill(first + i, false);
   EXPECT_EQ(c.invalidate_block(block), 4u);
   for (std::uint32_t i = 0; i < 4; ++i) EXPECT_FALSE(c.probe(first + i));
@@ -93,8 +93,8 @@ TEST(L1Cache, InvalidateBlockCoversFourLines) {
 TEST(L1Cache, FlushPageCountsValidAndDirty) {
   MachineConfig cfg = small_cfg();
   L1Cache c(cfg);
-  const VPageId page = 2;
-  const LineId first = page * cfg.lines_per_page();
+  const VPageId page{2};
+  const LineId first{page.value() * cfg.lines_per_page()};
   // 128 lines per page but only 512 L1 lines: fill 10 lines, 3 dirty.
   for (std::uint32_t i = 0; i < 10; ++i) c.fill(first + i, i < 3);
   const auto r = c.flush_page(page);
@@ -107,26 +107,26 @@ TEST(L1Cache, FlushPageIgnoresOtherPagesInSameSlots) {
   MachineConfig cfg = small_cfg();
   L1Cache c(cfg);
   // Page 0 line 0 and page 4 line 0 share an L1 slot (512 lines = 4 pages).
-  c.fill(0 * cfg.lines_per_page(), false);
-  const auto r = c.flush_page(4);  // different page, same slots
+  c.fill(LineId{0 * cfg.lines_per_page()}, false);
+  const auto r = c.flush_page(VPageId{4});  // different page, same slots
   EXPECT_EQ(r.valid_lines, 0u);
-  EXPECT_TRUE(c.probe(0));
+  EXPECT_TRUE(c.probe(LineId{0}));
 }
 
 TEST(L1Cache, ResetClearsEverything) {
   L1Cache c(small_cfg());
-  c.fill(1, true);
-  c.fill(2, false);
+  c.fill(LineId{1}, true);
+  c.fill(LineId{2}, false);
   c.reset();
   EXPECT_EQ(c.valid_lines(), 0u);
-  EXPECT_FALSE(c.probe(1));
+  EXPECT_FALSE(c.probe(LineId{1}));
 }
 
 TEST(L1Cache, CapacityMatchesConfig) {
   L1Cache c(small_cfg());
   EXPECT_EQ(c.num_lines(), 512u);
   // Fill more lines than capacity: valid count saturates at capacity.
-  for (LineId l = 0; l < 1000; ++l) c.fill(l, false);
+  for (LineId l{0}; l.value() < 1000; ++l) c.fill(l, false);
   EXPECT_LE(c.valid_lines(), 512u);
 }
 

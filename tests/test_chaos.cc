@@ -33,9 +33,9 @@ MachineConfig chaos_config(ArchModel arch) {
   cfg.fault_drop = 0.01;
   cfg.fault_dup = 0.01;
   cfg.fault_jitter = 0.05;
-  cfg.nack_busy_cycles = 400;
+  cfg.nack_busy_cycles = Cycle{400};
   // Generous bound: trips only on a genuine livelock, not on slow progress.
-  cfg.watchdog_cycles = 20'000'000;
+  cfg.watchdog_cycles = Cycle{20'000'000};
   cfg.check_invariants = true;  // shadow checks + post-run sweep
   return cfg;
 }
@@ -49,7 +49,7 @@ TEST(ChaosSoak, EveryArchitectureSurvivesFaultInjection) {
   for (ArchModel arch : kAllArchs) {
     SCOPED_TRACE(to_string(arch));
     const core::RunResult r = core::simulate(chaos_config(arch), wl);
-    EXPECT_GT(r.cycles(), 0u);
+    EXPECT_GT(r.cycles(), Cycle{0});
     EXPECT_GT(r.faults_injected, 0u);  // the chaos actually happened
     EXPECT_TRUE(r.invariants_checked);
   }
@@ -95,8 +95,8 @@ TEST(ChaosSoak, ZeroFaultConfigMatchesAPlainRun) {
   plain.seed = 2024;
 
   MachineConfig hardened = plain;
-  hardened.watchdog_cycles = 20'000'000;  // armed but never tripping
-  hardened.nack_busy_cycles = 0;          // NACKs disabled
+  hardened.watchdog_cycles = Cycle{20'000'000};  // armed but never tripping
+  hardened.nack_busy_cycles = Cycle{0};          // NACKs disabled
 
   const core::RunResult a = core::simulate(plain, wl);
   const core::RunResult b = core::simulate(hardened, wl);

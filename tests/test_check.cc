@@ -23,6 +23,7 @@
 namespace check = ascoma::check;
 namespace proto = ascoma::proto;
 using ascoma::ArchModel;
+using ascoma::BlockId;
 using ascoma::NodeId;
 
 namespace {
@@ -99,11 +100,11 @@ TEST(TransitionTable, ModelDirectoryAgreement) {
   // Three nodes; entry setups reaching each (state, rel) pair.  Requester 2
   // gives kNone a distinct id from the nodes inside the entry.
   const Scenario scenarios[] = {
-      {proto::DirState::kUncached, proto::ReqRel::kNone, 2},
-      {proto::DirState::kShared, proto::ReqRel::kNone, 2},
-      {proto::DirState::kShared, proto::ReqRel::kSharer, 0},
-      {proto::DirState::kExclusive, proto::ReqRel::kNone, 2},
-      {proto::DirState::kExclusive, proto::ReqRel::kOwner, 0},
+      {proto::DirState::kUncached, proto::ReqRel::kNone, NodeId{2}},
+      {proto::DirState::kShared, proto::ReqRel::kNone, NodeId{2}},
+      {proto::DirState::kShared, proto::ReqRel::kSharer, NodeId{0}},
+      {proto::DirState::kExclusive, proto::ReqRel::kNone, NodeId{2}},
+      {proto::DirState::kExclusive, proto::ReqRel::kOwner, NodeId{0}},
   };
   const proto::ProtoMsg msgs[] = {proto::ProtoMsg::kGetS,
                                   proto::ProtoMsg::kGetX,
@@ -118,33 +119,33 @@ TEST(TransitionTable, ModelDirectoryAgreement) {
       // Reference: a real Directory, primed into the scenario's entry state.
       proto::Directory dir(1, 3);
       if (sc.state == proto::DirState::kShared) {
-        dir.gets(0, 0);
-        dir.gets(0, 1);
+        dir.gets(BlockId{0}, NodeId{0});
+        dir.gets(BlockId{0}, NodeId{1});
       } else if (sc.state == proto::DirState::kExclusive) {
-        dir.getx(0, 0);
+        dir.getx(BlockId{0}, NodeId{0});
       }
-      ASSERT_EQ(dir.state_of(0), sc.state);
-      ASSERT_EQ(dir.rel_of(0, sc.requester), sc.rel);
+      ASSERT_EQ(dir.state_of(BlockId{0}), sc.state);
+      ASSERT_EQ(dir.rel_of(BlockId{0}, sc.requester), sc.rel);
 
       NodeId dir_fwd = ascoma::kInvalidNode;
       std::vector<NodeId> dir_inval;
       switch (msg) {
         case proto::ProtoMsg::kGetS: {
-          const auto r = dir.gets(0, sc.requester);
+          const auto r = dir.gets(BlockId{0}, sc.requester);
           dir_fwd = r.dirty_owner;
           break;
         }
         case proto::ProtoMsg::kGetX: {
-          auto r = dir.getx(0, sc.requester);
+          auto r = dir.getx(BlockId{0}, sc.requester);
           dir_fwd = r.dirty_owner;
           dir_inval = r.invalidate;
           break;
         }
         case proto::ProtoMsg::kFlush:
-          dir.flush_node(0, sc.requester);
+          dir.flush_node(BlockId{0}, sc.requester);
           break;
         case proto::ProtoMsg::kNack:
-          dir.note_nack(0, sc.requester);
+          dir.note_nack(BlockId{0}, sc.requester);
           break;
       }
 
@@ -169,27 +170,27 @@ TEST(TransitionTable, ModelDirectoryAgreement) {
       const proto::Transition& t = model.table().lookup(sc.state, msg, sc.rel);
       std::vector<NodeId> model_inval;
       NodeId model_fwd = ascoma::kInvalidNode;
-      if (t.has(proto::act::kForwardOwner)) model_fwd = s.dir_owner[0];
+      if (t.has(proto::act::kForwardOwner)) model_fwd = NodeId{s.dir_owner[0]};
       if (t.has(proto::act::kInvalSharers)) {
         std::uint8_t mask = s.dir_sharers[0];
-        mask &= static_cast<std::uint8_t>(~(1u << sc.requester));
+        mask &= static_cast<std::uint8_t>(~(1u << sc.requester.value()));
         if (s.dir_owner[0] != check::kNoOwner)
           mask &= static_cast<std::uint8_t>(~(1u << s.dir_owner[0]));
-        for (NodeId n = 0; n < 3; ++n)
-          if ((mask >> n) & 1u) model_inval.push_back(n);
+        for (NodeId n{0}; n.value() < 3; ++n)
+          if ((mask >> n.value()) & 1u) model_inval.push_back(n);
       }
       if (t.has(proto::act::kClearOwner)) s.dir_owner[0] = check::kNoOwner;
       if (t.has(proto::act::kAddSharer))
-        s.dir_sharers[0] |= static_cast<std::uint8_t>(1u << sc.requester);
+        s.dir_sharers[0] |= static_cast<std::uint8_t>(1u << sc.requester.value());
       if (t.has(proto::act::kRemoveSharer))
-        s.dir_sharers[0] &= static_cast<std::uint8_t>(~(1u << sc.requester));
+        s.dir_sharers[0] &= static_cast<std::uint8_t>(~(1u << sc.requester.value()));
       if (t.has(proto::act::kSetOwner)) {
-        s.dir_sharers[0] = static_cast<std::uint8_t>(1u << sc.requester);
-        s.dir_owner[0] = static_cast<std::uint8_t>(sc.requester);
+        s.dir_sharers[0] = static_cast<std::uint8_t>(1u << sc.requester.value());
+        s.dir_owner[0] = static_cast<std::uint8_t>(sc.requester.value());
       }
 
-      const NodeId dir_owner_after = dir.owner(0);
-      EXPECT_EQ(dir.sharer_mask(0), s.dir_sharers[0])
+      const NodeId dir_owner_after = dir.owner(BlockId{0});
+      EXPECT_EQ(dir.sharer_mask(BlockId{0}), s.dir_sharers[0])
           << to_string(sc.state) << " x " << to_string(msg);
       EXPECT_EQ(dir_owner_after == ascoma::kInvalidNode,
                 s.dir_owner[0] == check::kNoOwner);

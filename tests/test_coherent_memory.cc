@@ -16,9 +16,10 @@ class CoherentMemoryTest : public ::testing::Test {
  protected:
   CoherentMemoryTest() : homes_(16, 4) {
     homes_.assign_contiguous();
-    for (NodeId n = 0; n < 4; ++n) {
+    for (NodeId n{0}; n.value() < 4; ++n) {
       pts_.push_back(std::make_unique<vm::PageTable>(16));
-      for (VPageId p = n * 4; p < (n + 1) * 4; ++p) pts_[n]->map_home(p);
+      for (VPageId p{n.value() * 4ull}; p < VPageId{(n.value() + 1) * 4ull}; ++p)
+        pts_[n.value()]->map_home(p);
     }
     cfg_.nodes = 4;
     cm_ = std::make_unique<CoherentMemory>(cfg_, homes_);
@@ -28,7 +29,8 @@ class CoherentMemoryTest : public ::testing::Test {
   }
 
   Addr addr(VPageId page, std::uint64_t line_in_page) const {
-    return page * cfg_.page_bytes + line_in_page * cfg_.line_bytes;
+    return Addr{page.value() * cfg_.page_bytes.value() +
+                line_in_page * cfg_.line_bytes.value()};
   }
 
   MachineConfig cfg_;
@@ -40,50 +42,50 @@ class CoherentMemoryTest : public ::testing::Test {
 // ---- Table 4: minimum latencies -------------------------------------------
 
 TEST_F(CoherentMemoryTest, LocalHomeMissCosts50Cycles) {
-  const auto o = cm_->access(0, addr(0, 0), false, 0);
+  const auto o = cm_->access(0, addr(VPageId{0}, 0), false, Cycle{0});
   EXPECT_EQ(o.done, cfg_.min_local_latency());
-  EXPECT_EQ(o.done, 50u);
+  EXPECT_EQ(o.done, Cycle{50});
   EXPECT_TRUE(o.counted_miss);
   EXPECT_EQ(o.source, MissSource::kHome);
   EXPECT_FALSE(o.remote);
 }
 
 TEST_F(CoherentMemoryTest, L1HitCostsOneCycle) {
-  cm_->access(0, addr(0, 0), false, 0);
-  const auto o = cm_->access(0, addr(0, 0), false, 100);
+  cm_->access(0, addr(VPageId{0}, 0), false, Cycle{0});
+  const auto o = cm_->access(0, addr(VPageId{0}, 0), false, Cycle{100});
   EXPECT_TRUE(o.l1_hit);
   EXPECT_FALSE(o.counted_miss);
-  EXPECT_EQ(o.done, 101u);
+  EXPECT_EQ(o.done, Cycle{101});
 }
 
 TEST_F(CoherentMemoryTest, RemoteCleanFetchCosts150Cycles) {
-  pts_[0]->map_numa(4);  // page 4 homed at node 1
-  const auto o = cm_->access(0, addr(4, 0), false, 0);
+  pts_[0]->map_numa(VPageId{4});  // page 4 homed at node 1
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
   EXPECT_EQ(o.done, cfg_.min_remote_latency());
   // 4 nodes -> one switch stage -> 138; the paper's 8-node machine gives the
   // full Table 4 value of 150 (asserted in test_config).
-  EXPECT_EQ(o.done, 138u);
+  EXPECT_EQ(o.done, Cycle{138});
   EXPECT_TRUE(o.remote);
   EXPECT_EQ(o.source, MissSource::kCold);
 }
 
 TEST_F(CoherentMemoryTest, RacHitCosts36Cycles) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);  // fetches block, fills RAC + L1
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});  // fetches block, fills RAC + L1
   // Line 1 is in the same 4-line block: L1 miss, RAC hit.
-  const auto o = cm_->access(0, addr(4, 1), false, 1000);
-  EXPECT_EQ(o.done - 1000, cfg_.min_rac_latency());
-  EXPECT_EQ(o.done - 1000, 36u);
+  const auto o = cm_->access(0, addr(VPageId{4}, 1), false, Cycle{1000});
+  EXPECT_EQ(o.done - Cycle{1000}, cfg_.min_rac_latency());
+  EXPECT_EQ(o.done - Cycle{1000}, Cycle{36});
   EXPECT_EQ(o.source, MissSource::kRac);
   EXPECT_FALSE(o.remote);
-  EXPECT_EQ(cm_->rac(0).hits(), 1u);
+  EXPECT_EQ(cm_->rac(NodeId{0}).hits(), 1u);
 }
 
 TEST_F(CoherentMemoryTest, ScomaValidHitCostsLocalLatency) {
-  pts_[0]->map_scoma(4, 0);
-  cm_->access(0, addr(4, 0), false, 0);  // cold remote fetch fills the block
-  const auto o = cm_->access(0, addr(4, 1), false, 1000);
-  EXPECT_EQ(o.done - 1000, cfg_.min_local_latency());
+  pts_[0]->map_scoma(VPageId{4}, FrameId{0});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});  // cold remote fetch fills the block
+  const auto o = cm_->access(0, addr(VPageId{4}, 1), false, Cycle{1000});
+  EXPECT_EQ(o.done - Cycle{1000}, cfg_.min_local_latency());
   EXPECT_EQ(o.source, MissSource::kScoma);
   EXPECT_FALSE(o.remote);
 }
@@ -91,41 +93,41 @@ TEST_F(CoherentMemoryTest, ScomaValidHitCostsLocalLatency) {
 // ---- classification ---------------------------------------------------------
 
 TEST_F(CoherentMemoryTest, RefetchClassifiedConflict) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
   // Evict from L1 and RAC by an aliasing access, then refetch.
-  cm_->l1(0).invalidate_block(cfg_.block_of(addr(4, 0)));
-  cm_->rac(0).invalidate(cfg_.block_of(addr(4, 0)));
-  const auto o = cm_->access(0, addr(4, 0), false, 1000);
+  cm_->l1(0).invalidate_block(cfg_.block_of(addr(VPageId{4}, 0)));
+  cm_->rac(NodeId{0}).invalidate(cfg_.block_of(addr(VPageId{4}, 0)));
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000});
   EXPECT_EQ(o.source, MissSource::kConfCapc);
   EXPECT_TRUE(o.counted_refetch);
   EXPECT_EQ(o.page_refetch_count, 1u);
-  EXPECT_EQ(cm_->refetch().count(4, 0), 1u);
+  EXPECT_EQ(cm_->refetch().count(VPageId{4}, NodeId{0}), 1u);
 }
 
 TEST_F(CoherentMemoryTest, InvalidationMissClassifiedCoherence) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);   // node 0 reads
-  cm_->access(1, addr(4, 0), true, 100);  // home node 1 writes: invalidates 0
-  const auto o = cm_->access(0, addr(4, 0), false, 1000);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});   // node 0 reads
+  cm_->access(1, addr(VPageId{4}, 0), true, Cycle{100});  // home node 1 writes: invalidates 0
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000});
   EXPECT_EQ(o.source, MissSource::kCoherence);
   EXPECT_FALSE(o.counted_refetch);  // not a conflict refetch
-  EXPECT_EQ(cm_->refetch().count(4, 0), 0u);
+  EXPECT_EQ(cm_->refetch().count(VPageId{4}, NodeId{0}), 0u);
 }
 
 TEST_F(CoherentMemoryTest, ColdMissesDoNotCountAsRefetches) {
-  pts_[0]->map_numa(4);
-  const auto o = cm_->access(0, addr(4, 0), false, 0);
+  pts_[0]->map_numa(VPageId{4});
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
   EXPECT_EQ(o.source, MissSource::kCold);
   EXPECT_FALSE(o.counted_refetch);
   EXPECT_FALSE(o.induced_cold);
 }
 
 TEST_F(CoherentMemoryTest, FlushThenRefetchIsInducedCold) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->flush_page(0, 4, 100);
-  const auto o = cm_->access(0, addr(4, 0), false, 1000);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->flush_page(NodeId{0}, VPageId{4}, Cycle{100});
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000});
   EXPECT_EQ(o.source, MissSource::kCold);
   EXPECT_TRUE(o.induced_cold);
 }
@@ -133,37 +135,37 @@ TEST_F(CoherentMemoryTest, FlushThenRefetchIsInducedCold) {
 // ---- S-COMA valid bits ------------------------------------------------------
 
 TEST_F(CoherentMemoryTest, ScomaBlockFetchSetsWholeBlockValid) {
-  pts_[0]->map_scoma(4, 0);
-  cm_->access(0, addr(4, 0), false, 0);
+  pts_[0]->map_scoma(VPageId{4}, FrameId{0});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
   // All four lines of the block are now backed locally: lines 1-3 are L1
   // misses satisfied from the page cache, not remote.
   for (std::uint64_t l = 1; l < 4; ++l) {
-    const auto o = cm_->access(0, addr(4, l), false, 1000 + l);
+    const auto o = cm_->access(0, addr(VPageId{4}, l), false, Cycle{1000 + l});
     EXPECT_EQ(o.source, MissSource::kScoma) << "line " << l;
   }
   // Line 4 is the next block: remote again.
-  const auto o = cm_->access(0, addr(4, 4), false, 5000);
+  const auto o = cm_->access(0, addr(VPageId{4}, 4), false, Cycle{5000});
   EXPECT_EQ(o.source, MissSource::kCold);
 }
 
 TEST_F(CoherentMemoryTest, InvalidationClearsScomaValidBit) {
-  pts_[0]->map_scoma(4, 0);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->access(1, addr(4, 0), true, 500);  // home writes, invalidates replica
-  const auto o = cm_->access(0, addr(4, 0), false, 1000);
+  pts_[0]->map_scoma(VPageId{4}, FrameId{0});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->access(1, addr(VPageId{4}, 0), true, Cycle{500});  // home writes, invalidates replica
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000});
   EXPECT_EQ(o.source, MissSource::kCoherence);  // had to refetch remotely
 }
 
 TEST_F(CoherentMemoryTest, ScomaStoreRequiresOwnershipOnce) {
-  pts_[0]->map_scoma(4, 0);
-  cm_->access(0, addr(4, 0), false, 0);  // read: shared replica
+  pts_[0]->map_scoma(VPageId{4}, FrameId{0});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});  // read: shared replica
   // Store to the valid replica: ownership-only round trip (kCoherence).
-  const auto o1 = cm_->access(0, addr(4, 1), true, 1000);
+  const auto o1 = cm_->access(0, addr(VPageId{4}, 1), true, Cycle{1000});
   EXPECT_EQ(o1.source, MissSource::kCoherence);
   EXPECT_TRUE(o1.remote);
   // Subsequent store misses to the same block are local: node owns it.
-  cm_->l1(0).invalidate_block(cfg_.block_of(addr(4, 0)));
-  const auto o2 = cm_->access(0, addr(4, 2), true, 5000);
+  cm_->l1(0).invalidate_block(cfg_.block_of(addr(VPageId{4}, 0)));
+  const auto o2 = cm_->access(0, addr(VPageId{4}, 2), true, Cycle{5000});
   EXPECT_EQ(o2.source, MissSource::kScoma);
   EXPECT_FALSE(o2.remote);
 }
@@ -171,87 +173,89 @@ TEST_F(CoherentMemoryTest, ScomaStoreRequiresOwnershipOnce) {
 // ---- store/ownership paths --------------------------------------------------
 
 TEST_F(CoherentMemoryTest, StoreHitWithoutOwnershipUpgrades) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);  // read: line in L1, shared
-  const auto o = cm_->access(0, addr(4, 0), true, 1000);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});  // read: line in L1, shared
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), true, Cycle{1000});
   EXPECT_TRUE(o.l1_hit);
   EXPECT_FALSE(o.counted_miss);  // upgrade, not a data miss
   EXPECT_TRUE(o.remote);
-  EXPECT_EQ(cm_->directory().owner(cfg_.block_of(addr(4, 0))), 0u);
+  EXPECT_EQ(cm_->directory().owner(cfg_.block_of(addr(VPageId{4}, 0))),
+            NodeId{0});
 }
 
 TEST_F(CoherentMemoryTest, StoreHitWithOwnershipIsOneCycle) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), true, 0);  // store fetch: owner now
-  const auto o = cm_->access(0, addr(4, 0), true, 1000);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), true, Cycle{0});  // store fetch: owner now
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), true, Cycle{1000});
   EXPECT_TRUE(o.l1_hit);
   EXPECT_FALSE(o.remote);
-  EXPECT_EQ(o.done, 1001u);
+  EXPECT_EQ(o.done, Cycle{1001});
 }
 
 TEST_F(CoherentMemoryTest, GetxInvalidatesAllSharerCaches) {
-  pts_[0]->map_numa(4);
-  pts_[2]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->access(2, addr(4, 0), false, 100);
-  cm_->access(1, addr(4, 0), true, 1000);  // home node writes
+  pts_[0]->map_numa(VPageId{4});
+  pts_[2]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->access(2, addr(VPageId{4}, 0), false, Cycle{100});
+  cm_->access(1, addr(VPageId{4}, 0), true, Cycle{1000});  // home node writes
   // Sharers lost every copy.
-  EXPECT_FALSE(cm_->l1(0).probe(cfg_.line_of(addr(4, 0))));
-  EXPECT_FALSE(cm_->l1(2).probe(cfg_.line_of(addr(4, 0))));
-  EXPECT_FALSE(cm_->rac(0).probe(cfg_.block_of(addr(4, 0))));
-  EXPECT_EQ(cm_->directory().owner(cfg_.block_of(addr(4, 0))), 1u);
+  EXPECT_FALSE(cm_->l1(0).probe(cfg_.line_of(addr(VPageId{4}, 0))));
+  EXPECT_FALSE(cm_->l1(2).probe(cfg_.line_of(addr(VPageId{4}, 0))));
+  EXPECT_FALSE(cm_->rac(NodeId{0}).probe(cfg_.block_of(addr(VPageId{4}, 0))));
+  EXPECT_EQ(cm_->directory().owner(cfg_.block_of(addr(VPageId{4}, 0))),
+            NodeId{1});
   cm_->audit();
 }
 
 TEST_F(CoherentMemoryTest, DirtyRemoteDataForwardedToHomeReader) {
-  pts_[2]->map_numa(0);  // page 0 homed at node 0
-  cm_->access(2, addr(0, 0), true, 0);  // node 2 owns the block dirty
+  pts_[2]->map_numa(VPageId{0});  // page 0 homed at node 0
+  cm_->access(2, addr(VPageId{0}, 0), true, Cycle{0});  // node 2 owns the block dirty
   // Home node reads its own page: 3-hop through the owner.
-  const auto o = cm_->access(0, addr(0, 0), false, 1000);
+  const auto o = cm_->access(0, addr(VPageId{0}, 0), false, Cycle{1000});
   EXPECT_EQ(o.source, MissSource::kCoherence);
   EXPECT_TRUE(o.remote);
-  EXPECT_GT(o.done - 1000, cfg_.min_local_latency());
+  EXPECT_GT(o.done - Cycle{1000}, cfg_.min_local_latency());
   EXPECT_EQ(cm_->directory().forwards(), 1u);
 }
 
 TEST_F(CoherentMemoryTest, DirtyRemoteForwardBetweenThirdParties) {
-  pts_[2]->map_numa(4);
-  pts_[3]->map_numa(4);
-  cm_->access(2, addr(4, 0), true, 0);  // node 2 dirty owner (home = 1)
-  const auto o = cm_->access(3, addr(4, 0), false, 1000);  // 3-hop
+  pts_[2]->map_numa(VPageId{4});
+  pts_[3]->map_numa(VPageId{4});
+  cm_->access(2, addr(VPageId{4}, 0), true, Cycle{0});  // node 2 dirty owner (home = 1)
+  const auto o = cm_->access(3, addr(VPageId{4}, 0), false, Cycle{1000});  // 3-hop
   EXPECT_TRUE(o.remote);
-  EXPECT_GT(o.done - 1000, cfg_.min_remote_latency());
+  EXPECT_GT(o.done - Cycle{1000}, cfg_.min_remote_latency());
   cm_->audit();
 }
 
 // ---- flush_page ------------------------------------------------------------
 
 TEST_F(CoherentMemoryTest, FlushPageReportsL1Lines) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->access(0, addr(4, 8), true, 100);
-  const auto fo = cm_->flush_page(0, 4, 1000);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->access(0, addr(VPageId{4}, 8), true, Cycle{100});
+  const auto fo = cm_->flush_page(NodeId{0}, VPageId{4}, Cycle{1000});
   EXPECT_EQ(fo.l1_valid_lines, 2u);
   EXPECT_EQ(fo.l1_dirty_lines, 1u);
   EXPECT_EQ(fo.blocks_released, 2u);
-  EXPECT_FALSE(cm_->directory().in_copyset(cfg_.block_of(addr(4, 0)), 0));
+  EXPECT_FALSE(cm_->directory().in_copyset(cfg_.block_of(addr(VPageId{4}, 0)), NodeId{0}));
 }
 
 TEST_F(CoherentMemoryTest, FlushPageResetsRefetchCounter) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->l1(0).invalidate_block(cfg_.block_of(addr(4, 0)));
-  cm_->rac(0).invalidate(cfg_.block_of(addr(4, 0)));
-  cm_->access(0, addr(4, 0), false, 500);
-  EXPECT_EQ(cm_->refetch().count(4, 0), 1u);
-  cm_->flush_page(0, 4, 1000);
-  EXPECT_EQ(cm_->refetch().count(4, 0), 0u);
-  EXPECT_EQ(cm_->refetch().cumulative(4, 0), 1u);
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->l1(0).invalidate_block(cfg_.block_of(addr(VPageId{4}, 0)));
+  cm_->rac(NodeId{0}).invalidate(cfg_.block_of(addr(VPageId{4}, 0)));
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{500});
+  EXPECT_EQ(cm_->refetch().count(VPageId{4}, NodeId{0}), 1u);
+  cm_->flush_page(NodeId{0}, VPageId{4}, Cycle{1000});
+  EXPECT_EQ(cm_->refetch().count(VPageId{4}, NodeId{0}), 0u);
+  EXPECT_EQ(cm_->refetch().cumulative(VPageId{4}, NodeId{0}), 1u);
 }
 
 TEST_F(CoherentMemoryTest, FlushOfUntouchedPageIsNoop) {
-  pts_[0]->map_numa(5);
-  const auto fo = cm_->flush_page(0, 5, 0);
+  pts_[0]->map_numa(VPageId{5});
+  const auto fo = cm_->flush_page(NodeId{0}, VPageId{5}, Cycle{0});
   EXPECT_EQ(fo.l1_valid_lines, 0u);
   EXPECT_EQ(fo.blocks_released, 0u);
 }
@@ -259,71 +263,71 @@ TEST_F(CoherentMemoryTest, FlushOfUntouchedPageIsNoop) {
 // ---- writebacks ------------------------------------------------------------
 
 TEST_F(CoherentMemoryTest, DirtyVictimWritesBackRemotely) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), true, 0);  // dirty line in L1
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), true, Cycle{0});  // dirty line in L1
   // Page 8 aliases page 4 in the L1 (512 lines = 4 pages): evicts the line.
-  pts_[0]->map_numa(8);
-  cm_->access(0, addr(8, 0), false, 1000);
+  pts_[0]->map_numa(VPageId{8});
+  cm_->access(0, addr(VPageId{8}, 0), false, Cycle{1000});
   EXPECT_EQ(cm_->writebacks_remote(), 1u);
 }
 
 TEST_F(CoherentMemoryTest, DirtyHomeVictimWritesBackLocally) {
-  cm_->access(0, addr(0, 0), true, 0);
-  pts_[0]->map_numa(4);  // page 4 aliases page 0 in the L1
-  cm_->access(0, addr(4, 0), false, 1000);
+  cm_->access(0, addr(VPageId{0}, 0), true, Cycle{0});
+  pts_[0]->map_numa(VPageId{4});  // page 4 aliases page 0 in the L1
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000});
   EXPECT_EQ(cm_->writebacks_local(), 1u);
 }
 
 // ---- remote page census ------------------------------------------------------
 
 TEST_F(CoherentMemoryTest, RemotePagesTouchedCensus) {
-  pts_[0]->map_numa(4);
-  pts_[0]->map_numa(8);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->access(0, addr(4, 1), false, 10);
-  cm_->access(0, addr(8, 0), false, 20);
-  cm_->access(0, addr(0, 0), false, 30);  // home page: not remote
-  EXPECT_EQ(cm_->remote_pages_touched(0), 2u);
+  pts_[0]->map_numa(VPageId{4});
+  pts_[0]->map_numa(VPageId{8});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->access(0, addr(VPageId{4}, 1), false, Cycle{10});
+  cm_->access(0, addr(VPageId{8}, 0), false, Cycle{20});
+  cm_->access(0, addr(VPageId{0}, 0), false, Cycle{30});  // home page: not remote
+  EXPECT_EQ(cm_->remote_pages_touched(NodeId{0}), 2u);
 }
 
 // ---- invariants --------------------------------------------------------------
 
 TEST_F(CoherentMemoryTest, CoherenceShadowCatchesStaleCopies) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);    // node 0 caches the line
-  cm_->access(1, addr(4, 0), true, 500);   // home writes: invalidates node 0
-  EXPECT_FALSE(cm_->l1(0).probe(cfg_.line_of(addr(4, 0))));
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});    // node 0 caches the line
+  cm_->access(1, addr(VPageId{4}, 0), true, Cycle{500});   // home writes: invalidates node 0
+  EXPECT_FALSE(cm_->l1(0).probe(cfg_.line_of(addr(VPageId{4}, 0))));
   // Tamper: resurrect the stale line in node 0's L1 behind the protocol's
   // back.  The functional shadow must refuse to serve it.
-  cm_->l1(0).fill(cfg_.line_of(addr(4, 0)), false);
-  EXPECT_THROW(cm_->access(0, addr(4, 0), false, 1000), ascoma::CheckFailure);
+  cm_->l1(0).fill(cfg_.line_of(addr(VPageId{4}, 0)), false);
+  EXPECT_THROW(cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000}), ascoma::CheckFailure);
 }
 
 TEST_F(CoherentMemoryTest, CoherenceShadowAcceptsCurrentCopies) {
-  pts_[0]->map_numa(4);
-  cm_->access(0, addr(4, 0), false, 0);
-  cm_->access(1, addr(4, 0), true, 500);
-  cm_->access(0, addr(4, 0), false, 1000);  // refetch: current again
-  const auto o = cm_->access(0, addr(4, 0), false, 2000);  // L1 hit, fresh
+  pts_[0]->map_numa(VPageId{4});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0});
+  cm_->access(1, addr(VPageId{4}, 0), true, Cycle{500});
+  cm_->access(0, addr(VPageId{4}, 0), false, Cycle{1000});  // refetch: current again
+  const auto o = cm_->access(0, addr(VPageId{4}, 0), false, Cycle{2000});  // L1 hit, fresh
   EXPECT_TRUE(o.l1_hit);
 }
 
 TEST_F(CoherentMemoryTest, AccessToUnmappedPageThrows) {
-  EXPECT_THROW(cm_->access(0, addr(4, 0), false, 0), ascoma::CheckFailure);
+  EXPECT_THROW(cm_->access(0, addr(VPageId{4}, 0), false, Cycle{0}), ascoma::CheckFailure);
 }
 
 TEST_F(CoherentMemoryTest, AuditPassesAfterMixedTraffic) {
-  pts_[0]->map_numa(4);
-  pts_[2]->map_scoma(4, 0);
-  pts_[3]->map_numa(0);  // page 0 is homed at node 0: remote for node 3
-  Cycle t = 0;
+  pts_[0]->map_numa(VPageId{4});
+  pts_[2]->map_scoma(VPageId{4}, FrameId{0});
+  pts_[3]->map_numa(VPageId{0});  // page 0 is homed at node 0: remote for node 3
+  Cycle t{0};
   for (int i = 0; i < 50; ++i) {
-    cm_->access(0, addr(4, i % 128), i % 3 == 0, t += 200);
-    cm_->access(2, addr(4, (i * 7) % 128), i % 5 == 0, t += 200);
-    cm_->access(3, addr(0, i % 128), false, t += 200);
-    cm_->access(1, addr(4, i % 128), i % 7 == 0, t += 200);
+    cm_->access(0, addr(VPageId{4}, i % 128), i % 3 == 0, t += Cycle{200});
+    cm_->access(2, addr(VPageId{4}, (i * 7) % 128), i % 5 == 0, t += Cycle{200});
+    cm_->access(3, addr(VPageId{0}, i % 128), false, t += Cycle{200});
+    cm_->access(1, addr(VPageId{4}, i % 128), i % 7 == 0, t += Cycle{200});
   }
-  cm_->flush_page(2, 4, t + 100);
+  cm_->flush_page(NodeId{2}, VPageId{4}, t + Cycle{100});
   cm_->audit();
 }
 

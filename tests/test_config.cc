@@ -21,24 +21,24 @@ TEST(Config, DerivedGranularities) {
 
 TEST(Config, AddressDecomposition) {
   MachineConfig cfg;
-  const Addr a = 3 * 4096 + 5 * 128 + 2 * 32 + 7;
-  EXPECT_EQ(cfg.page_of(a), 3u);
-  EXPECT_EQ(cfg.block_of(a), 3u * 32 + 5);
-  EXPECT_EQ(cfg.line_of(a), (3u * 4096 + 5 * 128 + 2 * 32) / 32);
-  EXPECT_EQ(cfg.first_block_of_page(3), 96u);
-  EXPECT_EQ(cfg.page_base(3), 3u * 4096);
+  const Addr a{3 * 4096 + 5 * 128 + 2 * 32 + 7};
+  EXPECT_EQ(cfg.page_of(a), PageId{3});
+  EXPECT_EQ(cfg.block_of(a), BlockId{3u * 32 + 5});
+  EXPECT_EQ(cfg.line_of(a), LineId{(3u * 4096 + 5 * 128 + 2 * 32) / 32});
+  EXPECT_EQ(cfg.first_block_of_page(PageId{3}), BlockId{96});
+  EXPECT_EQ(cfg.page_base(PageId{3}), Addr{3u * 4096});
 }
 
 // Table 4 of the paper: L1 = 1, local = 50, RAC = 36, remote = 150 cycles,
 // remote:local ratio about 3:1.
 TEST(Config, Table4MinimumLatencies) {
   MachineConfig cfg;
-  EXPECT_EQ(cfg.l1_hit_cycles, 1u);
-  EXPECT_EQ(cfg.min_local_latency(), 50u);
-  EXPECT_EQ(cfg.min_rac_latency(), 36u);
-  EXPECT_EQ(cfg.min_remote_latency(), 150u);
-  const double ratio = static_cast<double>(cfg.min_remote_latency()) /
-                       static_cast<double>(cfg.min_local_latency());
+  EXPECT_EQ(cfg.l1_hit_cycles, Cycle{1});
+  EXPECT_EQ(cfg.min_local_latency(), Cycle{50});
+  EXPECT_EQ(cfg.min_rac_latency(), Cycle{36});
+  EXPECT_EQ(cfg.min_remote_latency(), Cycle{150});
+  const double ratio = static_cast<double>(cfg.min_remote_latency().value()) /
+                       static_cast<double>(cfg.min_local_latency().value());
   EXPECT_NEAR(ratio, 3.0, 0.05);
 }
 
@@ -55,13 +55,13 @@ TEST(Config, NetStagesFor8NodesArity4) {
 
 TEST(Config, ValidateCatchesBadGranularity) {
   MachineConfig cfg;
-  cfg.block_bytes = 96;  // not a power of two
+  cfg.block_bytes = ByteCount{96};  // not a power of two
   EXPECT_NE(cfg.validate(), "");
   cfg = MachineConfig{};
-  cfg.line_bytes = 48;
+  cfg.line_bytes = ByteCount{48};
   EXPECT_NE(cfg.validate(), "");
   cfg = MachineConfig{};
-  cfg.l1_bytes = 3000;
+  cfg.l1_bytes = ByteCount{3000};
   EXPECT_NE(cfg.validate(), "");
 }
 

@@ -9,118 +9,118 @@ namespace {
 
 TEST(Directory, InitiallyUncached) {
   Directory d(16, 4);
-  EXPECT_EQ(d.owner(0), kInvalidNode);
-  EXPECT_EQ(d.sharer_count(0), 0u);
-  EXPECT_FALSE(d.in_copyset(0, 0));
+  EXPECT_EQ(d.owner(BlockId{0}), kInvalidNode);
+  EXPECT_EQ(d.sharer_count(BlockId{0}), 0u);
+  EXPECT_FALSE(d.in_copyset(BlockId{0}, NodeId{0}));
 }
 
 TEST(Directory, GetsAddsSharer) {
   Directory d(16, 4);
-  const auto r = d.gets(0, 1);
+  const auto r = d.gets(BlockId{0}, NodeId{1});
   EXPECT_FALSE(r.was_in_copyset);
   EXPECT_EQ(r.dirty_owner, kInvalidNode);
-  EXPECT_TRUE(d.in_copyset(0, 1));
-  EXPECT_EQ(d.sharer_count(0), 1u);
+  EXPECT_TRUE(d.in_copyset(BlockId{0}, NodeId{1}));
+  EXPECT_EQ(d.sharer_count(BlockId{0}), 1u);
 }
 
 TEST(Directory, RepeatGetsIsRefetchSignal) {
   Directory d(16, 4);
-  d.gets(0, 1);
-  const auto r = d.gets(0, 1);
+  d.gets(BlockId{0}, NodeId{1});
+  const auto r = d.gets(BlockId{0}, NodeId{1});
   EXPECT_TRUE(r.was_in_copyset);
 }
 
 TEST(Directory, GetxInvalidatesOtherSharers) {
   Directory d(16, 4);
-  d.gets(0, 0);
-  d.gets(0, 1);
-  d.gets(0, 2);
-  const auto r = d.getx(0, 1);
+  d.gets(BlockId{0}, NodeId{0});
+  d.gets(BlockId{0}, NodeId{1});
+  d.gets(BlockId{0}, NodeId{2});
+  const auto r = d.getx(BlockId{0}, NodeId{1});
   EXPECT_TRUE(r.was_in_copyset);
   EXPECT_EQ(r.dirty_owner, kInvalidNode);
   ASSERT_EQ(r.invalidate.size(), 2u);
-  EXPECT_EQ(r.invalidate[0], 0u);
-  EXPECT_EQ(r.invalidate[1], 2u);
-  EXPECT_EQ(d.owner(0), 1u);
-  EXPECT_EQ(d.sharer_count(0), 1u);
-  EXPECT_TRUE(d.in_copyset(0, 1));
-  d.check_entry(0);
+  EXPECT_EQ(r.invalidate[0], NodeId{0});
+  EXPECT_EQ(r.invalidate[1], NodeId{2});
+  EXPECT_EQ(d.owner(BlockId{0}), NodeId{1});
+  EXPECT_EQ(d.sharer_count(BlockId{0}), 1u);
+  EXPECT_TRUE(d.in_copyset(BlockId{0}, NodeId{1}));
+  d.check_entry(BlockId{0});
 }
 
 TEST(Directory, GetsAfterGetxForwardsToOwner) {
   Directory d(16, 4);
-  d.getx(0, 2);
-  const auto r = d.gets(0, 3);
-  EXPECT_EQ(r.dirty_owner, 2u);
+  d.getx(BlockId{0}, NodeId{2});
+  const auto r = d.gets(BlockId{0}, NodeId{3});
+  EXPECT_EQ(r.dirty_owner, NodeId{2});
   // Owner downgraded to sharer; home current again.
-  EXPECT_EQ(d.owner(0), kInvalidNode);
-  EXPECT_TRUE(d.in_copyset(0, 2));
-  EXPECT_TRUE(d.in_copyset(0, 3));
-  d.check_entry(0);
+  EXPECT_EQ(d.owner(BlockId{0}), kInvalidNode);
+  EXPECT_TRUE(d.in_copyset(BlockId{0}, NodeId{2}));
+  EXPECT_TRUE(d.in_copyset(BlockId{0}, NodeId{3}));
+  d.check_entry(BlockId{0});
 }
 
 TEST(Directory, GetxAfterGetxForwardsAndInvalidatesOwner) {
   Directory d(16, 4);
-  d.getx(0, 2);
-  const auto r = d.getx(0, 3);
-  EXPECT_EQ(r.dirty_owner, 2u);
+  d.getx(BlockId{0}, NodeId{2});
+  const auto r = d.getx(BlockId{0}, NodeId{3});
+  EXPECT_EQ(r.dirty_owner, NodeId{2});
   EXPECT_TRUE(r.invalidate.empty());  // owner handled by the forward
-  EXPECT_EQ(d.owner(0), 3u);
-  EXPECT_EQ(d.sharer_count(0), 1u);
-  d.check_entry(0);
+  EXPECT_EQ(d.owner(BlockId{0}), NodeId{3});
+  EXPECT_EQ(d.sharer_count(BlockId{0}), 1u);
+  d.check_entry(BlockId{0});
 }
 
 TEST(Directory, OwnerReacquiringKeepsOwnership) {
   Directory d(16, 4);
-  d.getx(0, 2);
-  const auto r = d.getx(0, 2);
+  d.getx(BlockId{0}, NodeId{2});
+  const auto r = d.getx(BlockId{0}, NodeId{2});
   EXPECT_TRUE(r.was_in_copyset);
   EXPECT_EQ(r.dirty_owner, kInvalidNode);  // no self-forward
   EXPECT_TRUE(r.invalidate.empty());
-  EXPECT_EQ(d.owner(0), 2u);
+  EXPECT_EQ(d.owner(BlockId{0}), NodeId{2});
 }
 
 TEST(Directory, FlushNodeRemovesFromCopyset) {
   Directory d(16, 4);
-  d.gets(0, 1);
-  d.gets(0, 2);
-  EXPECT_FALSE(d.flush_node(0, 1));  // not owner
-  EXPECT_FALSE(d.in_copyset(0, 1));
-  EXPECT_TRUE(d.in_copyset(0, 2));
+  d.gets(BlockId{0}, NodeId{1});
+  d.gets(BlockId{0}, NodeId{2});
+  EXPECT_FALSE(d.flush_node(BlockId{0}, NodeId{1}));  // not owner
+  EXPECT_FALSE(d.in_copyset(BlockId{0}, NodeId{1}));
+  EXPECT_TRUE(d.in_copyset(BlockId{0}, NodeId{2}));
 }
 
 TEST(Directory, FlushOwnerReturnsTrueAndClearsOwnership) {
   Directory d(16, 4);
-  d.getx(0, 1);
-  EXPECT_TRUE(d.flush_node(0, 1));
-  EXPECT_EQ(d.owner(0), kInvalidNode);
-  EXPECT_EQ(d.sharer_count(0), 0u);
-  d.check_entry(0);
+  d.getx(BlockId{0}, NodeId{1});
+  EXPECT_TRUE(d.flush_node(BlockId{0}, NodeId{1}));
+  EXPECT_EQ(d.owner(BlockId{0}), kInvalidNode);
+  EXPECT_EQ(d.sharer_count(BlockId{0}), 0u);
+  d.check_entry(BlockId{0});
 }
 
 TEST(Directory, RefetchAfterFlushIsNotInCopyset) {
   Directory d(16, 4);
-  d.gets(0, 1);
-  d.flush_node(0, 1);
-  const auto r = d.gets(0, 1);
+  d.gets(BlockId{0}, NodeId{1});
+  d.flush_node(BlockId{0}, NodeId{1});
+  const auto r = d.gets(BlockId{0}, NodeId{1});
   EXPECT_FALSE(r.was_in_copyset);  // flushed pages fetch cold, not refetch
 }
 
 TEST(Directory, CountsInvalidationsAndForwards) {
   Directory d(16, 4);
-  d.gets(0, 0);
-  d.gets(0, 1);
-  d.getx(0, 2);  // invalidates 0 and 1
+  d.gets(BlockId{0}, NodeId{0});
+  d.gets(BlockId{0}, NodeId{1});
+  d.getx(BlockId{0}, NodeId{2});  // invalidates 0 and 1
   EXPECT_EQ(d.invalidations_sent(), 2u);
-  d.gets(0, 3);  // forward to owner 2
+  d.gets(BlockId{0}, NodeId{3});  // forward to owner 2
   EXPECT_EQ(d.forwards(), 1u);
 }
 
 TEST(Directory, IndependentBlocks) {
   Directory d(16, 4);
-  d.getx(3, 1);
-  EXPECT_EQ(d.owner(4), kInvalidNode);
-  EXPECT_EQ(d.owner(3), 1u);
+  d.getx(BlockId{3}, NodeId{1});
+  EXPECT_EQ(d.owner(BlockId{4}), kInvalidNode);
+  EXPECT_EQ(d.owner(BlockId{3}), NodeId{1});
 }
 
 TEST(Directory, RejectsTooManyNodes) {
@@ -129,8 +129,8 @@ TEST(Directory, RejectsTooManyNodes) {
 
 TEST(Directory, BoundsChecked) {
   Directory d(4, 2);
-  EXPECT_THROW(d.gets(4, 0), ascoma::CheckFailure);
-  EXPECT_THROW(d.gets(0, 2), ascoma::CheckFailure);
+  EXPECT_THROW(d.gets(BlockId{4}, NodeId{0}), ascoma::CheckFailure);
+  EXPECT_THROW(d.gets(BlockId{0}, NodeId{2}), ascoma::CheckFailure);
 }
 
 }  // namespace

@@ -9,7 +9,7 @@ namespace {
 TEST(Dram, UncontendedLatencyIsAccessCycles) {
   MachineConfig cfg;
   Dram d(cfg);
-  EXPECT_EQ(d.access(100, 0), 100u + cfg.dram_access_cycles);
+  EXPECT_EQ(d.access(Cycle{100}, BlockId{0}), Cycle{100} + cfg.dram_access_cycles);
   EXPECT_EQ(d.banks(), cfg.dram_banks);
 }
 
@@ -17,50 +17,50 @@ TEST(Dram, BlocksInterleaveAcrossBanks) {
   MachineConfig cfg;  // 4 banks
   Dram d(cfg);
   // Blocks 0..3 hit distinct banks: all complete without queueing.
-  for (BlockId b = 0; b < 4; ++b)
-    EXPECT_EQ(d.access(0, b), cfg.dram_access_cycles);
+  for (BlockId b{0}; b.value() < 4; ++b)
+    EXPECT_EQ(d.access(Cycle{0}, b), cfg.dram_access_cycles);
 }
 
 TEST(Dram, SameBankQueues) {
   MachineConfig cfg;
   Dram d(cfg);
-  EXPECT_EQ(d.access(0, 0), 30u);
-  EXPECT_EQ(d.access(0, 4), 60u);  // block 4 -> bank 0 again
-  EXPECT_EQ(d.access(0, 8), 90u);
+  EXPECT_EQ(d.access(Cycle{0}, BlockId{0}), Cycle{30});
+  EXPECT_EQ(d.access(Cycle{0}, BlockId{4}), Cycle{60});  // block 4 -> bank 0 again
+  EXPECT_EQ(d.access(Cycle{0}, BlockId{8}), Cycle{90});
 }
 
 TEST(Dram, CountsAccesses) {
   MachineConfig cfg;
   Dram d(cfg);
-  d.access(0, 0);
-  d.access(0, 1);
+  d.access(Cycle{0}, BlockId{0});
+  d.access(Cycle{0}, BlockId{1});
   EXPECT_EQ(d.accesses(), 2u);
   d.reset();
   EXPECT_EQ(d.accesses(), 0u);
-  EXPECT_EQ(d.access(0, 0), 30u);  // banks cleared too
+  EXPECT_EQ(d.access(Cycle{0}, BlockId{0}), Cycle{30});  // banks cleared too
 }
 
 TEST(Bus, TransactOccupiesBus) {
   MachineConfig cfg;
   Bus b(cfg);
-  EXPECT_EQ(b.transact(0), cfg.bus_occupancy);
-  EXPECT_EQ(b.transact(0), 2 * cfg.bus_occupancy);  // queued behind first
+  EXPECT_EQ(b.transact(Cycle{0}), cfg.bus_occupancy);
+  EXPECT_EQ(b.transact(Cycle{0}), 2 * cfg.bus_occupancy);  // queued behind first
   EXPECT_EQ(b.transactions(), 2u);
 }
 
 TEST(Bus, ShortTransactionIsHalf) {
   MachineConfig cfg;  // occupancy 10 -> short 5
   Bus b(cfg);
-  EXPECT_EQ(b.transact_short(0), 5u);
+  EXPECT_EQ(b.transact_short(Cycle{0}), Cycle{5});
 }
 
 TEST(Bus, ResetClears) {
   MachineConfig cfg;
   Bus b(cfg);
-  b.transact(0);
+  b.transact(Cycle{0});
   b.reset();
   EXPECT_EQ(b.transactions(), 0u);
-  EXPECT_EQ(b.transact(0), cfg.bus_occupancy);
+  EXPECT_EQ(b.transact(Cycle{0}), cfg.bus_occupancy);
 }
 
 }  // namespace

@@ -72,7 +72,7 @@ TEST(SmpNodes, NoSiblingTransfersWithOneProcessor) {
 TEST(SmpNodes, TimeBucketsStillSumToMakespan) {
   auto wl = smp_workload(2);
   const RunResult r = simulate(config(ArchModel::kAsComa, 0.5), wl);
-  Cycle max_total = 0;
+  Cycle max_total{0};
   for (const NodeStats& n : r.per_node)
     max_total = std::max(max_total, n.time.total());
   EXPECT_EQ(max_total, r.stats.parallel_cycles);
@@ -82,7 +82,7 @@ TEST(SmpNodes, FourProcessorsPerNodeWork) {
   auto wl = smp_workload(4);
   const RunResult r = simulate(config(ArchModel::kScoma, 0.3), wl);
   EXPECT_EQ(r.per_node.size(), 16u);
-  EXPECT_GT(r.cycles(), 0u);
+  EXPECT_GT(r.cycles(), Cycle{0});
 }
 
 TEST(SmpNodes, MoreProcessorsContendOnNodeResources) {
@@ -179,7 +179,7 @@ TEST(StoreBuffer, WorksWithSmpNodes) {
   MachineConfig cfg = config(ArchModel::kAsComa, 0.6);
   cfg.blocking_stores = false;
   const RunResult r = simulate(cfg, wl);
-  EXPECT_GT(r.cycles(), 0u);
+  EXPECT_GT(r.cycles(), Cycle{0});
   for (const NodeStats& n : r.per_node) {
     EXPECT_EQ(n.shared_loads + n.shared_stores,
               n.l1_hits + n.misses.total());

@@ -60,10 +60,10 @@ TEST(ComponentSeed, DistinctTopLevelSeedsGiveDistinctFaultStreams) {
 TEST(FaultPlan, DefaultConstructedIsDisabled) {
   fault::FaultPlan plan;
   EXPECT_FALSE(plan.enabled());
-  const auto d = plan.decide(0, 0, 1);
+  const auto d = plan.decide(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_FALSE(d.drop);
   EXPECT_FALSE(d.duplicate);
-  EXPECT_EQ(d.jitter, 0u);
+  EXPECT_EQ(d.jitter, Cycle{0});
 }
 
 TEST(FaultPlan, ZeroConfigIsDisabled) {
@@ -78,9 +78,9 @@ TEST(FaultPlan, SameSeedReplaysTheSameDecisions) {
   cfg.fault_jitter = 0.3;
   cfg.fault_seed = 42;
   fault::FaultPlan a(cfg), b(cfg);
-  for (int i = 0; i < 500; ++i) {
-    const auto da = a.decide(i, 0, 1);
-    const auto db = b.decide(i, 0, 1);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const auto da = a.decide(Cycle{i}, NodeId{0}, NodeId{1});
+    const auto db = b.decide(Cycle{i}, NodeId{0}, NodeId{1});
     EXPECT_EQ(da.drop, db.drop);
     EXPECT_EQ(da.jitter, db.jitter);
   }
@@ -94,51 +94,52 @@ TEST(FaultPlan, ResetRewindsTheRngAndCounters) {
   cfg.fault_seed = 7;
   fault::FaultPlan plan(cfg);
   std::vector<bool> first;
-  for (int i = 0; i < 100; ++i) first.push_back(plan.decide(i, 0, 1).drop);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    first.push_back(plan.decide(Cycle{i}, NodeId{0}, NodeId{1}).drop);
   plan.reset();
   EXPECT_EQ(plan.drops(), 0u);
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(plan.decide(i, 0, 1).drop, first[i]);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(plan.decide(Cycle{i}, NodeId{0}, NodeId{1}).drop, first[i]);
 }
 
 TEST(FaultPlan, TargetRuleFiresOnlyInsideItsWindow) {
   MachineConfig cfg;
   fault::FaultPlan plan(cfg);
-  plan.add_rule({fault::FaultKind::kDrop, 2, 3, 100, 200});
+  plan.add_rule({fault::FaultKind::kDrop, NodeId{2}, NodeId{3}, Cycle{100}, Cycle{200}});
   EXPECT_TRUE(plan.enabled());
-  EXPECT_FALSE(plan.decide(99, 2, 3).drop);   // before the window
-  EXPECT_TRUE(plan.decide(150, 2, 3).drop);   // inside
-  EXPECT_FALSE(plan.decide(150, 1, 3).drop);  // wrong source
-  EXPECT_FALSE(plan.decide(200, 2, 3).drop);  // end is exclusive
+  EXPECT_FALSE(plan.decide(Cycle{99}, NodeId{2}, NodeId{3}).drop);   // before the window
+  EXPECT_TRUE(plan.decide(Cycle{150}, NodeId{2}, NodeId{3}).drop);   // inside
+  EXPECT_FALSE(plan.decide(Cycle{150}, NodeId{1}, NodeId{3}).drop);  // wrong source
+  EXPECT_FALSE(plan.decide(Cycle{200}, NodeId{2}, NodeId{3}).drop);  // end is exclusive
 }
 
 TEST(FaultPlan, WildcardRuleMatchesAnyEndpoints) {
   MachineConfig cfg;
   fault::FaultPlan plan(cfg);
-  plan.add_rule({fault::FaultKind::kDuplicate, kInvalidNode, kInvalidNode, 0,
-                 kNeverCycle});
-  EXPECT_TRUE(plan.decide(5, 3, 1).duplicate);
-  EXPECT_TRUE(plan.decide(999, 0, 7).duplicate);
+  plan.add_rule({fault::FaultKind::kDuplicate, kInvalidNode, kInvalidNode, Cycle{0}, kNeverCycle});
+  EXPECT_TRUE(plan.decide(Cycle{5}, NodeId{3}, NodeId{1}).duplicate);
+  EXPECT_TRUE(plan.decide(Cycle{999}, NodeId{0}, NodeId{7}).duplicate);
 }
 
 TEST(FaultPlan, NackRuleTargetsTheHome) {
   MachineConfig cfg;
   fault::FaultPlan plan(cfg);
-  plan.add_rule({fault::FaultKind::kNack, kInvalidNode, 2, 0, 1000});
-  EXPECT_TRUE(plan.nack_forced(10, 2));
-  EXPECT_FALSE(plan.nack_forced(10, 1));
-  EXPECT_FALSE(plan.nack_forced(1000, 2));
+  plan.add_rule({fault::FaultKind::kNack, kInvalidNode, NodeId{2}, Cycle{0}, Cycle{1000}});
+  EXPECT_TRUE(plan.nack_forced(Cycle{10}, NodeId{2}));
+  EXPECT_FALSE(plan.nack_forced(Cycle{10}, NodeId{1}));
+  EXPECT_FALSE(plan.nack_forced(Cycle{1000}, NodeId{2}));
 }
 
 TEST(FaultPlan, DropSuppressesDuplicateAndJitter) {
   MachineConfig cfg;
   fault::FaultPlan plan(cfg);
-  plan.add_rule({fault::FaultKind::kDrop, 0, 1, 0, kNeverCycle});
-  plan.add_rule({fault::FaultKind::kDuplicate, 0, 1, 0, kNeverCycle});
-  plan.add_rule({fault::FaultKind::kJitter, 0, 1, 0, kNeverCycle});
-  const auto d = plan.decide(0, 0, 1);
+  plan.add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, kNeverCycle});
+  plan.add_rule({fault::FaultKind::kDuplicate, NodeId{0}, NodeId{1}, Cycle{0}, kNeverCycle});
+  plan.add_rule({fault::FaultKind::kJitter, NodeId{0}, NodeId{1}, Cycle{0}, kNeverCycle});
+  const auto d = plan.decide(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_TRUE(d.drop);
   EXPECT_FALSE(d.duplicate);
-  EXPECT_EQ(d.jitter, 0u);
+  EXPECT_EQ(d.jitter, Cycle{0});
   EXPECT_EQ(plan.duplicates(), 0u);
 }
 
@@ -159,67 +160,67 @@ class FaultyNetworkTest : public ::testing::Test {
 
 TEST_F(FaultyNetworkTest, DisabledPlanKeepsDeliveryBitIdentical) {
   net::Network bare(cfg_);
-  const Cycle without = bare.deliver(0, 0, 1);
+  const Cycle without = bare.deliver(Cycle{0}, NodeId{0}, NodeId{1});
   net_.set_fault_plan(&plan_);  // attached but disabled
   EXPECT_FALSE(net_.faulty());
-  EXPECT_EQ(net_.deliver(0, 0, 1), without);
+  EXPECT_EQ(net_.deliver(Cycle{0}, NodeId{0}, NodeId{1}), without);
 }
 
 TEST_F(FaultyNetworkTest, DroppedMessageIsReportedToTheCaller) {
-  plan_.add_rule({fault::FaultKind::kDrop, 0, 1, 0, 50});
+  plan_.add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{50}});
   net_.set_fault_plan(&plan_);
-  const auto a = net_.try_deliver(0, 0, 1);
+  const auto a = net_.try_deliver(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_TRUE(a.dropped);
   EXPECT_EQ(plan_.drops(), 1u);
   // The drop never reached the destination port.
-  EXPECT_EQ(net_.input_port(1).transactions(), 0u);
+  EXPECT_EQ(net_.input_port(NodeId{1}).transactions(), 0u);
 }
 
 TEST_F(FaultyNetworkTest, DeliverRetransmitsPastTheDropWindow) {
-  plan_.add_rule({fault::FaultKind::kDrop, 0, 1, 0, 200});
+  plan_.add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{200}});
   net_.set_fault_plan(&plan_);
-  const Cycle arrival = net_.deliver(0, 0, 1);
+  const Cycle arrival = net_.deliver(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_GT(net_.retransmits(), 0u);
   // The first send at or after cycle 200 goes through.
   net::Network clean(cfg_);
-  EXPECT_GE(arrival, clean.deliver(200, 0, 1));
+  EXPECT_GE(arrival, clean.deliver(Cycle{200}, NodeId{0}, NodeId{1}));
 }
 
 TEST_F(FaultyNetworkTest, DeliverThrowsWhenTheRetryBudgetIsExhausted) {
   cfg_.retry_max_attempts = 4;
   net::Network limited(cfg_);
-  plan_.add_rule({fault::FaultKind::kDrop, 0, 1, 0, kNeverCycle});
+  plan_.add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, kNeverCycle});
   limited.set_fault_plan(&plan_);
-  EXPECT_THROW(limited.deliver(0, 0, 1), CheckFailure);
+  EXPECT_THROW(limited.deliver(Cycle{0}, NodeId{0}, NodeId{1}), CheckFailure);
 }
 
 TEST_F(FaultyNetworkTest, DuplicateOccupiesTheDestinationPortTwice) {
-  plan_.add_rule({fault::FaultKind::kDuplicate, 0, 1, 0, 50});
+  plan_.add_rule({fault::FaultKind::kDuplicate, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{50}});
   net_.set_fault_plan(&plan_);
-  const auto a = net_.try_deliver(0, 0, 1);
+  const auto a = net_.try_deliver(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_FALSE(a.dropped);
-  EXPECT_EQ(net_.input_port(1).transactions(), 2u);
+  EXPECT_EQ(net_.input_port(NodeId{1}).transactions(), 2u);
   // The real copy is serialized behind the spurious one.
   net::Network clean(cfg_);
-  EXPECT_GT(a.arrival, clean.try_deliver(0, 0, 1).arrival);
+  EXPECT_GT(a.arrival, clean.try_deliver(Cycle{0}, NodeId{0}, NodeId{1}).arrival);
 }
 
 TEST_F(FaultyNetworkTest, JitterDelaysArrival) {
-  plan_.add_rule({fault::FaultKind::kJitter, 0, 1, 0, 50});
+  plan_.add_rule({fault::FaultKind::kJitter, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{50}});
   net_.set_fault_plan(&plan_);
   net::Network clean(cfg_);
-  const Cycle base = clean.try_deliver(0, 0, 1).arrival;
-  const auto a = net_.try_deliver(0, 0, 1);
+  const Cycle base = clean.try_deliver(Cycle{0}, NodeId{0}, NodeId{1}).arrival;
+  const auto a = net_.try_deliver(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_EQ(a.arrival, base + cfg_.fault_jitter_cycles);
   EXPECT_EQ(plan_.jitters(), 1u);
 }
 
 TEST_F(FaultyNetworkTest, FaultEventsAreEmitted) {
   obs::EventSink sink;
-  plan_.add_rule({fault::FaultKind::kDrop, 0, 1, 0, 50});
+  plan_.add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{50}});
   net_.set_fault_plan(&plan_);
   net_.set_sink(&sink);
-  net_.try_deliver(0, 0, 1);
+  net_.try_deliver(Cycle{0}, NodeId{0}, NodeId{1});
   EXPECT_EQ(sink.count(obs::EventKind::kFaultInjected), 1u);
 }
 
@@ -232,11 +233,12 @@ class FaultedMemoryTest : public ::testing::Test {
 
   void build() {
     cfg_.nodes = 4;
-    for (NodeId n = 0; n < 4; ++n) {
+    for (NodeId n{0}; n.value() < 4; ++n) {
       pts_.push_back(std::make_unique<vm::PageTable>(16));
-      for (VPageId p = n * 4; p < (n + 1) * 4; ++p) pts_[n]->map_home(p);
+      for (VPageId p{n.value() * 4ull}; p < VPageId{(n.value() + 1) * 4ull}; ++p)
+        pts_[n.value()]->map_home(p);
     }
-    pts_[0]->map_numa(4);  // remote page homed at node 1
+    pts_[0]->map_numa(VPageId{4});  // remote page homed at node 1
     cm_ = std::make_unique<proto::CoherentMemory>(cfg_, homes_);
     std::vector<const vm::PageTable*> ptrs;
     for (auto& pt : pts_) ptrs.push_back(pt.get());
@@ -244,7 +246,8 @@ class FaultedMemoryTest : public ::testing::Test {
   }
 
   Addr addr(VPageId page, std::uint64_t line_in_page = 0) const {
-    return page * cfg_.page_bytes + line_in_page * cfg_.line_bytes;
+    return Addr{page.value() * cfg_.page_bytes.value() +
+                line_in_page * cfg_.line_bytes.value()};
   }
 
   MachineConfig cfg_;
@@ -255,8 +258,8 @@ class FaultedMemoryTest : public ::testing::Test {
 
 TEST_F(FaultedMemoryTest, RequestRetriesThroughADropWindow) {
   build();
-  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, 0, 1, 0, 400});
-  const auto o = cm_->access(0, addr(4), false, 0);
+  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{400}});
+  const auto o = cm_->access(0, addr(VPageId{4}), false, Cycle{0});
   EXPECT_GT(o.retries, 0u);
   EXPECT_EQ(cm_->net_retries(), o.retries);
   EXPECT_TRUE(o.remote);
@@ -268,8 +271,8 @@ TEST_F(FaultedMemoryTest, RetriesEmitEventsAndBackOffExponentially) {
   build();
   obs::EventSink sink;
   cm_->set_sink(&sink);
-  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, 0, 1, 0, 2000});
-  const auto o = cm_->access(0, addr(4), false, 0);
+  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, Cycle{2000}});
+  const auto o = cm_->access(0, addr(VPageId{4}), false, Cycle{0});
   EXPECT_EQ(sink.count(obs::EventKind::kRetry), o.retries);
   EXPECT_GT(sink.count(obs::EventKind::kFaultInjected), 0u);
 }
@@ -280,45 +283,45 @@ TEST_F(FaultedMemoryTest, ForcedNackIsCountedEverywhere) {
   cm_->set_sink(&sink);
   // Home node 1 NACKs every request before cycle 500.
   cm_->fault_plan().add_rule(
-      {fault::FaultKind::kNack, kInvalidNode, 1, 0, 500});
-  const auto o = cm_->access(0, addr(4), false, 0);
+      {fault::FaultKind::kNack, kInvalidNode, NodeId{1}, Cycle{0}, Cycle{500}});
+  const auto o = cm_->access(0, addr(VPageId{4}), false, Cycle{0});
   EXPECT_GT(o.nacks, 0u);
   EXPECT_EQ(cm_->nacks_received(), o.nacks);
   EXPECT_EQ(cm_->directory().nacks(), o.nacks);
   EXPECT_EQ(sink.count(obs::EventKind::kNack), o.nacks);
   // The NACKed request performed no directory transition until it got in.
-  EXPECT_TRUE(cm_->directory().in_copyset(cfg_.block_of(addr(4)), 0));
+  EXPECT_TRUE(cm_->directory().in_copyset(cfg_.block_of(addr(VPageId{4})), NodeId{0}));
 }
 
 TEST_F(FaultedMemoryTest, NackedRunIsSlowerButStateIdentical) {
   build();
-  const auto faulted = cm_->access(0, addr(4), false, 0);
+  const auto faulted = cm_->access(0, addr(VPageId{4}), false, Cycle{0});
 
   pts_.clear();
   cm_.reset();
   build();
-  const auto clean = cm_->access(0, addr(4), false, 0);
+  const auto clean = cm_->access(0, addr(VPageId{4}), false, Cycle{0});
   EXPECT_EQ(clean.done, faulted.done);  // no rules: identical machines
 
   pts_.clear();
   cm_.reset();
   build();
   cm_->fault_plan().add_rule(
-      {fault::FaultKind::kNack, kInvalidNode, 1, 0, 300});
-  const auto nacked = cm_->access(0, addr(4), false, 0);
+      {fault::FaultKind::kNack, kInvalidNode, NodeId{1}, Cycle{0}, Cycle{300}});
+  const auto nacked = cm_->access(0, addr(VPageId{4}), false, Cycle{0});
   EXPECT_GT(nacked.done, clean.done);
   EXPECT_EQ(nacked.source, clean.source);
   EXPECT_EQ(nacked.remote, clean.remote);
 }
 
 TEST_F(FaultedMemoryTest, WatchdogTripsOnAPermanentDrop) {
-  cfg_.watchdog_cycles = 5000;
+  cfg_.watchdog_cycles = Cycle{5000};
   build();
   obs::EventSink sink;
   cm_->set_sink(&sink);
-  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, 0, 1, 0, kNeverCycle});
+  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, kNeverCycle});
   try {
-    cm_->access(0, addr(4), false, 0);
+    cm_->access(0, addr(VPageId{4}), false, Cycle{0});
     FAIL() << "expected WatchdogError";
   } catch (const fault::WatchdogError& e) {
     const std::string msg = e.what();
@@ -337,9 +340,9 @@ TEST_F(FaultedMemoryTest, WatchdogTripsOnAPermanentDrop) {
 TEST_F(FaultedMemoryTest, RetryBudgetBackstopsWhenWatchdogIsOff) {
   cfg_.retry_max_attempts = 3;
   build();
-  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, 0, 1, 0, kNeverCycle});
+  cm_->fault_plan().add_rule({fault::FaultKind::kDrop, NodeId{0}, NodeId{1}, Cycle{0}, kNeverCycle});
   try {
-    cm_->access(0, addr(4), false, 0);
+    cm_->access(0, addr(VPageId{4}), false, Cycle{0});
     FAIL() << "expected WatchdogError";
   } catch (const fault::WatchdogError& e) {
     EXPECT_NE(std::string(e.what()).find("retry budget exhausted"),
@@ -351,9 +354,9 @@ TEST_F(FaultedMemoryTest, NackBudgetBackstopsAgainstNackLivelock) {
   cfg_.retry_max_attempts = 3;
   build();
   cm_->fault_plan().add_rule(
-      {fault::FaultKind::kNack, kInvalidNode, 1, 0, kNeverCycle});
+      {fault::FaultKind::kNack, kInvalidNode, NodeId{1}, Cycle{0}, kNeverCycle});
   try {
-    cm_->access(0, addr(4), false, 0);
+    cm_->access(0, addr(VPageId{4}), false, Cycle{0});
     FAIL() << "expected WatchdogError";
   } catch (const fault::WatchdogError& e) {
     EXPECT_NE(std::string(e.what()).find("NACK retry budget exhausted"),
@@ -362,39 +365,39 @@ TEST_F(FaultedMemoryTest, NackBudgetBackstopsAgainstNackLivelock) {
 }
 
 TEST_F(FaultedMemoryTest, WatchdogDisarmedAfterEachAccess) {
-  cfg_.watchdog_cycles = 5000;
+  cfg_.watchdog_cycles = Cycle{5000};
   build();
-  cm_->access(0, addr(4), false, 0);
+  cm_->access(0, addr(VPageId{4}), false, Cycle{0});
   EXPECT_FALSE(cm_->watchdog().in_flight().active);
   // A later clean access at a huge cycle must not trip on the old arming.
-  const auto o = cm_->access(0, addr(4), false, 10'000'000);
-  EXPECT_GT(o.done, 10'000'000u);
+  const auto o = cm_->access(0, addr(VPageId{4}), false, Cycle{10'000'000});
+  EXPECT_GT(o.done, Cycle{10'000'000});
 }
 
 // ---- Watchdog unit ---------------------------------------------------------
 
 TEST(Watchdog, DisabledNeverExpires) {
   fault::Watchdog wd;
-  wd.arm(0, 0, false, 0);
-  EXPECT_FALSE(wd.expired(kNeverCycle - 1));
+  wd.arm(0, Addr{0}, false, Cycle{0});
+  EXPECT_FALSE(wd.expired(kNeverCycle - Cycle{1}));
 }
 
 TEST(Watchdog, ExpiresStrictlyPastTheBound) {
-  fault::Watchdog wd(100);
-  wd.arm(1, 0x40, true, 50);
-  EXPECT_FALSE(wd.expired(150));  // exactly at the bound
-  EXPECT_TRUE(wd.expired(151));
+  fault::Watchdog wd(Cycle{100});
+  wd.arm(1, Addr{0x40}, true, Cycle{50});
+  EXPECT_FALSE(wd.expired(Cycle{150}));  // exactly at the bound
+  EXPECT_TRUE(wd.expired(Cycle{151}));
   wd.disarm();
-  EXPECT_FALSE(wd.expired(151));
+  EXPECT_FALSE(wd.expired(Cycle{151}));
 }
 
 TEST(Watchdog, TripThrowsWithDiagnostics) {
-  fault::Watchdog wd(100);
-  wd.arm(3, 0x1000, true, 0);
+  fault::Watchdog wd(Cycle{100});
+  wd.arm(3, Addr{0x1000}, true, Cycle{0});
   wd.note_retry();
   wd.note_nack();
   try {
-    wd.trip(500, "  custom state dump");
+    wd.trip(Cycle{500}, "  custom state dump");
     FAIL() << "expected WatchdogError";
   } catch (const fault::WatchdogError& e) {
     const std::string msg = e.what();
@@ -409,8 +412,8 @@ TEST(Watchdog, TripThrowsWithDiagnostics) {
 
 TEST_F(FaultedMemoryTest, CleanStatePassesTheSweep) {
   build();
-  cm_->access(0, addr(4), false, 0);
-  cm_->access(1, addr(4), true, 1000);
+  cm_->access(0, addr(VPageId{4}), false, Cycle{0});
+  cm_->access(1, addr(VPageId{4}), true, Cycle{1000});
   const auto rep = fault::check_coherence_invariants(*cm_, {}, {});
   EXPECT_TRUE(rep.ok()) << rep.to_string();
   EXPECT_GT(rep.blocks_checked, 0u);
@@ -418,10 +421,10 @@ TEST_F(FaultedMemoryTest, CleanStatePassesTheSweep) {
 
 TEST_F(FaultedMemoryTest, SweepDetectsACopysetHoleBehindAValidCache) {
   build();
-  cm_->access(0, addr(4), false, 0);  // node 0 now caches the block
+  cm_->access(0, addr(VPageId{4}), false, Cycle{0});  // node 0 now caches the block
   // Plant the corruption a lost protocol message would cause: the directory
   // forgets node 0 while the node still holds the line in L1/RAC.
-  cm_->directory().flush_node(cfg_.block_of(addr(4)), 0);
+  cm_->directory().flush_node(cfg_.block_of(addr(VPageId{4})), NodeId{0});
   const auto rep = fault::check_coherence_invariants(*cm_, {}, {});
   EXPECT_FALSE(rep.ok());
   EXPECT_GE(rep.total_violations, 1u);
@@ -433,11 +436,11 @@ TEST_F(FaultedMemoryTest, SweepReportsAreCappedButCountsAreExact) {
   // Touch every block of the remote page, then corrupt all of them plus
   // more planted holes than the report cap.
   for (std::uint32_t b = 0; b < cfg_.blocks_per_page(); ++b)
-    cm_->access(0, addr(4, b * (cfg_.block_bytes / cfg_.line_bytes)), false,
-                b * 1000);
-  const BlockId first = cfg_.first_block_of_page(4);
+    cm_->access(0, addr(VPageId{4}, b * (cfg_.block_bytes / cfg_.line_bytes)), false,
+                Cycle{b * 1000ull});
+  const BlockId first = cfg_.first_block_of_page(PageId{4});
   for (std::uint32_t i = 0; i < cfg_.blocks_per_page(); ++i)
-    cm_->directory().flush_node(first + i, 0);
+    cm_->directory().flush_node(first + i, NodeId{0});
   const auto rep = fault::check_coherence_invariants(*cm_, {}, {});
   EXPECT_FALSE(rep.ok());
   EXPECT_LE(rep.violations.size(), fault::InvariantReport::kMaxReported);
@@ -448,7 +451,7 @@ TEST_F(FaultedMemoryTest, SweepReportsAreCappedButCountsAreExact) {
 
 TEST(CrashExporter, FlushWritesOnceAndOnlyOnce) {
   obs::EventSink sink;
-  sink.emit(obs::EventKind::kFaultInjected, 1, 0);
+  sink.emit(obs::EventKind::kFaultInjected, Cycle{1}, NodeId{0});
   const std::string path =
       ::testing::TempDir() + "/ascoma_crash_events.jsonl";
   std::remove(path.c_str());

@@ -9,62 +9,62 @@ namespace {
 
 TEST(HomeMap, FirstTouchAssigns) {
   HomeMap h(8, 2);
-  EXPECT_FALSE(h.assigned(0));
-  EXPECT_EQ(h.claim(0, 1), 1u);
-  EXPECT_TRUE(h.assigned(0));
-  EXPECT_EQ(h.home_of(0), 1u);
-  EXPECT_EQ(h.home_pages(1), 1u);
+  EXPECT_FALSE(h.assigned(VPageId{0}));
+  EXPECT_EQ(h.claim(VPageId{0}, NodeId{1}), NodeId{1});
+  EXPECT_TRUE(h.assigned(VPageId{0}));
+  EXPECT_EQ(h.home_of(VPageId{0}), NodeId{1});
+  EXPECT_EQ(h.home_pages(NodeId{1}), 1u);
 }
 
 TEST(HomeMap, SecondClaimIgnored) {
   HomeMap h(8, 2);
-  h.claim(0, 1);
-  EXPECT_EQ(h.claim(0, 0), 1u);  // already homed at 1
-  EXPECT_EQ(h.home_pages(0), 0u);
+  h.claim(VPageId{0}, NodeId{1});
+  EXPECT_EQ(h.claim(VPageId{0}, NodeId{0}), NodeId{1});  // already homed at 1
+  EXPECT_EQ(h.home_pages(NodeId{0}), 0u);
 }
 
 TEST(HomeMap, CapForcesRoundRobinOverflow) {
   // 8 pages, 2 nodes -> cap 4 per node.  Node 0 touches everything first.
   HomeMap h(8, 2);
-  for (VPageId p = 0; p < 8; ++p) h.claim(p, 0);
-  EXPECT_EQ(h.home_pages(0), 4u);
-  EXPECT_EQ(h.home_pages(1), 4u);  // overflow spilled to node 1
+  for (VPageId p{0}; p.value() < 8; ++p) h.claim(p, NodeId{0});
+  EXPECT_EQ(h.home_pages(NodeId{0}), 4u);
+  EXPECT_EQ(h.home_pages(NodeId{1}), 4u);  // overflow spilled to node 1
 }
 
 TEST(HomeMap, OverflowDistributesAcrossNodes) {
   // 12 pages, 3 nodes -> cap 4.  Node 0 touches all 12.
   HomeMap h(12, 3);
-  for (VPageId p = 0; p < 12; ++p) h.claim(p, 0);
-  EXPECT_EQ(h.home_pages(0), 4u);
-  EXPECT_EQ(h.home_pages(1), 4u);
-  EXPECT_EQ(h.home_pages(2), 4u);
+  for (VPageId p{0}; p.value() < 12; ++p) h.claim(p, NodeId{0});
+  EXPECT_EQ(h.home_pages(NodeId{0}), 4u);
+  EXPECT_EQ(h.home_pages(NodeId{1}), 4u);
+  EXPECT_EQ(h.home_pages(NodeId{2}), 4u);
 }
 
 TEST(HomeMap, ContiguousLayout) {
   HomeMap h(8, 2);
   h.assign_contiguous();
-  for (VPageId p = 0; p < 4; ++p) EXPECT_EQ(h.home_of(p), 0u);
-  for (VPageId p = 4; p < 8; ++p) EXPECT_EQ(h.home_of(p), 1u);
+  for (VPageId p{0}; p.value() < 4; ++p) EXPECT_EQ(h.home_of(p), NodeId{0});
+  for (VPageId p{4}; p < VPageId{8}; ++p) EXPECT_EQ(h.home_of(p), NodeId{1});
   EXPECT_EQ(h.max_home_pages(), 4u);
 }
 
 TEST(HomeMap, ContiguousWithUnevenPages) {
   HomeMap h(7, 2);  // cap = 4
   h.assign_contiguous();
-  EXPECT_EQ(h.home_pages(0), 4u);
-  EXPECT_EQ(h.home_pages(1), 3u);
+  EXPECT_EQ(h.home_pages(NodeId{0}), 4u);
+  EXPECT_EQ(h.home_pages(NodeId{1}), 3u);
   EXPECT_EQ(h.max_home_pages(), 4u);
 }
 
 TEST(HomeMap, HomeOfUnassignedThrows) {
   HomeMap h(4, 2);
-  EXPECT_THROW(h.home_of(0), ascoma::CheckFailure);
+  EXPECT_THROW(h.home_of(VPageId{0}), ascoma::CheckFailure);
 }
 
 TEST(HomeMap, BoundsChecked) {
   HomeMap h(4, 2);
-  EXPECT_THROW(h.claim(4, 0), ascoma::CheckFailure);
-  EXPECT_THROW(h.claim(0, 2), ascoma::CheckFailure);
+  EXPECT_THROW(h.claim(VPageId{4}, NodeId{0}), ascoma::CheckFailure);
+  EXPECT_THROW(h.claim(VPageId{0}, NodeId{2}), ascoma::CheckFailure);
 }
 
 }  // namespace

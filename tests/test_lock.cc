@@ -8,80 +8,80 @@ namespace ascoma::sim {
 namespace {
 
 TEST(LockTable, FreeLockGrantsImmediately) {
-  LockTable lt(50);
-  const auto g = lt.acquire(1, 0, 100);
+  LockTable lt(Cycle{50});
+  const auto g = lt.acquire(1, 0, Cycle{100});
   ASSERT_TRUE(g.has_value());
-  EXPECT_EQ(*g, 150u);
+  EXPECT_EQ(*g, Cycle{150});
   EXPECT_TRUE(lt.is_held(1));
 }
 
 TEST(LockTable, HeldLockQueues) {
-  LockTable lt(50);
-  lt.acquire(1, 0, 0);
-  EXPECT_FALSE(lt.acquire(1, 1, 10).has_value());
+  LockTable lt(Cycle{50});
+  lt.acquire(1, 0, Cycle{0});
+  EXPECT_FALSE(lt.acquire(1, 1, Cycle{10}).has_value());
   EXPECT_EQ(lt.contended_acquisitions(), 1u);
 }
 
 TEST(LockTable, ReleaseHandsToFifoWaiter) {
-  LockTable lt(50);
-  lt.acquire(7, 0, 0);
-  lt.acquire(7, 1, 10);
-  lt.acquire(7, 2, 20);
-  const auto g = lt.release(7, 0, 100);
+  LockTable lt(Cycle{50});
+  lt.acquire(7, 0, Cycle{0});
+  lt.acquire(7, 1, Cycle{10});
+  lt.acquire(7, 2, Cycle{20});
+  const auto g = lt.release(7, 0, Cycle{100});
   ASSERT_TRUE(g.has_value());
   EXPECT_EQ(g->proc, 1u);
-  EXPECT_EQ(g->grant_cycle, 150u);
-  EXPECT_EQ(g->enqueue_cycle, 10u);
-  const auto g2 = lt.release(7, 1, 200);
+  EXPECT_EQ(g->grant_cycle, Cycle{150});
+  EXPECT_EQ(g->enqueue_cycle, Cycle{10});
+  const auto g2 = lt.release(7, 1, Cycle{200});
   ASSERT_TRUE(g2.has_value());
   EXPECT_EQ(g2->proc, 2u);
 }
 
 TEST(LockTable, ReleaseWithNoWaitersFrees) {
-  LockTable lt(50);
-  lt.acquire(3, 0, 0);
-  EXPECT_FALSE(lt.release(3, 0, 10).has_value());
+  LockTable lt(Cycle{50});
+  lt.acquire(3, 0, Cycle{0});
+  EXPECT_FALSE(lt.release(3, 0, Cycle{10}).has_value());
   EXPECT_FALSE(lt.is_held(3));
   // Re-acquire works.
-  EXPECT_TRUE(lt.acquire(3, 1, 20).has_value());
+  EXPECT_TRUE(lt.acquire(3, 1, Cycle{20}).has_value());
 }
 
 TEST(LockTable, DistinctLocksIndependent) {
-  LockTable lt(50);
-  EXPECT_TRUE(lt.acquire(1, 0, 0).has_value());
-  EXPECT_TRUE(lt.acquire(2, 1, 0).has_value());
+  LockTable lt(Cycle{50});
+  EXPECT_TRUE(lt.acquire(1, 0, Cycle{0}).has_value());
+  EXPECT_TRUE(lt.acquire(2, 1, Cycle{0}).has_value());
   EXPECT_TRUE(lt.is_held(1));
   EXPECT_TRUE(lt.is_held(2));
 }
 
 TEST(LockTable, RecursiveAcquireThrows) {
-  LockTable lt(50);
-  lt.acquire(1, 0, 0);
-  EXPECT_THROW(lt.acquire(1, 0, 5), CheckFailure);
+  LockTable lt(Cycle{50});
+  lt.acquire(1, 0, Cycle{0});
+  EXPECT_THROW(lt.acquire(1, 0, Cycle{5}), CheckFailure);
 }
 
 TEST(LockTable, ReleaseByNonHolderThrows) {
-  LockTable lt(50);
-  lt.acquire(1, 0, 0);
-  EXPECT_THROW(lt.release(1, 1, 5), CheckFailure);
+  LockTable lt(Cycle{50});
+  lt.acquire(1, 0, Cycle{0});
+  EXPECT_THROW(lt.release(1, 1, Cycle{5}), CheckFailure);
 }
 
 TEST(LockTable, ReleaseUnknownLockThrows) {
-  LockTable lt(50);
-  EXPECT_THROW(lt.release(42, 0, 5), CheckFailure);
+  LockTable lt(Cycle{50});
+  EXPECT_THROW(lt.release(42, 0, Cycle{5}), CheckFailure);
 }
 
 TEST(LockTable, CountsAcquisitions) {
-  LockTable lt(10);
-  lt.acquire(1, 0, 0);
-  lt.acquire(1, 1, 0);  // queued
-  lt.release(1, 0, 5);  // grants to 1
+  LockTable lt(Cycle{10});
+  lt.acquire(1, 0, Cycle{0});
+  lt.acquire(1, 1, Cycle{0});  // queued
+  lt.release(1, 0, Cycle{5});  // grants to 1
   EXPECT_EQ(lt.acquisitions(), 2u);
   EXPECT_EQ(lt.contended_acquisitions(), 1u);
 }
 
 TEST(LockTable, IsHeldFalseForUnknown) {
-  LockTable lt(10);
+  LockTable lt(Cycle{10});
   EXPECT_FALSE(lt.is_held(999));
 }
 

@@ -20,7 +20,7 @@ workload::SyntheticWorkload hot_workload(std::uint32_t iterations = 6) {
   p.sweeps_per_iteration = 3;
   p.loads_per_page = 32;  // stride 4: one line per block -> strong refetch
   p.write_fraction = 0.05;
-  p.compute_per_page = 5;
+  p.compute_per_page = Cycle{5};
   return workload::SyntheticWorkload(p);
 }
 
@@ -34,7 +34,7 @@ MachineConfig config(ArchModel arch, double pressure) {
 TEST(Machine, RunsToCompletionAndAuditsClean) {
   auto wl = hot_workload();
   const RunResult r = simulate(config(ArchModel::kAsComa, 0.5), wl);
-  EXPECT_GT(r.cycles(), 0u);
+  EXPECT_GT(r.cycles(), Cycle{0});
   EXPECT_EQ(r.stats.nodes, 4u);
 }
 
@@ -56,7 +56,7 @@ TEST(Machine, AccessAccountingBalances) {
 TEST(Machine, TimeBucketsSumToCompletionCycle) {
   auto wl = hot_workload();
   const RunResult r = simulate(config(ArchModel::kAsComa, 0.5), wl);
-  Cycle max_total = 0;
+  Cycle max_total{0};
   for (const NodeStats& n : r.per_node)
     max_total = std::max(max_total, n.time.total());
   EXPECT_EQ(max_total, r.stats.parallel_cycles);
@@ -137,7 +137,7 @@ TEST(Machine, ScomaThrashesAtHighPressure) {
   const RunResult hi = simulate(config(ArchModel::kScoma, 0.93), wl);
   EXPECT_GT(hi.cycles(), lo.cycles());
   EXPECT_GT(hi.stats.totals.kernel.downgrades, 0u);
-  EXPECT_GT(hi.stats.totals.time[TimeBucket::kKernelOvhd], 0u);
+  EXPECT_GT(hi.stats.totals.time[TimeBucket::kKernelOvhd], Cycle{0});
 }
 
 TEST(Machine, AsComaBacksOffAtHighPressure) {
@@ -159,7 +159,7 @@ TEST(Machine, AsComaEscalatesWhenDaemonFindsNoColdPages) {
   // must raise the refetch threshold (the paper's escalation path).
   auto wl = hot_workload(10);
   MachineConfig cfg = config(ArchModel::kAsComa, 0.93);
-  cfg.daemon_period = 5'000;  // hot pages stay referenced across runs
+  cfg.daemon_period = Cycle{5'000};  // hot pages stay referenced across runs
   const RunResult r = simulate(cfg, wl);
   if (r.stats.totals.kernel.daemon_reclaim_failures > 0) {
     EXPECT_GT(r.stats.totals.kernel.threshold_raises, 0u);
@@ -185,7 +185,7 @@ TEST(Machine, SynchronizationIsAccounted) {
   auto wl = hot_workload();
   const RunResult r = simulate(config(ArchModel::kCcNuma, 0.5), wl);
   EXPECT_GT(r.barrier_episodes, 0u);
-  EXPECT_GT(r.stats.totals.time[TimeBucket::kSync], 0u);
+  EXPECT_GT(r.stats.totals.time[TimeBucket::kSync], Cycle{0});
 }
 
 TEST(Machine, RemotePageCensusPopulated) {
@@ -214,8 +214,8 @@ TEST(Machine, RunIsSingleShot) {
 TEST(Machine, RejectsGranularityMismatch) {
   auto wl = hot_workload(1);
   MachineConfig cfg = config(ArchModel::kAsComa, 0.5);
-  cfg.page_bytes = 8192;
-  cfg.l1_bytes = 16384;
+  cfg.page_bytes = ByteCount{8192};
+  cfg.l1_bytes = ByteCount{16384};
   EXPECT_THROW(Machine(cfg, wl), CheckFailure);
 }
 

@@ -35,9 +35,9 @@ TEST(MachineKernel, DaemonIsRateLimited) {
   // run at most a handful of times during the run.
   auto w = wl(8);
   MachineConfig fast = cfg(ArchModel::kScoma, 0.9);
-  fast.daemon_period = 10'000;
+  fast.daemon_period = Cycle{10'000};
   MachineConfig slow = cfg(ArchModel::kScoma, 0.9);
-  slow.daemon_period = 1'000'000'000;  // effectively never
+  slow.daemon_period = Cycle{1'000'000'000};  // effectively never
   const auto rf = simulate(fast, w);
   const auto rs = simulate(slow, w);
   EXPECT_GT(rf.stats.totals.kernel.daemon_runs,
@@ -101,7 +101,7 @@ TEST(MachineKernel, RefBitsProtectHotPagesFromTheDaemon) {
   // mostly survive: reclaim happens but the page cache keeps serving.
   auto w = wl(8);
   MachineConfig c = cfg(ArchModel::kScoma, 0.6);
-  c.daemon_period = 100'000;
+  c.daemon_period = Cycle{100'000};
   const auto r = simulate(c, w);
   EXPECT_GT(r.stats.totals.misses[MissSource::kScoma], 0u);
   EXPECT_GT(r.stats.totals.kernel.daemon_pages_scanned,
@@ -111,9 +111,9 @@ TEST(MachineKernel, RefBitsProtectHotPagesFromTheDaemon) {
 TEST(MachineKernel, ThresholdRaisesOnlyUnderBackoffArchitecture) {
   auto w = wl(8);
   MachineConfig as = cfg(ArchModel::kAsComa, 0.93);
-  as.daemon_period = 5'000;  // force daemon activity in this short run
+  as.daemon_period = Cycle{5'000};  // force daemon activity in this short run
   MachineConfig rn = cfg(ArchModel::kRNuma, 0.93);
-  rn.daemon_period = 5'000;
+  rn.daemon_period = Cycle{5'000};
   const auto ra = simulate(as, w);
   const auto rr = simulate(rn, w);
   EXPECT_EQ(rr.stats.totals.kernel.threshold_raises, 0u);
@@ -130,7 +130,7 @@ TEST(MachineKernel, SuppressedRemapsLeavePageInNumaMode) {
   const auto r = m.run();
   ASSERT_GT(r.stats.totals.kernel.remap_suppressed, 0u);
   // Frames stay conserved even with suppressed remaps in the mix.
-  for (NodeId n = 0; n < 4; ++n) {
+  for (NodeId n{0}; n.value() < 4; ++n) {
     EXPECT_EQ(m.page_cache(n).free_frames() + m.page_cache(n).active_pages(),
               m.page_cache(n).capacity());
     EXPECT_EQ(m.page_table(n).scoma_pages(), m.page_cache(n).active_pages());
@@ -139,9 +139,9 @@ TEST(MachineKernel, SuppressedRemapsLeavePageInNumaMode) {
 
 TEST(MachineKernel, KernelTimeIsExclusiveToKernelArchitectures) {
   const auto cc = simulate(cfg(ArchModel::kCcNuma, 0.9), wl());
-  EXPECT_EQ(cc.stats.totals.time[TimeBucket::kKernelOvhd], 0u);
+  EXPECT_EQ(cc.stats.totals.time[TimeBucket::kKernelOvhd], Cycle{0});
   const auto sc = simulate(cfg(ArchModel::kScoma, 0.93), wl(6));
-  EXPECT_GT(sc.stats.totals.time[TimeBucket::kKernelOvhd], 0u);
+  EXPECT_GT(sc.stats.totals.time[TimeBucket::kKernelOvhd], Cycle{0});
 }
 
 }  // namespace

@@ -24,25 +24,25 @@ Event ev(Cycle cycle, EventKind kind, NodeId node,
 
 TEST(EventSink, StoresEmittedEventsInOrder) {
   EventSink sink;
-  sink.emit(ev(10, EventKind::kPageFault, 0, 7));
-  sink.emit(ev(20, EventKind::kUpgrade, 1, 7));
+  sink.emit(ev(Cycle{10}, EventKind::kPageFault, NodeId{0}, VPageId{7}));
+  sink.emit(ev(Cycle{20}, EventKind::kUpgrade, NodeId{1}, VPageId{7}));
   ASSERT_EQ(sink.size(), 2u);
-  EXPECT_EQ(sink.events()[0].cycle, 10u);
+  EXPECT_EQ(sink.events()[0].cycle, Cycle{10});
   EXPECT_EQ(sink.events()[0].kind, EventKind::kPageFault);
-  EXPECT_EQ(sink.events()[1].cycle, 20u);
+  EXPECT_EQ(sink.events()[1].cycle, Cycle{20});
   EXPECT_EQ(sink.dropped(), 0u);
 }
 
 TEST(EventSink, OverflowDropsNewestAndCountsEverything) {
   EventSink sink(4);
-  for (Cycle c = 0; c < 7; ++c)
-    sink.emit(ev(c, EventKind::kDowngrade, 0, c));
+  for (std::uint64_t c = 0; c < 7; ++c)
+    sink.emit(ev(Cycle{c}, EventKind::kDowngrade, NodeId{0}, VPageId{c}));
   EXPECT_EQ(sink.capacity(), 4u);
   EXPECT_EQ(sink.size(), 4u);
   EXPECT_EQ(sink.dropped(), 3u);
   // The oldest events are retained...
-  EXPECT_EQ(sink.events().front().cycle, 0u);
-  EXPECT_EQ(sink.events().back().cycle, 3u);
+  EXPECT_EQ(sink.events().front().cycle, Cycle{0});
+  EXPECT_EQ(sink.events().back().cycle, Cycle{3});
   // ...and the per-kind tally still counts the dropped ones.
   EXPECT_EQ(sink.count(EventKind::kDowngrade), 7u);
   EXPECT_EQ(sink.count(EventKind::kUpgrade), 0u);
@@ -50,10 +50,10 @@ TEST(EventSink, OverflowDropsNewestAndCountsEverything) {
 
 TEST(EventSink, ClearResetsEverything) {
   EventSink sink(2);
-  sink.emit(ev(1, EventKind::kPageFault, 0));
-  sink.emit(ev(2, EventKind::kPageFault, 0));
-  sink.emit(ev(3, EventKind::kPageFault, 0));
-  sink.add_sample(Sample{100, 0, 1, 2, 3, 4});
+  sink.emit(ev(Cycle{1}, EventKind::kPageFault, NodeId{0}));
+  sink.emit(ev(Cycle{2}, EventKind::kPageFault, NodeId{0}));
+  sink.emit(ev(Cycle{3}, EventKind::kPageFault, NodeId{0}));
+  sink.add_sample(Sample{Cycle{100}, NodeId{0}, 1, 2, 3, 4});
   sink.clear();
   EXPECT_EQ(sink.size(), 0u);
   EXPECT_EQ(sink.dropped(), 0u);
@@ -64,14 +64,14 @@ TEST(EventSink, ClearResetsEverything) {
 TEST(EventSink, SortedEventsOrdersByCycleStably) {
   EventSink sink;
   // Nodes interleave: emission order is not globally cycle-sorted.
-  sink.emit(ev(30, EventKind::kUpgrade, 0, 1));
-  sink.emit(ev(10, EventKind::kPageFault, 1, 2));
-  sink.emit(ev(30, EventKind::kDowngrade, 1, 3));  // tie with the upgrade
-  sink.emit(ev(20, EventKind::kPageFault, 0, 4));
+  sink.emit(ev(Cycle{30}, EventKind::kUpgrade, NodeId{0}, VPageId{1}));
+  sink.emit(ev(Cycle{10}, EventKind::kPageFault, NodeId{1}, VPageId{2}));
+  sink.emit(ev(Cycle{30}, EventKind::kDowngrade, NodeId{1}, VPageId{3}));  // tie with the upgrade
+  sink.emit(ev(Cycle{20}, EventKind::kPageFault, NodeId{0}, VPageId{4}));
   const auto sorted = sink.sorted_events();
   ASSERT_EQ(sorted.size(), 4u);
-  EXPECT_EQ(sorted[0].cycle, 10u);
-  EXPECT_EQ(sorted[1].cycle, 20u);
+  EXPECT_EQ(sorted[0].cycle, Cycle{10});
+  EXPECT_EQ(sorted[1].cycle, Cycle{20});
   // Stable: the tie at cycle 30 keeps emission order (upgrade first).
   EXPECT_EQ(sorted[2].kind, EventKind::kUpgrade);
   EXPECT_EQ(sorted[3].kind, EventKind::kDowngrade);
@@ -80,40 +80,40 @@ TEST(EventSink, SortedEventsOrdersByCycleStably) {
 // ---- sampler --------------------------------------------------------------
 
 TEST(Sampler, FiresAtEveryBoundary) {
-  Sampler s(100);
+  Sampler s(Cycle{100});
   EXPECT_TRUE(s.enabled());
-  EXPECT_FALSE(s.due(0));
-  EXPECT_FALSE(s.due(99));
-  EXPECT_TRUE(s.due(100));
-  EXPECT_EQ(s.boundary(), 100u);
-  s.advance(100);
-  EXPECT_FALSE(s.due(150));
-  EXPECT_TRUE(s.due(200));
-  EXPECT_EQ(s.boundary(), 200u);
+  EXPECT_FALSE(s.due(Cycle{0}));
+  EXPECT_FALSE(s.due(Cycle{99}));
+  EXPECT_TRUE(s.due(Cycle{100}));
+  EXPECT_EQ(s.boundary(), Cycle{100});
+  s.advance(Cycle{100});
+  EXPECT_FALSE(s.due(Cycle{150}));
+  EXPECT_TRUE(s.due(Cycle{200}));
+  EXPECT_EQ(s.boundary(), Cycle{200});
 }
 
 TEST(Sampler, LongStallYieldsOneCatchUpSample) {
-  Sampler s(100);
-  ASSERT_TRUE(s.due(1234));
-  EXPECT_EQ(s.boundary(), 100u);  // stamped at the boundary that fired
-  s.advance(1234);
-  EXPECT_FALSE(s.due(1299));      // skipped boundaries do not replay
-  EXPECT_TRUE(s.due(1300));
+  Sampler s(Cycle{100});
+  ASSERT_TRUE(s.due(Cycle{1234}));
+  EXPECT_EQ(s.boundary(), Cycle{100});  // stamped at the boundary that fired
+  s.advance(Cycle{1234});
+  EXPECT_FALSE(s.due(Cycle{1299}));      // skipped boundaries do not replay
+  EXPECT_TRUE(s.due(Cycle{1300}));
 }
 
 TEST(Sampler, ZeroPeriodDisables) {
-  Sampler s(0);
+  Sampler s(Cycle{0});
   EXPECT_FALSE(s.enabled());
-  EXPECT_FALSE(s.due(1'000'000'000));
+  EXPECT_FALSE(s.due(Cycle{1'000'000'000}));
 }
 
 // ---- exporters ------------------------------------------------------------
 
 TEST(Export, JsonlGolden) {
   EventSink sink;
-  sink.emit(ev(20, EventKind::kThresholdRaise, 1, kInvalidPage, 96, 1));
-  sink.emit(ev(10, EventKind::kPageFault, 0, 42));
-  sink.emit(ev(15, EventKind::kDaemonRun, 2, kInvalidPage, 8, 3, 1));
+  sink.emit(ev(Cycle{20}, EventKind::kThresholdRaise, NodeId{1}, kInvalidPage, 96, 1));
+  sink.emit(ev(Cycle{10}, EventKind::kPageFault, NodeId{0}, VPageId{42}));
+  sink.emit(ev(Cycle{15}, EventKind::kDaemonRun, NodeId{2}, kInvalidPage, 8, 3, 1));
   std::ostringstream os;
   write_jsonl(os, sink);
   EXPECT_EQ(os.str(),
@@ -126,8 +126,8 @@ TEST(Export, JsonlGolden) {
 
 TEST(Export, MetricsCsvGolden) {
   EventSink sink;
-  sink.add_sample(Sample{1000, 0, 12, 64, 30, 111});
-  sink.add_sample(Sample{1000, 1, 7, 96, 35, 222});
+  sink.add_sample(Sample{Cycle{1000}, NodeId{0}, 12, 64, 30, 111});
+  sink.add_sample(Sample{Cycle{1000}, NodeId{1}, 7, 96, 35, 222});
   std::ostringstream os;
   write_metrics_csv(os, sink);
   EXPECT_EQ(os.str(),
@@ -139,8 +139,8 @@ TEST(Export, MetricsCsvGolden) {
 
 TEST(Export, PerfettoGolden) {
   EventSink sink;
-  sink.emit(ev(10, EventKind::kUpgrade, 0, 5));
-  sink.add_sample(Sample{1000, 0, 12, 64, 30, 111});
+  sink.emit(ev(Cycle{10}, EventKind::kUpgrade, NodeId{0}, VPageId{5}));
+  sink.add_sample(Sample{Cycle{1000}, NodeId{0}, 12, 64, 30, 111});
   std::ostringstream os;
   write_perfetto(os, sink, 1);
   EXPECT_EQ(
@@ -166,12 +166,12 @@ TEST(Export, PerfettoGolden) {
 TEST(Export, PerfettoIsBalancedJsonOnRealisticInput) {
   // Structural sanity on a bigger, mixed trace: every brace/bracket closes.
   EventSink sink;
-  for (Cycle c = 0; c < 100; ++c) {
-    sink.emit(ev(c * 7, static_cast<EventKind>(c % kNumEventKinds),
-                 static_cast<NodeId>(c % 4), c % 3 ? c : kInvalidPage, c, c,
-                 c));
-    if (c % 10 == 0)
-      sink.add_sample(Sample{c * 7, static_cast<NodeId>(c % 4), c, c, c, c});
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    const NodeId node{static_cast<std::uint32_t>(c % 4)};
+    sink.emit(ev(Cycle{c * 7},
+                 static_cast<EventKind>(c % static_cast<std::uint64_t>(kNumEventKinds)),
+                 node, c % 3 ? VPageId{c} : kInvalidPage, c, c, c));
+    if (c % 10 == 0) sink.add_sample(Sample{Cycle{c * 7}, node, c, c, c, c});
   }
   std::ostringstream os;
   write_perfetto(os, sink, 4);
@@ -205,7 +205,7 @@ workload::SyntheticWorkload pressured_wl() {
   return workload::SyntheticWorkload(p);
 }
 
-MachineConfig pressured_cfg(EventSink* sink, Cycle sample_every = 0) {
+MachineConfig pressured_cfg(EventSink* sink, Cycle sample_every = Cycle{0}) {
   MachineConfig c;
   c.arch = ArchModel::kAsComa;
   c.memory_pressure = 0.90;
@@ -239,7 +239,7 @@ TEST(MachineObs, EventStreamMatchesKernelStats) {
 TEST(MachineObs, AttachingASinkDoesNotChangeTheRun) {
   const auto w = pressured_wl();
   EventSink sink;
-  const auto observed = core::simulate(pressured_cfg(&sink, 10'000), w);
+  const auto observed = core::simulate(pressured_cfg(&sink, Cycle{10'000}), w);
   const auto bare = core::simulate(pressured_cfg(nullptr), w);
   EXPECT_EQ(observed.cycles(), bare.cycles());
   EXPECT_EQ(observed.stats.totals.misses.total(),
@@ -250,7 +250,7 @@ TEST(MachineObs, AttachingASinkDoesNotChangeTheRun) {
 TEST(MachineObs, FinalSampleMatchesRunResult) {
   const auto w = pressured_wl();
   EventSink sink;
-  const auto r = core::simulate(pressured_cfg(&sink, 10'000), w);
+  const auto r = core::simulate(pressured_cfg(&sink, Cycle{10'000}), w);
   ASSERT_FALSE(sink.samples().empty());
 
   // The last nodes() samples are the end-of-run snapshot.
@@ -259,7 +259,7 @@ TEST(MachineObs, FinalSampleMatchesRunResult) {
   for (std::uint32_t n = 0; n < r.stats.nodes; ++n) {
     const Sample& s = samples[samples.size() - r.stats.nodes + n];
     EXPECT_EQ(s.cycle, r.cycles());
-    EXPECT_EQ(s.node, n);
+    EXPECT_EQ(s.node, NodeId{n});
     EXPECT_EQ(s.threshold, r.final_threshold[n]);
   }
 

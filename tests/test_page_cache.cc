@@ -16,7 +16,7 @@ TEST(PageCache, AllocHandsOutDistinctFrames) {
     auto f = c.alloc();
     ASSERT_TRUE(f.has_value());
     EXPECT_TRUE(seen.insert(*f).second);
-    EXPECT_LT(*f, 3u);
+    EXPECT_LT(*f, FrameId{3});
   }
   EXPECT_FALSE(c.alloc().has_value());  // drained
   EXPECT_EQ(c.free_frames(), 0u);
@@ -24,9 +24,9 @@ TEST(PageCache, AllocHandsOutDistinctFrames) {
 
 TEST(PageCache, AllocIsDeterministicLowestFirst) {
   PageCache c(3);
-  EXPECT_EQ(*c.alloc(), 0u);
-  EXPECT_EQ(*c.alloc(), 1u);
-  EXPECT_EQ(*c.alloc(), 2u);
+  EXPECT_EQ(*c.alloc(), FrameId{0});
+  EXPECT_EQ(*c.alloc(), FrameId{1});
+  EXPECT_EQ(*c.alloc(), FrameId{2});
 }
 
 TEST(PageCache, ReleaseRecycles) {
@@ -47,58 +47,58 @@ TEST(PageCache, OverReleaseThrows) {
 
 TEST(PageCache, ReleaseOutOfRangeThrows) {
   PageCache c(2);
-  EXPECT_THROW(c.release(5), ascoma::CheckFailure);
+  EXPECT_THROW(c.release(FrameId{5}), ascoma::CheckFailure);
 }
 
 TEST(PageCache, ActiveListAndRotation) {
   PageCache c(4);
-  c.add_active(10);
-  c.add_active(20);
-  c.add_active(30);
+  c.add_active(VPageId{10});
+  c.add_active(VPageId{20});
+  c.add_active(VPageId{30});
   EXPECT_EQ(c.active_pages(), 3u);
-  EXPECT_EQ(*c.rotate(), 10u);
-  EXPECT_EQ(*c.rotate(), 20u);
-  EXPECT_EQ(*c.rotate(), 30u);
-  EXPECT_EQ(*c.rotate(), 10u);  // wraps (clock)
+  EXPECT_EQ(*c.rotate(), VPageId{10});
+  EXPECT_EQ(*c.rotate(), VPageId{20});
+  EXPECT_EQ(*c.rotate(), VPageId{30});
+  EXPECT_EQ(*c.rotate(), VPageId{10});  // wraps (clock)
 }
 
 TEST(PageCache, RemoveActiveSkipsStaleClockEntries) {
   PageCache c(4);
-  c.add_active(10);
-  c.add_active(20);
-  c.remove_active(10);
+  c.add_active(VPageId{10});
+  c.add_active(VPageId{20});
+  c.remove_active(VPageId{10});
   EXPECT_EQ(c.active_pages(), 1u);
-  EXPECT_FALSE(c.is_active(10));
-  EXPECT_EQ(*c.rotate(), 20u);
-  EXPECT_EQ(*c.rotate(), 20u);  // 10 never reappears
+  EXPECT_FALSE(c.is_active(VPageId{10}));
+  EXPECT_EQ(*c.rotate(), VPageId{20});
+  EXPECT_EQ(*c.rotate(), VPageId{20});  // 10 never reappears
 }
 
 TEST(PageCache, RotateEmptyReturnsNothing) {
   PageCache c(4);
   EXPECT_FALSE(c.rotate().has_value());
-  c.add_active(1);
-  c.remove_active(1);
+  c.add_active(VPageId{1});
+  c.remove_active(VPageId{1});
   EXPECT_FALSE(c.rotate().has_value());
 }
 
 TEST(PageCache, DoubleAddThrows) {
   PageCache c(2);
-  c.add_active(5);
-  EXPECT_THROW(c.add_active(5), ascoma::CheckFailure);
+  c.add_active(VPageId{5});
+  EXPECT_THROW(c.add_active(VPageId{5}), ascoma::CheckFailure);
 }
 
 TEST(PageCache, RemoveInactiveThrows) {
   PageCache c(2);
-  EXPECT_THROW(c.remove_active(5), ascoma::CheckFailure);
+  EXPECT_THROW(c.remove_active(VPageId{5}), ascoma::CheckFailure);
 }
 
 TEST(PageCache, ReAddAfterRemoveWorks) {
   PageCache c(2);
-  c.add_active(5);
-  c.remove_active(5);
-  c.add_active(5);
-  EXPECT_TRUE(c.is_active(5));
-  EXPECT_EQ(*c.rotate(), 5u);
+  c.add_active(VPageId{5});
+  c.remove_active(VPageId{5});
+  c.add_active(VPageId{5});
+  EXPECT_TRUE(c.is_active(VPageId{5}));
+  EXPECT_EQ(*c.rotate(), VPageId{5});
 }
 
 TEST(PageCache, ZeroCapacity) {

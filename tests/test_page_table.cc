@@ -9,100 +9,100 @@ namespace {
 
 TEST(PageTable, InitiallyUnmapped) {
   PageTable pt(8);
-  for (VPageId p = 0; p < 8; ++p)
+  for (VPageId p{0}; p.value() < 8; ++p)
     EXPECT_EQ(pt.mode(p), PageMode::kUnmapped);
   EXPECT_EQ(pt.mapped_pages(), 0u);
 }
 
 TEST(PageTable, MapHome) {
   PageTable pt(8);
-  pt.map_home(3);
-  EXPECT_EQ(pt.mode(3), PageMode::kHome);
+  pt.map_home(VPageId{3});
+  EXPECT_EQ(pt.mode(VPageId{3}), PageMode::kHome);
   EXPECT_EQ(pt.mapped_pages(), 1u);
   EXPECT_EQ(pt.scoma_pages(), 0u);
 }
 
 TEST(PageTable, MapScomaTracksFrame) {
   PageTable pt(8);
-  pt.map_scoma(2, 5);
-  EXPECT_EQ(pt.mode(2), PageMode::kScoma);
-  EXPECT_EQ(pt.frame(2), 5u);
+  pt.map_scoma(VPageId{2}, FrameId{5});
+  EXPECT_EQ(pt.mode(VPageId{2}), PageMode::kScoma);
+  EXPECT_EQ(pt.frame(VPageId{2}), FrameId{5});
   EXPECT_EQ(pt.scoma_pages(), 1u);
 }
 
 TEST(PageTable, DoubleMapThrows) {
   PageTable pt(8);
-  pt.map_numa(1);
-  EXPECT_THROW(pt.map_numa(1), ascoma::CheckFailure);
-  EXPECT_THROW(pt.map_home(1), ascoma::CheckFailure);
-  EXPECT_THROW(pt.map_scoma(1, 0), ascoma::CheckFailure);
+  pt.map_numa(VPageId{1});
+  EXPECT_THROW(pt.map_numa(VPageId{1}), ascoma::CheckFailure);
+  EXPECT_THROW(pt.map_home(VPageId{1}), ascoma::CheckFailure);
+  EXPECT_THROW(pt.map_scoma(VPageId{1}, FrameId{0}), ascoma::CheckFailure);
 }
 
 TEST(PageTable, UnmapReturnsToUnmapped) {
   PageTable pt(8);
-  pt.map_scoma(2, 5);
-  pt.unmap(2);
-  EXPECT_EQ(pt.mode(2), PageMode::kUnmapped);
+  pt.map_scoma(VPageId{2}, FrameId{5});
+  pt.unmap(VPageId{2});
+  EXPECT_EQ(pt.mode(VPageId{2}), PageMode::kUnmapped);
   EXPECT_EQ(pt.mapped_pages(), 0u);
   EXPECT_EQ(pt.scoma_pages(), 0u);
-  pt.map_numa(2);  // can remap
+  pt.map_numa(VPageId{2});  // can remap
 }
 
 TEST(PageTable, UnmapUnmappedThrows) {
   PageTable pt(8);
-  EXPECT_THROW(pt.unmap(0), ascoma::CheckFailure);
+  EXPECT_THROW(pt.unmap(VPageId{0}), ascoma::CheckFailure);
 }
 
 TEST(PageTable, DowngradeReleasesFrame) {
   PageTable pt(8);
-  pt.map_scoma(4, 9);
-  pt.set_ref_bit(4);
-  EXPECT_EQ(pt.downgrade_to_numa(4), 9u);
-  EXPECT_EQ(pt.mode(4), PageMode::kNuma);
-  EXPECT_EQ(pt.frame(4), kInvalidFrame);
-  EXPECT_FALSE(pt.ref_bit(4));  // ref bit cleared on downgrade
+  pt.map_scoma(VPageId{4}, FrameId{9});
+  pt.set_ref_bit(VPageId{4});
+  EXPECT_EQ(pt.downgrade_to_numa(VPageId{4}), FrameId{9});
+  EXPECT_EQ(pt.mode(VPageId{4}), PageMode::kNuma);
+  EXPECT_EQ(pt.frame(VPageId{4}), kInvalidFrame);
+  EXPECT_FALSE(pt.ref_bit(VPageId{4}));  // ref bit cleared on downgrade
   EXPECT_EQ(pt.scoma_pages(), 0u);
   EXPECT_EQ(pt.mapped_pages(), 1u);
 }
 
 TEST(PageTable, DowngradeNonScomaThrows) {
   PageTable pt(8);
-  pt.map_numa(1);
-  EXPECT_THROW(pt.downgrade_to_numa(1), ascoma::CheckFailure);
+  pt.map_numa(VPageId{1});
+  EXPECT_THROW(pt.downgrade_to_numa(VPageId{1}), ascoma::CheckFailure);
 }
 
 TEST(PageTable, UpgradeFromNuma) {
   PageTable pt(8);
-  pt.map_numa(1);
-  pt.upgrade_to_scoma(1, 7);
-  EXPECT_EQ(pt.mode(1), PageMode::kScoma);
-  EXPECT_EQ(pt.frame(1), 7u);
+  pt.map_numa(VPageId{1});
+  pt.upgrade_to_scoma(VPageId{1}, FrameId{7});
+  EXPECT_EQ(pt.mode(VPageId{1}), PageMode::kScoma);
+  EXPECT_EQ(pt.frame(VPageId{1}), FrameId{7});
   EXPECT_EQ(pt.scoma_pages(), 1u);
 }
 
 TEST(PageTable, UpgradeNonNumaThrows) {
   PageTable pt(8);
-  pt.map_home(1);
-  EXPECT_THROW(pt.upgrade_to_scoma(1, 0), ascoma::CheckFailure);
+  pt.map_home(VPageId{1});
+  EXPECT_THROW(pt.upgrade_to_scoma(VPageId{1}, FrameId{0}), ascoma::CheckFailure);
 }
 
 TEST(PageTable, RefBits) {
   PageTable pt(8);
-  pt.map_scoma(0, 0);
-  EXPECT_FALSE(pt.ref_bit(0));
-  pt.set_ref_bit(0);
-  EXPECT_TRUE(pt.ref_bit(0));
-  pt.clear_ref_bit(0);
-  EXPECT_FALSE(pt.ref_bit(0));
+  pt.map_scoma(VPageId{0}, FrameId{0});
+  EXPECT_FALSE(pt.ref_bit(VPageId{0}));
+  pt.set_ref_bit(VPageId{0});
+  EXPECT_TRUE(pt.ref_bit(VPageId{0}));
+  pt.clear_ref_bit(VPageId{0});
+  EXPECT_FALSE(pt.ref_bit(VPageId{0}));
 }
 
 TEST(PageTable, UpgradeDowngradeRoundTrip) {
   PageTable pt(4);
-  pt.map_numa(0);
-  pt.upgrade_to_scoma(0, 3);
-  EXPECT_EQ(pt.downgrade_to_numa(0), 3u);
-  pt.upgrade_to_scoma(0, 1);
-  EXPECT_EQ(pt.frame(0), 1u);
+  pt.map_numa(VPageId{0});
+  pt.upgrade_to_scoma(VPageId{0}, FrameId{3});
+  EXPECT_EQ(pt.downgrade_to_numa(VPageId{0}), FrameId{3});
+  pt.upgrade_to_scoma(VPageId{0}, FrameId{1});
+  EXPECT_EQ(pt.frame(VPageId{0}), FrameId{1});
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ class TestEvictor : public EvictionHandler {
 struct Fixture {
   Fixture(std::uint32_t capacity, std::uint32_t mapped)
       : cache(capacity), pt(64), evictor(&cache, &pt) {
-    for (VPageId p = 0; p < mapped; ++p) {
+    for (VPageId p{0}; p.value() < mapped; ++p) {
       const FrameId f = *cache.alloc();
       pt.map_scoma(p, f);
       cache.add_active(p);
@@ -47,7 +47,7 @@ TEST(PageoutDaemon, ShouldRunBelowFreeMin) {
   Fixture f(4, 3);  // 1 free frame
   PageoutDaemon d(2, 3);
   EXPECT_TRUE(d.should_run(f.cache));
-  f.evictor.evict(0);  // 2 free now
+  f.evictor.evict(VPageId{0});  // 2 free now
   EXPECT_FALSE(d.should_run(f.cache));
 }
 
@@ -59,26 +59,26 @@ TEST(PageoutDaemon, EvictsColdPagesToTarget) {
   EXPECT_EQ(r.reclaimed, 3u);
   EXPECT_EQ(f.cache.free_frames(), 3u);
   // FIFO since everything was cold.
-  EXPECT_EQ(f.evictor.evicted, (std::vector<VPageId>{0, 1, 2}));
+  EXPECT_EQ(f.evictor.evicted, (std::vector<VPageId>{VPageId{0}, VPageId{1}, VPageId{2}}));
 }
 
 TEST(PageoutDaemon, SecondChanceSkipsReferencedOnce) {
   Fixture f(4, 4);
-  f.pt.set_ref_bit(0);
-  f.pt.set_ref_bit(1);
+  f.pt.set_ref_bit(VPageId{0});
+  f.pt.set_ref_bit(VPageId{1});
   PageoutDaemon d(1, 2);
   const auto r = d.run(f.cache, f.pt, f.evictor);
   EXPECT_TRUE(r.met_target);
   // Pages 0 and 1 were referenced: cleared and skipped; 2 and 3 evicted.
-  EXPECT_EQ(f.evictor.evicted, (std::vector<VPageId>{2, 3}));
-  EXPECT_FALSE(f.pt.ref_bit(0));
-  EXPECT_FALSE(f.pt.ref_bit(1));
+  EXPECT_EQ(f.evictor.evicted, (std::vector<VPageId>{VPageId{2}, VPageId{3}}));
+  EXPECT_FALSE(f.pt.ref_bit(VPageId{0}));
+  EXPECT_FALSE(f.pt.ref_bit(VPageId{1}));
 }
 
 TEST(PageoutDaemon, EvictsReferencedPagesOnSecondPass) {
   Fixture f(2, 2);
-  f.pt.set_ref_bit(0);
-  f.pt.set_ref_bit(1);
+  f.pt.set_ref_bit(VPageId{0});
+  f.pt.set_ref_bit(VPageId{1});
   PageoutDaemon d(1, 1);
   const auto r = d.run(f.cache, f.pt, f.evictor);
   // First pass clears both bits; second pass evicts one.
@@ -104,7 +104,7 @@ TEST(PageoutDaemon, ReportsFailureWhenNothingToEvict) {
 
 TEST(PageoutDaemon, CountsColdPagesSeen) {
   Fixture f(8, 8);
-  f.pt.set_ref_bit(7);
+  f.pt.set_ref_bit(VPageId{7});
   PageoutDaemon d(1, 2);
   const auto r = d.run(f.cache, f.pt, f.evictor);
   EXPECT_EQ(r.cold_pages_seen, r.reclaimed);  // all evicted were cold

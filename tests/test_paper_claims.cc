@@ -29,7 +29,7 @@ class PaperClaims : public ::testing::Test {
     j.workload = wl;
     j.workload_scale = kScale;
     const auto rs = run_sweep({j}, 1);
-    const double cycles = static_cast<double>(rs[0].result.cycles());
+    const double cycles = static_cast<double>(rs[0].result.cycles().value());
     cache_[key] = cycles;
     return cycles;
   }

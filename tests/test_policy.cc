@@ -15,8 +15,8 @@ struct PolicyFixture {
   explicit PolicyFixture(std::uint32_t capacity = 8)
       : cache(capacity), period(cfg.daemon_period) {}
 
-  PolicyEnv env(Cycle now = 0) {
-    return PolicyEnv{cfg, 0, cache, kernel, period, now};
+  PolicyEnv env(Cycle now = Cycle{0}) {
+    return PolicyEnv{cfg, NodeId{0}, cache, kernel, period, now};
   }
 
   MachineConfig cfg;
@@ -41,7 +41,7 @@ TEST(CcNuma, NeverRelocatesNeverRunsDaemon) {
   CcNumaPolicy p(f.cfg);
   auto e = f.env();
   EXPECT_EQ(p.initial_mode(e), PageMode::kNuma);
-  EXPECT_FALSE(p.should_relocate(e, 0, 1'000'000));
+  EXPECT_FALSE(p.should_relocate(e, VPageId{0}, 1'000'000));
   EXPECT_FALSE(p.runs_daemon());
   EXPECT_FALSE(p.relocation_enabled());
 }
@@ -53,7 +53,7 @@ TEST(Scoma, AlwaysMapsScomaEvenWithEmptyPool) {
   ScomaPolicy p(f.cfg);
   auto e = f.env();
   EXPECT_EQ(p.initial_mode(e), PageMode::kScoma);
-  EXPECT_FALSE(p.should_relocate(e, 0, 1'000'000));
+  EXPECT_FALSE(p.should_relocate(e, VPageId{0}, 1'000'000));
   EXPECT_TRUE(p.runs_daemon());
 }
 
@@ -64,8 +64,8 @@ TEST(RNuma, FixedThresholdRelocation) {
   RNumaPolicy p(f.cfg);
   auto e = f.env();
   EXPECT_EQ(p.initial_mode(e), PageMode::kNuma);
-  EXPECT_FALSE(p.should_relocate(e, 0, f.cfg.refetch_threshold - 1));
-  EXPECT_TRUE(p.should_relocate(e, 0, f.cfg.refetch_threshold));
+  EXPECT_FALSE(p.should_relocate(e, VPageId{0}, f.cfg.refetch_threshold - 1));
+  EXPECT_TRUE(p.should_relocate(e, VPageId{0}, f.cfg.refetch_threshold));
   EXPECT_TRUE(p.force_eviction_on_upgrade());
 }
 
@@ -87,7 +87,7 @@ TEST(VcNuma, RaisesThresholdWhenEvictionsDoNotEarnBreakEven) {
   VcNumaPolicy p(f.cfg);
   auto e = f.env();
   // 8 replacements of pages that never supplied a hit.
-  for (VPageId v = 0; v < 8; ++v) p.on_replacement(e, 100 + v);
+  for (VPageId v{0}; v.value() < 8; ++v) p.on_replacement(e, VPageId{100 + v.value()});
   EXPECT_EQ(p.evaluations(), 1u);
   EXPECT_EQ(p.threshold(), f.cfg.refetch_threshold + f.cfg.threshold_increment);
   EXPECT_EQ(f.kernel.threshold_raises, 1u);
@@ -97,10 +97,10 @@ TEST(VcNuma, KeepsThresholdWhenEvictionsEarned) {
   PolicyFixture f(4);
   VcNumaPolicy p(f.cfg);
   auto e = f.env();
-  for (VPageId v = 0; v < 8; ++v) {
+  for (VPageId v{0}; v.value() < 8; ++v) {
     for (std::uint32_t h = 0; h < f.cfg.vcnuma_break_even; ++h)
-      p.on_page_cache_hit(200 + v);
-    p.on_replacement(e, 200 + v);
+      p.on_page_cache_hit(VPageId{200 + v.value()});
+    p.on_replacement(e, VPageId{200 + v.value()});
   }
   EXPECT_EQ(p.evaluations(), 1u);
   EXPECT_EQ(p.threshold(), f.cfg.refetch_threshold);
@@ -110,12 +110,12 @@ TEST(VcNuma, RecoversThresholdAfterGoodWindow) {
   PolicyFixture f(4);
   VcNumaPolicy p(f.cfg);
   auto e = f.env();
-  for (VPageId v = 0; v < 8; ++v) p.on_replacement(e, v);  // bad window
+  for (VPageId v{0}; v.value() < 8; ++v) p.on_replacement(e, v);  // bad window
   const auto raised = p.threshold();
-  for (VPageId v = 0; v < 8; ++v) {
+  for (VPageId v{0}; v.value() < 8; ++v) {
     for (std::uint32_t h = 0; h < f.cfg.vcnuma_break_even; ++h)
-      p.on_page_cache_hit(300 + v);
-    p.on_replacement(e, 300 + v);  // good window
+      p.on_page_cache_hit(VPageId{300 + v.value()});
+    p.on_replacement(e, VPageId{300 + v.value()});  // good window
   }
   EXPECT_LT(p.threshold(), raised);
   EXPECT_EQ(f.kernel.threshold_drops, 1u);
@@ -125,9 +125,10 @@ TEST(VcNuma, EvaluationCadenceScalesWithCacheSize) {
   PolicyFixture f(100);
   VcNumaPolicy p(f.cfg);
   auto e = f.env();
-  for (int i = 0; i < 199; ++i) p.on_replacement(e, 1000 + i);
+  for (std::uint64_t i = 0; i < 199; ++i)
+    p.on_replacement(e, VPageId{1000 + i});
   EXPECT_EQ(p.evaluations(), 0u);  // needs 2 * capacity = 200
-  p.on_replacement(e, 5000);
+  p.on_replacement(e, VPageId{5000});
   EXPECT_EQ(p.evaluations(), 1u);
 }
 
@@ -146,7 +147,7 @@ TEST(AsComa, ScomaFirstWhilePoolLasts) {
 TEST(AsComa, DaemonFailureRaisesThresholdAndStretchesPeriod) {
   PolicyFixture f;
   AsComaPolicy p(f.cfg);
-  auto e = f.env(0);
+  auto e = f.env(Cycle{0});
   vm::DaemonResult fail;
   fail.met_target = false;
   const Cycle period0 = f.period;
@@ -162,7 +163,7 @@ TEST(AsComa, BackOffIsRateLimitedPerDaemonPeriod) {
   AsComaPolicy p(f.cfg);
   vm::DaemonResult fail;
   fail.met_target = false;
-  auto e = f.env(0);
+  auto e = f.env(Cycle{0});
   p.on_daemon_result(e, fail);
   const auto t1 = p.threshold();
   EXPECT_GT(t1, f.cfg.refetch_threshold);
@@ -170,7 +171,7 @@ TEST(AsComa, BackOffIsRateLimitedPerDaemonPeriod) {
   for (int i = 0; i < 50; ++i) p.on_daemon_result(e, fail);
   EXPECT_EQ(p.threshold(), t1);
   // After a period elapses, the next signal escalates again.
-  auto later = f.env(f.period + 1);
+  auto later = f.env(f.period + Cycle{1});
   p.on_daemon_result(later, fail);
   EXPECT_GT(p.threshold(), t1);
 }
@@ -178,7 +179,7 @@ TEST(AsComa, BackOffIsRateLimitedPerDaemonPeriod) {
 TEST(AsComa, SuppressionMarksThrashingWithoutEscalating) {
   PolicyFixture f;
   AsComaPolicy p(f.cfg);
-  auto e = f.env(0);
+  auto e = f.env(Cycle{0});
   p.on_remap_suppressed(e);
   EXPECT_TRUE(p.thrashing());
   EXPECT_EQ(p.threshold(), f.cfg.refetch_threshold);  // unchanged
@@ -193,21 +194,21 @@ TEST(AsComa, ExtremePressureDisablesRelocationEntirely) {
   AsComaPolicy p(f.cfg);
   vm::DaemonResult fail;
   fail.met_target = false;
-  Cycle now = 0;
+  Cycle now{0};
   for (int i = 0; i < 10 && p.relocation_enabled(); ++i) {
     auto e = f.env(now);
     p.on_daemon_result(e, fail);
-    now += f.period + 1;
+    now += f.period + Cycle{1};
   }
   EXPECT_FALSE(p.relocation_enabled());
   auto e = f.env(now);
-  EXPECT_FALSE(p.should_relocate(e, 0, 1'000'000));
+  EXPECT_FALSE(p.should_relocate(e, VPageId{0}, 1'000'000));
 }
 
 TEST(AsComa, ThrashingStopsScomaFirstAllocation) {
   PolicyFixture f(8);
   AsComaPolicy p(f.cfg);
-  auto e = f.env(0);
+  auto e = f.env(Cycle{0});
   vm::DaemonResult fail;
   fail.met_target = false;
   p.on_daemon_result(e, fail);
@@ -220,11 +221,11 @@ TEST(AsComa, RecoversWhenColdPagesReappear) {
   AsComaPolicy p(f.cfg);
   vm::DaemonResult fail;
   fail.met_target = false;
-  Cycle now = 0;
+  Cycle now{0};
   for (int i = 0; i < 3; ++i) {
     auto e = f.env(now);
     p.on_daemon_result(e, fail);
-    now += f.period + 1;
+    now += f.period + Cycle{1};
   }
   const auto raised = p.threshold();
   EXPECT_GT(raised, f.cfg.refetch_threshold);
@@ -236,7 +237,7 @@ TEST(AsComa, RecoversWhenColdPagesReappear) {
   for (int i = 0; i < 20 && p.threshold() > f.cfg.refetch_threshold; ++i) {
     auto e = f.env(now);
     p.on_daemon_result(e, ok);
-    now += f.period + 1;
+    now += f.period + Cycle{1};
   }
   EXPECT_EQ(p.threshold(), f.cfg.refetch_threshold);
   EXPECT_FALSE(p.thrashing());

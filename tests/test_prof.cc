@@ -37,7 +37,7 @@ workload::SyntheticWorkload hot_workload(std::uint32_t iterations = 6) {
   p.sweeps_per_iteration = 3;
   p.loads_per_page = 32;
   p.write_fraction = 0.05;
-  p.compute_per_page = 5;
+  p.compute_per_page = Cycle{5};
   return workload::SyntheticWorkload(p);
 }
 
@@ -133,7 +133,7 @@ TEST(Profiler, AttributionSumsMatchEndToEnd) {
   MachineConfig cfg = config(ArchModel::kAsComa, 0.7);
   cfg.profiler = &prof;
   const core::RunResult r = core::simulate(cfg, wl);
-  EXPECT_GT(r.cycles(), 0u);
+  EXPECT_GT(r.cycles(), Cycle{0});
   EXPECT_GT(prof.accesses(), 0u);
   // Every access's recorded segments summed exactly to its measured latency.
   EXPECT_EQ(prof.attribution_mismatches(), 0u);

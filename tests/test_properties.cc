@@ -48,20 +48,20 @@ TEST_P(ArchPressureProperty, InvariantBattery) {
 
   // P1: progress — the run completed with nonzero time and every access
   // accounted for.
-  EXPECT_GT(r.cycles(), 0u);
+  EXPECT_GT(r.cycles(), Cycle{0});
   for (const NodeStats& n : r.per_node) {
     EXPECT_EQ(n.shared_loads + n.shared_stores,
               n.l1_hits + n.misses.total());
   }
 
   // P2: the makespan equals the busiest node's accounted time.
-  Cycle max_total = 0;
+  Cycle max_total{0};
   for (const NodeStats& n : r.per_node)
     max_total = std::max(max_total, n.time.total());
   EXPECT_EQ(max_total, r.stats.parallel_cycles);
 
   // P3: frame conservation — free + active S-COMA pages == capacity.
-  for (NodeId n = 0; n < r.stats.nodes; ++n) {
+  for (NodeId n{0}; n.value() < r.stats.nodes; ++n) {
     const auto capacity = m.page_cache(n).capacity();
     EXPECT_EQ(m.page_cache(n).free_frames() + m.page_cache(n).active_pages(),
               capacity);
@@ -126,9 +126,9 @@ TEST_P(LatencyOrdering, RemoteHeavyConfigsStallMore) {
   const RunResult a = simulate(lo, wl);
   const RunResult b = simulate(hi, wl);
   const double stall_a =
-      static_cast<double>(a.stats.totals.time[TimeBucket::kUserShared]);
+      static_cast<double>(a.stats.totals.time[TimeBucket::kUserShared].value());
   const double stall_b =
-      static_cast<double>(b.stats.totals.time[TimeBucket::kUserShared]);
+      static_cast<double>(b.stats.totals.time[TimeBucket::kUserShared].value());
   EXPECT_LT(stall_a, stall_b);
 }
 
@@ -158,13 +158,13 @@ TEST_P(SmpProperty, InvariantBattery) {
   Machine m(cfg, wl);
   const RunResult r = m.run();  // audit() runs at completion
 
-  EXPECT_GT(r.cycles(), 0u);
+  EXPECT_GT(r.cycles(), Cycle{0});
   EXPECT_EQ(r.per_node.size(), 8u);
   for (const NodeStats& n : r.per_node) {
     EXPECT_EQ(n.shared_loads + n.shared_stores,
               n.l1_hits + n.misses.total());
   }
-  for (NodeId n = 0; n < 4; ++n) {
+  for (NodeId n{0}; n.value() < 4; ++n) {
     EXPECT_EQ(m.page_cache(n).free_frames() + m.page_cache(n).active_pages(),
               m.page_cache(n).capacity());
   }

@@ -14,50 +14,50 @@ TEST(Rac, DefaultIsSingleBlock) {
 TEST(Rac, HoldsLastFilledBlock) {
   MachineConfig cfg;
   Rac r(cfg);
-  EXPECT_FALSE(r.probe(10));
-  r.fill(10);
-  EXPECT_TRUE(r.probe(10));
-  r.fill(11);  // single entry: displaces block 10
-  EXPECT_FALSE(r.probe(10));
-  EXPECT_TRUE(r.probe(11));
+  EXPECT_FALSE(r.probe(BlockId{10}));
+  r.fill(BlockId{10});
+  EXPECT_TRUE(r.probe(BlockId{10}));
+  r.fill(BlockId{11});  // single entry: displaces block 10
+  EXPECT_FALSE(r.probe(BlockId{10}));
+  EXPECT_TRUE(r.probe(BlockId{11}));
   EXPECT_EQ(r.fills(), 2u);
 }
 
 TEST(Rac, InvalidateRemovesOnlyMatchingTag) {
   MachineConfig cfg;
   Rac r(cfg);
-  r.fill(10);
-  EXPECT_FALSE(r.invalidate(99));  // different block (same slot)
-  EXPECT_TRUE(r.probe(10));
-  EXPECT_TRUE(r.invalidate(10));
-  EXPECT_FALSE(r.probe(10));
-  EXPECT_FALSE(r.invalidate(10));  // already gone
+  r.fill(BlockId{10});
+  EXPECT_FALSE(r.invalidate(BlockId{99}));  // different block (same slot)
+  EXPECT_TRUE(r.probe(BlockId{10}));
+  EXPECT_TRUE(r.invalidate(BlockId{10}));
+  EXPECT_FALSE(r.probe(BlockId{10}));
+  EXPECT_FALSE(r.invalidate(BlockId{10}));  // already gone
 }
 
 TEST(Rac, LargerRacIsDirectMapped) {
   MachineConfig cfg;
-  cfg.rac_bytes = 4 * 128;  // 4 entries
+  cfg.rac_bytes = ByteCount{4 * 128};  // 4 entries
   Rac r(cfg);
   EXPECT_EQ(r.entries(), 4u);
-  r.fill(0);
-  r.fill(1);
-  r.fill(2);
-  r.fill(3);
-  EXPECT_TRUE(r.probe(0));
-  EXPECT_TRUE(r.probe(3));
-  r.fill(4);  // maps to slot 0, evicts block 0
-  EXPECT_FALSE(r.probe(0));
-  EXPECT_TRUE(r.probe(4));
-  EXPECT_TRUE(r.probe(1));
+  r.fill(BlockId{0});
+  r.fill(BlockId{1});
+  r.fill(BlockId{2});
+  r.fill(BlockId{3});
+  EXPECT_TRUE(r.probe(BlockId{0}));
+  EXPECT_TRUE(r.probe(BlockId{3}));
+  r.fill(BlockId{4});  // maps to slot 0, evicts block 0
+  EXPECT_FALSE(r.probe(BlockId{0}));
+  EXPECT_TRUE(r.probe(BlockId{4}));
+  EXPECT_TRUE(r.probe(BlockId{1}));
 }
 
 TEST(Rac, InvalidatePageClearsAllPageBlocks) {
   MachineConfig cfg;
-  cfg.rac_bytes = 64 * 128;  // 64 entries: a full page (32 blocks) plus room
+  cfg.rac_bytes = ByteCount{64 * 128};  // 64 entries: a full page (32 blocks) plus room
   Rac r(cfg);
-  const BlockId first = 2 * cfg.blocks_per_page();  // page 2
+  const BlockId first = cfg.first_block_of_page(VPageId{2});  // page 2
   for (std::uint32_t i = 0; i < cfg.blocks_per_page(); ++i) r.fill(first + i);
-  EXPECT_EQ(r.invalidate_page(2), cfg.blocks_per_page());
+  EXPECT_EQ(r.invalidate_page(VPageId{2}), cfg.blocks_per_page());
   for (std::uint32_t i = 0; i < cfg.blocks_per_page(); ++i)
     EXPECT_FALSE(r.probe(first + i));
 }
@@ -65,13 +65,13 @@ TEST(Rac, InvalidatePageClearsAllPageBlocks) {
 TEST(Rac, HitCounter) {
   MachineConfig cfg;
   Rac r(cfg);
-  r.fill(5);
+  r.fill(BlockId{5});
   r.note_hit();
   r.note_hit();
   EXPECT_EQ(r.hits(), 2u);
   r.reset();
   EXPECT_EQ(r.hits(), 0u);
-  EXPECT_FALSE(r.probe(5));
+  EXPECT_FALSE(r.probe(BlockId{5}));
 }
 
 }  // namespace

@@ -9,37 +9,37 @@ namespace {
 
 TEST(RefetchTable, IncrementReturnsNewCount) {
   RefetchTable t(8, 4);
-  EXPECT_EQ(t.increment(0, 1), 1u);
-  EXPECT_EQ(t.increment(0, 1), 2u);
-  EXPECT_EQ(t.count(0, 1), 2u);
-  EXPECT_EQ(t.count(0, 2), 0u);
+  EXPECT_EQ(t.increment(VPageId{0}, NodeId{1}), 1u);
+  EXPECT_EQ(t.increment(VPageId{0}, NodeId{1}), 2u);
+  EXPECT_EQ(t.count(VPageId{0}, NodeId{1}), 2u);
+  EXPECT_EQ(t.count(VPageId{0}, NodeId{2}), 0u);
   EXPECT_EQ(t.total_refetches(), 2u);
 }
 
 TEST(RefetchTable, PerPagePerNodeIsolation) {
   RefetchTable t(8, 4);
-  t.increment(3, 2);
-  EXPECT_EQ(t.count(3, 2), 1u);
-  EXPECT_EQ(t.count(3, 1), 0u);
-  EXPECT_EQ(t.count(2, 2), 0u);
+  t.increment(VPageId{3}, NodeId{2});
+  EXPECT_EQ(t.count(VPageId{3}, NodeId{2}), 1u);
+  EXPECT_EQ(t.count(VPageId{3}, NodeId{1}), 0u);
+  EXPECT_EQ(t.count(VPageId{2}, NodeId{2}), 0u);
 }
 
 TEST(RefetchTable, ResetClearsPolicyCounterOnly) {
   RefetchTable t(8, 4);
-  t.increment(1, 0);
-  t.increment(1, 0);
-  t.reset(1, 0);
-  EXPECT_EQ(t.count(1, 0), 0u);
-  EXPECT_EQ(t.cumulative(1, 0), 2u);  // census keeps history
-  EXPECT_EQ(t.increment(1, 0), 1u);  // counting resumes from zero
-  EXPECT_EQ(t.cumulative(1, 0), 3u);
+  t.increment(VPageId{1}, NodeId{0});
+  t.increment(VPageId{1}, NodeId{0});
+  t.reset(VPageId{1}, NodeId{0});
+  EXPECT_EQ(t.count(VPageId{1}, NodeId{0}), 0u);
+  EXPECT_EQ(t.cumulative(VPageId{1}, NodeId{0}), 2u);  // census keeps history
+  EXPECT_EQ(t.increment(VPageId{1}, NodeId{0}), 1u);  // counting resumes from zero
+  EXPECT_EQ(t.cumulative(VPageId{1}, NodeId{0}), 3u);
 }
 
 TEST(RefetchTable, CensusPairsAtLeast) {
   RefetchTable t(4, 2);
-  for (int i = 0; i < 5; ++i) t.increment(0, 0);
-  for (int i = 0; i < 3; ++i) t.increment(1, 1);
-  t.increment(2, 0);
+  for (int i = 0; i < 5; ++i) t.increment(VPageId{0}, NodeId{0});
+  for (int i = 0; i < 3; ++i) t.increment(VPageId{1}, NodeId{1});
+  t.increment(VPageId{2}, NodeId{0});
   EXPECT_EQ(t.pairs_at_least(1), 3u);
   EXPECT_EQ(t.pairs_at_least(3), 2u);
   EXPECT_EQ(t.pairs_at_least(5), 1u);
@@ -48,24 +48,24 @@ TEST(RefetchTable, CensusPairsAtLeast) {
 
 TEST(RefetchTable, CensusPagesAtLeast) {
   RefetchTable t(4, 2);
-  t.increment(0, 0);
-  t.increment(0, 1);  // same page, two nodes -> one page
-  t.increment(2, 0);
+  t.increment(VPageId{0}, NodeId{0});
+  t.increment(VPageId{0}, NodeId{1});  // same page, two nodes -> one page
+  t.increment(VPageId{2}, NodeId{0});
   EXPECT_EQ(t.pages_at_least(1), 2u);
   EXPECT_EQ(t.pages_at_least(2), 0u);
 }
 
 TEST(RefetchTable, CensusSurvivesResets) {
   RefetchTable t(4, 2);
-  for (int i = 0; i < 10; ++i) t.increment(0, 0);
-  t.reset(0, 0);
+  for (int i = 0; i < 10; ++i) t.increment(VPageId{0}, NodeId{0});
+  t.reset(VPageId{0}, NodeId{0});
   EXPECT_EQ(t.pairs_at_least(10), 1u);
 }
 
 TEST(RefetchTable, BoundsChecked) {
   RefetchTable t(4, 2);
-  EXPECT_THROW(t.increment(4, 0), ascoma::CheckFailure);
-  EXPECT_THROW(t.count(0, 2), ascoma::CheckFailure);
+  EXPECT_THROW(t.increment(VPageId{4}, NodeId{0}), ascoma::CheckFailure);
+  EXPECT_THROW(t.count(VPageId{0}, NodeId{2}), ascoma::CheckFailure);
 }
 
 }  // namespace

@@ -28,14 +28,14 @@ TEST(Report, BaselinePrefersCcNuma) {
   const auto cc = make_run(ArchModel::kCcNuma, 0.5);
   const auto as = make_run(ArchModel::kAsComa, 0.5);
   const std::vector<LabeledResult> rs = {{"as", &as}, {"cc", &cc}};
-  EXPECT_DOUBLE_EQ(baseline_cycles(rs), static_cast<double>(cc.cycles()));
+  EXPECT_DOUBLE_EQ(baseline_cycles(rs), static_cast<double>(cc.cycles().value()));
 }
 
 TEST(Report, BaselineFallsBackToFirst) {
   const auto as = make_run(ArchModel::kAsComa, 0.5);
   const auto sc = make_run(ArchModel::kScoma, 0.5);
   const std::vector<LabeledResult> rs = {{"as", &as}, {"sc", &sc}};
-  EXPECT_DOUBLE_EQ(baseline_cycles(rs), static_cast<double>(as.cycles()));
+  EXPECT_DOUBLE_EQ(baseline_cycles(rs), static_cast<double>(as.cycles().value()));
 }
 
 TEST(Report, BaselineEmptyThrows) {
@@ -103,7 +103,7 @@ TEST(Report, CsvRowMatchesHeaderArity) {
 TEST(Report, CsvRowContainsCycleCount) {
   const auto cc = make_run(ArchModel::kCcNuma, 0.5);
   const std::string row = csv_row("w", "CCNUMA", cc);
-  EXPECT_NE(row.find(std::to_string(cc.cycles())), std::string::npos);
+  EXPECT_NE(row.find(std::to_string(cc.cycles().value())), std::string::npos);
 }
 
 }  // namespace

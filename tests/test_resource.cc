@@ -7,58 +7,58 @@ namespace {
 
 TEST(Resource, UncontendedStartsImmediately) {
   Resource r;
-  EXPECT_EQ(r.acquire(100, 10), 100u);
-  EXPECT_EQ(r.free_at(), 110u);
+  EXPECT_EQ(r.acquire(Cycle{100}, Cycle{10}), Cycle{100});
+  EXPECT_EQ(r.free_at(), Cycle{110});
 }
 
 TEST(Resource, BackToBackQueues) {
   Resource r;
-  EXPECT_EQ(r.acquire(0, 10), 0u);
-  EXPECT_EQ(r.acquire(0, 10), 10u);  // waits behind the first
-  EXPECT_EQ(r.acquire(5, 10), 20u);
-  EXPECT_EQ(r.free_at(), 30u);
+  EXPECT_EQ(r.acquire(Cycle{0}, Cycle{10}), Cycle{0});
+  EXPECT_EQ(r.acquire(Cycle{0}, Cycle{10}), Cycle{10});  // waits behind the first
+  EXPECT_EQ(r.acquire(Cycle{5}, Cycle{10}), Cycle{20});
+  EXPECT_EQ(r.free_at(), Cycle{30});
 }
 
 TEST(Resource, IdleGapResets) {
   Resource r;
-  r.acquire(0, 10);
-  EXPECT_EQ(r.acquire(50, 10), 50u);  // no queueing after a gap
+  r.acquire(Cycle{0}, Cycle{10});
+  EXPECT_EQ(r.acquire(Cycle{50}, Cycle{10}), Cycle{50});  // no queueing after a gap
 }
 
 TEST(Resource, AcquireUntilReturnsCompletion) {
   Resource r;
-  EXPECT_EQ(r.acquire_until(7, 3), 10u);
-  EXPECT_EQ(r.acquire_until(0, 5), 15u);
+  EXPECT_EQ(r.acquire_until(Cycle{7}, Cycle{3}), Cycle{10});
+  EXPECT_EQ(r.acquire_until(Cycle{0}, Cycle{5}), Cycle{15});
 }
 
 TEST(Resource, TracksWaitAndBusyCycles) {
   Resource r;
-  r.acquire(0, 10);
-  r.acquire(0, 10);  // waits 10
-  EXPECT_EQ(r.busy_cycles(), 20u);
-  EXPECT_EQ(r.wait_cycles(), 10u);
+  r.acquire(Cycle{0}, Cycle{10});
+  r.acquire(Cycle{0}, Cycle{10});  // waits 10
+  EXPECT_EQ(r.busy_cycles(), Cycle{20});
+  EXPECT_EQ(r.wait_cycles(), Cycle{10});
   EXPECT_EQ(r.transactions(), 2u);
 }
 
 TEST(Resource, Utilization) {
   Resource r;
-  r.acquire(0, 25);
-  EXPECT_DOUBLE_EQ(r.utilization(100), 0.25);
-  EXPECT_DOUBLE_EQ(r.utilization(0), 0.0);
+  r.acquire(Cycle{0}, Cycle{25});
+  EXPECT_DOUBLE_EQ(r.utilization(Cycle{100}), 0.25);
+  EXPECT_DOUBLE_EQ(r.utilization(Cycle{0}), 0.0);
 }
 
 TEST(Resource, ZeroDurationIsFree) {
   Resource r;
-  EXPECT_EQ(r.acquire(5, 0), 5u);
-  EXPECT_EQ(r.free_at(), 5u);
+  EXPECT_EQ(r.acquire(Cycle{5}, Cycle{0}), Cycle{5});
+  EXPECT_EQ(r.free_at(), Cycle{5});
 }
 
 TEST(Resource, ResetClearsState) {
   Resource r("bus");
-  r.acquire(0, 10);
+  r.acquire(Cycle{0}, Cycle{10});
   r.reset();
-  EXPECT_EQ(r.free_at(), 0u);
-  EXPECT_EQ(r.busy_cycles(), 0u);
+  EXPECT_EQ(r.free_at(), Cycle{0});
+  EXPECT_EQ(r.busy_cycles(), Cycle{0});
   EXPECT_EQ(r.transactions(), 0u);
   EXPECT_EQ(r.name(), "bus");
 }

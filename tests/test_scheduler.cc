@@ -9,28 +9,28 @@ namespace {
 
 TEST(Scheduler, PicksSmallestReadyCycle) {
   Scheduler s(3);
-  s.set_ready(0, 30);
-  s.set_ready(1, 10);
-  s.set_ready(2, 20);
+  s.set_ready(0, Cycle{30});
+  s.set_ready(1, Cycle{10});
+  s.set_ready(2, Cycle{20});
   EXPECT_EQ(s.pick(), 1u);
 }
 
 TEST(Scheduler, TiesGoToLowestId) {
   Scheduler s(3);
-  s.set_ready(0, 5);
-  s.set_ready(1, 5);
-  s.set_ready(2, 5);
+  s.set_ready(0, Cycle{5});
+  s.set_ready(1, Cycle{5});
+  s.set_ready(2, Cycle{5});
   EXPECT_EQ(s.pick(), 0u);
 }
 
 TEST(Scheduler, BlockedProcessorsAreSkipped) {
   Scheduler s(2);
-  s.set_ready(0, 1);
-  s.set_ready(1, 2);
+  s.set_ready(0, Cycle{1});
+  s.set_ready(1, Cycle{2});
   s.block(0);
   EXPECT_EQ(s.pick(), 1u);
   EXPECT_TRUE(s.is_blocked(0));
-  s.set_ready(0, 0);  // unblocks
+  s.set_ready(0, Cycle{0});  // unblocks
   EXPECT_FALSE(s.is_blocked(0));
   EXPECT_EQ(s.pick(), 0u);
 }
@@ -56,7 +56,7 @@ TEST(Scheduler, DeadlockDetected) {
 TEST(Scheduler, ReadyingFinishedProcessorThrows) {
   Scheduler s(1);
   s.finish(0);
-  EXPECT_THROW(s.set_ready(0, 5), CheckFailure);
+  EXPECT_THROW(s.set_ready(0, Cycle{5}), CheckFailure);
 }
 
 TEST(Scheduler, DoubleFinishThrows) {
@@ -67,8 +67,8 @@ TEST(Scheduler, DoubleFinishThrows) {
 
 TEST(Scheduler, ReadyAtRoundTrips) {
   Scheduler s(1);
-  s.set_ready(0, 12345);
-  EXPECT_EQ(s.ready_at(0), 12345u);
+  s.set_ready(0, Cycle{12345});
+  EXPECT_EQ(s.ready_at(0), Cycle{12345});
 }
 
 }  // namespace

@@ -7,28 +7,28 @@ namespace {
 
 TEST(TimeBreakdown, TotalAndFrac) {
   TimeBreakdown t;
-  t[TimeBucket::kUserInstr] = 60;
-  t[TimeBucket::kUserShared] = 30;
-  t[TimeBucket::kSync] = 10;
-  EXPECT_EQ(t.total(), 100u);
+  t[TimeBucket::kUserInstr] = Cycle{60};
+  t[TimeBucket::kUserShared] = Cycle{30};
+  t[TimeBucket::kSync] = Cycle{10};
+  EXPECT_EQ(t.total(), Cycle{100});
   EXPECT_DOUBLE_EQ(t.frac(TimeBucket::kUserInstr), 0.6);
   EXPECT_DOUBLE_EQ(t.frac(TimeBucket::kKernelOvhd), 0.0);
 }
 
 TEST(TimeBreakdown, FracOfEmptyIsZero) {
   TimeBreakdown t;
-  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.total(), Cycle{0});
   EXPECT_DOUBLE_EQ(t.frac(TimeBucket::kSync), 0.0);
 }
 
 TEST(TimeBreakdown, Add) {
   TimeBreakdown a, b;
-  a[TimeBucket::kKernelBase] = 5;
-  b[TimeBucket::kKernelBase] = 7;
-  b[TimeBucket::kKernelOvhd] = 3;
+  a[TimeBucket::kKernelBase] = Cycle{5};
+  b[TimeBucket::kKernelBase] = Cycle{7};
+  b[TimeBucket::kKernelOvhd] = Cycle{3};
   a.add(b);
-  EXPECT_EQ(a[TimeBucket::kKernelBase], 12u);
-  EXPECT_EQ(a[TimeBucket::kKernelOvhd], 3u);
+  EXPECT_EQ(a[TimeBucket::kKernelBase], Cycle{12});
+  EXPECT_EQ(a[TimeBucket::kKernelOvhd], Cycle{3});
 }
 
 TEST(TimeBucketNames, MatchPaperLegend) {
@@ -83,18 +83,18 @@ TEST(NodeStats, AddRollsUp) {
   b.shared_loads = 5;
   b.l1_hits = 7;
   b.misses[MissSource::kCold] = 2;
-  b.time[TimeBucket::kSync] = 100;
+  b.time[TimeBucket::kSync] = Cycle{100};
   a.add(b);
   EXPECT_EQ(a.shared_loads, 15u);
   EXPECT_EQ(a.l1_hits, 7u);
   EXPECT_EQ(a.misses[MissSource::kCold], 2u);
-  EXPECT_EQ(a.time[TimeBucket::kSync], 100u);
+  EXPECT_EQ(a.time[TimeBucket::kSync], Cycle{100});
 }
 
 TEST(RunStats, RemoteOverheadUsesStallPlusKernel) {
   RunStats r;
-  r.totals.time[TimeBucket::kUserShared] = 70;
-  r.totals.time[TimeBucket::kKernelOvhd] = 30;
+  r.totals.time[TimeBucket::kUserShared] = Cycle{70};
+  r.totals.time[TimeBucket::kKernelOvhd] = Cycle{30};
   EXPECT_DOUBLE_EQ(r.remote_overhead_cycles(), 100.0);
 }
 

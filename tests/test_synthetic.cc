@@ -49,8 +49,8 @@ TEST(Synthetic, HotRemoteSetHasRequestedSize) {
   std::set<VPageId> remote;
   for (const Op& op : drain(*wl.stream(0, 5))) {
     if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
-    const VPageId page = op.arg / wl.page_bytes();
-    if (page >= 16) remote.insert(page);  // proc 0 partition is [0,16)
+    const VPageId page{op.arg / wl.page_bytes().value()};
+    if (page >= VPageId{16}) remote.insert(page);  // proc 0 partition is [0,16)
   }
   EXPECT_EQ(remote.size(), tiny().remote_pages);
 }
@@ -111,7 +111,7 @@ TEST(Synthetic, SingleNodeHasNoRemoteSet) {
   EXPECT_FALSE(ops.empty());
   for (const Op& op : ops) {
     if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
-      EXPECT_LT(op.arg / wl.page_bytes(), 16u);
+      EXPECT_LT(op.arg / wl.page_bytes().value(), 16u);
     }
   }
 }

@@ -101,7 +101,7 @@ TEST(Trace, HomeLayoutSurvivesReplay) {
   auto wl = tiny_workload();
   record(wl, 42, f.path);
   TraceWorkload replay(f.path);
-  for (VPageId p = 0; p < wl.total_pages(); ++p)
+  for (VPageId p{0}; p.value() < wl.total_pages(); ++p)
     EXPECT_EQ(replay.home_of(p), wl.home_of(p));
 }
 

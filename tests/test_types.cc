@@ -1,0 +1,201 @@
+// Compile-time and runtime coverage for the strong dimension types
+// (src/common/types.hh, ARCHITECTURE.md §13).  The compile-time half uses
+// static_assert over detection probes: every *forbidden* operation must fail
+// substitution, every allowed one must succeed — so a loosened operator set
+// breaks this file's build, not just a runtime expectation.
+
+#include "common/types.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/config.hh"
+
+namespace ascoma {
+namespace {
+
+// ---- detection probes -------------------------------------------------------
+
+template <class A, class B, class = void>
+struct CanAdd : std::false_type {};
+template <class A, class B>
+struct CanAdd<A, B, std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanSub : std::false_type {};
+template <class A, class B>
+struct CanSub<A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanMul : std::false_type {};
+template <class A, class B>
+struct CanMul<A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanDiv : std::false_type {};
+template <class A, class B>
+struct CanDiv<A, B, std::void_t<decltype(std::declval<A>() / std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanEq : std::false_type {};
+template <class A, class B>
+struct CanEq<A, B, std::void_t<decltype(std::declval<A>() == std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class = void>
+struct CanPreInc : std::false_type {};
+template <class A>
+struct CanPreInc<A, std::void_t<decltype(++std::declval<A&>())>>
+    : std::true_type {};
+
+// ---- construction is explicit, conversion out is named ----------------------
+
+static_assert(std::is_constructible_v<Cycle, std::uint64_t>);
+static_assert(!std::is_convertible_v<std::uint64_t, Cycle>,
+              "bare integers must not silently become cycles");
+static_assert(!std::is_convertible_v<Cycle, std::uint64_t>,
+              "cycles must not silently decay to bare integers");
+static_assert(!std::is_convertible_v<int, NodeId>);
+static_assert(!std::is_convertible_v<PageId, std::uint64_t>);
+
+// Distinct dimensions never interconvert, even with identical reps.
+static_assert(!std::is_constructible_v<PageId, BlockId>);
+static_assert(!std::is_constructible_v<Cycle, ByteCount>);
+static_assert(!std::is_assignable_v<Cycle&, ByteCount>);
+
+// ---- quantities: dimension-correct arithmetic only --------------------------
+
+static_assert(CanAdd<Cycle, Cycle>::value);
+static_assert(CanSub<Cycle, Cycle>::value);
+static_assert(CanMul<Cycle, int>::value);
+static_assert(CanMul<int, Cycle>::value);
+static_assert(CanDiv<Cycle, int>::value);
+static_assert(std::is_same_v<decltype(Cycle{6} / Cycle{2}), Cycle::rep>,
+              "a ratio of like quantities is dimensionless");
+static_assert(std::is_same_v<decltype(Cycle{6} % Cycle{4}), Cycle>);
+
+static_assert(!CanAdd<Cycle, ByteCount>::value,
+              "cross-dimension sums must not compile");
+static_assert(!CanAdd<Cycle, int>::value,
+              "quantity + bare integer must not compile");
+static_assert(!CanMul<Cycle, Cycle>::value,
+              "cycles^2 is not a modelled dimension");
+static_assert(!CanEq<Cycle, std::uint64_t>::value,
+              "quantities compare only against their own dimension");
+static_assert(!CanPreInc<Cycle>::value,
+              "quantities are measures, not counters");
+
+// ---- ids: naming, ordering, offsetting — no arithmetic ----------------------
+
+static_assert(CanPreInc<NodeId>::value, "dense id loops stay ergonomic");
+static_assert(CanAdd<PageId, int>::value, "id + count = the i-th successor");
+static_assert(!CanAdd<PageId, PageId>::value, "id + id has no meaning");
+static_assert(!CanSub<PageId, PageId>::value);
+static_assert(!CanSub<PageId, int>::value);
+static_assert(!CanMul<NodeId, int>::value);
+static_assert(!CanEq<NodeId, int>::value);
+
+// Aliases share one strong type per dimension.
+static_assert(std::is_same_v<Cycle, Cycles>);
+static_assert(std::is_same_v<VPageId, PageId>);
+static_assert(std::is_same_v<LineId, LineAddr>);
+
+// Address algebra: exactly Addr + ByteCount -> Addr, Addr - Addr -> ByteCount.
+static_assert(std::is_same_v<decltype(Addr{4096} + ByteCount{32}), Addr>);
+static_assert(std::is_same_v<decltype(Addr{4128} - Addr{4096}), ByteCount>);
+static_assert(!CanAdd<Addr, Addr>::value);
+static_assert(!CanAdd<Addr, Cycle>::value);
+
+// Zero-overhead claim: the wrappers stay trivially copyable register types.
+static_assert(std::is_trivially_copyable_v<Cycle>);
+static_assert(std::is_trivially_copyable_v<PageId>);
+static_assert(sizeof(Cycle) == sizeof(std::uint64_t));
+static_assert(sizeof(NodeId) == sizeof(std::uint32_t));
+
+// Everything above is constexpr-evaluable.
+static_assert((Cycle{2} + Cycle{3}).value() == 5);
+static_assert((Addr{4096} + ByteCount{32}).value() == 4128);
+static_assert(PageId{7} < PageId{8});
+
+// ---- runtime behaviour ------------------------------------------------------
+
+TEST(StrongQuantity, ArithmeticMatchesRawIntegers) {
+  Cycle c{100};
+  c += Cycle{20};
+  c -= Cycle{10};
+  EXPECT_EQ(c, Cycle{110});
+  EXPECT_EQ(c * 2, Cycle{220});
+  EXPECT_EQ(3 * Cycle{5}, Cycle{15});
+  EXPECT_EQ(Cycle{220} / 2, Cycle{110});
+  EXPECT_EQ(Cycle{220} / Cycle{110}, 2u);
+  EXPECT_EQ(Cycle{7} % Cycle{4}, Cycle{3});
+  EXPECT_EQ(Cycles::max().value(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(StrongId, OrderingOffsetsAndSentinels) {
+  NodeId n{3};
+  ++n;
+  EXPECT_EQ(n, NodeId{4});
+  EXPECT_EQ(n + 2, NodeId{6});
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(kInvalidNode, NodeId::invalid());
+  EXPECT_EQ(kInvalidPage.value(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(kNeverCycle, Cycles::max());
+}
+
+TEST(StrongTypes, StreamFormattingPrintsRawValue) {
+  // The obs/prof exporters format ids and quantities straight into CSV/JSON
+  // columns; the wrappers must print exactly like the integers they replace.
+  std::ostringstream os;
+  os << Cycle{1234} << "," << NodeId{7} << "," << VPageId{42} << ","
+     << ByteCount{4096};
+  EXPECT_EQ(os.str(), "1234,7,42,4096");
+}
+
+TEST(StrongTypes, HashDropsIntoUnorderedContainers) {
+  std::unordered_map<VPageId, int> seen;
+  seen[VPageId{10}] = 1;
+  seen[VPageId{20}] = 2;
+  EXPECT_EQ(seen.at(VPageId{10}), 1);
+  EXPECT_EQ(seen.count(VPageId{30}), 0u);
+}
+
+template <class V, class I, class = void>
+struct CanIndex : std::false_type {};
+template <class V, class I>
+struct CanIndex<V, I,
+                std::void_t<decltype(std::declval<V&>()[std::declval<I>()])>>
+    : std::true_type {};
+
+TEST(IdVector, TypedIndexingMatchesRaw) {
+  IdVector<NodeId, int> table(4, 0);
+  table[NodeId{2}] = 7;
+  EXPECT_EQ(table[NodeId{2}], 7);
+  EXPECT_EQ(table[std::size_t{2}], 7);  // dimension-free loops still work
+  static_assert(CanIndex<IdVector<NodeId, int>, NodeId>::value);
+  static_assert(!CanIndex<IdVector<NodeId, int>, FrameId>::value,
+                "indexing a per-node table with a FrameId must not compile");
+}
+
+TEST(NamedConversions, AddressDecomposition) {
+  MachineConfig cfg;  // 4 KiB pages, 128 B blocks, 32 B lines
+  const Addr a{3 * 4096 + 5 * 128 + 2 * 32 + 7};
+  EXPECT_EQ(cfg.page_of(a), PageId{3});
+  EXPECT_EQ(cfg.block_of(a), BlockId{3u * 32 + 5});
+  EXPECT_EQ(cfg.page_base(PageId{3}), Addr{3u * 4096});
+  EXPECT_EQ(cfg.block_of_line(cfg.line_of(a)), cfg.block_of(a));
+  EXPECT_EQ(cfg.page_of(cfg.page_base(PageId{9})), PageId{9});
+}
+
+}  // namespace
+}  // namespace ascoma

@@ -37,8 +37,8 @@ TEST(Workload, ContiguousHomeLayout) {
   auto wl = make_workload("em3d");
   const auto per = wl->pages_per_node();
   for (std::uint32_t n = 0; n < wl->nodes(); ++n) {
-    EXPECT_EQ(wl->home_of(n * per), n);
-    EXPECT_EQ(wl->home_of((n + 1) * per - 1), n);
+    EXPECT_EQ(wl->home_of(VPageId{n * per}), NodeId{n});
+    EXPECT_EQ(wl->home_of(VPageId{(n + 1) * per - 1}), NodeId{n});
   }
 }
 
@@ -68,11 +68,11 @@ TEST(Workload, SeedChangesRandomizedStreams) {
 TEST(Workload, AddressesStayInSharedSpace) {
   for (const auto& name : workload_names()) {
     auto wl = make_workload(name, 0.25);
-    const Addr limit = wl->total_pages() * wl->page_bytes();
+    const Addr limit{wl->total_pages() * wl->page_bytes().value()};
     for (std::uint32_t p = 0; p < wl->nodes(); ++p) {
       for (const Op& op : drain(*wl->stream(p, 7))) {
         if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
-          ASSERT_LT(op.arg, limit) << name;
+          ASSERT_LT(op.arg, limit.value()) << name;
         }
       }
     }
@@ -122,8 +122,8 @@ TEST(Workload, EveryProcessTouchesRemotePages) {
       bool remote = false;
       for (const Op& op : drain(*wl->stream(p, 7))) {
         if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
-        const VPageId page = op.arg / wl->page_bytes();
-        if (page / per != p) {
+        const VPageId page{op.arg / wl->page_bytes().value()};
+        if (page.value() / per != p) {
           remote = true;
           break;
         }
@@ -138,7 +138,7 @@ TEST(Workload, RadixTouchesEveryPage) {
   std::set<VPageId> touched;
   for (const Op& op : drain(*wl->stream(0, 7))) {
     if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
-      touched.insert(op.arg / wl->page_bytes());
+      touched.insert(VPageId{op.arg / wl->page_bytes().value()});
   }
   // "Every node accesses every page of shared data at some time."
   EXPECT_EQ(touched.size(), wl->total_pages());
@@ -150,8 +150,8 @@ TEST(Workload, OceanRemoteSetIsSmall) {
   std::set<VPageId> remote;
   for (const Op& op : drain(*wl->stream(3, 7))) {
     if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
-    const VPageId page = op.arg / wl->page_bytes();
-    if (page / per != 3) remote.insert(page);
+    const VPageId page{op.arg / wl->page_bytes().value()};
+    if (page.value() / per != 3) remote.insert(page);
   }
   // Only boundary pages with the two ring neighbours.
   EXPECT_LE(remote.size(), 64u);
@@ -168,12 +168,12 @@ TEST(Workload, ScaleShrinksStreams) {
 }
 
 TEST(StreamBuilder, CoalescesComputeAndPrivate) {
-  StreamBuilder b(4096, 32);
-  b.compute(10);
-  b.compute(20);
+  StreamBuilder b(ByteCount{4096}, ByteCount{32});
+  b.compute(Cycle{10});
+  b.compute(Cycle{20});
   b.private_ops(3);
   b.private_ops(4);
-  b.load(0, 0);
+  b.load(VPageId{0}, 0);
   const auto ops = b.take();
   ASSERT_EQ(ops.size(), 4u);  // compute, private, load, end
   EXPECT_EQ(ops[0].kind, OpKind::kCompute);
@@ -184,8 +184,8 @@ TEST(StreamBuilder, CoalescesComputeAndPrivate) {
 }
 
 TEST(StreamBuilder, LineWrapsWithinPage) {
-  StreamBuilder b(4096, 32);
-  b.load(2, 130);  // 130 % 128 = line 2 of page 2
+  StreamBuilder b(ByteCount{4096}, ByteCount{32});
+  b.load(VPageId{2}, 130);  // 130 % 128 = line 2 of page 2
   const auto ops = b.take();
   EXPECT_EQ(ops[0].arg, 2u * 4096 + 2 * 32);
 }

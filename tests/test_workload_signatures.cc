@@ -32,11 +32,11 @@ TEST(Signature, FftStreamsRemoteBlocksWithoutReuseWithinAPass) {
   const auto per = wl->pages_per_node();
   std::map<std::uint64_t, int> block_touches_this_pass;
   int max_reuse = 0;
-  std::uint64_t last_page = ~0ull;
+  VPageId last_page = ascoma::kInvalidPage;
   for (const Op& op : drain(*wl->stream(2, 7))) {
     if (op.kind != OpKind::kLoad) continue;
-    const VPageId page = op.arg / kPage;
-    if (page / per == 2) continue;  // local
+    const VPageId page{op.arg / kPage};
+    if (page.value() / per == 2) continue;  // local
     if (page != last_page) {
       // New remote page: within a transpose pass each page is visited once.
       block_touches_this_pass.clear();
@@ -63,8 +63,8 @@ TEST(Signature, Em3dRemoteSetIsIdenticalAcrossIterations) {
       continue;
     }
     if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
-    const VPageId page = op.arg / kPage;
-    if (page / per != 1) phases.back().insert(page);
+    const VPageId page{op.arg / kPage};
+    if (page.value() / per != 1) phases.back().insert(page);
   }
   phases.erase(std::remove_if(phases.begin(), phases.end(),
                               [](const auto& s) { return s.empty(); }),
@@ -89,8 +89,8 @@ TEST(Signature, LuActiveRemoteSetIsOneWindowPerPhase) {
       continue;
     }
     if (op.kind != OpKind::kLoad) continue;
-    const VPageId page = op.arg / kPage;
-    if (page / per != 1) window.insert(page);
+    const VPageId page{op.arg / kPage};
+    if (page.value() / per != 1) window.insert(page);
   }
   // Every phase's remote set is at most one 48-page window.
   for (const auto& w : distinct_windows) EXPECT_LE(w.size(), 48u);
@@ -104,7 +104,7 @@ TEST(Signature, RadixScatterIsNearUniform) {
   auto wl = make_workload("radix");
   std::map<VPageId, std::uint64_t> writes;
   for (const Op& op : drain(*wl->stream(0, 7))) {
-    if (op.kind == OpKind::kStore) ++writes[op.arg / kPage];
+    if (op.kind == OpKind::kStore) ++writes[VPageId{op.arg / kPage}];
   }
   ASSERT_EQ(writes.size(), wl->total_pages());
   std::uint64_t total = 0, max_w = 0;
@@ -125,8 +125,8 @@ TEST(Signature, BarnesRemoteRegionsAreDense) {
   std::set<VPageId> remote;
   for (const Op& op : drain(*wl->stream(0, 7))) {
     if (op.kind != OpKind::kLoad) continue;
-    const VPageId page = op.arg / kPage;
-    if (page / per != 0) remote.insert(page);
+    const VPageId page{op.arg / kPage};
+    if (page.value() / per != 0) remote.insert(page);
   }
   // Count contiguous runs: dense regions mean few runs relative to pages.
   std::uint64_t runs = 0;
@@ -147,8 +147,8 @@ TEST(Signature, OceanRemotePagesAreNeighbourBoundaries) {
   const std::uint32_t me = 3;
   for (const Op& op : drain(*wl->stream(me, 7))) {
     if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
-    const VPageId page = op.arg / kPage;
-    const auto owner = static_cast<std::uint32_t>(page / per);
+    const VPageId page{op.arg / kPage};
+    const auto owner = static_cast<std::uint32_t>(page.value() / per);
     if (owner == me) continue;
     EXPECT_TRUE(owner == (me + 1) % 8 || owner == (me + 7) % 8)
         << "page " << page << " owned by non-neighbour " << owner;

@@ -81,14 +81,14 @@ struct Options {
   std::string perfetto_path;
   std::string metrics_path;
   std::string profile_dir;
-  Cycle sample_every = 100'000;
+  Cycle sample_every{100'000};
   double fault_drop = 0.0;
   double fault_dup = 0.0;
   double fault_jitter = 0.0;
   std::optional<Cycle> fault_jitter_cycles;
   std::optional<std::uint64_t> fault_seed;
-  Cycle watchdog_cycles = 0;
-  Cycle nack_busy = 0;
+  Cycle watchdog_cycles{0};
+  Cycle nack_busy{0};
   std::optional<bool> check_invariants;
 
   bool observing() const {
@@ -212,8 +212,8 @@ Options parse(int argc, char** argv) {
     } else if (a == "--profile") {
       o.profile_dir = need_value(i);
     } else if (a == "--sample-every") {
-      o.sample_every = parse_u64(need_value(i), "--sample-every");
-      if (o.sample_every == 0) usage("--sample-every must be > 0");
+      o.sample_every = Cycle{parse_u64(need_value(i), "--sample-every")};
+      if (o.sample_every == Cycle{0}) usage("--sample-every must be > 0");
     } else if (a == "--fault-drop") {
       o.fault_drop = parse_double(need_value(i), "--fault-drop");
       if (o.fault_drop < 0.0 || o.fault_drop > 1.0)
@@ -227,15 +227,15 @@ Options parse(int argc, char** argv) {
       if (o.fault_jitter < 0.0 || o.fault_jitter > 1.0)
         usage("--fault-jitter must be in [0,1]");
     } else if (a == "--fault-jitter-cycles") {
-      o.fault_jitter_cycles = parse_u64(need_value(i), "--fault-jitter-cycles");
-      if (*o.fault_jitter_cycles == 0)
+      o.fault_jitter_cycles = Cycle{parse_u64(need_value(i), "--fault-jitter-cycles")};
+      if (*o.fault_jitter_cycles == Cycle{0})
         usage("--fault-jitter-cycles must be > 0");
     } else if (a == "--fault-seed") {
       o.fault_seed = parse_u64(need_value(i), "--fault-seed");
     } else if (a == "--watchdog-cycles") {
-      o.watchdog_cycles = parse_u64(need_value(i), "--watchdog-cycles");
+      o.watchdog_cycles = Cycle{parse_u64(need_value(i), "--watchdog-cycles")};
     } else if (a == "--nack-busy") {
-      o.nack_busy = parse_u64(need_value(i), "--nack-busy");
+      o.nack_busy = Cycle{parse_u64(need_value(i), "--nack-busy")};
     } else if (a == "--check-invariants") {
       o.check_invariants = true;
     } else if (a == "--no-check-invariants") {
@@ -344,7 +344,7 @@ int main(int argc, char** argv) {
     const auto& m = r.result.stats.totals.misses;
     const auto& k = r.result.stats.totals.kernel;
     t.add_row({to_string(r.arch), Table::pct(r.pressure, 0),
-               std::to_string(r.result.cycles()),
+               std::to_string(r.result.cycles().value()),
                Table::pct(time.frac(TimeBucket::kUserShared)),
                Table::pct(time.frac(TimeBucket::kKernelOvhd)),
                Table::pct(time.frac(TimeBucket::kSync)),
@@ -376,8 +376,8 @@ int main(int argc, char** argv) {
       // Printed only when the robustness features were exercised so the
       // zero-fault output stays byte-identical to prior releases.
       if (r.result.config.faults_configured() ||
-          r.result.config.nack_busy_cycles > 0 ||
-          r.result.config.watchdog_cycles > 0) {
+          r.result.config.nack_busy_cycles > Cycle{0} ||
+          r.result.config.watchdog_cycles > Cycles{0}) {
         std::cout << "  fault layer: injected=" << r.result.faults_injected
                   << " retransmits=" << r.result.net_retransmits
                   << " retries=" << r.result.net_retries

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Dimensional-safety lints for the strong type system (ARCHITECTURE.md §13).
+
+Enforces, over src/ (CI runs this on every push):
+
+1. No new bare-integer parameters for dimensioned quantities: a function
+   parameter of raw integer type whose name says it is a cycle count, page,
+   frame, node, address, or byte span (``*_cycle(s)``, ``*_page``,
+   ``*_frame``, ``*_node``, ``*_addr``, ``*_bytes`` and the bare words)
+   must use the matching strong type from src/common/types.hh instead.
+   src/common/ itself is exempt — it defines the types and the raw-rep
+   plumbing.  Names containing ``_per_`` are dimensionless ratios and names
+   ending in a plural count (``nodes``, ``pages``…) are sizes, not ids; both
+   are allowed.
+
+2. No static_cast escapes from strong types outside the whitelisted boundary
+   files: ``static_cast<double>(x.value())`` and friends are the sanctioned
+   way to enter floating-point ratio math, but only inside the files listed
+   in CAST_BOUNDARY_FILES (exporters, ratio/utilization math, the kernel's
+   geometric period scaling).  Anywhere else, casting a strong type's raw
+   value is a smell: use the named conversions.
+
+Two front ends: libclang over build/compile_commands.json when the python
+bindings are importable (AST-accurate), else a regex fallback with the same
+findings format.  The finding set is a zero baseline — any new finding fails.
+
+Usage: tools/lint_types.py [repo-root]     (exit 0 clean, 1 findings,
+       tools/lint_types.py --self-test      2 usage/internal error)
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+# Parameter-name suffixes that imply a dimension, and the strong type the
+# parameter should use instead.  Extend this table together with types.hh
+# when adding a new dimension.
+DIMENSIONS = {
+    "cycle": "Cycle",
+    "cycles": "Cycle",
+    "page": "PageId",
+    "frame": "FrameId",
+    "node": "NodeId",
+    "addr": "Addr (or LineAddr)",
+    "bytes": "ByteCount",
+}
+
+# Raw integer spellings that count as "bare" for rule 1.
+INT_TYPE_RE = re.compile(
+    r"(?:const\s+)?(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t|unsigned(?:\s+int)?)\s*$"
+)
+
+# Sanctioned numeric-boundary files for rule 2: double-precision ratio and
+# scaling math plus the machine-readable exporters.  Keep this list short —
+# a new entry needs a reason of the same kind.
+CAST_BOUNDARY_FILES = {
+    "src/arch/backoff_kernel.hh",  # geometric daemon-period scaling
+    "src/common/stats.cc",         # time-bucket / miss-fraction ratios
+    "src/common/types.hh",         # IdVector's size_t bridge
+    "src/mem/cache.hh",            # set-index bit math on line numbers
+    "src/mem/rac.hh",              # set-index bit math on block numbers
+    "src/prof/profiler.cc",        # perf-baseline JSON exporter
+    "src/report/report.cc",        # CSV/latency-table exporter
+    "src/sim/resource.cc",         # utilization ratio
+    "src/trace/trace.cc",          # fixed-width binary trace header I/O
+}
+
+CAST_ESCAPE_RE = re.compile(
+    r"static_cast<\s*(?:const\s+)?(?:std::)?"
+    r"(?:u?int(?:8|16|32|64)_t|size_t|double|float|unsigned(?:\s+int)?|int|long)"
+    r"[^>]*>\s*\([^;,]*?(?:\.|->)value\(\)"
+)
+
+PARAM_FALLBACK_RE = re.compile(
+    r"(?:^|[(,])\s*((?:const\s+)?(?:std::)?"
+    r"(?:u?int(?:8|16|32|64)_t|size_t|unsigned(?:\s+int)?))\s*&?\s*"
+    r"([A-Za-z_]\w*)\s*(?=[,)])"
+)
+
+
+def dimension_of(name: str):
+    """The dimension a parameter name claims, or None."""
+    low = name.lower()
+    if "_per_" in low:
+        return None  # ratios are dimensionless
+    for suffix, strong in DIMENSIONS.items():
+        if low == suffix or low.endswith("_" + suffix):
+            return strong
+    return None
+
+
+def iter_sources(root: Path):
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix in (".hh", ".cc"):
+            yield path
+
+
+def strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+# ---- rule 1: bare-integer parameters ----------------------------------------
+
+
+def lint_params_regex(root: Path) -> list:
+    findings = []
+    for path in iter_sources(root):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("src/common/"):
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for m in PARAM_FALLBACK_RE.finditer(line):
+                name = m.group(2)
+                strong = dimension_of(name)
+                if strong is None:
+                    continue
+                findings.append(
+                    f"{rel}:{lineno}: bare-integer parameter '{name}' "
+                    f"({m.group(1).strip()}) names a dimensioned quantity — "
+                    f"use {strong}"
+                )
+    return findings
+
+
+def lint_params_libclang(root: Path, index, compdb) -> list:
+    from clang import cindex
+
+    findings = []
+    seen = set()
+    for entry in compdb:
+        src = Path(entry["file"])
+        try:
+            rel = src.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+        if not rel.startswith("src/") or rel.startswith("src/common/"):
+            continue
+        args = [a for a in entry["arguments"][1:] if a not in ("-c", "-o")]
+        tu = index.parse(str(src), args=args[:-1])
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != cindex.CursorKind.PARM_DECL:
+                continue
+            loc = cur.location
+            if loc.file is None or Path(loc.file.name).resolve() != src.resolve():
+                continue
+            canon = cur.type.get_canonical()
+            if canon.kind not in (
+                cindex.TypeKind.UINT, cindex.TypeKind.ULONG,
+                cindex.TypeKind.ULONGLONG, cindex.TypeKind.USHORT,
+                cindex.TypeKind.UCHAR, cindex.TypeKind.INT,
+                cindex.TypeKind.LONG, cindex.TypeKind.LONGLONG,
+            ):
+                continue
+            strong = dimension_of(cur.spelling or "")
+            if strong is None:
+                continue
+            key = (rel, loc.line, cur.spelling)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                f"{rel}:{loc.line}: bare-integer parameter '{cur.spelling}' "
+                f"({cur.type.spelling}) names a dimensioned quantity — "
+                f"use {strong}"
+            )
+    return findings
+
+
+# ---- rule 2: static_cast escapes --------------------------------------------
+
+
+def lint_cast_escapes(root: Path) -> list:
+    findings = []
+    for path in iter_sources(root):
+        rel = path.relative_to(root).as_posix()
+        if rel in CAST_BOUNDARY_FILES:
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if CAST_ESCAPE_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: static_cast escape from a strong type "
+                    f"outside the whitelisted boundary files — use a named "
+                    f"conversion, or add this file to CAST_BOUNDARY_FILES "
+                    f"with a reason"
+                )
+    return findings
+
+
+# ---- driver -----------------------------------------------------------------
+
+
+def load_libclang(root: Path):
+    """(index, compdb) when the AST front end is usable, else None."""
+    try:
+        from clang import cindex
+        index = cindex.Index.create()
+    except Exception:
+        return None
+    compdb_path = root / "build" / "compile_commands.json"
+    if not compdb_path.exists():
+        return None
+    with open(compdb_path) as fh:
+        compdb = json.load(fh)
+    if compdb and "arguments" not in compdb[0]:
+        return None  # "command"-style entries: fall back
+    return index, compdb
+
+
+def run(root: Path) -> list:
+    ast = load_libclang(root)
+    if ast is not None:
+        findings = lint_params_libclang(root, *ast)
+        mode = "libclang"
+    else:
+        findings = lint_params_regex(root)
+        mode = "regex fallback"
+    findings += lint_cast_escapes(root)
+    return findings, mode
+
+
+SELF_TEST_BAD = """
+namespace ascoma {
+void advance(std::uint64_t now_cycles, std::uint32_t home_node);
+void map_page(uint64_t page, std::size_t frame);
+inline double f(Cycle c) { return static_cast<double>(c.value()); }
+}
+"""
+
+
+def self_test(root: Path) -> int:
+    """The linter must reject a known-bad snippet (negative test for CI)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_root = Path(tmp)
+        (bad_root / "src" / "sim").mkdir(parents=True)
+        (bad_root / "src" / "sim" / "bad.hh").write_text(SELF_TEST_BAD)
+        findings = lint_params_regex(bad_root) + lint_cast_escapes(bad_root)
+    wanted = ["now_cycles", "home_node", "'page'", "'frame'", "static_cast escape"]
+    missing = [w for w in wanted if not any(w in f for f in findings)]
+    if missing:
+        print(f"lint_types: SELF-TEST FAILED — did not flag: {missing}")
+        for f in findings:
+            print(f"  (got) {f}")
+        return 1
+    print(f"lint_types: self-test OK ({len(findings)} findings on the bad "
+          f"snippet, all expected patterns flagged)")
+    return 0
+
+
+def main() -> int:
+    argv = [a for a in sys.argv[1:]]
+    if "--self-test" in argv:
+        argv.remove("--self-test")
+        root = Path(argv[0]) if argv else Path(__file__).parent.parent
+        return self_test(root)
+    if len(argv) > 1:
+        print(__doc__)
+        return 2
+    root = Path(argv[0]) if argv else Path(__file__).parent.parent
+    findings, mode = run(root)
+    for f in findings:
+        print(f"lint_types: {f}")
+    if findings:
+        print(f"lint_types: {len(findings)} finding(s) [{mode}]")
+        return 1
+    print(f"lint_types: OK [{mode}] (no bare-integer dimension parameters; "
+          f"no static_cast escapes outside boundary files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
