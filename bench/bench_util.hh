@@ -23,6 +23,7 @@
 #include "core/sweep.hh"
 #include "obs/export.hh"
 #include "report/report.hh"
+#include "selfprof/simspeed.hh"
 
 namespace ascoma::bench {
 
@@ -52,10 +53,9 @@ inline void maybe_export_csv(const std::string& workload,
   const bool fresh = !std::ifstream(path).good();
   std::ofstream csv(path, std::ios::app);
   if (!csv) return;
-  if (fresh) csv << report::csv_header() << '\n';
+  if (fresh) csv << report::csv_header_walltime() << '\n';
   for (const auto& r : rs)
-    csv << report::csv_row(workload, to_string(r.job.config.arch), r.result)
-        << '\n';
+    csv << report::csv_row(workload, to_string(r.job.config.arch), r) << '\n';
 }
 
 /// Accumulates sweep results and writes `BENCH_<name>.json` on destruction —
@@ -76,7 +76,8 @@ class BenchJson {
       const auto& tot = r.result.stats.totals;
       std::string row = "{\"label\":\"" + obs::json_escape(r.job.label) +
                         "\",\"workload\":\"" + obs::json_escape(workload) +
-                        "\",\"arch\":\"" + to_string(r.job.config.arch) +
+                        "\",\"arch\":\"" +
+                        obs::json_escape(to_string(r.job.config.arch)) +
                         "\",\"pressure_pct\":" +
                         std::to_string(static_cast<int>(
                             r.job.config.memory_pressure * 100.0 + 0.5)) +
@@ -103,6 +104,19 @@ class BenchJson {
              ",\"suppressed\":" + std::to_string(tot.kernel.remap_suppressed) +
              "}";
       rows_.push_back(std::move(row));
+
+      // Sim-rate telemetry rides along: one BENCH_simspeed.json row per
+      // sweep job (simulated work, host wall time, RSS, allocations).
+      selfprof::SimspeedRow sp;
+      sp.label = r.job.label;
+      sp.workload = workload;
+      sp.arch = to_string(r.job.config.arch);
+      sp.cycles = r.result.cycles().value();
+      sp.accesses = r.accesses();
+      sp.wall_ns = r.timing.wall.value();
+      sp.peak_rss_bytes = r.timing.peak_rss_bytes;
+      sp.allocs = r.timing.allocs;
+      simspeed_.rows.push_back(std::move(sp));
     }
   }
 
@@ -119,11 +133,19 @@ class BenchJson {
     for (std::size_t i = 0; i < rows_.size(); ++i)
       os << (i ? ",\n" : "\n") << rows_[i];
     os << "\n]}\n";
+    // The simspeed document is written per process (last bench binary into a
+    // shared dir wins) — ascoma_simspeed_diff joins rows by
+    // (label, workload, arch), and CI runs exactly one smoke bench.
+    simspeed_.bench = name_;
+    std::ofstream ss(dir + "/BENCH_simspeed.json", std::ios::trunc);
+    if (!ss) return;
+    selfprof::write_simspeed(ss, simspeed_);
   }
 
  private:
   std::string name_;
   std::vector<std::string> rows_;
+  selfprof::SimspeedDoc simspeed_;
 };
 
 /// The bar sets shown in Figures 2 and 3, per application.  S-COMA is only

@@ -1,18 +1,79 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <iostream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "common/check.hh"
+#include "selfprof/host.hh"
 #include "workload/workload.hh"
 
 namespace ascoma::core {
 
+namespace {
+
+std::string fmt_rate(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Median wall time over the sweep (mean of the middle two when even).
+selfprof::HostNs median_wall(const std::vector<SweepResult>& results) {
+  std::vector<selfprof::HostNs> walls;
+  walls.reserve(results.size());
+  for (const SweepResult& r : results) walls.push_back(r.timing.wall);
+  std::sort(walls.begin(), walls.end());
+  const std::size_t n = walls.size();
+  if (n == 0) return selfprof::HostNs{0};
+  if (n % 2 == 1) return walls[n / 2];
+  return (walls[n / 2 - 1] + walls[n / 2]) / 2;
+}
+
+}  // namespace
+
+std::uint64_t SweepResult::accesses() const {
+  return result.stats.totals.shared_loads + result.stats.totals.shared_stores;
+}
+
+double SweepResult::sim_rate_hz() const {
+  if (timing.wall.value() == 0) return 0.0;
+  return static_cast<double>(result.stats.parallel_cycles.value()) /
+         (static_cast<double>(timing.wall.value()) * 1e-9);
+}
+
+std::string progress_line(std::size_t done, std::size_t total,
+                          selfprof::HostNs wall, Cycle cycles_done) {
+  const double wall_s = static_cast<double>(wall.value()) * 1e-9;
+  const double rate =
+      wall_s > 0.0 ? static_cast<double>(cycles_done.value()) / wall_s : 0.0;
+  // Mean-job extrapolation; jobs are heterogeneous, so this is a coarse
+  // bound, not a promise (the straggler flag exists for a reason).
+  std::uint64_t eta_ms = 0;
+  if (done > 0 && total > done) {
+    const double per_job = wall_s / static_cast<double>(done);
+    eta_ms = static_cast<std::uint64_t>(
+        per_job * static_cast<double>(total - done) * 1e3);
+  }
+  std::ostringstream os;
+  os << "{\"sweep\":\"progress\",\"done\":" << done << ",\"total\":" << total
+     << ",\"wall_ms\":" << wall.value() / 1'000'000
+     << ",\"sim_cycles\":" << cycles_done
+     << ",\"sim_rate_hz\":" << fmt_rate(rate) << ",\"eta_ms\":" << eta_ms
+     << '}';
+  return os.str();
+}
+
 std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
-                                   unsigned threads) {
+                                   const SweepOptions& opts) {
+  unsigned threads = opts.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 4;
@@ -20,8 +81,14 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
   threads = std::min<unsigned>(threads, jobs.size() == 0 ? 1
                                         : static_cast<unsigned>(jobs.size()));
 
+  selfprof::HostClock* clock =
+      opts.clock != nullptr ? opts.clock : selfprof::default_clock();
+  const bool collect = opts.collect && selfprof::runtime_enabled();
+
   std::vector<SweepResult> results(jobs.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> cycles_done{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -36,7 +103,28 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
         ASCOMA_CHECK_MSG(wl != nullptr,
                          "unknown workload: " << jobs[i].workload);
         results[i].job = jobs[i];
-        results[i].result = simulate(jobs[i].config, *wl);
+        std::shared_ptr<selfprof::Collector> col;
+        if (collect) col = std::make_shared<selfprof::Collector>(clock);
+        const std::uint64_t allocs0 = selfprof::thread_alloc_count();
+        const selfprof::HostNs t0 = clock->now();
+        {
+          const selfprof::ScopedInstall install(col.get());
+          results[i].result = simulate(jobs[i].config, *wl);
+        }
+        const selfprof::HostNs t1 = clock->now();
+        results[i].timing.wall = t1 - t0;
+        results[i].timing.allocs = selfprof::thread_alloc_count() - allocs0;
+        results[i].timing.peak_rss_bytes = selfprof::peak_rss_bytes();
+        if (col) {
+          col->set_meta(jobs[i].workload, to_string(jobs[i].config.arch),
+                        jobs[i].config.memory_pressure);
+          col->set_sim(results[i].result.stats.parallel_cycles,
+                       results[i].accesses());
+          results[i].selfprof = std::move(col);
+        }
+        cycles_done.fetch_add(
+            results[i].result.stats.parallel_cycles.value());
+        done.fetch_add(1);
       } catch (...) {
         std::lock_guard<std::mutex> g(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -46,12 +134,82 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
     }
   };
 
+  // Progress heartbeat: one extra thread writing single-line JSON at the
+  // configured cadence; woken early at shutdown so the sweep never waits on
+  // a sleeping reporter.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool stop_heartbeat = false;
+  std::thread heartbeat;
+  const selfprof::HostNs sweep_t0 = clock->now();
+  if (opts.progress && !jobs.empty()) {
+    std::ostream* out =
+        opts.progress_out != nullptr ? opts.progress_out : &std::cerr;
+    const auto interval =
+        std::chrono::milliseconds(std::max<std::uint32_t>(
+            opts.progress_interval_ms, 1));
+    heartbeat = std::thread([&, out, interval] {
+      std::unique_lock<std::mutex> lk(hb_mu);
+      for (;;) {
+        if (hb_cv.wait_for(lk, interval, [&] { return stop_heartbeat; }))
+          break;
+        *out << progress_line(done.load(), jobs.size(),
+                              clock->now() - sweep_t0,
+                              Cycle{cycles_done.load()})
+             << std::endl;
+      }
+    });
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+
+  if (heartbeat.joinable()) {
+    {
+      std::lock_guard<std::mutex> g(hb_mu);
+      stop_heartbeat = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+    // Final line so a consumer always sees done == total (or the partial
+    // count when a job threw).
+    std::ostream* out =
+        opts.progress_out != nullptr ? opts.progress_out : &std::cerr;
+    *out << progress_line(done.load(), jobs.size(), clock->now() - sweep_t0,
+                          Cycle{cycles_done.load()})
+         << std::endl;
+  }
   if (first_error) std::rethrow_exception(first_error);
+
+  // Straggler pass: flag jobs whose wall time exceeded the configured
+  // multiple of the sweep median — the load-imbalance signal the sweep
+  // daemon (ROADMAP item 4) will act on.
+  if (opts.straggler_factor > 0.0 && results.size() >= 2) {
+    const selfprof::HostNs median = median_wall(results);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SweepResult& r = results[i];
+      if (static_cast<double>(r.timing.wall.value()) <=
+          opts.straggler_factor * static_cast<double>(median.value()))
+        continue;
+      r.timing.straggler = true;
+      if (opts.sink != nullptr)
+        opts.sink->emit(obs::EventKind::kSweepStraggler,
+                        r.result.stats.parallel_cycles, NodeId{0},
+                        kInvalidPage, r.timing.wall.value() / 1'000'000,
+                        median.value() / 1'000'000, i);
+    }
+  }
   return results;
+}
+
+std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
+                                   unsigned threads) {
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.straggler_factor = 0.0;  // legacy path: timing only, no analysis
+  return run_sweep(std::move(jobs), opts);
 }
 
 std::vector<SweepJob> paper_grid(const std::string& workload,

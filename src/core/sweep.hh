@@ -4,14 +4,27 @@
 // (architecture × memory pressure × workload) points; each point is an
 // independent single-threaded simulation, so the sweep fans them out over a
 // thread pool and returns results in submission order.
+//
+// Besides the RunResults themselves the sweep records a host-side timing
+// envelope per job (wall time, peak RSS, allocation count — the sim-rate
+// telemetry of ARCHITECTURE.md §14), can stream a single-line-JSON progress
+// heartbeat to stderr (`--progress` in the CLI; the seed of the sweep
+// daemon's status endpoint), and flags straggler jobs whose wall time
+// exceeded a configurable multiple of the sweep median, emitting a
+// kSweepStraggler event on the options' sink.
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "core/machine.hh"
+#include "obs/sink.hh"
+#include "selfprof/clock.hh"
+#include "selfprof/collector.hh"
 
 namespace ascoma::core {
 
@@ -22,16 +35,59 @@ struct SweepJob {
   double workload_scale = 1.0;
 };
 
+/// Host-side execution envelope of one job (always recorded: two clock reads
+/// and one /proc lookup per job, independent of the selfprof kill switch).
+struct SweepTiming {
+  selfprof::HostNs wall{0};        ///< host wall time of the simulate() call
+  std::uint64_t peak_rss_bytes = 0;///< process high-water RSS after the job
+  std::uint64_t allocs = 0;        ///< heap allocations on the job's thread
+  bool straggler = false;          ///< wall > straggler_factor × sweep median
+};
+
 struct SweepResult {
   SweepJob job;
   RunResult result;
+  SweepTiming timing;
+  /// Per-job attribution tree; non-null only when SweepOptions::collect was
+  /// set and the selfprof layer is enabled.
+  std::shared_ptr<selfprof::Collector> selfprof;
+
+  /// Simulated shared-memory accesses of the run (sim-rate denominator).
+  std::uint64_t accesses() const;
+  /// Simulated cycles per host wall second (0 when the wall time is 0).
+  double sim_rate_hz() const;
 };
 
-/// Runs all jobs on up to `threads` worker threads (0 = hardware
-/// concurrency).  Results are returned in job order.  A job whose workload
-/// name is unknown throws (after all threads join).
+struct SweepOptions {
+  unsigned threads = 0;            ///< 0 = hardware concurrency
+  bool progress = false;           ///< heartbeat JSON lines on progress_out
+  std::uint32_t progress_interval_ms = 1000;
+  std::ostream* progress_out = nullptr;  ///< nullptr = std::cerr
+  /// A job is a straggler when its wall time exceeds this multiple of the
+  /// sweep median (needs >= 2 jobs); 0 disables the check.
+  double straggler_factor = 3.0;
+  obs::EventSink* sink = nullptr;  ///< receives kSweepStraggler events
+  /// Install a selfprof::Collector around every job (SweepResult::selfprof).
+  bool collect = false;
+  selfprof::HostClock* clock = nullptr;  ///< injectable for tests
+};
+
+/// Runs all jobs on up to `opts.threads` worker threads.  Results are
+/// returned in job order.  A job whose workload name is unknown throws
+/// (after all threads join).
+std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
+                                   const SweepOptions& opts);
+
+/// Back-compat entry point: no progress, no straggler sink, no collectors.
 std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
                                    unsigned threads = 0);
+
+/// The heartbeat line run_sweep emits (exposed for tests and the future
+/// sweep daemon): single-line JSON, no trailing newline.  `wall` is the
+/// sweep's elapsed host time, `cycles_done` the simulated cycles completed
+/// so far; ETA extrapolates mean job wall time over the remainder.
+std::string progress_line(std::size_t done, std::size_t total,
+                          selfprof::HostNs wall, Cycle cycles_done);
 
 /// Convenience builder: the full paper grid for one workload — every
 /// architecture crossed with the given pressures (CC-NUMA once, since it is

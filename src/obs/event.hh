@@ -34,8 +34,11 @@ enum class EventKind : std::uint8_t {
   kRetry,            ///< requester retransmitted after loss (a=dst, b=attempt)
   kWatchdogTrip,     ///< forward-progress bound exceeded (a=elapsed,
                      ///<  b=retries, c=nacks); the run aborts after this
+  kSweepStraggler,   ///< sweep job's host wall time exceeded the straggler
+                     ///<  multiple of the sweep median (a=wall_ms,
+                     ///<  b=median_ms, c=job index); cycle = job end cycle
 };
-inline constexpr int kNumEventKinds = 17;
+inline constexpr int kNumEventKinds = 18;
 
 /// Short stable identifier ("page_fault", "upgrade", ...) used by exporters.
 const char* to_string(EventKind k);

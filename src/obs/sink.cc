@@ -23,6 +23,7 @@ const char* to_string(EventKind k) {
     case EventKind::kNack: return "nack";
     case EventKind::kRetry: return "retry";
     case EventKind::kWatchdogTrip: return "watchdog_trip";
+    case EventKind::kSweepStraggler: return "sweep_straggler";
   }
   return "?";
 }
@@ -48,6 +49,8 @@ const char* arg_name(EventKind k, int i) {
       return i == 0 ? "dst" : i == 1 ? "attempt" : nullptr;
     case EventKind::kWatchdogTrip:
       return i == 0 ? "elapsed" : i == 1 ? "retries" : "nacks";
+    case EventKind::kSweepStraggler:
+      return i == 0 ? "wall_ms" : i == 1 ? "median_ms" : "job";
     default:
       return nullptr;
   }

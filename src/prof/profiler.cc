@@ -183,6 +183,9 @@ void Profiler::on_event(const obs::Event& e) {
     case obs::EventKind::kWatchdogTrip:
       ++proto_.watchdog_trips;
       break;
+    case obs::EventKind::kSweepStraggler:
+      ++proto_.sweep_stragglers;
+      break;
   }
   // No default: -Wswitch (promoted by ASCOMA_WERROR) forces a fold for every
   // new EventKind; tools/lint_protocol.py checks the same property statically.

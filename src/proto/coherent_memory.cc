@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hh"
+#include "selfprof/collector.hh"
 
 namespace ascoma::proto {
 
@@ -292,6 +293,7 @@ void CoherentMemory::victim_writeback(std::uint32_t proc, LineId victim_line,
 CoherentMemory::Outcome CoherentMemory::access(std::uint32_t proc, Addr addr,
                                                bool is_store, Cycle now,
                                                bool background) {
+  const selfprof::SelfScope sps(selfprof::HostSite::kProtoAccess);
   background_ = background;
   cur_retries_ = 0;
   cur_nacks_ = 0;

@@ -162,4 +162,17 @@ std::string csv_row(const std::string& workload, const std::string& arch,
   return os.str();
 }
 
+std::string csv_header_walltime(bool with_latency) {
+  return csv_header(with_latency) + ",wall_ms,sim_rate";
+}
+
+std::string csv_row(const std::string& workload, const std::string& arch,
+                    const core::SweepResult& sr) {
+  std::ostringstream os;
+  os << csv_row(workload, arch, sr.result) << ','
+     << sr.timing.wall.value() / 1'000'000 << ','
+     << static_cast<std::uint64_t>(sr.sim_rate_hz());
+  return os.str();
+}
+
 }  // namespace ascoma::report

@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "core/machine.hh"
+#include "core/sweep.hh"
 #include "obs/sink.hh"
 #include "prof/profiler.hh"
 
@@ -66,5 +67,13 @@ std::string csv_row(const std::string& workload, const std::string& arch,
                     const core::RunResult& r);
 std::string csv_row(const std::string& workload, const std::string& arch,
                     const core::RunResult& r, const prof::Profiler& prof);
+
+/// Telemetry variants: the base (or latency) schema plus integer `wall_ms`
+/// and `sim_rate` (simulated cycles per host wall second, rounded down)
+/// columns.  Only the sweep-driven exports use these — the CLI's default
+/// schema stays byte-stable without them (the golden gate depends on it).
+std::string csv_header_walltime(bool with_latency = false);
+std::string csv_row(const std::string& workload, const std::string& arch,
+                    const core::SweepResult& sr);
 
 }  // namespace ascoma::report

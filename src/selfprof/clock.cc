@@ -1,0 +1,64 @@
+#include "selfprof/clock.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace ascoma::selfprof {
+
+HostNs SteadyClock::now() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return HostNs(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count()));
+}
+
+#if defined(__x86_64__)
+
+TscClock::TscClock() {
+  // Calibrate tick duration against steady_clock over a short busy window.
+  // The self-profiler only ever subtracts readings, so absolute offset is
+  // irrelevant; a ~200µs window gives ns_per_tick_ well under 1% error on
+  // any invariant-TSC part, which is far below scope-entry jitter.
+  const HostNs t0 = fallback_.now();
+  base_tsc_ = __rdtsc();
+  const HostNs target = t0 + HostNs(200'000);
+  while (fallback_.now() < target) {
+    // busy-wait: sleeping would let the calibration window stretch under
+    // scheduler noise and skew ns_per_tick_
+  }
+  const HostNs t1 = fallback_.now();
+  const std::uint64_t ticks = __rdtsc() - base_tsc_;
+  if (ticks > 0 && t1 > t0)
+    ns_per_tick_ =
+        static_cast<double>((t1 - t0).value()) / static_cast<double>(ticks);
+}
+
+HostNs TscClock::now() {
+  const std::uint64_t ticks = __rdtsc() - base_tsc_;
+  return HostNs(
+      static_cast<std::uint64_t>(static_cast<double>(ticks) * ns_per_tick_));
+}
+
+#else  // non-x86-64: rdtsc unavailable, behave as SteadyClock
+
+TscClock::TscClock() = default;
+
+HostNs TscClock::now() { return fallback_.now(); }
+
+#endif
+
+HostClock* default_clock() {
+  static const bool use_tsc = [] {
+    const char* v = std::getenv("ASCOMA_SELFPROF_TSC");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  static SteadyClock steady;
+  static TscClock tsc;
+  return use_tsc ? static_cast<HostClock*>(&tsc)
+                 : static_cast<HostClock*>(&steady);
+}
+
+}  // namespace ascoma::selfprof

@@ -1,0 +1,64 @@
+#pragma once
+
+// Host time for the self-profiler (src/selfprof/).
+//
+// Everything in src/ outside this directory measures *simulated* time in
+// `Cycle`s; the self-profiler measures the simulator's own execution in host
+// nanoseconds.  `HostNs` is a strong quantity of its own dimension so the two
+// clock domains cannot be mixed by accident (`Cycle + HostNs` is a compile
+// error), and tools/lint_types.py rejects bare-integer `*_ns` parameters the
+// same way it rejects bare `*_cycles`.
+//
+// The clock itself is an injectable interface: production code uses
+// `default_clock()` — std::chrono::steady_clock, or a calibrated rdtsc
+// reader on x86-64 when ASCOMA_SELFPROF_TSC=1 is set in the environment —
+// while tests install a hand-stepped FakeClock so timer-tree shapes and
+// attribution sums are deterministic.
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ascoma::selfprof {
+
+namespace dim {
+struct HostNsTag {
+  using rep = std::uint64_t;
+};
+}  // namespace dim
+
+/// Host wall-clock nanoseconds (the self-profiler's time dimension).
+using HostNs = StrongQuantity<dim::HostNsTag>;
+
+class HostClock {
+ public:
+  virtual ~HostClock() = default;
+  /// Monotonic host time.  Only differences are meaningful.
+  virtual HostNs now() = 0;
+};
+
+/// std::chrono::steady_clock-backed production clock.
+class SteadyClock final : public HostClock {
+ public:
+  HostNs now() override;
+};
+
+/// rdtsc-backed clock (x86-64 only): one `rdtsc` instead of a vDSO call per
+/// reading, calibrated against steady_clock at construction.  Falls back to
+/// SteadyClock behaviour on other architectures.
+class TscClock final : public HostClock {
+ public:
+  TscClock();
+  HostNs now() override;
+
+ private:
+  std::uint64_t base_tsc_ = 0;
+  double ns_per_tick_ = 1.0;
+  SteadyClock fallback_;
+};
+
+/// The process-wide production clock: a TscClock when ASCOMA_SELFPROF_TSC=1
+/// and the architecture supports it, else a SteadyClock.  Never null.
+HostClock* default_clock();
+
+}  // namespace ascoma::selfprof

@@ -1,0 +1,218 @@
+#include "selfprof/collector.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/export.hh"
+#include "selfprof/host.hh"
+
+namespace ascoma::selfprof {
+
+namespace detail {
+constinit thread_local Collector* t_current = nullptr;
+}  // namespace detail
+
+namespace {
+
+/// Shortest round-trippable representation of a double (JSON number).
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+double rate_hz(std::uint64_t events, HostNs wall) {
+  if (wall.value() == 0) return 0.0;
+  return static_cast<double>(events) /
+         (static_cast<double>(wall.value()) * 1e-9);
+}
+
+}  // namespace
+
+const char* to_string(HostSite s) {
+  switch (s) {
+    case HostSite::kRun: return "run";
+    case HostSite::kSchedPick: return "sched_pick";
+    case HostSite::kProtoAccess: return "proto_access";
+    case HostSite::kDirLookup: return "dir_lookup";
+    case HostSite::kNetDeliver: return "net_deliver";
+    case HostSite::kObsEmit: return "obs_emit";
+    case HostSite::kVmFault: return "vm_fault";
+    case HostSite::kVmKernel: return "vm_kernel";
+    case HostSite::kTableWalk: return "table_walk";
+  }
+  return "?";
+}
+
+bool runtime_enabled() {
+  if (!compiled_in()) return false;
+  static const bool enabled = [] {
+    const char* v = std::getenv("ASCOMA_SELFPROF");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+Collector::Collector(HostClock* clock)
+    : clock_(clock != nullptr ? clock : default_clock()) {
+  nodes_.push_back(TimerNode{});  // node 0: the kRun root
+  first_child_.push_back(-1);
+  next_sibling_.push_back(-1);
+}
+
+void Collector::set_meta(std::string workload, std::string arch,
+                         double pressure) {
+  workload_ = std::move(workload);
+  arch_ = std::move(arch);
+  pressure_ = pressure;
+}
+
+void Collector::set_sim(Cycle cycles, std::uint64_t accesses) {
+  sim_cycles_ = cycles;
+  accesses_ = accesses;
+}
+
+int Collector::push(HostSite site) {
+  for (int c = first_child_[static_cast<std::size_t>(cur_)]; c != -1;
+       c = next_sibling_[static_cast<std::size_t>(c)]) {
+    if (nodes_[static_cast<std::size_t>(c)].site == site) {
+      ++nodes_[static_cast<std::size_t>(c)].count;
+      cur_ = c;
+      return c;
+    }
+  }
+  const int n = static_cast<int>(nodes_.size());
+  TimerNode node;
+  node.site = site;
+  node.parent = cur_;
+  node.count = 1;
+  nodes_.push_back(node);
+  first_child_.push_back(-1);
+  next_sibling_.push_back(first_child_[static_cast<std::size_t>(cur_)]);
+  first_child_[static_cast<std::size_t>(cur_)] = n;
+  cur_ = n;
+  return n;
+}
+
+void Collector::pop(int node, HostNs elapsed) {
+  nodes_[static_cast<std::size_t>(node)].total += elapsed;
+  cur_ = nodes_[static_cast<std::size_t>(node)].parent;
+}
+
+HostNs Collector::total(HostSite site) const {
+  HostNs sum{0};
+  for (const TimerNode& n : nodes_)
+    if (n.site == site) sum += n.total;
+  return sum;
+}
+
+std::uint64_t Collector::count(HostSite site) const {
+  std::uint64_t sum = 0;
+  for (const TimerNode& n : nodes_)
+    if (n.site == site) sum += n.count;
+  return sum;
+}
+
+HostNs Collector::self_time(int node) const {
+  HostNs kids{0};
+  for (int c = first_child_[static_cast<std::size_t>(node)]; c != -1;
+       c = next_sibling_[static_cast<std::size_t>(c)])
+    kids += nodes_[static_cast<std::size_t>(c)].total;
+  const HostNs total = nodes_[static_cast<std::size_t>(node)].total;
+  return kids > total ? HostNs(0) : total - kids;
+}
+
+bool Collector::children_within_parent() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    HostNs kids{0};
+    for (int c = first_child_[i]; c != -1;
+         c = next_sibling_[static_cast<std::size_t>(c)])
+      kids += nodes_[static_cast<std::size_t>(c)].total;
+    if (kids > nodes_[i].total) return false;
+  }
+  return true;
+}
+
+void Collector::write_json(std::ostream& os) const {
+  const HostNs w = wall();
+  os << "{\"schema\":\"ascoma.selfprof/1\""
+     << ",\"workload\":\"" << obs::json_escape(workload_) << '"'
+     << ",\"arch\":\"" << obs::json_escape(arch_) << '"'
+     << ",\"pressure\":" << fmt_double(pressure_)
+     << ",\"sim_cycles\":" << sim_cycles_
+     << ",\"accesses\":" << accesses_
+     << ",\"wall_ns\":" << w
+     << ",\"sim_rate_hz\":" << fmt_double(rate_hz(sim_cycles_.value(), w))
+     << ",\"access_rate_hz\":" << fmt_double(rate_hz(accesses_, w))
+     << ",\"peak_rss_bytes\":" << peak_rss_
+     << ",\"allocs\":" << allocs_
+     << ",\"tree\":[";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TimerNode& n = nodes_[i];
+    if (i != 0) os << ',';
+    os << "{\"site\":\"" << to_string(n.site) << '"'
+       << ",\"parent\":" << n.parent
+       << ",\"count\":" << n.count
+       << ",\"total_ns\":" << n.total
+       << ",\"self_ns\":" << self_time(static_cast<int>(i)) << '}';
+  }
+  os << "]}\n";
+}
+
+std::string Collector::csv_header() {
+  return "node,site,parent,count,total_ns,self_ns";
+}
+
+void Collector::write_csv(std::ostream& os) const {
+  os << csv_header() << '\n';
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TimerNode& n = nodes_[i];
+    os << i << ',' << to_string(n.site) << ',' << n.parent << ',' << n.count
+       << ',' << n.total << ',' << self_time(static_cast<int>(i)) << '\n';
+  }
+}
+
+bool Collector::write_dir(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  {
+    std::ofstream js(std::filesystem::path(dir) / "selfprof.json");
+    if (!js) return false;
+    write_json(js);
+    if (!js) return false;
+  }
+  std::ofstream cs(std::filesystem::path(dir) / "selfprof.csv");
+  if (!cs) return false;
+  write_csv(cs);
+  return static_cast<bool>(cs);
+}
+
+#if ASCOMA_SELFPROF
+
+ScopedInstall::ScopedInstall(Collector* c)
+    : c_(runtime_enabled() ? c : nullptr), prev_(detail::t_current) {
+  if (c_ == nullptr) return;
+  detail::t_current = c_;
+  allocs0_ = thread_alloc_count();
+  start_ = c_->clock_->now();
+}
+
+ScopedInstall::~ScopedInstall() {
+  if (c_ == nullptr) return;
+  TimerNode& root = c_->nodes_[0];
+  root.total += c_->clock_->now() - start_;
+  ++root.count;
+  c_->allocs_ = thread_alloc_count() - allocs0_;
+  c_->peak_rss_ = peak_rss_bytes();
+  c_->cur_ = 0;
+  detail::t_current = prev_;
+}
+
+#endif
+
+}  // namespace ascoma::selfprof

@@ -1,0 +1,205 @@
+#pragma once
+
+// Host-execution self-profiler: scoped wall-time attribution for the
+// simulator's own hot paths (ARCHITECTURE.md §14).
+//
+// src/prof/ attributes *simulated* cycles of the modeled machine;
+// this layer attributes *host* nanoseconds of the simulator process.  The
+// named hot paths (scheduler pick loop, protocol dispatch, directory
+// lookups, network delivery, event-sink writes, VM fault handling, table
+// walks) are bracketed with the RAII `SelfScope`, which builds a
+// hierarchical timer tree keyed by dynamic nesting: a directory lookup
+// performed inside a protocol access is a child of that access's node, one
+// performed inside a page flush lands under the kernel path instead.
+//
+// Cost model:
+//   * no Collector installed (the default)  — one thread_local load and a
+//     branch per scope; simulated behaviour and the golden baselines are
+//     untouched (the profiler only ever reads the host clock);
+//   * compiled out (cmake -DASCOMA_SELFPROF=0, i.e. the ASCOMA_SELFPROF=0
+//     macro) — SelfScope/ScopedInstall are empty structs, zero code;
+//   * ASCOMA_SELFPROF=0 in the *environment* — runtime_enabled() is false
+//     and installation sites (CLI, run_sweep) skip the whole layer.
+//
+// Collectors are single-threaded like prof::Profiler: one Collector per
+// concurrently-running simulation, installed on the thread that runs it via
+// ScopedInstall (thread_local current-collector pointer).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "selfprof/clock.hh"
+
+#if !defined(ASCOMA_SELFPROF)
+#define ASCOMA_SELFPROF 1
+#endif
+
+namespace ascoma::selfprof {
+
+/// The instrumented host-side hot paths.  kRun is the implicit tree root
+/// covering the whole installed region.
+enum class HostSite : std::uint8_t {
+  kRun,         ///< root: everything between install and uninstall
+  kSchedPick,   ///< sim::Scheduler::pick() calls in the machine loop
+  kProtoAccess, ///< proto::CoherentMemory::access() — per-access dispatch
+  kDirLookup,   ///< proto::Directory::apply() — transition-table lookups
+  kNetDeliver,  ///< net::Network::try_deliver() — fabric traversal math
+  kObsEmit,     ///< obs event emission and gauge sampling
+  kVmFault,     ///< core::Machine::handle_fault() — mapping faults
+  kVmKernel,    ///< relocation / eviction / pageout-daemon kernel paths
+  kTableWalk,   ///< IdVector/second-chance table walks (victim scan,
+                ///< post-run invariant sweep)
+};
+inline constexpr int kNumHostSites = 9;
+
+/// Short stable identifier ("run", "sched_pick", ...) used by exporters.
+const char* to_string(HostSite s);
+
+/// True when the self-profiler was compiled in (ASCOMA_SELFPROF != 0 at
+/// build time).
+constexpr bool compiled_in() { return ASCOMA_SELFPROF != 0; }
+
+/// Runtime kill switch: false when the environment sets ASCOMA_SELFPROF=0
+/// (or the layer is compiled out).  Installation sites honour this; the
+/// scopes themselves only check for an installed collector.
+bool runtime_enabled();
+
+/// One node of the hierarchical timer tree.
+struct TimerNode {
+  HostSite site = HostSite::kRun;
+  int parent = -1;        ///< index into Collector::nodes(), -1 for the root
+  std::uint64_t count = 0;
+  HostNs total{0};        ///< inclusive wall time (children included)
+};
+
+class Collector {
+ public:
+  /// `clock` is non-owning; nullptr selects default_clock().
+  explicit Collector(HostClock* clock = nullptr);
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  // ---- run metadata / telemetry (stamped by the caller) --------------------
+  void set_meta(std::string workload, std::string arch, double pressure);
+  void set_sim(Cycle cycles, std::uint64_t accesses);
+
+  // ---- results -------------------------------------------------------------
+  /// Timer tree in creation (DFS-encounter) order; node 0 is the kRun root.
+  const std::vector<TimerNode>& nodes() const { return nodes_; }
+  /// Inclusive time / entry count summed over every node of `site`.
+  HostNs total(HostSite site) const;
+  std::uint64_t count(HostSite site) const;
+  /// Inclusive time minus the children's inclusive time (never negative —
+  /// clamped; a monotonic clock keeps it exact).
+  HostNs self_time(int node) const;
+  /// Invariant the tests and the JSON dump assert: for every node the
+  /// children's inclusive totals sum to at most the parent's.
+  bool children_within_parent() const;
+
+  HostNs wall() const { return nodes_[0].total; }
+  Cycle sim_cycles() const { return sim_cycles_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t peak_rss() const { return peak_rss_; }
+  std::uint64_t allocs() const { return allocs_; }
+
+  // ---- export --------------------------------------------------------------
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Header line of selfprof.csv (shared with tests).
+  static std::string csv_header();
+  /// Write selfprof.json + selfprof.csv into `dir` (created if missing).
+  /// Returns false on any I/O failure.
+  bool write_dir(const std::string& dir) const;
+
+ private:
+  friend class SelfScope;
+  friend class ScopedInstall;
+
+  /// Find-or-create the child of the current node with `site`, make it
+  /// current, and return its index.
+  int push(HostSite site);
+  void pop(int node, HostNs elapsed);
+
+  HostClock* clock_;
+  std::vector<TimerNode> nodes_;
+  std::vector<int> first_child_;   // parallel to nodes_
+  std::vector<int> next_sibling_;  // parallel to nodes_
+  int cur_ = 0;
+
+  std::string workload_;
+  std::string arch_;
+  double pressure_ = 0.0;
+  Cycle sim_cycles_{0};
+  std::uint64_t accesses_ = 0;
+  std::uint64_t peak_rss_ = 0;  // process high-water RSS bytes at uninstall
+  std::uint64_t allocs_ = 0;    // heap allocations on the installed thread
+};
+
+namespace detail {
+/// The collector installed on this thread.  constinit so the cross-TU read
+/// in SelfScope compiles to one direct TLS load instead of a thread-wrapper
+/// call — the whole disabled-cost budget of the layer hinges on this.
+extern constinit thread_local Collector* t_current;
+}  // namespace detail
+
+/// The collector installed on this thread (nullptr = profiling off).
+inline Collector* current() { return detail::t_current; }
+
+#if ASCOMA_SELFPROF
+
+/// RAII attribution scope.  Near-free when no collector is installed.
+class SelfScope {
+ public:
+  explicit SelfScope(HostSite site) : c_(current()) {
+    if (c_ == nullptr) return;
+    node_ = c_->push(site);
+    start_ = c_->clock_->now();
+  }
+  ~SelfScope() {
+    if (c_ != nullptr) c_->pop(node_, c_->clock_->now() - start_);
+  }
+  SelfScope(const SelfScope&) = delete;
+  SelfScope& operator=(const SelfScope&) = delete;
+
+ private:
+  Collector* c_;
+  int node_ = 0;
+  HostNs start_{0};
+};
+
+/// Installs `c` as this thread's current collector, times the whole install
+/// region into the kRun root, and snapshots the thread's allocation counter
+/// and the process peak RSS on uninstall.  Honours runtime_enabled().
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Collector* c);
+  ~ScopedInstall();
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+ private:
+  Collector* c_;
+  Collector* prev_;
+  HostNs start_{0};
+  std::uint64_t allocs0_ = 0;
+};
+
+#else  // ASCOMA_SELFPROF == 0: compiled to nothing
+
+class SelfScope {
+ public:
+  explicit SelfScope(HostSite) {}
+};
+
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Collector*) {}
+};
+
+#endif
+
+}  // namespace ascoma::selfprof

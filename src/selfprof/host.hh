@@ -1,0 +1,30 @@
+#pragma once
+
+// Process-level host telemetry for the self-profiler: peak resident set and
+// a per-thread heap-allocation counter.
+//
+// The allocation counter is fed by replacement `operator new/delete`
+// implementations in host.cc (compiled in together with the rest of
+// src/selfprof/ and disabled automatically under ASan/TSan, whose runtimes
+// own the allocator).  Each allocation costs one thread_local increment on
+// top of malloc, so the hook stays resident even in default builds.
+
+#include <cstdint>
+
+namespace ascoma::selfprof {
+
+/// Process high-water resident set size in bytes (VmHWM from
+/// /proc/self/status, getrusage(RUSAGE_SELF) otherwise).  0 when neither
+/// source is available.
+std::uint64_t peak_rss_bytes();
+
+/// Number of heap allocations performed by the calling thread since it
+/// started.  Monotonic; callers diff two readings to attribute allocations
+/// to a region.  Always 0 when the counting hook is compiled out
+/// (ASCOMA_SELFPROF=0 or a sanitizer build).
+std::uint64_t thread_alloc_count();
+
+/// True when the operator-new counting hook is active in this build.
+bool alloc_hook_active();
+
+}  // namespace ascoma::selfprof

@@ -1,0 +1,414 @@
+#include "selfprof/simspeed.hh"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/export.hh"
+
+namespace ascoma::selfprof {
+
+namespace {
+
+double rate(std::uint64_t events, std::uint64_t wall) {
+  if (wall == 0) return 0.0;
+  return static_cast<double>(events) / (static_cast<double>(wall) * 1e-9);
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+// ---- minimal JSON reader ----------------------------------------------------
+// Just enough grammar for the documents write_simspeed emits: one object of
+// scalars plus one array of flat objects.  Unknown keys are skipped so the
+// schema can grow fields without breaking older diff binaries.
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string err;
+
+  bool failed() const { return !err.empty(); }
+  void fail(const std::string& what) {
+    if (err.empty()) err = what + " at offset " + std::to_string(i);
+  }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string& out) {
+    out.clear();
+    if (!eat('"')) return false;
+    while (i < s.size() && s[i] != '"') {
+      char ch = s[i];
+      if (ch == '\\') {
+        if (i + 1 >= s.size()) break;
+        const char esc = s[i + 1];
+        i += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 > s.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i + static_cast<std::size_t>(k)];
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            i += 4;
+            // json_escape only \u-escapes control characters (< 0x20), so a
+            // single byte suffices; anything wider is replaced.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return false;
+        }
+        continue;
+      }
+      out += ch;
+      ++i;
+    }
+    return eat('"');
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || (s[i] >= '0' && s[i] <= '9')))
+      ++i;
+    if (i == start) {
+      fail("expected number");
+      return false;
+    }
+    try {
+      out = std::stod(s.substr(start, i - start));
+    } catch (...) {
+      fail("bad number");
+      return false;
+    }
+    return true;
+  }
+
+  /// Skip any scalar value (string, number, literal).  Containers are not
+  /// expected in unknown positions.
+  bool skip_value() {
+    skip_ws();
+    if (peek('"')) {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (i < s.size() && (s[i] == 't' || s[i] == 'f' || s[i] == 'n')) {
+      while (i < s.size() && s[i] >= 'a' && s[i] <= 'z') ++i;
+      return true;
+    }
+    double ignored = 0;
+    return parse_number(ignored);
+  }
+};
+
+std::uint64_t to_u64(double v) {
+  if (v <= 0 || std::isnan(v)) return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+bool parse_row(Cursor& c, SimspeedRow& row) {
+  if (!c.eat('{')) return false;
+  if (c.peek('}')) return c.eat('}');
+  do {
+    std::string key;
+    if (!c.parse_string(key) || !c.eat(':')) return false;
+    double num = 0;
+    if (key == "label") {
+      if (!c.parse_string(row.label)) return false;
+    } else if (key == "workload") {
+      if (!c.parse_string(row.workload)) return false;
+    } else if (key == "arch") {
+      if (!c.parse_string(row.arch)) return false;
+    } else if (key == "cycles") {
+      if (!c.parse_number(num)) return false;
+      row.cycles = to_u64(num);
+    } else if (key == "accesses") {
+      if (!c.parse_number(num)) return false;
+      row.accesses = to_u64(num);
+    } else if (key == "wall_ns") {
+      if (!c.parse_number(num)) return false;
+      row.wall_ns = to_u64(num);
+    } else if (key == "peak_rss_bytes") {
+      if (!c.parse_number(num)) return false;
+      row.peak_rss_bytes = to_u64(num);
+    } else if (key == "allocs") {
+      if (!c.parse_number(num)) return false;
+      row.allocs = to_u64(num);
+    } else {
+      if (!c.skip_value()) return false;  // e.g. the derived sim_rate_hz
+    }
+  } while (c.peek(',') && c.eat(','));
+  return c.eat('}');
+}
+
+std::string join_key(const SimspeedRow& r) {
+  return r.label + '\x1f' + r.workload + '\x1f' + r.arch;
+}
+
+}  // namespace
+
+double SimspeedRow::sim_rate_hz() const { return rate(cycles, wall_ns); }
+double SimspeedRow::access_rate_hz() const { return rate(accesses, wall_ns); }
+
+void write_simspeed(std::ostream& os, const SimspeedDoc& doc) {
+  os << "{\"schema\":\"" << kSimspeedSchema << "\",\"bench\":\""
+     << obs::json_escape(doc.bench) << "\",\"rows\":[";
+  bool first = true;
+  for (const SimspeedRow& r : doc.rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"label\":\"" << obs::json_escape(r.label) << '"'
+       << ",\"workload\":\"" << obs::json_escape(r.workload) << '"'
+       << ",\"arch\":\"" << obs::json_escape(r.arch) << '"'
+       << ",\"cycles\":" << r.cycles
+       << ",\"accesses\":" << r.accesses
+       << ",\"wall_ns\":" << r.wall_ns
+       << ",\"sim_rate_hz\":" << fmt_double(r.sim_rate_hz())
+       << ",\"peak_rss_bytes\":" << r.peak_rss_bytes
+       << ",\"allocs\":" << r.allocs << '}';
+  }
+  os << "]}\n";
+}
+
+bool parse_simspeed(const std::string& text, SimspeedDoc& doc,
+                    std::string& error) {
+  doc = SimspeedDoc{};
+  Cursor c{text, 0, {}};
+  bool schema_seen = false;
+  if (!c.eat('{')) {
+    error = c.err;
+    return false;
+  }
+  do {
+    std::string key;
+    if (!c.parse_string(key) || !c.eat(':')) {
+      error = c.err;
+      return false;
+    }
+    if (key == "schema") {
+      std::string schema;
+      if (!c.parse_string(schema)) {
+        error = c.err;
+        return false;
+      }
+      if (schema != kSimspeedSchema) {
+        error = "unsupported schema '" + schema + "'";
+        return false;
+      }
+      schema_seen = true;
+    } else if (key == "bench") {
+      if (!c.parse_string(doc.bench)) {
+        error = c.err;
+        return false;
+      }
+    } else if (key == "rows") {
+      if (!c.eat('[')) {
+        error = c.err;
+        return false;
+      }
+      if (!c.peek(']')) {
+        do {
+          SimspeedRow row;
+          if (!parse_row(c, row)) {
+            error = c.err.empty() ? "malformed row" : c.err;
+            return false;
+          }
+          doc.rows.push_back(std::move(row));
+        } while (c.peek(',') && c.eat(','));
+      }
+      if (!c.eat(']')) {
+        error = c.err;
+        return false;
+      }
+    } else {
+      if (!c.skip_value()) {
+        error = c.err;
+        return false;
+      }
+    }
+  } while (c.peek(',') && c.eat(','));
+  if (!c.eat('}')) {
+    error = c.err;
+    return false;
+  }
+  if (!schema_seen) {
+    error = "missing schema field";
+    return false;
+  }
+  return true;
+}
+
+std::size_t SpeedDiffReport::regressions() const {
+  std::size_t n = 0;
+  for (const SpeedFinding& f : findings)
+    if (f.is_regression()) ++n;
+  return n;
+}
+
+SpeedDiffReport diff_simspeed(const SimspeedDoc& baseline,
+                              const SimspeedDoc& candidate,
+                              const SpeedDiffOptions& opts) {
+  SpeedDiffReport rep;
+  auto emit = [&](SpeedFinding::Kind kind, const SimspeedRow& r, double base,
+                  double cand) {
+    SpeedFinding f;
+    f.kind = kind;
+    f.label = r.label;
+    f.workload = r.workload;
+    f.arch = r.arch;
+    f.base_value = base;
+    f.cand_value = cand;
+    f.ratio = base != 0.0 ? cand / base : 0.0;
+    rep.findings.push_back(std::move(f));
+  };
+
+  const std::uint64_t min_wall_ns = opts.min_wall_ms * 1'000'000;
+  for (const SimspeedRow& base : baseline.rows) {
+    const SimspeedRow* cand = nullptr;
+    for (const SimspeedRow& c : candidate.rows)
+      if (join_key(c) == join_key(base)) {
+        cand = &c;
+        break;
+      }
+    if (cand == nullptr) {
+      emit(SpeedFinding::Kind::kRowVanished, base, base.sim_rate_hz(), 0.0);
+      continue;
+    }
+    ++rep.rows_compared;
+    if (base.cycles != cand->cycles)
+      emit(SpeedFinding::Kind::kCyclesChanged, base,
+           static_cast<double>(base.cycles),
+           static_cast<double>(cand->cycles));
+    const bool long_enough =
+        base.wall_ns >= min_wall_ns && cand->wall_ns >= min_wall_ns;
+    if (long_enough && base.sim_rate_hz() > 0.0 &&
+        cand->sim_rate_hz() < base.sim_rate_hz() * (1.0 - opts.rate_tol))
+      emit(SpeedFinding::Kind::kRateRegression, base, base.sim_rate_hz(),
+           cand->sim_rate_hz());
+    if (base.peak_rss_bytes > 0 &&
+        static_cast<double>(cand->peak_rss_bytes) >
+            static_cast<double>(base.peak_rss_bytes) * (1.0 + opts.rss_tol))
+      emit(SpeedFinding::Kind::kRssRegression, base,
+           static_cast<double>(base.peak_rss_bytes),
+           static_cast<double>(cand->peak_rss_bytes));
+    if (base.allocs > 0 &&
+        static_cast<double>(cand->allocs) >
+            static_cast<double>(base.allocs) * (1.0 + opts.allocs_tol))
+      emit(SpeedFinding::Kind::kAllocRegression, base,
+           static_cast<double>(base.allocs),
+           static_cast<double>(cand->allocs));
+  }
+  for (const SimspeedRow& cand : candidate.rows) {
+    bool in_base = false;
+    for (const SimspeedRow& b : baseline.rows)
+      if (join_key(b) == join_key(cand)) {
+        in_base = true;
+        break;
+      }
+    if (!in_base)
+      emit(SpeedFinding::Kind::kRowAppeared, cand, 0.0, cand.sim_rate_hz());
+  }
+  return rep;
+}
+
+SpeedDiffReport diff_simspeed_files(const std::string& baseline_path,
+                                    const std::string& candidate_path,
+                                    const SpeedDiffOptions& opts) {
+  SpeedDiffReport rep;
+  auto load = [&](const std::string& path, SimspeedDoc& doc) {
+    std::ifstream in(path);
+    if (!in) {
+      rep.error = "cannot open " + path;
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    if (!parse_simspeed(text.str(), doc, err)) {
+      rep.error = path + ": " + err;
+      return false;
+    }
+    return true;
+  };
+  SimspeedDoc base, cand;
+  if (!load(baseline_path, base) || !load(candidate_path, cand)) return rep;
+  return diff_simspeed(base, cand, opts);
+}
+
+void write_speed_report(std::ostream& os, const SpeedDiffReport& report,
+                        const SpeedDiffOptions& opts) {
+  if (!report.ok()) {
+    os << "error: " << report.error << '\n';
+    return;
+  }
+  for (const SpeedFinding& f : report.findings) {
+    const char* what = "?";
+    switch (f.kind) {
+      case SpeedFinding::Kind::kRateRegression: what = "SIM-RATE"; break;
+      case SpeedFinding::Kind::kRssRegression: what = "PEAK-RSS"; break;
+      case SpeedFinding::Kind::kAllocRegression: what = "ALLOCS"; break;
+      case SpeedFinding::Kind::kCyclesChanged: what = "cycles-changed"; break;
+      case SpeedFinding::Kind::kRowVanished: what = "row-vanished"; break;
+      case SpeedFinding::Kind::kRowAppeared: what = "row-appeared"; break;
+    }
+    os << (f.is_regression() ? "REGRESSION " : "info       ") << what << ' '
+       << f.label << '/' << f.workload << '/' << f.arch << ' ' << f.base_value
+       << " -> " << f.cand_value;
+    if (f.ratio != 0.0) os << " (x" << f.ratio << ')';
+    os << '\n';
+  }
+  os << report.rows_compared << " rows compared, " << report.regressions()
+     << " regressions (rate_tol " << opts.rate_tol << ", rss_tol "
+     << opts.rss_tol << ", allocs_tol " << opts.allocs_tol << ", min_wall "
+     << opts.min_wall_ms << "ms)\n";
+}
+
+}  // namespace ascoma::selfprof

@@ -1,0 +1,119 @@
+#pragma once
+
+// Sim-rate telemetry documents: the `BENCH_simspeed.json` format emitted by
+// the sweep benches and the CLI, plus the comparison logic behind
+// tools/ascoma_simspeed_diff (same exit-code contract as ascoma_prof_diff:
+// 0 ok, 1 regression, 2 unreadable/malformed — CI gates on it directly).
+//
+// A row captures one sweep job's simulation-speed envelope: simulated cycles
+// and shared-memory accesses, host wall nanoseconds, the derived sim-rate
+// (simulated cycles per wall second), process peak RSS, and the number of
+// heap allocations attributed to the job.  Rows are joined on
+// (label, workload, arch).
+//
+// Wall time is the one cross-machine-noisy axis, so the gate is deliberately
+// generous where prof's latency gate is tight: a row only regresses when its
+// sim-rate *dropped* by more than `rate_tol` (relative) AND the row ran for
+// at least `min_wall_ms` on both sides (sub-threshold rows are noise).  RSS
+// and allocation-count growth use their own tolerances; allocation counts
+// are deterministic per build, RSS nearly so.  Simulated-cycle mismatches
+// are reported as informational only — bit-identity is golden_default_run's
+// job, not this gate's.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "selfprof/clock.hh"
+
+namespace ascoma::selfprof {
+
+inline constexpr const char* kSimspeedSchema = "ascoma.simspeed/1";
+
+/// One sweep job's speed envelope.
+struct SimspeedRow {
+  std::string label;
+  std::string workload;
+  std::string arch;
+  std::uint64_t cycles = 0;    ///< simulated cycles
+  std::uint64_t accesses = 0;  ///< simulated shared-memory accesses
+  std::uint64_t wall_ns = 0;   ///< host wall time for the job
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t allocs = 0;
+
+  /// Simulated cycles per host wall second (0 when wall_ns is 0).
+  double sim_rate_hz() const;
+  /// Simulated accesses per host wall second (0 when wall_ns is 0).
+  double access_rate_hz() const;
+};
+
+/// A whole BENCH_simspeed.json document.
+struct SimspeedDoc {
+  std::string bench;  ///< producing bench/CLI name, e.g. "table1_overhead"
+  std::vector<SimspeedRow> rows;
+};
+
+/// Serialize `doc` as single-line JSON (schema ascoma.simspeed/1).  All
+/// caller-supplied strings pass through obs::json_escape.
+void write_simspeed(std::ostream& os, const SimspeedDoc& doc);
+
+/// Parse a document produced by write_simspeed (tolerant of whitespace and
+/// key order).  Returns false and sets `error` on malformed input.
+bool parse_simspeed(const std::string& text, SimspeedDoc& doc,
+                    std::string& error);
+
+struct SpeedDiffOptions {
+  double rate_tol = 0.25;        ///< relative sim-rate drop that fails
+  double rss_tol = 0.50;         ///< relative peak-RSS growth that fails
+  double allocs_tol = 0.25;      ///< relative allocation-count growth
+  std::uint64_t min_wall_ms = 50;///< both sides must run at least this long
+};
+
+struct SpeedFinding {
+  enum class Kind : std::uint8_t {
+    kRateRegression,   ///< sim-rate dropped beyond rate_tol
+    kRssRegression,    ///< peak RSS grew beyond rss_tol
+    kAllocRegression,  ///< allocation count grew beyond allocs_tol
+    kCyclesChanged,    ///< informational: simulated work itself changed
+    kRowVanished,      ///< informational: row in baseline only
+    kRowAppeared,      ///< informational: row in candidate only
+  };
+  Kind kind;
+  std::string label;
+  std::string workload;
+  std::string arch;
+  double base_value = 0.0;
+  double cand_value = 0.0;
+  double ratio = 0.0;  ///< cand / base
+
+  bool is_regression() const {
+    return kind == Kind::kRateRegression || kind == Kind::kRssRegression ||
+           kind == Kind::kAllocRegression;
+  }
+};
+
+struct SpeedDiffReport {
+  std::vector<SpeedFinding> findings;
+  std::size_t rows_compared = 0;
+  std::string error;  ///< non-empty when a document could not be parsed
+
+  bool ok() const { return error.empty(); }
+  std::size_t regressions() const;
+};
+
+/// Load both JSON files and compare.
+SpeedDiffReport diff_simspeed_files(const std::string& baseline_path,
+                                    const std::string& candidate_path,
+                                    const SpeedDiffOptions& opts = {});
+
+/// Compare already-parsed documents (unit-test entry point).
+SpeedDiffReport diff_simspeed(const SimspeedDoc& baseline,
+                              const SimspeedDoc& candidate,
+                              const SpeedDiffOptions& opts = {});
+
+/// Human-readable report; one line per finding plus a verdict line.
+void write_speed_report(std::ostream& os, const SpeedDiffReport& report,
+                        const SpeedDiffOptions& opts);
+
+}  // namespace ascoma::selfprof

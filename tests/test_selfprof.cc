@@ -1,0 +1,500 @@
+// Host-side self-profiler tests (ARCHITECTURE.md §14): timer-tree shape and
+// attribution under a deterministic fake clock, the disabled/no-op paths,
+// the BENCH_simspeed.json schema round trip, the ascoma_simspeed_diff
+// comparison semantics behind the tool's 0/1/2 exit-code contract, and the
+// sweep runner's timing / progress / straggler telemetry.
+
+#include "selfprof/collector.hh"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "obs/sink.hh"
+#include "selfprof/host.hh"
+#include "selfprof/simspeed.hh"
+
+namespace ascoma::selfprof {
+namespace {
+
+/// Manually-advanced clock: now() returns the current value without side
+/// effects, so every scope's elapsed time is exactly what the test advanced.
+class ManualClock final : public HostClock {
+ public:
+  HostNs now() override { return t_; }
+  void advance(std::uint64_t ns) { t_ += HostNs{ns}; }
+
+ private:
+  HostNs t_{0};
+};
+
+/// Scripted clock: now() replays a fixed value sequence (sticky on the last
+/// entry), making multi-call consumers like run_sweep deterministic.
+class ScriptedClock final : public HostClock {
+ public:
+  explicit ScriptedClock(std::vector<std::uint64_t> values)
+      : values_(std::move(values)) {}
+  HostNs now() override {
+    const std::size_t i = pos_ < values_.size() ? pos_++ : values_.size() - 1;
+    return HostNs{values_[i]};
+  }
+
+ private:
+  std::vector<std::uint64_t> values_;
+  std::size_t pos_ = 0;
+};
+
+bool tree_has(const Collector& col, HostSite site, int parent) {
+  for (const TimerNode& n : col.nodes())
+    if (n.site == site && n.parent == parent) return true;
+  return false;
+}
+
+int node_index(const Collector& col, HostSite site) {
+  for (std::size_t i = 0; i < col.nodes().size(); ++i)
+    if (col.nodes()[i].site == site) return static_cast<int>(i);
+  return -1;
+}
+
+TEST(SelfProf, ToStringCoversAllSites) {
+  for (int s = 0; s < kNumHostSites; ++s) {
+    const char* name = to_string(static_cast<HostSite>(s));
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::string(name), "");
+  }
+}
+
+TEST(SelfProf, TreeShapeAndAttribution) {
+  if (!runtime_enabled()) GTEST_SKIP() << "selfprof disabled";
+  ManualClock clk;
+  Collector col(&clk);
+  {
+    const ScopedInstall install(&col);
+    {
+      const SelfScope proto(HostSite::kProtoAccess);
+      clk.advance(10);
+      {
+        const SelfScope dir(HostSite::kDirLookup);
+        clk.advance(5);
+      }
+    }
+    {
+      const SelfScope proto(HostSite::kProtoAccess);
+      clk.advance(3);
+    }
+    {
+      const SelfScope net(HostSite::kNetDeliver);
+      clk.advance(7);
+    }
+  }
+  // Root covers the whole installed region.
+  EXPECT_EQ(col.wall(), HostNs{25});
+  EXPECT_EQ(col.nodes()[0].site, HostSite::kRun);
+  EXPECT_EQ(col.nodes()[0].count, 1u);
+  // Same site re-entered under the same parent reuses its node.
+  EXPECT_EQ(col.count(HostSite::kProtoAccess), 2u);
+  EXPECT_EQ(col.total(HostSite::kProtoAccess), HostNs{18});
+  // The directory lookup nests under the protocol access, not the root.
+  EXPECT_TRUE(tree_has(col, HostSite::kDirLookup,
+                       node_index(col, HostSite::kProtoAccess)));
+  EXPECT_EQ(col.total(HostSite::kDirLookup), HostNs{5});
+  EXPECT_EQ(col.total(HostSite::kNetDeliver), HostNs{7});
+  // Self time excludes children.
+  EXPECT_EQ(col.self_time(node_index(col, HostSite::kProtoAccess)),
+            HostNs{13});
+  // Attribution invariant: children sum within every parent.
+  EXPECT_TRUE(col.children_within_parent());
+}
+
+TEST(SelfProf, SameSiteUnderDifferentParentsGetsDistinctNodes) {
+  if (!runtime_enabled()) GTEST_SKIP() << "selfprof disabled";
+  ManualClock clk;
+  Collector col(&clk);
+  {
+    const ScopedInstall install(&col);
+    {
+      const SelfScope kernel(HostSite::kVmKernel);
+      const SelfScope walk(HostSite::kTableWalk);
+      clk.advance(4);
+    }
+    {
+      const SelfScope walk(HostSite::kTableWalk);
+      clk.advance(2);
+    }
+  }
+  // One table-walk node under the kernel path, one under the root.
+  EXPECT_TRUE(tree_has(col, HostSite::kTableWalk,
+                       node_index(col, HostSite::kVmKernel)));
+  EXPECT_TRUE(tree_has(col, HostSite::kTableWalk, 0));
+  EXPECT_EQ(col.count(HostSite::kTableWalk), 2u);
+  EXPECT_EQ(col.total(HostSite::kTableWalk), HostNs{6});
+  EXPECT_TRUE(col.children_within_parent());
+}
+
+TEST(SelfProf, NoCollectorScopesAreNoOps) {
+  EXPECT_EQ(current(), nullptr);
+  {
+    const SelfScope s(HostSite::kProtoAccess);
+    EXPECT_EQ(current(), nullptr);
+  }
+  // Installing a null collector is equally inert.
+  const ScopedInstall install(nullptr);
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(SelfProf, UninstallRestoresPreviousCollector) {
+  if (!runtime_enabled()) GTEST_SKIP() << "selfprof disabled";
+  ManualClock clk;
+  Collector outer(&clk);
+  Collector inner(&clk);
+  {
+    const ScopedInstall a(&outer);
+    EXPECT_EQ(current(), &outer);
+    {
+      const ScopedInstall b(&inner);
+      EXPECT_EQ(current(), &inner);
+    }
+    EXPECT_EQ(current(), &outer);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(SelfProf, JsonAndCsvDumps) {
+  if (!runtime_enabled()) GTEST_SKIP() << "selfprof disabled";
+  ManualClock clk;
+  Collector col(&clk);
+  {
+    const ScopedInstall install(&col);
+    const SelfScope s(HostSite::kSchedPick);
+    clk.advance(3);
+  }
+  col.set_meta("em3d", "ASCOMA", 0.7);
+  col.set_sim(Cycle{1000}, 50);
+  std::ostringstream js;
+  col.write_json(js);
+  EXPECT_NE(js.str().find("\"schema\":\"ascoma.selfprof/1\""),
+            std::string::npos);
+  EXPECT_NE(js.str().find("\"workload\":\"em3d\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"sched_pick\""), std::string::npos);
+  std::ostringstream cs;
+  col.write_csv(cs);
+  EXPECT_EQ(cs.str().substr(0, Collector::csv_header().size()),
+            Collector::csv_header());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ascoma_selfprof_test";
+  std::filesystem::remove_all(dir);
+  EXPECT_TRUE(col.write_dir(dir.string()));
+  EXPECT_TRUE(std::filesystem::exists(dir / "selfprof.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "selfprof.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SelfProfHost, AllocCounterAndPeakRss) {
+  EXPECT_GT(peak_rss_bytes(), 0u);
+  if (!alloc_hook_active()) GTEST_SKIP() << "alloc hook compiled out";
+  // A plain new-expression here could legally be elided at -O2; the direct
+  // operator-new call cannot, so it reliably reaches the counting hook.
+  const std::uint64_t before = thread_alloc_count();
+  void* p = ::operator new(64);
+  const std::uint64_t after = thread_alloc_count();
+  ::operator delete(p);
+  EXPECT_GT(after, before);
+}
+
+// ---- BENCH_simspeed.json schema ---------------------------------------------
+
+SimspeedDoc sample_doc() {
+  SimspeedDoc doc;
+  doc.bench = "table1_overhead";
+  SimspeedRow a;
+  a.label = "ASCOMA(70%)";
+  a.workload = "em3d";
+  a.arch = "ASCOMA";
+  a.cycles = 1'000'000;
+  a.accesses = 80'000;
+  a.wall_ns = 200'000'000;  // 200 ms
+  a.peak_rss_bytes = 16 << 20;
+  a.allocs = 1000;
+  SimspeedRow b = a;
+  b.label = "CCNUMA";
+  b.arch = "CCNUMA";
+  b.cycles = 1'600'000;
+  doc.rows = {a, b};
+  return doc;
+}
+
+TEST(Simspeed, WriteParseRoundTrip) {
+  const SimspeedDoc doc = sample_doc();
+  std::ostringstream os;
+  write_simspeed(os, doc);
+  EXPECT_NE(os.str().find("\"schema\":\"ascoma.simspeed/1\""),
+            std::string::npos);
+
+  SimspeedDoc back;
+  std::string error;
+  ASSERT_TRUE(parse_simspeed(os.str(), back, error)) << error;
+  EXPECT_EQ(back.bench, doc.bench);
+  ASSERT_EQ(back.rows.size(), doc.rows.size());
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    EXPECT_EQ(back.rows[i].label, doc.rows[i].label);
+    EXPECT_EQ(back.rows[i].workload, doc.rows[i].workload);
+    EXPECT_EQ(back.rows[i].arch, doc.rows[i].arch);
+    EXPECT_EQ(back.rows[i].cycles, doc.rows[i].cycles);
+    EXPECT_EQ(back.rows[i].accesses, doc.rows[i].accesses);
+    EXPECT_EQ(back.rows[i].wall_ns, doc.rows[i].wall_ns);
+    EXPECT_EQ(back.rows[i].peak_rss_bytes, doc.rows[i].peak_rss_bytes);
+    EXPECT_EQ(back.rows[i].allocs, doc.rows[i].allocs);
+  }
+}
+
+TEST(Simspeed, EscapedStringsRoundTrip) {
+  SimspeedDoc doc = sample_doc();
+  doc.bench = "quote\"back\\slash";
+  doc.rows[0].label = "line\nbreak\ttab";
+  std::ostringstream os;
+  write_simspeed(os, doc);
+  SimspeedDoc back;
+  std::string error;
+  ASSERT_TRUE(parse_simspeed(os.str(), back, error)) << error;
+  EXPECT_EQ(back.bench, doc.bench);
+  EXPECT_EQ(back.rows[0].label, doc.rows[0].label);
+}
+
+TEST(Simspeed, ParseRejectsGarbage) {
+  SimspeedDoc doc;
+  std::string error;
+  EXPECT_FALSE(parse_simspeed("garbage{", doc, error));
+  EXPECT_NE(error, "");
+  EXPECT_FALSE(parse_simspeed("{\"schema\":\"ascoma.simspeed/1\"", doc,
+                              error));
+}
+
+// ---- ascoma_simspeed_diff semantics (exit 0 / 1 / 2 in the tool) ------------
+
+TEST(SimspeedDiff, IdenticalDocsPass) {
+  const SimspeedDoc doc = sample_doc();
+  const SpeedDiffReport rep = diff_simspeed(doc, doc, {});
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.regressions(), 0u);  // -> tool exit 0
+  EXPECT_EQ(rep.rows_compared, 2u);
+}
+
+TEST(SimspeedDiff, RateDropRegresses) {
+  const SimspeedDoc base = sample_doc();
+  SimspeedDoc cand = base;
+  cand.rows[0].wall_ns *= 2;  // sim-rate halves: beyond the 25% tolerance
+  const SpeedDiffReport rep = diff_simspeed(base, cand, {});
+  EXPECT_TRUE(rep.ok());
+  ASSERT_EQ(rep.regressions(), 1u);  // -> tool exit 1
+  const SpeedFinding* f = nullptr;
+  for (const SpeedFinding& x : rep.findings)
+    if (x.is_regression()) f = &x;
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind, SpeedFinding::Kind::kRateRegression);
+  EXPECT_EQ(f->label, "ASCOMA(70%)");
+  EXPECT_NEAR(f->ratio, 0.5, 1e-9);
+}
+
+TEST(SimspeedDiff, RateGrowthNeverFails) {
+  const SimspeedDoc base = sample_doc();
+  SimspeedDoc cand = base;
+  cand.rows[0].wall_ns /= 10;  // 10x faster
+  const SpeedDiffReport rep = diff_simspeed(base, cand, {});
+  EXPECT_EQ(rep.regressions(), 0u);
+}
+
+TEST(SimspeedDiff, ShortRowsAreSkippedAsNoise) {
+  SimspeedDoc base = sample_doc();
+  base.rows[0].wall_ns = 1'000'000;  // 1 ms: below the 50 ms floor
+  SimspeedDoc cand = base;
+  cand.rows[0].wall_ns = 10'000'000;  // 10x slower but still sub-threshold
+  const SpeedDiffReport rep = diff_simspeed(base, cand, {});
+  EXPECT_EQ(rep.regressions(), 0u);
+}
+
+TEST(SimspeedDiff, RssAndAllocGrowthRegress) {
+  const SimspeedDoc base = sample_doc();
+  SimspeedDoc cand = base;
+  cand.rows[0].peak_rss_bytes *= 2;  // +100% > 50% tolerance
+  cand.rows[1].allocs *= 2;          // +100% > 25% tolerance
+  const SpeedDiffReport rep = diff_simspeed(base, cand, {});
+  EXPECT_EQ(rep.regressions(), 2u);
+  bool saw_rss = false, saw_allocs = false;
+  for (const SpeedFinding& f : rep.findings) {
+    saw_rss |= f.kind == SpeedFinding::Kind::kRssRegression;
+    saw_allocs |= f.kind == SpeedFinding::Kind::kAllocRegression;
+  }
+  EXPECT_TRUE(saw_rss);
+  EXPECT_TRUE(saw_allocs);
+}
+
+TEST(SimspeedDiff, CyclesChangeIsInformationalOnly) {
+  const SimspeedDoc base = sample_doc();
+  SimspeedDoc cand = base;
+  cand.rows[0].cycles += 12345;
+  const SpeedDiffReport rep = diff_simspeed(base, cand, {});
+  EXPECT_EQ(rep.regressions(), 0u);
+  bool saw = false;
+  for (const SpeedFinding& f : rep.findings)
+    saw |= f.kind == SpeedFinding::Kind::kCyclesChanged;
+  EXPECT_TRUE(saw);
+}
+
+TEST(SimspeedDiff, VanishedAndAppearedRowsAreReported) {
+  const SimspeedDoc base = sample_doc();
+  SimspeedDoc cand = base;
+  cand.rows[0].label = "renamed";  // old key vanishes, new key appears
+  const SpeedDiffReport rep = diff_simspeed(base, cand, {});
+  EXPECT_EQ(rep.regressions(), 0u);
+  EXPECT_EQ(rep.rows_compared, 1u);
+  bool vanished = false, appeared = false;
+  for (const SpeedFinding& f : rep.findings) {
+    vanished |= f.kind == SpeedFinding::Kind::kRowVanished;
+    appeared |= f.kind == SpeedFinding::Kind::kRowAppeared;
+  }
+  EXPECT_TRUE(vanished);
+  EXPECT_TRUE(appeared);
+}
+
+TEST(SimspeedDiff, UnreadableFileFailsTheGate) {
+  const SpeedDiffReport rep = diff_simspeed_files(
+      "/nonexistent/base.json", "/nonexistent/cand.json", {});
+  EXPECT_FALSE(rep.ok());  // -> tool exit 2
+  EXPECT_NE(rep.error, "");
+}
+
+TEST(SimspeedDiff, FileRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ascoma_simspeed_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "base.json").string();
+  {
+    std::ofstream os(path);
+    write_simspeed(os, sample_doc());
+  }
+  const SpeedDiffReport rep = diff_simspeed_files(path, path, {});
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.regressions(), 0u);
+  EXPECT_EQ(rep.rows_compared, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ascoma::selfprof
+
+// ---- sweep telemetry --------------------------------------------------------
+
+namespace ascoma::core {
+namespace {
+
+std::vector<SweepJob> tiny_jobs(std::size_t n) {
+  std::vector<SweepJob> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    SweepJob j;
+    j.config.arch = ArchModel::kAsComa;
+    j.config.memory_pressure = 0.5;
+    j.workload = "fft";
+    j.workload_scale = 0.2;
+    j.label = "job" + std::to_string(i);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+TEST(SweepTelemetry, RecordsWallTimeAndRss) {
+  const auto res = run_sweep(tiny_jobs(2), 1);
+  ASSERT_EQ(res.size(), 2u);
+  for (const SweepResult& r : res) {
+    EXPECT_GT(r.timing.wall.value(), 0u);
+    EXPECT_GT(r.timing.peak_rss_bytes, 0u);
+    EXPECT_FALSE(r.timing.straggler);  // legacy overload disables the check
+    EXPECT_GT(r.accesses(), 0u);
+    EXPECT_GT(r.sim_rate_hz(), 0.0);
+    if (selfprof::alloc_hook_active()) {
+      EXPECT_GT(r.timing.allocs, 0u);
+    }
+    EXPECT_EQ(r.selfprof, nullptr);  // legacy overload never collects
+  }
+}
+
+TEST(SweepTelemetry, CollectAttachesPerJobCollectors) {
+  if (!selfprof::runtime_enabled())
+    GTEST_SKIP() << "selfprof disabled";
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.collect = true;
+  const auto res = run_sweep(tiny_jobs(2), opts);
+  ASSERT_EQ(res.size(), 2u);
+  for (const SweepResult& r : res) {
+    ASSERT_NE(r.selfprof, nullptr);
+    EXPECT_EQ(r.selfprof->sim_cycles(),
+              r.result.stats.parallel_cycles);
+    EXPECT_EQ(r.selfprof->accesses(), r.accesses());
+    EXPECT_GT(r.selfprof->wall().value(), 0u);
+    EXPECT_GT(r.selfprof->count(selfprof::HostSite::kProtoAccess), 0u);
+    EXPECT_TRUE(r.selfprof->children_within_parent());
+  }
+}
+
+TEST(SweepTelemetry, StragglerFlaggedAgainstMedian) {
+  // Scripted clock: with one worker and no progress thread the sweep reads
+  // the clock exactly once up front and twice per job, so the job walls are
+  // 10, 10 and 80 ns -> job 2 exceeds 3x the 10 ns median.
+  selfprof::ScriptedClock clk({0, 0, 10, 10, 20, 20, 100});
+  obs::EventSink sink;
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.clock = &clk;
+  opts.sink = &sink;
+  const auto res = run_sweep(tiny_jobs(3), opts);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].timing.wall, selfprof::HostNs{10});
+  EXPECT_EQ(res[1].timing.wall, selfprof::HostNs{10});
+  EXPECT_EQ(res[2].timing.wall, selfprof::HostNs{80});
+  EXPECT_FALSE(res[0].timing.straggler);
+  EXPECT_FALSE(res[1].timing.straggler);
+  EXPECT_TRUE(res[2].timing.straggler);
+  EXPECT_EQ(sink.count(obs::EventKind::kSweepStraggler), 1u);
+}
+
+TEST(SweepTelemetry, ProgressLineFormat) {
+  const std::string line =
+      progress_line(3, 10, selfprof::HostNs{2'000'000'000}, Cycle{500});
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"sweep\":\"progress\""), std::string::npos);
+  EXPECT_NE(line.find("\"done\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"total\":10"), std::string::npos);
+  EXPECT_NE(line.find("\"wall_ms\":2000"), std::string::npos);
+  EXPECT_NE(line.find("\"sim_cycles\":500"), std::string::npos);
+  EXPECT_NE(line.find("\"sim_rate_hz\":250"), std::string::npos);
+  // Mean-job ETA: 2 s / 3 done * 7 remaining = 4666 ms.
+  EXPECT_NE(line.find("\"eta_ms\":4666"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(SweepTelemetry, ProgressHeartbeatAlwaysEndsComplete) {
+  std::ostringstream out;
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.progress = true;
+  opts.progress_interval_ms = 1;
+  opts.progress_out = &out;
+  const auto res = run_sweep(tiny_jobs(2), opts);
+  ASSERT_EQ(res.size(), 2u);
+  const std::string text = out.str();
+  ASSERT_NE(text, "");
+  // The final heartbeat (emitted after the pool joins) reports completion.
+  const std::size_t last = text.rfind("{\"sweep\"");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_NE(text.find("\"done\":2,\"total\":2", last), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ascoma::core

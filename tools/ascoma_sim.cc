@@ -29,6 +29,15 @@
 //                       into DIR (latency.csv/json, heat.csv/json,
 //                       summary.json); compare dumps with ascoma_prof_diff
 //
+// Self-profiling & sweep telemetry (ARCHITECTURE.md §14):
+//   --selfprof DIR      attribute the *host's* wall time to the simulator's
+//                       own hot paths and dump the timer tree into DIR
+//                       (selfprof.json, selfprof.csv); single arch/pressure,
+//                       generated workloads only
+//   --progress          single-line JSON heartbeat on stderr while the
+//                       sweep runs (jobs done/total, sim-rate, ETA)
+//   --progress-interval-ms N   heartbeat period (default 1000)
+//
 // Fault injection & robustness (defaults leave results bit-identical):
 //   --fault-drop P        per-message drop probability (0..1)
 //   --fault-dup P         per-message duplication probability (0..1)
@@ -81,6 +90,9 @@ struct Options {
   std::string perfetto_path;
   std::string metrics_path;
   std::string profile_dir;
+  std::string selfprof_dir;
+  bool progress = false;
+  std::uint32_t progress_interval_ms = 1000;
   Cycle sample_every{100'000};
   double fault_drop = 0.0;
   double fault_dup = 0.0;
@@ -96,6 +108,7 @@ struct Options {
            !metrics_path.empty();
   }
   bool profiling() const { return !profile_dir.empty(); }
+  bool selfprofiling() const { return !selfprof_dir.empty(); }
 };
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -116,6 +129,8 @@ std::vector<std::string> split(const std::string& s, char sep) {
       "                  [--store-buffer N] [--threads N] [--csv PATH]\n"
       "                  [--events PATH] [--perfetto PATH] [--metrics PATH]\n"
       "                  [--profile DIR] [--sample-every N] [--verbose]\n"
+      "                  [--selfprof DIR] [--progress]\n"
+      "                  [--progress-interval-ms N]\n"
       "                  [--fault-drop P] [--fault-dup P] [--fault-jitter P]\n"
       "                  [--fault-jitter-cycles N] [--fault-seed N]\n"
       "                  [--watchdog-cycles N] [--nack-busy N]\n"
@@ -211,6 +226,15 @@ Options parse(int argc, char** argv) {
       o.metrics_path = need_value(i);
     } else if (a == "--profile") {
       o.profile_dir = need_value(i);
+    } else if (a == "--selfprof") {
+      o.selfprof_dir = need_value(i);
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--progress-interval-ms") {
+      o.progress_interval_ms =
+          parse_u32(need_value(i), "--progress-interval-ms");
+      if (o.progress_interval_ms == 0)
+        usage("--progress-interval-ms must be > 0");
     } else if (a == "--sample-every") {
       o.sample_every = Cycle{parse_u64(need_value(i), "--sample-every")};
       if (o.sample_every == Cycle{0}) usage("--sample-every must be > 0");
@@ -255,11 +279,13 @@ Options parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
-  if ((opt.observing() || opt.profiling()) &&
+  if ((opt.observing() || opt.profiling() || opt.selfprofiling()) &&
       (opt.archs.size() > 1 || opt.pressures.size() > 1))
     usage(
-        "--events/--perfetto/--metrics/--profile need a single arch and "
-        "pressure");
+        "--events/--perfetto/--metrics/--profile/--selfprof need a single "
+        "arch and pressure");
+  if (!opt.trace_path.empty() && (opt.selfprofiling() || opt.progress))
+    usage("--selfprof/--progress need a generated workload, not --trace");
 
   // Resolve the workload (generator or trace).
   std::unique_ptr<workload::Workload> wl;
@@ -319,22 +345,85 @@ int main(int argc, char** argv) {
     core::RunResult result;
   };
   std::vector<Row> rows;
-  for (ArchModel arch : opt.archs) {
-    for (double pressure : opt.pressures) {
-      MachineConfig cfg = base;
-      cfg.arch = arch;
-      cfg.memory_pressure = pressure;
-      try {
-        rows.push_back({arch, pressure, core::simulate(cfg, *wl)});
-      } catch (const std::exception& e) {
-        std::cerr << "run failed (" << to_string(arch) << ", "
-                  << pressure * 100 << "%): " << e.what() << '\n';
-        if (crash.flush() > 0)
-          std::cerr << "event trace flushed for post-mortem analysis\n";
-        return 1;
+  if (!opt.trace_path.empty()) {
+    // Trace workloads can't be reopened by name per sweep job, so they run
+    // serially in-process against the one loaded TraceWorkload.
+    for (ArchModel arch : opt.archs) {
+      for (double pressure : opt.pressures) {
+        MachineConfig cfg = base;
+        cfg.arch = arch;
+        cfg.memory_pressure = pressure;
+        try {
+          rows.push_back({arch, pressure, core::simulate(cfg, *wl)});
+        } catch (const std::exception& e) {
+          std::cerr << "run failed (" << to_string(arch) << ", "
+                    << pressure * 100 << "%): " << e.what() << '\n';
+          if (crash.flush() > 0)
+            std::cerr << "event trace flushed for post-mortem analysis\n";
+          return 1;
+        }
+        if (arch == ArchModel::kCcNuma) break;  // pressure-independent
       }
-      if (arch == ArchModel::kCcNuma) break;  // pressure-independent
     }
+  } else {
+    // Generated workloads go through the sweep runner: same job order (and
+    // thus byte-identical CSV) as the old serial loop, but with per-job
+    // wall-time telemetry, optional --progress heartbeat, and --selfprof
+    // attribution for free.
+    std::vector<core::SweepJob> jobs;
+    for (ArchModel arch : opt.archs) {
+      for (double pressure : opt.pressures) {
+        core::SweepJob j;
+        j.config = base;
+        j.config.arch = arch;
+        j.config.memory_pressure = pressure;
+        std::ostringstream label;
+        label << to_string(arch) << '('
+              << static_cast<int>(pressure * 100.0 + 0.5) << "%)";
+        j.label = label.str();
+        j.workload = opt.workload;
+        j.workload_scale = opt.scale;
+        jobs.push_back(std::move(j));
+        if (arch == ArchModel::kCcNuma) break;  // pressure-independent
+      }
+    }
+    core::SweepOptions sopts;
+    sopts.threads = opt.threads;
+    sopts.progress = opt.progress;
+    sopts.progress_interval_ms = opt.progress_interval_ms;
+    sopts.sink = sink ? &*sink : nullptr;
+    sopts.collect = opt.selfprofiling();
+    std::vector<core::SweepResult> sweep;
+    try {
+      sweep = core::run_sweep(std::move(jobs), sopts);
+    } catch (const std::exception& e) {
+      std::cerr << "run failed: " << e.what() << '\n';
+      if (crash.flush() > 0)
+        std::cerr << "event trace flushed for post-mortem analysis\n";
+      return 1;
+    }
+    if (opt.selfprofiling()) {
+      // Single job (enforced above), so the sweep has exactly one collector.
+      const auto& col = sweep.front().selfprof;
+      if (col) {
+        if (!col->write_dir(opt.selfprof_dir)) {
+          std::cerr << "cannot write self-profile into " << opt.selfprof_dir
+                    << '\n';
+          return 1;
+        }
+        std::cout << "self-profile written to " << opt.selfprof_dir
+                  << " (wall " << col->wall().value() / 1'000'000 << " ms, "
+                  << col->allocs() << " allocs, peak RSS "
+                  << col->peak_rss() / (1024 * 1024) << " MiB)\n";
+      } else {
+        std::cerr << "warning: self-profiler disabled (compiled out or "
+                     "ASCOMA_SELFPROF=0), no dump written\n";
+      }
+    }
+    rows.reserve(sweep.size());
+    for (auto& r : sweep)
+      rows.push_back({r.job.config.arch, r.job.config.memory_pressure,
+                      std::move(r.result)});
   }
 
   Table t({"arch", "pressure", "cycles", "U-SH-MEM%", "K-OVERHD%", "SYNC%",

@@ -1,0 +1,89 @@
+// ascoma_simspeed_diff — compare two BENCH_simspeed.json telemetry dumps
+// (emitted by the benchmark binaries, or assembled from `ascoma --selfprof`)
+// and flag simulator-speed regressions: sim-rate drops, peak-RSS growth,
+// allocation-count growth.
+//
+//   ascoma_simspeed_diff BASELINE.json CANDIDATE.json [options]
+//
+// Options:
+//   --rate-tol F     relative sim-rate *drop* that fails the gate
+//                    (default 0.25; growth never fails)
+//   --rss-tol F      relative peak-RSS growth that fails the gate (default 0.50)
+//   --allocs-tol F   relative allocation-count growth that fails (default 0.25)
+//   --min-wall-ms N  rows where either side ran shorter than this are too
+//                    noisy for the rate check and are skipped (default 50)
+//
+// Exit status: 0 when no row regressed, 1 on regressions, 2 on usage or
+// unreadable/malformed dumps — the same contract as ascoma_prof_diff, so CI
+// gates directly on the tool.
+
+#include <charconv>
+#include <iostream>
+#include <string>
+
+#include "selfprof/simspeed.hh"
+
+using ascoma::selfprof::SpeedDiffOptions;
+using ascoma::selfprof::SpeedDiffReport;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << '\n';
+  std::cerr << "usage: ascoma_simspeed_diff BASELINE.json CANDIDATE.json"
+               " [--rate-tol F]\n"
+               "                            [--rss-tol F] [--allocs-tol F]"
+               " [--min-wall-ms N]\n";
+  std::exit(2);
+}
+
+template <typename T>
+T parse_number(const std::string& s, const char* what) {
+  T value{};
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size())
+    usage(std::string("bad value for ") + what + ": '" + s + "'");
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline, candidate;
+  SpeedDiffOptions opts;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--rate-tol") {
+      opts.rate_tol = parse_number<double>(need_value(i), "--rate-tol");
+    } else if (a == "--rss-tol") {
+      opts.rss_tol = parse_number<double>(need_value(i), "--rss-tol");
+    } else if (a == "--allocs-tol") {
+      opts.allocs_tol = parse_number<double>(need_value(i), "--allocs-tol");
+    } else if (a == "--min-wall-ms") {
+      opts.min_wall_ms =
+          parse_number<std::uint64_t>(need_value(i), "--min-wall-ms");
+    } else if (a == "--help" || a == "-h") {
+      usage();
+    } else if (!a.empty() && a[0] == '-') {
+      usage("unknown option: " + a);
+    } else if (baseline.empty()) {
+      baseline = a;
+    } else if (candidate.empty()) {
+      candidate = a;
+    } else {
+      usage("too many positional arguments");
+    }
+  }
+  if (baseline.empty() || candidate.empty())
+    usage("need a baseline and a candidate BENCH_simspeed.json");
+
+  const SpeedDiffReport rep =
+      ascoma::selfprof::diff_simspeed_files(baseline, candidate, opts);
+  ascoma::selfprof::write_speed_report(std::cout, rep, opts);
+  if (!rep.ok()) return 2;
+  return rep.regressions() > 0 ? 1 : 0;
+}

@@ -44,6 +44,7 @@ DIMENSIONS = {
     "node": "NodeId",
     "addr": "Addr (or LineAddr)",
     "bytes": "ByteCount",
+    "ns": "selfprof::HostNs",
 }
 
 # Raw integer spellings that count as "bare" for rule 1.
@@ -64,6 +65,9 @@ CAST_BOUNDARY_FILES = {
     "src/report/report.cc",        # CSV/latency-table exporter
     "src/sim/resource.cc",         # utilization ratio
     "src/trace/trace.cc",          # fixed-width binary trace header I/O
+    "src/selfprof/clock.cc",       # TSC-tick -> nanosecond calibration
+    "src/selfprof/collector.cc",   # sim-rate ratios, JSON/CSV exporter
+    "src/core/sweep.cc",           # per-job sim-rate / ETA / median math
 }
 
 CAST_ESCAPE_RE = re.compile(
@@ -226,6 +230,7 @@ SELF_TEST_BAD = """
 namespace ascoma {
 void advance(std::uint64_t now_cycles, std::uint32_t home_node);
 void map_page(uint64_t page, std::size_t frame);
+void sleep_for(std::uint64_t wall_ns);
 inline double f(Cycle c) { return static_cast<double>(c.value()); }
 }
 """
@@ -240,7 +245,8 @@ def self_test(root: Path) -> int:
         (bad_root / "src" / "sim").mkdir(parents=True)
         (bad_root / "src" / "sim" / "bad.hh").write_text(SELF_TEST_BAD)
         findings = lint_params_regex(bad_root) + lint_cast_escapes(bad_root)
-    wanted = ["now_cycles", "home_node", "'page'", "'frame'", "static_cast escape"]
+    wanted = ["now_cycles", "home_node", "'page'", "'frame'", "wall_ns",
+              "static_cast escape"]
     missing = [w for w in wanted if not any(w in f for f in findings)]
     if missing:
         print(f"lint_types: SELF-TEST FAILED — did not flag: {missing}")
