@@ -20,7 +20,9 @@
 // transition logic exhaustively; this class owns the simulator-facing glue
 // (time, stats, the hot-page-churn detector).
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "arch/backoff_kernel.hh"
 #include "arch/policy.hh"
@@ -48,6 +50,46 @@ class AsComaPolicy final : public Policy {
 
   bool thrashing() const { return kernel_.thrashing(); }
   const BackoffKernel& kernel() const { return kernel_; }
+
+  // Checkpoint serialization.  `downgraded_at_` is written sorted by page so
+  // the byte image is canonical (encode/decode adjacent — pairing check).
+  void encode(store::Encoder& e) const override {
+    Policy::encode(e);
+    const BackoffState& st = kernel_.state();
+    e.u32(st.threshold);
+    e.b(st.relocation_enabled);
+    e.b(st.thrashing);
+    e.b(st.backed_off_once);
+    e.u32(st.success_streak);
+    e.u64(last_backoff_.value());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> dg;
+    dg.reserve(downgraded_at_.size());
+    for (const auto& [page, when] : downgraded_at_)
+      dg.emplace_back(page.value(), when.value());
+    std::sort(dg.begin(), dg.end());
+    e.u64(dg.size());
+    for (const auto& [page, when] : dg) {
+      e.u64(page);
+      e.u64(when);
+    }
+  }
+  void decode(store::Decoder& d) override {
+    Policy::decode(d);
+    BackoffState st{};
+    st.threshold = d.u32();
+    st.relocation_enabled = d.b();
+    st.thrashing = d.b();
+    st.backed_off_once = d.b();
+    st.success_streak = d.u32();
+    kernel_.restore(st);
+    last_backoff_ = Cycle{d.u64()};
+    downgraded_at_.clear();
+    const std::uint64_t n = d.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const VPageId page{d.u64()};
+      downgraded_at_.emplace(page, Cycle{d.u64()});
+    }
+  }
 
  private:
   void back_off(PolicyEnv& env);

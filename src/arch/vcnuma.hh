@@ -13,7 +13,9 @@
 // modeled — not the victim-cache integration with the processor cache, which
 // requires non-commodity hardware.
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "arch/policy.hh"
 
@@ -38,6 +40,37 @@ class VcNumaPolicy final : public Policy {
   // Exposed for tests/ablation.
   std::uint64_t window_replacements() const { return window_replacements_; }
   std::uint64_t evaluations() const { return evaluations_; }
+
+  // Checkpoint serialization.  `benefit_` is written sorted by page so the
+  // byte image is canonical (encode/decode adjacent — pairing check).
+  void encode(store::Encoder& e) const override {
+    Policy::encode(e);
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> ben;
+    ben.reserve(benefit_.size());
+    for (const auto& [page, earned] : benefit_)
+      ben.emplace_back(page.value(), earned);
+    std::sort(ben.begin(), ben.end());
+    e.u64(ben.size());
+    for (const auto& [page, earned] : ben) {
+      e.u64(page);
+      e.u32(earned);
+    }
+    e.u64(window_replacements_);
+    e.u64(window_earned_);
+    e.u64(evaluations_);
+  }
+  void decode(store::Decoder& d) override {
+    Policy::decode(d);
+    benefit_.clear();
+    const std::uint64_t n = d.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const VPageId page{d.u64()};
+      benefit_.emplace(page, d.u32());
+    }
+    window_replacements_ = d.u64();
+    window_earned_ = d.u64();
+    evaluations_ = d.u64();
+  }
 
  private:
   void evaluate(PolicyEnv& env);

@@ -119,6 +119,9 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
   daemon_period_.assign(cfg_.nodes, cfg_.daemon_period);
   next_daemon_.assign(cfg_.nodes, cfg_.daemon_period);
   waiting_in_barrier_.assign(cfg_.total_procs(), 0);
+  // Sized here (not in run()) so a pre-run snapshot has the same shape as a
+  // mid-run one.
+  ops_consumed_.assign(cfg_.total_procs(), 0);
 }
 
 Machine::~Machine() = default;
@@ -539,16 +542,18 @@ RunResult Machine::run() {
     prof_->set_meta(wl_.name(), to_string(cfg_.arch), cfg_.memory_pressure,
                     cfg_.seed);
 
-  streams_.clear();
-  // Workloads receive the workload stream of the top-level seed (the
-  // identity mapping, by definition) and split per-proc internally; the
-  // fault layer draws from its own component_seed stream.
-  const std::uint64_t wl_seed =
-      cfg_.component_seed(MachineConfig::kSeedStreamWorkload);
-  for (std::uint32_t p = 0; p < cfg_.total_procs(); ++p)
-    streams_.push_back(wl_.stream(p, wl_seed));
+  if (!resumed_) {
+    streams_.clear();
+    // Workloads receive the workload stream of the top-level seed (the
+    // identity mapping, by definition) and split per-proc internally; the
+    // fault layer draws from its own component_seed stream.
+    const std::uint64_t wl_seed =
+        cfg_.component_seed(MachineConfig::kSeedStreamWorkload);
+    for (std::uint32_t p = 0; p < cfg_.total_procs(); ++p)
+      streams_.push_back(wl_.stream(p, wl_seed));
+    ops_consumed_.assign(cfg_.total_procs(), 0);
+  }
 
-  Cycle end_cycle{0};
   while (!sched_.all_done()) {
     const std::uint32_t p = [this] {
       const selfprof::SelfScope sps(selfprof::HostSite::kSchedPick);
@@ -564,6 +569,16 @@ RunResult Machine::run() {
       sampler_.advance(now);
     }
 
+    // Periodic checkpoint.  Taken at the top of an iteration so the snapshot
+    // always captures a machine between operations, never mid-transaction.
+    if (checkpoint_every_ > Cycle{0} && now >= next_checkpoint_) {
+      store::Snapshot snap;
+      save(&snap);
+      if (checkpoint_self_check_) self_check_snapshot(snap);
+      if (checkpoint_cb_) checkpoint_cb_(snap, now);
+      while (next_checkpoint_ <= now) next_checkpoint_ += checkpoint_every_;
+    }
+
     // Demand-driven, rate-limited pageout-daemon tick for this node.
     if (const Cycle c = maybe_run_daemon(p, now); c > Cycle{0}) {
       node_stats_[p].time[TimeBucket::kKernelOvhd] += c;
@@ -572,8 +587,9 @@ RunResult Machine::run() {
     }
 
     const Op op = streams_[p]->next();
+    ++ops_consumed_[p];
     execute_op(p, op);
-    if (sched_.is_done(p)) end_cycle = std::max(end_cycle, now);
+    if (sched_.is_done(p)) end_cycle_ = std::max(end_cycle_, now);
   }
 
   bool invariants_checked = false;
@@ -586,8 +602,8 @@ RunResult Machine::run() {
 
   // Close the time series with the end-of-run state so the last row of the
   // metrics export agrees with RunResult::final_threshold and friends.
-  if (sink_ && sampler_.enabled()) take_samples(end_cycle);
-  if (prof_) prof_->set_run_cycles(end_cycle);
+  if (sink_ && sampler_.enabled()) take_samples(end_cycle_);
+  if (prof_) prof_->set_run_cycles(end_cycle_);
 
   RunResult r;
   r.config = cfg_;
@@ -607,7 +623,7 @@ RunResult Machine::run() {
     r.relocation_enabled.push_back(policies_[n]->relocation_enabled() ? 1
                                                                       : 0);
   }
-  r.stats.parallel_cycles = end_cycle;
+  r.stats.parallel_cycles = end_cycle_;
   r.stats.nodes = cfg_.nodes;
   r.stats.frames_per_node = frames_per_node_;
   r.stats.home_pages_per_node = homes_.max_home_pages();

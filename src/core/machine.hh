@@ -17,6 +17,7 @@
 //   core::RunResult r = core::simulate(cfg, *wl);
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "sim/barrier.hh"
 #include "sim/lock.hh"
 #include "sim/scheduler.hh"
+#include "store/snapshot.hh"
 #include "vm/home_map.hh"
 #include "vm/page_cache.hh"
 #include "vm/page_table.hh"
@@ -112,6 +114,31 @@ class Machine {
     return NodeId{proc / cfg_.procs_per_node};
   }
 
+  // --- crash-safe checkpointing (ARCHITECTURE.md §15) -----------------------
+  /// Serialize the complete mutable machine state (scheduler, caches,
+  /// directory, VM tables, policies, RNG-stream positions, stats) into a
+  /// versioned tagged snapshot.  Callable mid-run (from the checkpoint hook)
+  /// or between runs.
+  void save(store::Snapshot* snap) const;
+
+  /// Restore a snapshot into this machine.  The machine must be freshly
+  /// constructed from the *same* config and workload (verified via a
+  /// fingerprint in the snapshot header; mismatch throws store::CodecError)
+  /// and not yet run.  A subsequent run() continues the interrupted run and
+  /// produces a bit-identical RunResult.
+  void restore(const store::Snapshot& snap);
+
+  /// Arrange for run() to snapshot the machine every `every` cycles of
+  /// simulated time and hand the snapshot to `on_snapshot`.  When
+  /// `self_check` is set (the default) every snapshot is additionally
+  /// restored into a fresh scratch machine and re-saved; a byte difference
+  /// fails the run — encode/decode drift can then never produce a snapshot
+  /// that silently restores into a different machine.
+  void set_checkpoint(
+      Cycle every,
+      std::function<void(const store::Snapshot&, Cycle)> on_snapshot,
+      bool self_check = true);
+
  private:
   class Evictor;
 
@@ -172,7 +199,14 @@ class Machine {
   sim::Barrier barrier_;
   sim::LockTable locks_;
 
+  /// Verify a freshly-taken snapshot round-trips byte-identically through a
+  /// scratch machine (the checkpoint self-check).
+  void self_check_snapshot(const store::Snapshot& snap) const;
+
   std::vector<std::unique_ptr<workload::OpStream>> streams_;
+  /// next() calls made per processor stream — the restore fast-forward count
+  /// (streams are deterministic in the seed, so position = call count).
+  std::vector<std::uint64_t> ops_consumed_;
   std::vector<NodeStats> node_stats_;
   /// Per-processor store-buffer entries (completion cycle per slot); only
   /// used when cfg_.blocking_stores is false.
@@ -184,6 +218,13 @@ class Machine {
   obs::Sampler sampler_;
   prof::Profiler* prof_ = nullptr;  ///< non-owning; null = profiling off
   bool ran_ = false;
+  bool resumed_ = false;  ///< restore() ran; run() continues mid-stream
+  Cycle end_cycle_{0};    ///< max completion cycle seen so far
+
+  Cycle checkpoint_every_{0};  ///< 0 = checkpointing off
+  Cycle next_checkpoint_{0};
+  std::function<void(const store::Snapshot&, Cycle)> checkpoint_cb_;
+  bool checkpoint_self_check_ = true;
 };
 
 /// One-shot convenience wrapper.

@@ -6,12 +6,15 @@
 #include <condition_variable>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "common/check.hh"
+#include "core/sweep_store.hh"
 #include "selfprof/host.hh"
+#include "store/store.hh"
 #include "workload/workload.hh"
 
 namespace ascoma::core {
@@ -37,6 +40,18 @@ selfprof::HostNs median_wall(const std::vector<SweepResult>& results) {
   return (walls[n / 2 - 1] + walls[n / 2]) / 2;
 }
 
+/// One fsync'd completion line in the store's manifest journal.
+void journal_done(store::ResultStore& rs, std::size_t job,
+                  const std::string& label, const std::string& key,
+                  bool cached, Cycle cycles) {
+  std::ostringstream os;
+  os << "{\"sweep\":\"done\",\"job\":" << job << ",\"label\":\""
+     << store::json_escape_min(label) << "\",\"key\":\"" << key
+     << "\",\"cached\":" << (cached ? "true" : "false")
+     << ",\"cycles\":" << cycles.value() << '}';
+  rs.append_manifest(os.str());
+}
+
 }  // namespace
 
 std::uint64_t SweepResult::accesses() const {
@@ -50,7 +65,8 @@ double SweepResult::sim_rate_hz() const {
 }
 
 std::string progress_line(std::size_t done, std::size_t total,
-                          selfprof::HostNs wall, Cycle cycles_done) {
+                          selfprof::HostNs wall, Cycle cycles_done,
+                          std::size_t cached) {
   const double wall_s = static_cast<double>(wall.value()) * 1e-9;
   const double rate =
       wall_s > 0.0 ? static_cast<double>(cycles_done.value()) / wall_s : 0.0;
@@ -64,6 +80,7 @@ std::string progress_line(std::size_t done, std::size_t total,
   }
   std::ostringstream os;
   os << "{\"sweep\":\"progress\",\"done\":" << done << ",\"total\":" << total
+     << ",\"cached\":" << cached
      << ",\"wall_ms\":" << wall.value() / 1'000'000
      << ",\"sim_cycles\":" << cycles_done
      << ",\"sim_rate_hz\":" << fmt_rate(rate) << ",\"eta_ms\":" << eta_ms
@@ -85,9 +102,19 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
       opts.clock != nullptr ? opts.clock : selfprof::default_clock();
   const bool collect = opts.collect && selfprof::runtime_enabled();
 
+  // Durable mode: open (and scan) the result store once, up front, so
+  // corruption is quarantined and reported before any worker consults it.
+  std::unique_ptr<store::ResultStore> rs;
+  if (!opts.store_dir.empty()) {
+    rs = std::make_unique<store::ResultStore>(opts.store_dir);
+    if (!rs->report().clean())
+      std::cerr << rs->report().to_string() << std::endl;
+  }
+
   std::vector<SweepResult> results(jobs.size());
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> cached_jobs{0};
   std::atomic<std::uint64_t> cycles_done{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -95,14 +122,49 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
 
   auto worker = [&] {
     for (;;) {
+      if (failed.load() ||
+          (opts.stop != nullptr && opts.stop->load()))
+        break;
       const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size() || failed.load()) break;
+      if (i >= jobs.size()) break;
       try {
         auto wl = workload::make_workload(jobs[i].workload,
                                           jobs[i].workload_scale);
         ASCOMA_CHECK_MSG(wl != nullptr,
                          "unknown workload: " << jobs[i].workload);
         results[i].job = jobs[i];
+
+        // Cache lookup: a verified record with this job's content hash is
+        // the job's result — restore it and skip the simulation.
+        std::string key;
+        selfprof::HostNs store_ns{0};
+        if (rs) {
+          const selfprof::HostNs s0 = clock->now();
+          key = job_fingerprint(jobs[i]).hex();
+          bool hit = false;
+          if (const auto payload = rs->load(key)) {
+            try {
+              store::Decoder d(payload->data(), payload->size());
+              decode_sweep_result(d, &results[i]);
+              hit = true;
+            } catch (const store::CodecError&) {
+              hit = false;  // foreign/stale record shape: recompute
+            }
+          }
+          store_ns = clock->now() - s0;
+          if (hit) {
+            results[i].timing.cached = true;
+            results[i].timing.store = store_ns;
+            journal_done(*rs, i, jobs[i].label, key, /*cached=*/true,
+                         results[i].result.stats.parallel_cycles);
+            cached_jobs.fetch_add(1);
+            cycles_done.fetch_add(
+                results[i].result.stats.parallel_cycles.value());
+            done.fetch_add(1);
+            continue;
+          }
+        }
+
         std::shared_ptr<selfprof::Collector> col;
         if (collect) col = std::make_shared<selfprof::Collector>(clock);
         const std::uint64_t allocs0 = selfprof::thread_alloc_count();
@@ -121,6 +183,18 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
           col->set_sim(results[i].result.stats.parallel_cycles,
                        results[i].accesses());
           results[i].selfprof = std::move(col);
+        }
+
+        // Persist the miss before it counts as done: after a kill, every
+        // journaled job has a verified record on disk.
+        if (rs) {
+          const selfprof::HostNs s1 = clock->now();
+          store::Encoder e;
+          encode_sweep_result(e, results[i]);
+          rs->save(key, e.bytes(), static_cast<std::uint64_t>(i));
+          journal_done(*rs, i, jobs[i].label, key, /*cached=*/false,
+                       results[i].result.stats.parallel_cycles);
+          results[i].timing.store = store_ns + (clock->now() - s1);
         }
         cycles_done.fetch_add(
             results[i].result.stats.parallel_cycles.value());
@@ -155,7 +229,7 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
           break;
         *out << progress_line(done.load(), jobs.size(),
                               clock->now() - sweep_t0,
-                              Cycle{cycles_done.load()})
+                              Cycle{cycles_done.load()}, cached_jobs.load())
              << std::endl;
       }
     });
@@ -178,10 +252,21 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
     std::ostream* out =
         opts.progress_out != nullptr ? opts.progress_out : &std::cerr;
     *out << progress_line(done.load(), jobs.size(), clock->now() - sweep_t0,
-                          Cycle{cycles_done.load()})
+                          Cycle{cycles_done.load()}, cached_jobs.load())
          << std::endl;
   }
   if (first_error) std::rethrow_exception(first_error);
+
+  // Cache-hit events are emitted here, after the workers joined — the sink
+  // is not thread-safe, so the workers only count hits atomically.
+  if (opts.sink != nullptr && rs) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].timing.cached) continue;
+      opts.sink->emit(obs::EventKind::kSweepCacheHit,
+                      results[i].result.stats.parallel_cycles, NodeId{0},
+                      kInvalidPage, i, job_fingerprint(results[i].job).lo, 0);
+    }
+  }
 
   // Straggler pass: flag jobs whose wall time exceeded the configured
   // multiple of the sweep median — the load-imbalance signal the sweep

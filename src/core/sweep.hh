@@ -12,7 +12,17 @@
 // daemon's status endpoint), and flags straggler jobs whose wall time
 // exceeded a configurable multiple of the sweep median, emitting a
 // kSweepStraggler event on the options' sink.
+//
+// With SweepOptions::store_dir set the sweep becomes durable: each job is
+// fingerprinted (core/sweep_store.hh) and looked up in a store::ResultStore
+// before simulating; hits skip the simulation entirely (kSweepCacheHit on
+// the sink, `cached` count in the heartbeat), misses persist their result
+// atomically after completion, and every finished job appends one fsync'd
+// line to the store's manifest journal.  Killing the process at any point
+// and re-running the same sweep against the same store reproduces the exact
+// result vector without redoing completed work.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -42,6 +52,11 @@ struct SweepTiming {
   std::uint64_t peak_rss_bytes = 0;///< process high-water RSS after the job
   std::uint64_t allocs = 0;        ///< heap allocations on the job's thread
   bool straggler = false;          ///< wall > straggler_factor × sweep median
+  /// Host time spent in the result store for this job (lookup + decode on a
+  /// hit; encode + atomic write + manifest append on a miss).  Always 0 when
+  /// SweepOptions::store_dir is empty — the store is zero-cost when off.
+  selfprof::HostNs store{0};
+  bool cached = false;             ///< satisfied from the result store
 };
 
 struct SweepResult {
@@ -66,10 +81,19 @@ struct SweepOptions {
   /// A job is a straggler when its wall time exceeds this multiple of the
   /// sweep median (needs >= 2 jobs); 0 disables the check.
   double straggler_factor = 3.0;
-  obs::EventSink* sink = nullptr;  ///< receives kSweepStraggler events
+  obs::EventSink* sink = nullptr;  ///< kSweepStraggler / kSweepCacheHit
   /// Install a selfprof::Collector around every job (SweepResult::selfprof).
   bool collect = false;
   selfprof::HostClock* clock = nullptr;  ///< injectable for tests
+  /// Non-empty = durable sweep: open a store::ResultStore here, satisfy
+  /// jobs from it when possible, persist misses, journal completions to the
+  /// manifest.  The directory is created if missing; corrupt records found
+  /// on open are quarantined and reported once on std::cerr.
+  std::string store_dir;
+  /// Cooperative stop flag (the CLI wires the SIGINT/SIGTERM handler here):
+  /// when it reads true, workers finish their in-flight job — persisting it
+  /// to the store as usual — and claim no further jobs.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Runs all jobs on up to `opts.threads` worker threads.  Results are
@@ -86,8 +110,11 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
 /// sweep daemon): single-line JSON, no trailing newline.  `wall` is the
 /// sweep's elapsed host time, `cycles_done` the simulated cycles completed
 /// so far; ETA extrapolates mean job wall time over the remainder.
+/// `cached` counts jobs satisfied from the result store (always 0 when no
+/// store is configured).
 std::string progress_line(std::size_t done, std::size_t total,
-                          selfprof::HostNs wall, Cycle cycles_done);
+                          selfprof::HostNs wall, Cycle cycles_done,
+                          std::size_t cached = 0);
 
 /// Convenience builder: the full paper grid for one workload — every
 /// architecture crossed with the given pressures (CC-NUMA once, since it is

@@ -10,6 +10,7 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "sim/resource.hh"
+#include "store/codec.hh"
 
 namespace ascoma::mem {
 
@@ -29,6 +30,10 @@ class Bus {
   const sim::Resource& resource() const { return res_; }
   std::uint64_t transactions() const { return res_.transactions(); }
   void reset() { res_.reset(); }
+
+  // Checkpoint serialization (encode/decode stay adjacent — pairing check).
+  void encode(store::Encoder& e) const { res_.encode(e); }
+  void decode(store::Decoder& d) { res_.decode(d); }
 
  private:
   Cycle occupancy_;

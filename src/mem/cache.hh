@@ -15,6 +15,7 @@
 #include "common/check.hh"
 #include "common/config.hh"
 #include "common/types.hh"
+#include "store/codec.hh"
 
 namespace ascoma::mem {
 
@@ -67,6 +68,27 @@ class L1Cache {
   }
 
   std::uint32_t num_lines() const { return static_cast<std::uint32_t>(lines_.size()); }
+
+  // Checkpoint serialization (encode/decode stay adjacent — pairing check).
+  void encode(store::Encoder& e) const {
+    e.u64(lines_.size());
+    for (const Slot& s : lines_) {
+      e.u64(s.tag.value());
+      e.b(s.valid);
+      e.b(s.dirty);
+    }
+    e.u32(valid_count_);
+  }
+  void decode(store::Decoder& d) {
+    if (d.u64() != lines_.size())
+      throw store::CodecError("L1 geometry mismatch");
+    for (Slot& s : lines_) {
+      s.tag = LineId{d.u64()};
+      s.valid = d.b();
+      s.dirty = d.b();
+    }
+    valid_count_ = d.u32();
+  }
 
   void reset();
 

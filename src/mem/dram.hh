@@ -11,6 +11,7 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "sim/resource.hh"
+#include "store/codec.hh"
 
 namespace ascoma::mem {
 
@@ -24,6 +25,19 @@ class Dram {
   std::uint32_t banks() const { return static_cast<std::uint32_t>(banks_.size()); }
   const sim::Resource& bank(std::uint32_t i) const { return banks_[i]; }
   std::uint64_t accesses() const { return accesses_; }
+
+  // Checkpoint serialization (encode/decode stay adjacent — pairing check).
+  void encode(store::Encoder& e) const {
+    e.u64(banks_.size());
+    for (const sim::Resource& b : banks_) b.encode(e);
+    e.u64(accesses_);
+  }
+  void decode(store::Decoder& d) {
+    if (d.u64() != banks_.size())
+      throw store::CodecError("DRAM geometry mismatch");
+    for (sim::Resource& b : banks_) b.decode(d);
+    accesses_ = d.u64();
+  }
 
   void reset();
 

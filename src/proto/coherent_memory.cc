@@ -668,4 +668,85 @@ void CoherentMemory::audit() const {
   }
 }
 
+namespace {
+
+void encode_byte_table(
+    store::Encoder& e,
+    const IdVector<NodeId, IdVector<BlockId, std::uint8_t>>& t) {
+  for (const auto& per_node : t)
+    for (const std::uint8_t v : per_node) e.u8(v);
+}
+
+void decode_byte_table(store::Decoder& d,
+                       IdVector<NodeId, IdVector<BlockId, std::uint8_t>>& t) {
+  for (auto& per_node : t)
+    for (std::uint8_t& v : per_node) v = d.u8();
+}
+
+}  // namespace
+
+void CoherentMemory::encode(store::Encoder& e) const {
+  e.begin_section("cmem");
+  e.u32(static_cast<std::uint32_t>(l1_.size()));
+  for (const auto& c : l1_) c->encode(e);
+  e.u32(static_cast<std::uint32_t>(rac_.size()));
+  for (const auto& r : rac_) r->encode(e);
+  for (const auto& dr : dram_) dr->encode(e);
+  for (const auto& b : bus_) b->encode(e);
+  for (const sim::Resource& r : engine_) r.encode(e);
+  plan_.encode(e);
+  watchdog_.encode(e);
+  net_.encode(e);
+  dir_.encode(e);
+  refetch_.encode(e);
+  encode_byte_table(e, touched_);
+  encode_byte_table(e, ever_fetched_);
+  encode_byte_table(e, scoma_valid_);
+  for (const auto& per_node : remote_page_seen_)
+    for (const std::uint8_t v : per_node) e.u8(v);
+  for (const std::uint64_t v : remote_pages_touched_) e.u64(v);
+  e.u64(wb_local_);
+  e.u64(wb_remote_);
+  e.u64(sibling_transfers_);
+  e.u64(net_retries_);
+  e.u64(nacks_);
+  for (const std::uint32_t v : global_version_) e.u32(v);
+  for (const auto& per_node : local_version_)
+    for (const std::uint32_t v : per_node) e.u32(v);
+  e.end_section();
+}
+
+void CoherentMemory::decode(store::Decoder& d) {
+  d.begin_section("cmem");
+  if (d.u32() != l1_.size())
+    throw store::CodecError("coherent memory processor count mismatch");
+  for (const auto& c : l1_) c->decode(d);
+  if (d.u32() != rac_.size())
+    throw store::CodecError("coherent memory node count mismatch");
+  for (const auto& r : rac_) r->decode(d);
+  for (const auto& dr : dram_) dr->decode(d);
+  for (const auto& b : bus_) b->decode(d);
+  for (sim::Resource& r : engine_) r.decode(d);
+  plan_.decode(d);
+  watchdog_.decode(d);
+  net_.decode(d);
+  dir_.decode(d);
+  refetch_.decode(d);
+  decode_byte_table(d, touched_);
+  decode_byte_table(d, ever_fetched_);
+  decode_byte_table(d, scoma_valid_);
+  for (auto& per_node : remote_page_seen_)
+    for (std::uint8_t& v : per_node) v = d.u8();
+  for (std::uint64_t& v : remote_pages_touched_) v = d.u64();
+  wb_local_ = d.u64();
+  wb_remote_ = d.u64();
+  sibling_transfers_ = d.u64();
+  net_retries_ = d.u64();
+  nacks_ = d.u64();
+  for (std::uint32_t& v : global_version_) v = d.u32();
+  for (auto& per_node : local_version_)
+    for (std::uint32_t& v : per_node) v = d.u32();
+  d.end_section();
+}
+
 }  // namespace ascoma::proto

@@ -149,6 +149,14 @@ class CoherentMemory {
   /// CheckFailure on violation.  O(blocks * nodes) — test/diagnostic use.
   void audit() const;
 
+  // Checkpoint serialization (defined adjacently in coherent_memory.cc —
+  // pairing check).  Covers every mutable hardware table: caches, resources,
+  // directory, refetch counters, fault plan, watchdog, requester-side block
+  // state, and the functional coherence shadow.  The non-owning sink and
+  // profiler pointers are scratch and excluded.
+  void encode(store::Encoder& e) const;
+  void decode(store::Decoder& d);
+
  private:
   enum class Touch : std::uint8_t { kNever = 0, kFetched, kInvalidated };
 

@@ -182,6 +182,9 @@ bool parse_row(Cursor& c, SimspeedRow& row) {
     } else if (key == "allocs") {
       if (!c.parse_number(num)) return false;
       row.allocs = to_u64(num);
+    } else if (key == "store_ns") {
+      if (!c.parse_number(num)) return false;
+      row.store_ns = to_u64(num);
     } else {
       if (!c.skip_value()) return false;  // e.g. the derived sim_rate_hz
     }
@@ -213,7 +216,8 @@ void write_simspeed(std::ostream& os, const SimspeedDoc& doc) {
        << ",\"wall_ns\":" << r.wall_ns
        << ",\"sim_rate_hz\":" << fmt_double(r.sim_rate_hz())
        << ",\"peak_rss_bytes\":" << r.peak_rss_bytes
-       << ",\"allocs\":" << r.allocs << '}';
+       << ",\"allocs\":" << r.allocs
+       << ",\"store_ns\":" << r.store_ns << '}';
   }
   os << "]}\n";
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "store/codec.hh"
 
 namespace ascoma::sim {
 
@@ -47,6 +48,21 @@ class Resource {
 
   /// Utilization over the interval [0, horizon].
   double utilization(Cycle horizon) const;
+
+  // Checkpoint serialization (ARCHITECTURE.md §15).  encode/decode pairs
+  // stay adjacent so a field added to one side fails the lint pairing check.
+  void encode(store::Encoder& e) const {
+    e.u64(free_at_.value());
+    e.u64(busy_cycles_.value());
+    e.u64(wait_cycles_.value());
+    e.u64(transactions_);
+  }
+  void decode(store::Decoder& d) {
+    free_at_ = Cycle{d.u64()};
+    busy_cycles_ = Cycle{d.u64()};
+    wait_cycles_ = Cycle{d.u64()};
+    transactions_ = d.u64();
+  }
 
   void reset();
 

@@ -13,6 +13,7 @@
 
 #include "common/check.hh"
 #include "common/types.hh"
+#include "store/codec.hh"
 
 namespace ascoma::sim {
 
@@ -39,6 +40,22 @@ class Scheduler {
   /// Picks the runnable processor with the smallest ready cycle.  It is a
   /// deadlock (checked) for every live processor to be blocked.
   ProcId pick() const;
+
+  // Checkpoint serialization (encode/decode stay adjacent — pairing check).
+  void encode(store::Encoder& e) const {
+    e.u64(ready_.size());
+    for (const Cycle c : ready_) e.u64(c.value());
+    for (const State s : state_) e.u8(static_cast<std::uint8_t>(s));
+    e.u32(live_);
+  }
+  void decode(store::Decoder& d) {
+    const std::uint64_t n = d.u64();
+    if (n != ready_.size())
+      throw store::CodecError("scheduler size mismatch");
+    for (Cycle& c : ready_) c = Cycle{d.u64()};
+    for (State& s : state_) s = static_cast<State>(d.u8());
+    live_ = d.u32();
+  }
 
  private:
   enum class State : std::uint8_t { kRunnable, kBlocked, kDone };

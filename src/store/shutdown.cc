@@ -1,0 +1,42 @@
+#include "store/shutdown.hh"
+
+#include <atomic>
+
+namespace ascoma::store {
+
+namespace {
+
+// Lock-free atomics are async-signal-safe, and unlike sig_atomic_t they are
+// also safe to poll from the sweep's worker threads.
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_requested{false};
+
+extern "C" void on_shutdown_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_release);
+  // Second delivery: fall back to the default disposition so a wedged drain
+  // can still be interrupted.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+}
+
+bool shutdown_requested() {
+  return g_requested.load(std::memory_order_acquire);
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+const std::atomic<bool>* shutdown_flag() { return &g_requested; }
+
+void set_shutdown_requested(int signal) {
+  g_signal.store(signal, std::memory_order_relaxed);
+  g_requested.store(signal != 0, std::memory_order_release);
+}
+
+}  // namespace ascoma::store

@@ -1,0 +1,34 @@
+#pragma once
+
+// Graceful-shutdown flag shared by the CLI, the sweep runner, and
+// obs::CrashExporter.  install_shutdown_handler() routes SIGINT and SIGTERM
+// to an async-signal-safe flag; nothing else happens in the handler.  The
+// main thread polls shutdown_requested() between jobs, drains in-flight
+// work, flushes the manifest and any registered crash exporters, and prints
+// the resume command — so an operator Ctrl-C costs at most the jobs already
+// running, exactly like a kill -9 but with a tidy report.
+
+#include <atomic>
+#include <csignal>
+
+namespace ascoma::store {
+
+/// Install the SIGINT/SIGTERM handler (idempotent).  A second delivery of
+/// either signal restores the default disposition, so a stuck drain can
+/// still be killed by pressing Ctrl-C twice.
+void install_shutdown_handler();
+
+/// True once SIGINT or SIGTERM was delivered.
+bool shutdown_requested();
+
+/// The flag itself, for code that polls it from worker threads
+/// (core::SweepOptions::stop).  Never null; lock-free.
+const std::atomic<bool>* shutdown_flag();
+
+/// The signal that triggered shutdown (0 when none yet).
+int shutdown_signal();
+
+/// Test hook: simulate or clear a delivery without raising a real signal.
+void set_shutdown_requested(int signal);
+
+}  // namespace ascoma::store

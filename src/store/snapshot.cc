@@ -1,0 +1,15 @@
+#include "store/snapshot.hh"
+
+#include "store/record_file.hh"
+
+namespace ascoma::store {
+
+void write_snapshot_file(const std::string& path, const Snapshot& snap) {
+  write_record(path, snap.bytes);
+}
+
+Snapshot read_snapshot_file(const std::string& path) {
+  return Snapshot{read_record(path)};
+}
+
+}  // namespace ascoma::store

@@ -1,0 +1,301 @@
+#include "store/store.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "store/record_file.hh"
+
+namespace ascoma::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kResultSuffix = ".result";
+constexpr const char* kCorruptSuffix = ".corrupt";
+constexpr const char* kManifestName = "sweep.manifest.jsonl";
+
+/// One process-wide lock serializes manifest appends across sweep workers.
+std::mutex manifest_mu;
+
+/// Append one fsync'd line to `path` under the process-wide manifest lock.
+void append_manifest_line(const std::string& path,
+                          const std::string& json_line) {
+  const std::lock_guard<std::mutex> g(manifest_mu);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0)
+    throw std::runtime_error("cannot open manifest " + path + ": " +
+                             std::strerror(errno));
+  const std::string line = json_line + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ::ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("manifest write failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// The campaign-identity line write_campaign journals.
+std::string campaign_line(const std::vector<std::string>& argv) {
+  std::ostringstream os;
+  os << "{\"sweep\":\"campaign\",\"argv\":[";
+  for (std::size_t i = 0; i < argv.size(); ++i)
+    os << (i ? "," : "") << '"' << json_escape_min(argv[i]) << '"';
+  os << "]}";
+  return os.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string json_escape_min(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string StoreReport::to_string() const {
+  std::ostringstream os;
+  os << "store: " << records << " cached result"
+     << (records == 1 ? "" : "s");
+  if (quarantined > 0) {
+    os << ", " << quarantined << " corrupt record"
+       << (quarantined == 1 ? "" : "s") << " quarantined (";
+    for (std::size_t i = 0; i < quarantined_names.size(); ++i)
+      os << (i ? ", " : "") << quarantined_names[i] << kCorruptSuffix;
+    os << ')';
+  }
+  if (prior_corrupt > 0)
+    os << ", " << prior_corrupt << " previously quarantined";
+  return os.str();
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw std::runtime_error("cannot create store directory " + dir_ + ": " +
+                             ec.message());
+
+  // Open scan: checksum every record once so corruption is reported at
+  // sweep start (and quarantined exactly once), not rediscovered per job.
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_))
+    names.push_back(entry.path().filename().string());
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (ends_with(name, kCorruptSuffix)) {
+      ++report_.prior_corrupt;
+      continue;
+    }
+    if (!ends_with(name, kResultSuffix)) continue;  // manifest, stray .tmp
+    const std::string path = dir_ + "/" + name;
+    bool corrupt = false;
+    const auto payload = try_read_record(path, &corrupt);
+    if (payload) {
+      ++report_.records;
+      keys_.push_back(
+          name.substr(0, name.size() - std::strlen(kResultSuffix)));
+      continue;
+    }
+    if (corrupt) {
+      std::error_code rec;
+      fs::rename(path, path + kCorruptSuffix, rec);
+      ++report_.quarantined;
+      report_.quarantined_names.push_back(name);
+    }
+  }
+  std::sort(keys_.begin(), keys_.end());
+}
+
+std::string ResultStore::record_path(const std::string& key) const {
+  return dir_ + "/" + key + kResultSuffix;
+}
+
+std::string ResultStore::manifest_path() const {
+  return dir_ + "/" + kManifestName;
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  return std::binary_search(keys_.begin(), keys_.end(), key);
+}
+
+std::optional<std::vector<std::uint8_t>> ResultStore::load(
+    const std::string& key) {
+  if (!contains(key)) return std::nullopt;
+  const std::string path = record_path(key);
+  bool corrupt = false;
+  auto payload = try_read_record(path, &corrupt);
+  if (!payload && corrupt) {
+    std::error_code rec;
+    fs::rename(path, path + kCorruptSuffix, rec);
+  }
+  return payload;
+}
+
+void ResultStore::save(const std::string& key,
+                       const std::vector<std::uint8_t>& payload,
+                       std::uint64_t nonce) {
+  write_record(record_path(key), payload, nonce);
+}
+
+void ResultStore::append_manifest(const std::string& json_line) {
+  append_manifest_line(manifest_path(), json_line);
+}
+
+void ResultStore::write_campaign(const std::vector<std::string>& argv) {
+  std::error_code ec;
+  if (fs::exists(manifest_path(), ec)) return;  // resume keeps the original
+  append_manifest(campaign_line(argv));
+}
+
+void ResultStore::write_campaign(const std::string& dir,
+                                 const std::vector<std::string>& argv) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("cannot create store directory " + dir + ": " +
+                             ec.message());
+  const std::string path = dir + "/" + kManifestName;
+  if (fs::exists(path, ec)) return;  // resume keeps the original
+  append_manifest_line(path, campaign_line(argv));
+}
+
+std::optional<std::vector<std::string>> ResultStore::read_campaign(
+    const std::string& dir) {
+  std::string line;
+  {
+    std::FILE* f = std::fopen((dir + "/" + kManifestName).c_str(), "r");
+    if (f == nullptr) return std::nullopt;
+    char buf[1 << 16];
+    if (std::fgets(buf, sizeof buf, f) == nullptr) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    std::fclose(f);
+    line = buf;
+  }
+  const std::string marker = "\"argv\":[";
+  const auto at = line.find(marker);
+  if (line.find("\"campaign\"") == std::string::npos ||
+      at == std::string::npos)
+    return std::nullopt;
+
+  // Minimal JSON string-array scanner (we wrote this line ourselves; the
+  // escapes used are exactly those json_escape_min produces).
+  std::vector<std::string> argv;
+  std::size_t i = at + marker.size();
+  while (i < line.size() && line[i] != ']') {
+    if (line[i] == ',' || line[i] == ' ') {
+      ++i;
+      continue;
+    }
+    if (line[i] != '"') return std::nullopt;
+    ++i;
+    std::string arg;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n':
+            arg += '\n';
+            break;
+          case 't':
+            arg += '\t';
+            break;
+          case 'u': {
+            if (i + 4 >= line.size()) return std::nullopt;
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(line.substr(i + 1, 4).c_str(), nullptr, 16));
+            arg += static_cast<char>(code);
+            i += 4;
+            break;
+          }
+          default:
+            arg += line[i];
+        }
+      } else {
+        arg += line[i];
+      }
+      ++i;
+    }
+    if (i >= line.size()) return std::nullopt;
+    ++i;  // closing quote
+    argv.push_back(std::move(arg));
+  }
+  if (i >= line.size()) return std::nullopt;
+  return argv;
+}
+
+StoreReport ResultStore::verify(const std::string& dir) {
+  StoreReport r;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; ++it)
+    names.push_back(it->path().filename().string());
+  if (ec) throw std::runtime_error("cannot scan " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (ends_with(name, kCorruptSuffix)) {
+      ++r.prior_corrupt;
+      continue;
+    }
+    if (!ends_with(name, kResultSuffix)) continue;
+    bool corrupt = false;
+    if (try_read_record(dir + "/" + name, &corrupt)) {
+      ++r.records;
+    } else if (corrupt) {
+      ++r.quarantined;
+      r.quarantined_names.push_back(name);
+    }
+  }
+  return r;
+}
+
+}  // namespace ascoma::store

@@ -1,0 +1,97 @@
+#pragma once
+
+// Content-addressed result store + append-only manifest journal — the
+// campaign-durability half of ARCHITECTURE.md §15.
+//
+// A store directory holds one `<key>.result` record per completed sweep job,
+// where `key` is the job's canonical content hash (core::job_fingerprint).
+// Records are written atomically (store/record_file.hh), so after a kill -9
+// the directory contains only complete, verified results plus at most one
+// abandoned `.tmp` file; anything that fails verification is renamed to
+// `<name>.corrupt` (quarantined — reported once at open, never re-trusted,
+// never silently re-run on every resume).
+//
+// The manifest `sweep.manifest.jsonl` is the campaign journal: line one
+// records the campaign identity (the exact argv of the launching command),
+// then one fsync'd JSON line per job completion.  `ascoma_sim --resume DIR`
+// replays the campaign argv against the same store, so finished jobs are
+// cache hits and the final result vector — and CSV — is byte-identical to
+// an uninterrupted run.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ascoma::store {
+
+/// Escape `s` for a JSON string literal (manifest lines).
+std::string json_escape_min(const std::string& s);
+
+/// Health census of one store directory.
+struct StoreReport {
+  std::uint64_t records = 0;        ///< verified `.result` records
+  std::uint64_t quarantined = 0;    ///< corrupt records renamed this scan
+  std::uint64_t prior_corrupt = 0;  ///< `.corrupt` files from earlier scans
+  std::vector<std::string> quarantined_names;
+
+  bool clean() const { return quarantined == 0 && prior_corrupt == 0; }
+  /// One-line summary for the sweep-start report.
+  std::string to_string() const;
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) `dir`, scans and checksums every record,
+  /// and quarantines corrupt ones.  Throws std::runtime_error when the
+  /// directory cannot be created or scanned.
+  explicit ResultStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  const StoreReport& report() const { return report_; }
+
+  /// Payload of record `key`, or nullopt on miss.  A record that turned
+  /// corrupt since the open scan is quarantined on the spot.
+  std::optional<std::vector<std::uint8_t>> load(const std::string& key);
+
+  /// Atomically persist `payload` as `<key>.result`.  `nonce` keeps
+  /// concurrent writers' temp files distinct (callers pass the job index).
+  void save(const std::string& key, const std::vector<std::uint8_t>& payload,
+            std::uint64_t nonce);
+
+  bool contains(const std::string& key) const;
+
+  /// Append one fsync'd line to the manifest journal (thread-safe).
+  void append_manifest(const std::string& json_line);
+
+  /// Record the campaign identity as the manifest's first line (no-op when
+  /// a manifest already exists — a resume keeps the original identity).
+  void write_campaign(const std::vector<std::string>& argv);
+
+  /// Same, without opening/scanning the store: creates `dir` if missing and
+  /// writes the campaign line.  The CLI journals the campaign *before* the
+  /// sweep starts so a kill during the very first job is still resumable.
+  static void write_campaign(const std::string& dir,
+                             const std::vector<std::string>& argv);
+
+  /// The campaign argv recorded in `dir`'s manifest, or nullopt when the
+  /// manifest is missing or malformed.
+  static std::optional<std::vector<std::string>> read_campaign(
+      const std::string& dir);
+
+  /// Checksum every record in `dir` without mutating anything
+  /// (`--store-verify`): returns the census; `quarantined_names` lists the
+  /// records that failed.
+  static StoreReport verify(const std::string& dir);
+
+  std::string manifest_path() const;
+
+ private:
+  std::string record_path(const std::string& key) const;
+
+  std::string dir_;
+  StoreReport report_;
+  std::vector<std::string> keys_;  ///< verified keys from the open scan
+};
+
+}  // namespace ascoma::store

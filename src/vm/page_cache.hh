@@ -7,6 +7,7 @@
 // plus the clock list of active S-COMA pages implement the 4.4BSD-style
 // allocation the paper builds on.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -15,6 +16,7 @@
 
 #include "common/check.hh"
 #include "common/types.hh"
+#include "store/codec.hh"
 
 namespace ascoma::vm {
 
@@ -46,6 +48,38 @@ class PageCache {
   /// is responsible for ref-bit handling and for calling remove_active() on
   /// eviction.
   std::optional<VPageId> rotate();
+
+  // Checkpoint serialization.  `free_` and `clock_` are order-sensitive (the
+  // allocator and second-chance clock depend on their sequence) and are
+  // written in order; `active_` is membership-only, so it is written sorted
+  // for a canonical byte image and rebuilt on decode (encode/decode adjacent
+  // — pairing check).
+  void encode(store::Encoder& e) const {
+    e.u32(capacity_);
+    e.u64(free_.size());
+    for (const FrameId f : free_) e.u32(f.value());
+    e.u64(clock_.size());
+    for (const VPageId p : clock_) e.u64(p.value());
+    std::vector<std::uint64_t> act;
+    act.reserve(active_.size());
+    for (const VPageId p : active_) act.push_back(p.value());
+    std::sort(act.begin(), act.end());
+    e.u64(act.size());
+    for (const std::uint64_t p : act) e.u64(p);
+  }
+  void decode(store::Decoder& d) {
+    if (d.u32() != capacity_)
+      throw store::CodecError("page cache geometry mismatch");
+    free_.clear();
+    const std::uint64_t nfree = d.u64();
+    for (std::uint64_t i = 0; i < nfree; ++i) free_.push_back(FrameId{d.u32()});
+    clock_.clear();
+    const std::uint64_t nclock = d.u64();
+    for (std::uint64_t i = 0; i < nclock; ++i) clock_.push_back(VPageId{d.u64()});
+    active_.clear();
+    const std::uint64_t nact = d.u64();
+    for (std::uint64_t i = 0; i < nact; ++i) active_.insert(VPageId{d.u64()});
+  }
 
  private:
   std::uint32_t capacity_;

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Kill-resume property test (ARCHITECTURE.md §15): SIGKILL a store-backed
+# sweep at a seeded point mid-run, resume it from the manifest, and require
+# the final CSV to be byte-identical to an uninterrupted run's.  The kill
+# point is derived from KILL_RESUME_SEED so CI can vary it run to run while
+# any failure stays reproducible from the logged seed.
+#
+#   usage: kill_resume.sh <path-to-ascoma-cli>
+
+set -u
+
+BIN="${1:?usage: kill_resume.sh <path-to-ascoma-cli>}"
+SEED="${KILL_RESUME_SEED:-20260808}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+ARGS=(--workload fft --arch all --pressure 30,70 --scale 2 --threads 2)
+
+# Reference: the same sweep, uninterrupted and storeless.  Its wall time
+# also calibrates the kill delay.
+t0=$(date +%s%N)
+"$BIN" "${ARGS[@]}" --csv ref.csv >/dev/null 2>&1 \
+  || { echo "FAIL: reference run failed"; exit 1; }
+t1=$(date +%s%N)
+ref_ms=$(( (t1 - t0) / 1000000 ))
+
+# Seeded kill point: 25%..74% of the reference wall time.
+frac=$(( 25 + SEED % 50 ))
+delay_ms=$(( ref_ms * frac / 100 ))
+echo "seed=$SEED ref=${ref_ms}ms kill at ${delay_ms}ms (${frac}%)"
+
+"$BIN" "${ARGS[@]}" --store st --csv out.csv >/dev/null 2>victim.log &
+pid=$!
+sleep "$(awk "BEGIN{print $delay_ms/1000}")"
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null
+
+if [ -f out.csv ]; then
+  echo "note: sweep finished before the kill landed; comparing directly"
+else
+  records=$(ls st/*.result 2>/dev/null | wc -l)
+  echo "killed with $records result record(s) persisted; resuming"
+  "$BIN" --resume st >/dev/null 2>resume.log \
+    || { echo "FAIL: resume failed"; cat resume.log; exit 1; }
+fi
+
+if ! cmp ref.csv out.csv; then
+  echo "FAIL: resumed CSV differs from the uninterrupted run (seed=$SEED)"
+  diff ref.csv out.csv | head -10
+  exit 1
+fi
+
+# The store must verify clean after the crash + resume cycle.
+"$BIN" --store-verify st >/dev/null \
+  || { echo "FAIL: store failed verification after resume"; exit 1; }
+
+echo "PASS: CSV byte-identical after kill -9 + --resume (seed=$SEED)"

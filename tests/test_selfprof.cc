@@ -221,6 +221,7 @@ SimspeedDoc sample_doc() {
   a.wall_ns = 200'000'000;  // 200 ms
   a.peak_rss_bytes = 16 << 20;
   a.allocs = 1000;
+  a.store_ns = 12'345;
   SimspeedRow b = a;
   b.label = "CCNUMA";
   b.arch = "CCNUMA";
@@ -250,6 +251,7 @@ TEST(Simspeed, WriteParseRoundTrip) {
     EXPECT_EQ(back.rows[i].wall_ns, doc.rows[i].wall_ns);
     EXPECT_EQ(back.rows[i].peak_rss_bytes, doc.rows[i].peak_rss_bytes);
     EXPECT_EQ(back.rows[i].allocs, doc.rows[i].allocs);
+    EXPECT_EQ(back.rows[i].store_ns, doc.rows[i].store_ns);
   }
 }
 
@@ -471,12 +473,17 @@ TEST(SweepTelemetry, ProgressLineFormat) {
   EXPECT_NE(line.find("\"sweep\":\"progress\""), std::string::npos);
   EXPECT_NE(line.find("\"done\":3"), std::string::npos);
   EXPECT_NE(line.find("\"total\":10"), std::string::npos);
+  EXPECT_NE(line.find("\"cached\":0"), std::string::npos);
   EXPECT_NE(line.find("\"wall_ms\":2000"), std::string::npos);
   EXPECT_NE(line.find("\"sim_cycles\":500"), std::string::npos);
   EXPECT_NE(line.find("\"sim_rate_hz\":250"), std::string::npos);
   // Mean-job ETA: 2 s / 3 done * 7 remaining = 4666 ms.
   EXPECT_NE(line.find("\"eta_ms\":4666"), std::string::npos);
   EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const std::string hit_line =
+      progress_line(3, 10, selfprof::HostNs{2'000'000'000}, Cycle{500}, 2);
+  EXPECT_NE(hit_line.find("\"cached\":2"), std::string::npos);
 }
 
 TEST(SweepTelemetry, ProgressHeartbeatAlwaysEndsComplete) {

@@ -1,0 +1,157 @@
+// Machine checkpoint/restore tests (ARCHITECTURE.md §15): for every
+// architecture model, a run interrupted at a checkpoint and resumed in a
+// fresh machine must finish with a bit-identical RunResult; snapshots must
+// refuse to restore into a differently-built machine; and the default-on
+// self-check must hold (save → restore → save is byte-stable).
+
+#include "core/machine.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/check.hh"
+#include "core/sweep_store.hh"
+#include "store/codec.hh"
+#include "store/snapshot.hh"
+#include "workload/workload.hh"
+
+namespace ascoma::core {
+namespace {
+
+constexpr double kScale = 0.1;
+
+MachineConfig config_for(ArchModel arch) {
+  MachineConfig cfg;
+  cfg.arch = arch;
+  cfg.memory_pressure = 0.7;
+  return cfg;
+}
+
+/// Canonical bytes of a RunResult — the equality the golden CSV depends on.
+std::vector<std::uint8_t> canon(const RunResult& r) {
+  store::Encoder e;
+  encode_run_result(e, r);
+  return e.bytes();
+}
+
+const std::vector<ArchModel> kAllArchs = {
+    ArchModel::kCcNuma, ArchModel::kScoma, ArchModel::kRNuma,
+    ArchModel::kVcNuma, ArchModel::kAsComa};
+
+TEST(Snapshot, FreshMachineSaveRestoreSaveIsByteStable) {
+  const auto wl = workload::make_workload("fft", kScale);
+  ASSERT_NE(wl, nullptr);
+  for (ArchModel arch : kAllArchs) {
+    const MachineConfig cfg = config_for(arch);
+    Machine a(cfg, *wl);
+    store::Snapshot snap;
+    a.save(&snap);
+    EXPECT_FALSE(snap.empty());
+
+    Machine b(cfg, *wl);
+    b.restore(snap);
+    store::Snapshot again;
+    b.save(&again);
+    EXPECT_EQ(snap, again) << to_string(arch);
+  }
+}
+
+TEST(Snapshot, ResumedRunMatchesUninterruptedRunAllArchitectures) {
+  const auto wl = workload::make_workload("fft", kScale);
+  ASSERT_NE(wl, nullptr);
+  for (ArchModel arch : kAllArchs) {
+    const MachineConfig cfg = config_for(arch);
+
+    Machine reference(cfg, *wl);
+    const RunResult expect = reference.run();
+
+    // Checkpoint mid-run (self-check on by default: every snapshot must
+    // round-trip byte-identically through a scratch machine or the run
+    // fails here).
+    std::vector<store::Snapshot> snaps;
+    Machine interrupted(cfg, *wl);
+    interrupted.set_checkpoint(
+        Cycle{expect.cycles().value() / 3},
+        [&snaps](const store::Snapshot& s, Cycle) { snaps.push_back(s); });
+    const RunResult through = interrupted.run();
+    ASSERT_GE(snaps.size(), 2u) << to_string(arch);
+    // Checkpointing itself never changes simulated behaviour.
+    EXPECT_EQ(canon(through), canon(expect)) << to_string(arch);
+
+    // Resume from each snapshot — early and late — and finish the run.
+    for (const store::Snapshot& snap : {snaps.front(), snaps.back()}) {
+      Machine resumed(cfg, *wl);
+      resumed.restore(snap);
+      const RunResult got = resumed.run();
+      EXPECT_EQ(canon(got), canon(expect)) << to_string(arch);
+    }
+  }
+}
+
+TEST(Snapshot, RestoreRefusesMismatchedConfig) {
+  const auto wl = workload::make_workload("fft", kScale);
+  Machine a(config_for(ArchModel::kAsComa), *wl);
+  store::Snapshot snap;
+  a.save(&snap);
+
+  // Different architecture: different machine fingerprint.
+  Machine b(config_for(ArchModel::kScoma), *wl);
+  EXPECT_THROW(b.restore(snap), store::CodecError);
+
+  // Different workload shape: also refused.
+  const auto other = workload::make_workload("radix", kScale);
+  Machine c(config_for(ArchModel::kAsComa), *other);
+  EXPECT_THROW(c.restore(snap), store::CodecError);
+}
+
+TEST(Snapshot, RestoreRefusesTamperedBytes) {
+  const auto wl = workload::make_workload("fft", kScale);
+  Machine a(config_for(ArchModel::kAsComa), *wl);
+  store::Snapshot snap;
+  a.save(&snap);
+
+  store::Snapshot truncated = snap;
+  truncated.bytes.resize(truncated.bytes.size() / 2);
+  Machine b(config_for(ArchModel::kAsComa), *wl);
+  EXPECT_THROW(b.restore(truncated), store::CodecError);
+}
+
+TEST(Snapshot, RestoreRefusesAfterRun) {
+  const auto wl = workload::make_workload("fft", kScale);
+  Machine a(config_for(ArchModel::kCcNuma), *wl);
+  store::Snapshot snap;
+  a.save(&snap);
+  a.run();
+  EXPECT_THROW(a.restore(snap), CheckFailure);
+}
+
+TEST(Snapshot, FileRoundTripThroughRecordFraming) {
+  const auto wl = workload::make_workload("fft", kScale);
+  Machine a(config_for(ArchModel::kAsComa), *wl);
+  store::Snapshot snap;
+  a.save(&snap);
+
+  const std::string path =
+      (std::string(::getenv("TMPDIR") ? ::getenv("TMPDIR") : "/tmp")) +
+      "/ascoma_snapshot_test.ckpt";
+  store::write_snapshot_file(path, snap);
+  const store::Snapshot back = store::read_snapshot_file(path);
+  EXPECT_EQ(back, snap);
+  ::remove(path.c_str());
+}
+
+TEST(Snapshot, SetCheckpointRejectsZeroInterval) {
+  const auto wl = workload::make_workload("fft", kScale);
+  Machine a(config_for(ArchModel::kAsComa), *wl);
+  EXPECT_THROW(
+      a.set_checkpoint(Cycle{0}, [](const store::Snapshot&, Cycle) {}),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace ascoma::core

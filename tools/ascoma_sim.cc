@@ -38,6 +38,24 @@
 //                       sweep runs (jobs done/total, sim-rate, ETA)
 //   --progress-interval-ms N   heartbeat period (default 1000)
 //
+// Durability (ARCHITECTURE.md §15):
+//   --store DIR         content-addressed result store: completed sweep jobs
+//                       are persisted into DIR and identical jobs are served
+//                       from it instead of re-simulating; a manifest journal
+//                       records the campaign so it can be resumed
+//   --resume DIR        re-run the campaign recorded in DIR's manifest:
+//                       finished jobs are cache hits, the result vector (and
+//                       CSV) is byte-identical to an uninterrupted run
+//   --store-verify DIR  checksum every record in DIR and exit 0 (all clean)
+//                       or 1 (corruption found); mutates nothing
+//   --checkpoint-every N   snapshot the machine every N simulated cycles
+//                       (single arch/pressure; atomic write + self-check)
+//   --checkpoint-file PATH where to write the snapshot (default ascoma.ckpt)
+//   --restore FILE      restore a snapshot and continue the interrupted run
+//                       (same config/workload enforced by fingerprint)
+//   SIGINT/SIGTERM drain in-flight jobs, flush the manifest and any crash
+//   exporters, and print the resume command before exiting 128+signal.
+//
 // Fault injection & robustness (defaults leave results bit-identical):
 //   --fault-drop P        per-message drop probability (0..1)
 //   --fault-dup P         per-message duplication probability (0..1)
@@ -60,11 +78,15 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "core/machine.hh"
 #include "core/sweep.hh"
 #include "obs/export.hh"
 #include "obs/sink.hh"
 #include "prof/profiler.hh"
 #include "report/report.hh"
+#include "store/shutdown.hh"
+#include "store/snapshot.hh"
+#include "store/store.hh"
 #include "trace/trace.hh"
 #include "workload/workload.hh"
 
@@ -102,6 +124,12 @@ struct Options {
   Cycle watchdog_cycles{0};
   Cycle nack_busy{0};
   std::optional<bool> check_invariants;
+  std::string store_dir;
+  std::string resume_dir;
+  std::string store_verify_dir;
+  Cycle checkpoint_every{0};
+  std::string checkpoint_file = "ascoma.ckpt";
+  std::string restore_path;
 
   bool observing() const {
     return !events_path.empty() || !perfetto_path.empty() ||
@@ -135,6 +163,9 @@ std::vector<std::string> split(const std::string& s, char sep) {
       "                  [--fault-jitter-cycles N] [--fault-seed N]\n"
       "                  [--watchdog-cycles N] [--nack-busy N]\n"
       "                  [--check-invariants | --no-check-invariants]\n"
+      "                  [--store DIR | --resume DIR | --store-verify DIR]\n"
+      "                  [--checkpoint-every N] [--checkpoint-file PATH]\n"
+      "                  [--restore FILE]\n"
       "workloads:";
   for (const auto& n : workload::workload_names()) std::cerr << ' ' << n;
   std::cerr << "\narchitectures: ccnuma scoma rnuma vcnuma ascoma all\n";
@@ -264,6 +295,20 @@ Options parse(int argc, char** argv) {
       o.check_invariants = true;
     } else if (a == "--no-check-invariants") {
       o.check_invariants = false;
+    } else if (a == "--store") {
+      o.store_dir = need_value(i);
+    } else if (a == "--resume") {
+      o.resume_dir = need_value(i);
+    } else if (a == "--store-verify") {
+      o.store_verify_dir = need_value(i);
+    } else if (a == "--checkpoint-every") {
+      o.checkpoint_every = Cycle{parse_u64(need_value(i), "--checkpoint-every")};
+      if (o.checkpoint_every == Cycle{0})
+        usage("--checkpoint-every must be > 0");
+    } else if (a == "--checkpoint-file") {
+      o.checkpoint_file = need_value(i);
+    } else if (a == "--restore") {
+      o.restore_path = need_value(i);
     } else if (a == "--verbose") {
       o.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -278,7 +323,44 @@ Options parse(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
+  Options opt = parse(argc, argv);
+
+  // --store-verify is a mode, not a run: checksum the store and report.
+  if (!opt.store_verify_dir.empty()) {
+    try {
+      const store::StoreReport rep =
+          store::ResultStore::verify(opt.store_verify_dir);
+      std::cout << rep.to_string();
+      for (const auto& name : rep.quarantined_names)
+        std::cout << "\ncorrupt: " << name;
+      std::cout << '\n';
+      return rep.clean() ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "store verify failed: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  // --resume re-parses the campaign argv recorded in the store's manifest,
+  // so a resumed sweep is option-for-option the original one (with the
+  // store forced to the resume directory, in case paths were relative).
+  if (!opt.resume_dir.empty()) {
+    const std::string dir = opt.resume_dir;
+    const auto campaign = store::ResultStore::read_campaign(dir);
+    if (!campaign || campaign->empty()) {
+      std::cerr << "no campaign manifest in " << dir
+                << " (was the sweep launched with --store?)\n";
+      return 1;
+    }
+    std::vector<std::string> args = *campaign;
+    std::vector<char*> cargv;
+    cargv.reserve(args.size());
+    for (auto& a : args) cargv.push_back(a.data());
+    opt = parse(static_cast<int>(cargv.size()), cargv.data());
+    opt.store_dir = dir;
+    std::cerr << "resuming campaign from " << dir << '\n';
+  }
+
   if ((opt.observing() || opt.profiling() || opt.selfprofiling()) &&
       (opt.archs.size() > 1 || opt.pressures.size() > 1))
     usage(
@@ -286,6 +368,17 @@ int main(int argc, char** argv) {
         "arch and pressure");
   if (!opt.trace_path.empty() && (opt.selfprofiling() || opt.progress))
     usage("--selfprof/--progress need a generated workload, not --trace");
+
+  const bool direct_run =
+      opt.checkpoint_every > Cycle{0} || !opt.restore_path.empty();
+  if (direct_run && (opt.archs.size() > 1 || opt.pressures.size() > 1))
+    usage("--checkpoint-every/--restore need a single arch and pressure");
+  if (direct_run && !opt.store_dir.empty())
+    usage(
+        "--checkpoint-every/--restore run one simulation directly; "
+        "--store/--resume apply to sweeps");
+
+  store::install_shutdown_handler();
 
   // Resolve the workload (generator or trace).
   std::unique_ptr<workload::Workload> wl;
@@ -345,7 +438,46 @@ int main(int argc, char** argv) {
     core::RunResult result;
   };
   std::vector<Row> rows;
-  if (!opt.trace_path.empty()) {
+  if (direct_run) {
+    // Checkpointed / restored single run: drive the Machine directly so the
+    // snapshot hooks are reachable (the sweep runner owns its machines).
+    MachineConfig cfg = base;
+    cfg.arch = opt.archs.front();
+    cfg.memory_pressure = opt.pressures.front();
+    struct Interrupted {};
+    try {
+      core::Machine m(cfg, *wl);
+      if (!opt.restore_path.empty()) {
+        m.restore(store::read_snapshot_file(opt.restore_path));
+        std::cerr << "restored checkpoint " << opt.restore_path << '\n';
+      }
+      if (opt.checkpoint_every > Cycle{0}) {
+        const std::string path = opt.checkpoint_file;
+        m.set_checkpoint(
+            opt.checkpoint_every,
+            [&path](const store::Snapshot& snap, Cycle at) {
+              store::write_snapshot_file(path, snap);
+              std::cerr << "checkpoint written to " << path << " at cycle "
+                        << at << '\n';
+              // Graceful interruption lands on a checkpoint boundary: the
+              // snapshot just written is the resume token.
+              if (store::shutdown_requested()) throw Interrupted{};
+            });
+      }
+      rows.push_back({cfg.arch, cfg.memory_pressure, m.run()});
+    } catch (const Interrupted&) {
+      if (crash.flush() > 0)
+        std::cerr << "event trace flushed for post-mortem analysis\n";
+      std::cerr << "interrupted; resume with: " << argv[0]
+                << " ... --restore " << opt.checkpoint_file << '\n';
+      return 128 + store::shutdown_signal();
+    } catch (const std::exception& e) {
+      std::cerr << "run failed: " << e.what() << '\n';
+      if (crash.flush() > 0)
+        std::cerr << "event trace flushed for post-mortem analysis\n";
+      return 1;
+    }
+  } else if (!opt.trace_path.empty()) {
     // Trace workloads can't be reopened by name per sweep job, so they run
     // serially in-process against the one loaded TraceWorkload.
     for (ArchModel arch : opt.archs) {
@@ -393,6 +525,19 @@ int main(int argc, char** argv) {
     sopts.progress_interval_ms = opt.progress_interval_ms;
     sopts.sink = sink ? &*sink : nullptr;
     sopts.collect = opt.selfprofiling();
+    sopts.store_dir = opt.store_dir;
+    sopts.stop = store::shutdown_flag();
+    if (!opt.store_dir.empty()) {
+      // Journal the campaign identity before the first job so a kill at any
+      // point leaves a resumable manifest.
+      try {
+        store::ResultStore::write_campaign(
+            opt.store_dir, std::vector<std::string>(argv, argv + argc));
+      } catch (const std::exception& e) {
+        std::cerr << "cannot journal campaign: " << e.what() << '\n';
+        return 1;
+      }
+    }
     std::vector<core::SweepResult> sweep;
     try {
       sweep = core::run_sweep(std::move(jobs), sopts);
@@ -401,6 +546,21 @@ int main(int argc, char** argv) {
       if (crash.flush() > 0)
         std::cerr << "event trace flushed for post-mortem analysis\n";
       return 1;
+    }
+    if (store::shutdown_requested()) {
+      // Graceful shutdown: in-flight jobs drained (and journaled when a
+      // store is attached); the table/CSV would be partial, so skip them.
+      if (crash.flush() > 0)
+        std::cerr << "event trace flushed for post-mortem analysis\n";
+      std::size_t finished = 0;
+      for (const auto& r : sweep)
+        if (r.result.stats.parallel_cycles > Cycle{0}) ++finished;
+      std::cerr << "interrupted: " << finished << '/' << sweep.size()
+                << " jobs finished\n";
+      if (!opt.store_dir.empty())
+        std::cerr << "resume with: " << argv[0] << " --resume "
+                  << opt.store_dir << '\n';
+      return 128 + store::shutdown_signal();
     }
     if (opt.selfprofiling()) {
       // Single job (enforced above), so the sweep has exactly one collector.

@@ -20,6 +20,14 @@ Enforces, over src/ (CI runs this on every push):
    geometric period scaling).  Anywhere else, casting a strong type's raw
    value is a smell: use the named conversions.
 
+3. Encode/decode pairing (ARCHITECTURE.md §15): every serialization function
+   taking a ``store::Encoder&`` must have its decode twin — same name with
+   ``encode`` -> ``decode``, taking a ``store::Decoder&`` — declared or
+   defined within ENCODE_DECODE_MAX_GAP lines *after* it in the same file,
+   and vice versa.  Textual adjacency is what makes a reviewer see both
+   sides of a field change; the codec's section length check catches the
+   drift at runtime, this rule catches it at review time.
+
 Two front ends: libclang over build/compile_commands.json when the python
 bindings are importable (AST-accurate), else a regex fallback with the same
 findings format.  The finding set is a zero baseline — any new finding fails.
@@ -194,6 +202,60 @@ def lint_cast_escapes(root: Path) -> list:
     return findings
 
 
+# ---- rule 3: encode/decode pairing ------------------------------------------
+
+# A signature (declaration or definition) that takes the codec's Encoder or
+# Decoder by reference.  Call sites pass values, not types, so they never
+# match.
+# \s includes newlines: signatures that wrap after the function name (long
+# parameter types) still match when scanned over the whole file text.
+ENCODE_SIG_RE = re.compile(r"\b(\w*encode\w*)\s*\(\s*(?:ascoma::)?(?:store::)?Encoder\s*&")
+DECODE_SIG_RE = re.compile(r"\b(\w*decode\w*)\s*\(\s*(?:ascoma::)?(?:store::)?Decoder\s*&")
+
+# Widest allowed distance from an encode signature to its decode twin (the
+# longest encoder body in the tree is encode_config at ~63 lines; keep the
+# bound tight enough that "adjacent" stays meaningful).
+ENCODE_DECODE_MAX_GAP = 80
+
+
+def lint_encode_decode_pairs(root: Path) -> list:
+    findings = []
+    for path in iter_sources(root):
+        rel = path.relative_to(root).as_posix()
+        text = strip_comments(path.read_text())
+        encodes = []  # (lineno, name)
+        decodes = []
+        for m in ENCODE_SIG_RE.finditer(text):
+            encodes.append((text.count("\n", 0, m.start()) + 1, m.group(1)))
+        for m in DECODE_SIG_RE.finditer(text):
+            decodes.append((text.count("\n", 0, m.start()) + 1, m.group(1)))
+        for lineno, name in encodes:
+            twin = name.replace("encode", "decode")
+            if not any(
+                d_name == twin and lineno < d_line <= lineno + ENCODE_DECODE_MAX_GAP
+                for d_line, d_name in decodes
+            ):
+                findings.append(
+                    f"{rel}:{lineno}: '{name}(store::Encoder&)' has no "
+                    f"'{twin}(store::Decoder&)' within "
+                    f"{ENCODE_DECODE_MAX_GAP} lines after it — keep "
+                    f"encode/decode pairs textually adjacent"
+                )
+        for lineno, name in decodes:
+            twin = name.replace("decode", "encode")
+            if not any(
+                e_name == twin and lineno - ENCODE_DECODE_MAX_GAP <= e_line < lineno
+                for e_line, e_name in encodes
+            ):
+                findings.append(
+                    f"{rel}:{lineno}: '{name}(store::Decoder&)' has no "
+                    f"'{twin}(store::Encoder&)' within "
+                    f"{ENCODE_DECODE_MAX_GAP} lines before it — keep "
+                    f"encode/decode pairs textually adjacent"
+                )
+    return findings
+
+
 # ---- driver -----------------------------------------------------------------
 
 
@@ -223,6 +285,7 @@ def run(root: Path) -> list:
         findings = lint_params_regex(root)
         mode = "regex fallback"
     findings += lint_cast_escapes(root)
+    findings += lint_encode_decode_pairs(root)
     return findings, mode
 
 
@@ -232,6 +295,10 @@ void advance(std::uint64_t now_cycles, std::uint32_t home_node);
 void map_page(uint64_t page, std::size_t frame);
 void sleep_for(std::uint64_t wall_ns);
 inline double f(Cycle c) { return static_cast<double>(c.value()); }
+void encode(store::Encoder& e);
+void encode_widget(store::Encoder& e, const Widget& w);
+void decode_widget(store::Decoder& d, Widget* w);
+void decode_orphan(store::Decoder& d);
 }
 """
 
@@ -244,9 +311,16 @@ def self_test(root: Path) -> int:
         bad_root = Path(tmp)
         (bad_root / "src" / "sim").mkdir(parents=True)
         (bad_root / "src" / "sim" / "bad.hh").write_text(SELF_TEST_BAD)
-        findings = lint_params_regex(bad_root) + lint_cast_escapes(bad_root)
+        findings = (lint_params_regex(bad_root) + lint_cast_escapes(bad_root)
+                    + lint_encode_decode_pairs(bad_root))
+    # encode_widget/decode_widget are adjacent and must NOT be flagged; the
+    # bare 'encode' and 'decode_orphan' have no twins and must be.
+    if any("encode_widget" in f for f in findings):
+        print("lint_types: SELF-TEST FAILED — flagged a paired encode")
+        return 1
     wanted = ["now_cycles", "home_node", "'page'", "'frame'", "wall_ns",
-              "static_cast escape"]
+              "static_cast escape", "'encode(store::Encoder&)' has no",
+              "'decode_orphan(store::Decoder&)' has no"]
     missing = [w for w in wanted if not any(w in f for f in findings)]
     if missing:
         print(f"lint_types: SELF-TEST FAILED — did not flag: {missing}")
@@ -275,7 +349,8 @@ def main() -> int:
         print(f"lint_types: {len(findings)} finding(s) [{mode}]")
         return 1
     print(f"lint_types: OK [{mode}] (no bare-integer dimension parameters; "
-          f"no static_cast escapes outside boundary files)")
+          f"no static_cast escapes outside boundary files; all encode/decode "
+          f"pairs adjacent)")
     return 0
 
 
