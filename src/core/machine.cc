@@ -110,6 +110,30 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
   cmem_->set_sink(sink_);
   install_profiler(cfg_.profiler);
 
+  registry_ = cfg_.registry;
+  if (registry_ != nullptr) {
+    for (NodeId n{0}; n.value() < cfg_.nodes; ++n) {
+      const std::vector<obs::Label> labels{
+          {"node", std::to_string(n.value())}};
+      NodeGauges g;
+      g.free_frames = &registry_->gauge(
+          "ascoma_node_free_frames",
+          "Free page-cache frames per node (live sample)", labels);
+      g.threshold = &registry_->gauge(
+          "ascoma_node_threshold",
+          "Adaptive replacement back-off threshold per node (live sample)",
+          labels);
+      g.cache_active = &registry_->gauge(
+          "ascoma_node_cache_active_pages",
+          "Active S-COMA page-cache pages per node (live sample)", labels);
+      g.remote_misses = &registry_->gauge(
+          "ascoma_node_remote_misses",
+          "Cumulative remote misses per node of the sampled job (live sample)",
+          labels);
+      node_gauges_.push_back(g);
+    }
+  }
+
   node_stats_.assign(cfg_.total_procs(), NodeStats{});
   if (!cfg_.blocking_stores) {
     store_buffer_.assign(cfg_.total_procs(),
@@ -153,7 +177,14 @@ void Machine::take_samples(Cycle cycle) {
     for (std::uint32_t p = n.value() * cfg_.procs_per_node;
          p < (n.value() + 1) * cfg_.procs_per_node; ++p)
       s.remote_misses += node_stats_[p].misses.remote();
-    sink_->add_sample(s);
+    if (sink_ != nullptr) sink_->add_sample(s);
+    if (registry_ != nullptr) {
+      const NodeGauges& g = node_gauges_[n.value()];
+      g.free_frames->set(s.free_frames);
+      g.threshold->set(s.threshold);
+      g.cache_active->set(s.cache_active);
+      g.remote_misses->set(s.remote_misses);
+    }
   }
 }
 
@@ -564,7 +595,7 @@ RunResult Machine::run() {
     // Gauge sampling: the global clock (min ready cycle) just crossed a
     // sample boundary.  One catch-up sample per crossing, stamped at the
     // boundary the clock passed.
-    if (sink_ && sampler_.due(now)) {
+    if ((sink_ != nullptr || registry_ != nullptr) && sampler_.due(now)) {
       take_samples(sampler_.boundary());
       sampler_.advance(now);
     }
@@ -602,7 +633,8 @@ RunResult Machine::run() {
 
   // Close the time series with the end-of-run state so the last row of the
   // metrics export agrees with RunResult::final_threshold and friends.
-  if (sink_ && sampler_.enabled()) take_samples(end_cycle_);
+  if ((sink_ != nullptr || registry_ != nullptr) && sampler_.enabled())
+    take_samples(end_cycle_);
   if (prof_) prof_->set_run_cycles(end_cycle_);
 
   RunResult r;

@@ -26,6 +26,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "fault/invariants.hh"
+#include "obs/metrics.hh"
 #include "obs/sink.hh"
 #include "prof/profiler.hh"
 #include "proto/coherent_memory.hh"
@@ -217,6 +218,16 @@ class Machine {
   obs::EventSink* sink_ = nullptr;  ///< non-owning; null = observability off
   obs::Sampler sampler_;
   prof::Profiler* prof_ = nullptr;  ///< non-owning; null = profiling off
+  obs::Registry* registry_ = nullptr;  ///< non-owning; null = no live gauges
+  /// Registry gauge handles, resolved once at construction (the registry's
+  /// find-or-create takes a mutex; sampling must not).
+  struct NodeGauges {
+    obs::Gauge* free_frames = nullptr;
+    obs::Gauge* threshold = nullptr;
+    obs::Gauge* cache_active = nullptr;
+    obs::Gauge* remote_misses = nullptr;
+  };
+  std::vector<NodeGauges> node_gauges_;  ///< one row per node; empty when off
   bool ran_ = false;
   bool resumed_ = false;  ///< restore() ran; run() continues mid-stream
   Cycle end_cycle_{0};    ///< max completion cycle seen so far

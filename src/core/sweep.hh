@@ -27,6 +27,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,10 @@
 #include "obs/sink.hh"
 #include "selfprof/clock.hh"
 #include "selfprof/collector.hh"
+
+namespace ascoma::obs {
+class Registry;  // live-metrics registry (src/obs/metrics.hh)
+}
 
 namespace ascoma::core {
 
@@ -57,6 +62,10 @@ struct SweepTiming {
   /// SweepOptions::store_dir is empty — the store is zero-cost when off.
   selfprof::HostNs store{0};
   bool cached = false;             ///< satisfied from the result store
+  /// Host time this job spent publishing to the live observability plane
+  /// (status board, metrics registry, event tail).  Always 0 when
+  /// SweepOptions::serve_port is unset — serving is zero-cost when off.
+  selfprof::HostNs serve{0};
 };
 
 struct SweepResult {
@@ -94,6 +103,22 @@ struct SweepOptions {
   /// when it reads true, workers finish their in-flight job — persisting it
   /// to the store as usual — and claim no further jobs.
   const std::atomic<bool>* stop = nullptr;
+  /// Engage the live observability plane: bind an obsd::Server to
+  /// 127.0.0.1:<port> (0 = ephemeral) for the duration of the sweep, serving
+  /// GET /metrics (Prometheus), /progress (heartbeat JSON), /jobs +
+  /// /jobs/<fingerprint> (status board), and /events?last=N (event tail).
+  /// Unset = no server, no serve thread, no registry traffic — runs are
+  /// byte-identical to a build without the plane.  A bind failure is
+  /// reported once on std::cerr and the sweep proceeds unserved.
+  std::optional<std::uint16_t> serve_port;
+  /// Invoked once with the bound port when the server is listening (useful
+  /// with serve_port 0); never invoked when the bind fails.
+  std::function<void(std::uint16_t)> serve_ready;
+  /// Metrics registry the served sweep publishes into.  nullptr = the sweep
+  /// owns a private registry for the server's lifetime; non-null lets the
+  /// caller keep scraping (or asserting, in tests) after run_sweep returns.
+  /// Ignored when serve_port is unset.
+  obs::Registry* registry = nullptr;
 };
 
 /// Runs all jobs on up to `opts.threads` worker threads.  Results are
@@ -106,15 +131,17 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
 std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
                                    unsigned threads = 0);
 
-/// The heartbeat line run_sweep emits (exposed for tests and the future
-/// sweep daemon): single-line JSON, no trailing newline.  `wall` is the
-/// sweep's elapsed host time, `cycles_done` the simulated cycles completed
-/// so far; ETA extrapolates mean job wall time over the remainder.
+/// The heartbeat line run_sweep emits (exposed for tests and the sweep
+/// daemon's `GET /progress`): single-line JSON, no trailing newline.  `wall`
+/// is the sweep's elapsed host time, `cycles_done` the simulated cycles
+/// completed so far; ETA extrapolates mean job wall time over the remainder.
 /// `cached` counts jobs satisfied from the result store (always 0 when no
-/// store is configured).
+/// store is configured).  `seq` is the heartbeat's monotonic sequence
+/// number (0-based) so a polling consumer can tell a fresh beat from a
+/// re-read.
 std::string progress_line(std::size_t done, std::size_t total,
                           selfprof::HostNs wall, Cycle cycles_done,
-                          std::size_t cached = 0);
+                          std::size_t cached = 0, std::uint64_t seq = 0);
 
 /// Convenience builder: the full paper grid for one workload — every
 /// architecture crossed with the given pressures (CC-NUMA once, since it is

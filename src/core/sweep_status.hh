@@ -1,0 +1,91 @@
+#pragma once
+
+// SweepStatusBoard — the shared per-job status table behind obsd's
+// `GET /jobs` and `GET /jobs/<fingerprint>` endpoints.
+//
+// run_sweep owns one board per served sweep: workers mark jobs running /
+// finished under the board's mutex, the heartbeat thread parks its latest
+// progress line here (promoting the stderr heartbeat to `GET /progress`),
+// and the serve thread renders JSON snapshots on demand.  All rendering
+// happens under the same mutex — scrapes see a consistent table, and every
+// caller-supplied string (labels, workload names) passes through
+// obs::json_escape on the way out.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace ascoma::core {
+
+/// One job's live row on the board.
+struct JobStatus {
+  enum class State : std::uint8_t {
+    kPending,   ///< not yet claimed by a worker
+    kRunning,   ///< simulate() in flight
+    kDone,      ///< simulated to completion
+    kCached,    ///< satisfied from the result store
+    kFailed,    ///< the job threw (the sweep rethrows after joining)
+  };
+
+  State state = State::kPending;
+  std::string label;
+  std::string workload;
+  std::string arch;
+  double pressure = 0.0;
+  std::string fingerprint;          ///< content-hash hex (store identity)
+  selfprof::HostNs started{0};      ///< sweep-relative claim time
+  selfprof::HostNs finished{0};     ///< sweep-relative completion time
+  SweepTiming timing;               ///< valid once finished
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t accesses = 0;
+  /// Selfprof attribution summary (site name -> inclusive ns), present only
+  /// when the sweep collected and the job simulated.
+  std::vector<std::pair<std::string, std::uint64_t>> selfprof_ns;
+};
+
+const char* to_string(JobStatus::State s);
+
+class SweepStatusBoard {
+ public:
+  /// (Re)populate the board: one pending row per job, in job order.
+  /// `fingerprints` must be parallel to `jobs`.
+  void reset(const std::vector<SweepJob>& jobs,
+             const std::vector<std::string>& fingerprints);
+
+  void mark_running(std::size_t i, selfprof::HostNs since_sweep_start);
+  /// `state` is kDone, kCached, or kFailed.
+  void mark_finished(std::size_t i, JobStatus::State state,
+                     const SweepResult& r,
+                     selfprof::HostNs since_sweep_start);
+  /// Post-hoc straggler flag (the straggler pass runs after all jobs join).
+  void mark_straggler(std::size_t i);
+
+  /// Park the newest heartbeat line (single-line JSON, no newline).
+  void set_progress(std::string line);
+  /// The parked heartbeat, or a minimal `{"sweep":"progress",...}` stub
+  /// before the first beat.  Always single-line JSON plus '\n'.
+  std::string progress_json() const;
+
+  /// `GET /jobs`: a JSON object with sweep totals and one summary row per
+  /// job.
+  std::string jobs_json() const;
+
+  /// `GET /jobs/<fp>`: the full row whose fingerprint equals `key` or
+  /// starts with it (unique prefix), or whose decimal job index is `key`.
+  /// Empty string when there is no (unique) match.
+  std::string job_json(std::string_view key) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<JobStatus> jobs_;
+  std::string progress_;
+};
+
+}  // namespace ascoma::core

@@ -60,13 +60,18 @@ void json_event_args(std::ostream& os, const Event& e, bool lead_comma) {
 
 }  // namespace
 
+void write_event_json(std::ostream& os, const Event& e) {
+  os << "{\"cycle\":" << e.cycle << ",\"kind\":\"" << to_string(e.kind)
+     << "\",\"node\":" << e.node;
+  if (e.page != kInvalidPage) os << ",\"page\":" << e.page;
+  json_event_args(os, e, true);
+  os << '}';
+}
+
 void write_jsonl(std::ostream& os, const EventSink& sink) {
   for (const Event& e : sink.sorted_events()) {
-    os << "{\"cycle\":" << e.cycle << ",\"kind\":\"" << to_string(e.kind)
-       << "\",\"node\":" << e.node;
-    if (e.page != kInvalidPage) os << ",\"page\":" << e.page;
-    json_event_args(os, e, true);
-    os << "}\n";
+    write_event_json(os, e);
+    os << '\n';
   }
 }
 

@@ -36,6 +36,10 @@ std::string json_escape(std::string_view s);
 /// embedded quotes doubled.
 std::string csv_field(std::string_view s);
 
+/// One event as a single-line JSON object (no trailing newline) — the JSONL
+/// row shape shared by write_jsonl and the obsd `/events` endpoint.
+void write_event_json(std::ostream& os, const Event& e);
+
 void write_jsonl(std::ostream& os, const EventSink& sink);
 void write_perfetto(std::ostream& os, const EventSink& sink,
                     std::uint32_t nodes);

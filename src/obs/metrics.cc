@@ -1,0 +1,235 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hh"
+
+namespace ascoma::obs {
+
+unsigned this_thread_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+// ---- Gauge ------------------------------------------------------------------
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const std::uint64_t n =
+          s.buckets[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+      out.buckets[static_cast<std::size_t>(i)] += n;
+      out.count += n;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// ---- names and escaping -----------------------------------------------------
+
+bool valid_metric_name(std::string_view s, bool label) {
+  if (s.empty()) return false;
+  auto ok = [label](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_')
+      return true;
+    if (c == ':' && !label) return true;
+    return !first && c >= '0' && c <= '9';
+  };
+  if (!ok(s.front(), true)) return false;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (!ok(s[i], false)) return false;
+  return true;
+}
+
+std::string prometheus_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// `# HELP` text: the exposition format only forbids raw newlines (escaped
+/// as \n) and backslashes.
+std::string help_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// Canonical label block `{a="x",b="y"}` (empty string for no labels); the
+/// optional extra pair is the histogram's `le`.
+std::string label_block(const std::vector<Label>& labels,
+                        const std::string* le = nullptr) {
+  if (labels.empty() && le == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prometheus_escape(v);
+    out += '"';
+  }
+  if (le != nullptr) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += *le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string fmt_gauge(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry::Family& Registry::family(std::string_view name,
+                                   std::string_view help, Kind kind) {
+  ASCOMA_CHECK_MSG(valid_metric_name(name),
+                   "invalid metric name: '" << name << "'");
+  const auto it = std::lower_bound(
+      families_.begin(), families_.end(), name,
+      [](const Family& f, std::string_view n) { return f.name < n; });
+  if (it != families_.end() && it->name == name) {
+    ASCOMA_CHECK_MSG(it->kind == kind,
+                     "metric '" << name << "' re-registered as another type");
+    return *it;
+  }
+  Family f;
+  f.name = std::string(name);
+  f.help = std::string(help);
+  f.kind = kind;
+  return *families_.insert(it, std::move(f));
+}
+
+Registry::Child& Registry::child(Family& f, std::vector<Label> labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& [k, v] : labels)
+    ASCOMA_CHECK_MSG(valid_metric_name(k, /*label=*/true),
+                     "invalid label name: '" << k << "'");
+  for (Child& c : f.children)
+    if (c.labels == labels) return c;
+  Child c;
+  c.labels = std::move(labels);
+  f.children.push_back(std::move(c));
+  return f.children.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           std::vector<Label> labels) {
+  const std::lock_guard<std::mutex> g(mu_);
+  Child& c = child(family(name, help, Kind::kCounter), std::move(labels));
+  if (c.counter == nullptr) c.counter = &counters_.emplace_back();
+  return *c.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       std::vector<Label> labels) {
+  const std::lock_guard<std::mutex> g(mu_);
+  Child& c = child(family(name, help, Kind::kGauge), std::move(labels));
+  if (c.gauge == nullptr) c.gauge = &gauges_.emplace_back();
+  return *c.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<Label> labels) {
+  const std::lock_guard<std::mutex> g(mu_);
+  Child& c = child(family(name, help, Kind::kHistogram), std::move(labels));
+  if (c.histogram == nullptr) c.histogram = &histograms_.emplace_back();
+  return *c.histogram;
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  std::size_t n = 0;
+  for (const Family& f : families_) n += f.children.size();
+  return n;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> g(mu_);
+  for (const Family& f : families_) {
+    os << "# HELP " << f.name << ' ' << help_escape(f.help) << '\n';
+    os << "# TYPE " << f.name << ' '
+       << (f.kind == Kind::kCounter    ? "counter"
+           : f.kind == Kind::kGauge    ? "gauge"
+                                       : "histogram")
+       << '\n';
+    for (const Child& c : f.children) {
+      switch (f.kind) {
+        case Kind::kCounter:
+          os << f.name << label_block(c.labels) << ' ' << c.counter->value()
+             << '\n';
+          break;
+        case Kind::kGauge:
+          os << f.name << label_block(c.labels) << ' '
+             << fmt_gauge(c.gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = c.histogram->snapshot();
+          // Cumulative buckets up to the highest non-empty one; the final
+          // +Inf bucket always equals _count, as the format requires.
+          int top = -1;
+          for (int i = 0; i < Histogram::kNumBuckets; ++i)
+            if (snap.buckets[static_cast<std::size_t>(i)] > 0) top = i;
+          std::uint64_t cum = 0;
+          for (int i = 0; i <= top; ++i) {
+            cum += snap.buckets[static_cast<std::size_t>(i)];
+            const std::string le = std::to_string(
+                prof::LatencyHistogram::bucket_upper_bound(i));
+            os << f.name << "_bucket" << label_block(c.labels, &le) << ' '
+               << cum << '\n';
+          }
+          const std::string inf = "+Inf";
+          os << f.name << "_bucket" << label_block(c.labels, &inf) << ' '
+             << snap.count << '\n';
+          os << f.name << "_sum" << label_block(c.labels) << ' ' << snap.sum
+             << '\n';
+          os << f.name << "_count" << label_block(c.labels) << ' '
+             << snap.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ascoma::obs

@@ -1,0 +1,61 @@
+#include "obs/tail.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/export.hh"
+#include "obs/sink.hh"
+
+namespace ascoma::obs {
+
+EventTail::EventTail(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t EventTail::push(const Event& e) {
+  const std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Row{seq, e});
+  } else {
+    ring_[head_] = Row{seq, e};
+    head_ = (head_ + 1) % capacity_;
+  }
+  return seq;
+}
+
+void EventTail::push_sink_tail(const EventSink& sink, std::size_t limit) {
+  const std::vector<Event> events = sink.sorted_events();
+  const std::size_t skip =
+      events.size() > limit ? events.size() - limit : 0;
+  for (std::size_t i = skip; i < events.size(); ++i) push(events[i]);
+}
+
+std::string EventTail::jsonl_tail(std::size_t last) const {
+  const std::lock_guard<std::mutex> g(mu_);
+  const std::size_t n = std::min(last, ring_.size());
+  std::ostringstream os;
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const Row& r = ring_[(head_ + i) % ring_.size()];
+    os << "{\"seq\":" << r.seq << ',';
+    // Splice the seq field into the shared row shape: render the event and
+    // drop its leading '{'.
+    std::ostringstream ev;
+    write_event_json(ev, r.event);
+    os << ev.str().substr(1) << '\n';
+  }
+  return os.str();
+}
+
+std::size_t EventTail::size() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  return ring_.size();
+}
+
+std::uint64_t EventTail::pushed() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  return next_seq_;
+}
+
+}  // namespace ascoma::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+// EventTail — a small thread-safe ring of the most recent events, the data
+// source behind obsd's `GET /events?last=N` endpoint.
+//
+// Unlike EventSink (single-threaded, per-run, keeps the *front* of a trace
+// for post-mortem analysis), the tail is shared by every sweep worker and
+// the serving thread and keeps the *end* of the flow: the newest
+// `capacity()` events win, each stamped with a monotonic sequence number so
+// a polling consumer can detect the events it missed between scrapes.
+// push() takes a mutex — the tail is fed from job boundaries and the serve
+// thread, never from the simulator's per-cycle hot path.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace ascoma::obs {
+
+class EventSink;
+
+class EventTail {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit EventTail(std::size_t capacity = kDefaultCapacity);
+
+  /// Append one event; the oldest event is evicted once full.  Returns the
+  /// sequence number assigned to `e` (starting at 0).
+  std::uint64_t push(const Event& e);
+
+  /// Append the newest `limit` events of a finished job's sink (its events
+  /// in cycle order; earlier ones are skipped, the tail is a tail).
+  void push_sink_tail(const EventSink& sink, std::size_t limit);
+
+  /// The last min(last, size) events as JSONL: one `{"seq":N,...}` object
+  /// per line, oldest first, each row the write_event_json shape plus the
+  /// leading monotonic `seq` field.
+  std::string jsonl_tail(std::size_t last) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Total events ever pushed (== the next sequence number).
+  std::uint64_t pushed() const;
+
+ private:
+  struct Row {
+    std::uint64_t seq = 0;
+    Event event;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Row> ring_;    // ring buffer once size() == capacity_
+  std::size_t head_ = 0;     // index of the oldest row when full
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ascoma::obs

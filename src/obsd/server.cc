@@ -1,0 +1,285 @@
+#include "obsd/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace ascoma::obsd {
+
+namespace {
+
+// Per-connection budget: a client that dribbles its request line slower than
+// this is cut off so the single serve thread can never be parked forever.
+constexpr int kReadTickMs = 50;
+constexpr int kReadBudgetMs = 2000;
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  return flags >= 0 && ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+/// Write all of `data`, tolerating short writes and EINTR.
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint64_t query_u64(const std::string& query, const std::string& key,
+                        std::uint64_t fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(pos, eq - pos, key) == 0) {
+      const std::string value = query.substr(eq + 1, end - eq - 1);
+      if (!value.empty() &&
+          value.find_first_not_of("0123456789") == std::string::npos &&
+          value.size() <= 19) {
+        return std::stoull(value);
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+void Server::route(std::string path, Handler h) {
+  exact_.emplace_back(std::move(path), std::move(h));
+}
+
+void Server::route_prefix(std::string prefix, Handler h) {
+  prefix_.emplace_back(std::move(prefix), std::move(h));
+  std::stable_sort(prefix_.begin(), prefix_.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.first.size() > y.first.size();
+                   });
+}
+
+bool Server::start(std::uint16_t port) {
+  if (serving_) {
+    error_ = "already serving";
+    return false;
+  }
+  error_.clear();
+  stop_requested_.store(false, std::memory_order_relaxed);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  set_cloexec(listen_fd_);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, by design
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error_ = std::string("bind 127.0.0.1: ") + std::strerror(errno);
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  set_cloexec(wake_rd_);
+  set_cloexec(wake_wr_);
+
+  serving_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!serving_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 'x';
+  // A full pipe already guarantees a pending wake-up; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+  thread_.join();
+  close_quiet(listen_fd_);
+  close_quiet(wake_rd_);
+  close_quiet(wake_wr_);
+  listen_fd_ = wake_rd_ = wake_wr_ = -1;
+  serving_ = false;
+}
+
+void Server::serve_loop() {
+  pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_rd_;
+  fds[1].events = POLLIN;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    fds[0].revents = fds[1].revents = 0;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;  // poll is broken; bail rather than spin
+    }
+    if (fds[1].revents != 0) return;  // stop() woke us
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn >= 0) {
+        set_cloexec(conn);
+        handle_connection(conn);
+        close_quiet(conn);
+      }
+    }
+  }
+}
+
+bool Server::read_request(int fd, std::string* raw) {
+  char buf[1024];
+  int waited_ms = 0;
+  while (raw->find("\r\n\r\n") == std::string::npos &&
+         raw->find("\n\n") == std::string::npos) {
+    if (stop_requested_.load(std::memory_order_relaxed)) return false;
+    if (waited_ms >= kReadBudgetMs || raw->size() > kMaxRequestBytes) {
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kReadTickMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) {
+      waited_ms += kReadTickMs;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // client closed before finishing the request
+    }
+    raw->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+Response Server::dispatch(const Request& req) {
+  for (const auto& [path, handler] : exact_) {
+    if (req.path == path) return handler(req);
+  }
+  for (const auto& [prefix, handler] : prefix_) {
+    if (req.path.size() > prefix.size() &&
+        req.path.compare(0, prefix.size(), prefix) == 0) {
+      return handler(req);
+    }
+  }
+  return Response{404, "text/plain; charset=utf-8",
+                  "not found: " + req.path + "\n"};
+}
+
+void Server::handle_connection(int fd) {
+  std::string raw;
+  if (!read_request(fd, &raw)) return;
+
+  // Request line: METHOD SP PATH[?QUERY] SP VERSION.
+  const std::size_t eol = raw.find_first_of("\r\n");
+  std::istringstream line(raw.substr(0, eol));
+  std::string method, target;
+  line >> method >> target;
+
+  Request req;
+  req.method = method;
+  const std::size_t q = target.find('?');
+  req.path = target.substr(0, q);
+  if (q != std::string::npos) req.query = target.substr(q + 1);
+
+  Response resp;
+  std::string extra_headers;
+  if (method.empty() || target.empty()) {
+    resp = Response{400, "text/plain; charset=utf-8", "malformed request\n"};
+  } else if (method != "GET") {
+    resp = Response{405, "text/plain; charset=utf-8",
+                    "method not allowed: " + method + "\n"};
+    extra_headers = "Allow: GET\r\n";
+  } else {
+    resp = dispatch(req);
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.0 " << resp.status << ' ' << status_text(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size() << "\r\n"
+      << extra_headers << "Connection: close\r\n\r\n"
+      << resp.body;
+  write_all(fd, out.str());
+  ::shutdown(fd, SHUT_WR);
+
+  if (hook_) hook_(resp.status, resp.body.size(), req.path);
+}
+
+}  // namespace ascoma::obsd

@@ -1,0 +1,112 @@
+#pragma once
+
+// obsd — the embedded observability HTTP server.
+//
+// A deliberately tiny, dependency-free HTTP/1.0-style server: one blocking
+// poll() loop on one dedicated thread, bound to 127.0.0.1 only (the plane is
+// a local diagnostic tap, not a network service), GET-only, one request per
+// connection (`Connection: close`).  Handlers are plain std::functions fed by
+// whoever owns the server (core::run_sweep wires /metrics, /progress, /jobs,
+// /events); obsd itself knows nothing about simulators, sweeps, or metrics —
+// it speaks sockets and routes, which is what keeps it below src/core in the
+// dependency order.
+//
+// Lifecycle: construct, register routes, start(port) (port 0 picks an
+// ephemeral port; port() reports the bound one), stop() wakes the loop via a
+// self-pipe and joins.  stop() is safe to call at any time, including while
+// a request is mid-flight: per-connection reads poll with a short tick and
+// re-check the stop flag, so shutdown never hangs on a slow client.
+//
+// Thread-safety: route()/set_request_hook() must happen before start();
+// start()/stop()/port()/running() may be called from any one owner thread.
+// Handlers run on the serve thread — they must be internally synchronized
+// against whatever state they read (Registry and EventTail are; the status
+// board takes its own mutex).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ascoma::obsd {
+
+/// A parsed request line.  `path` excludes the query string; `query` is the
+/// raw text after '?' (empty when absent).
+struct Request {
+  std::string method;
+  std::string path;
+  std::string query;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// First `key=value` for `key` in a raw query string, or `fallback` when the
+/// key is absent or its value is not a base-10 number.
+std::uint64_t query_u64(const std::string& query, const std::string& key,
+                        std::uint64_t fallback);
+
+/// Reason phrase for the handful of statuses obsd emits ("OK", "Not Found",
+/// ...); "Unknown" otherwise.
+const char* status_text(int status);
+
+class Server {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+  /// Observed after every answered request: (status, body bytes, path).
+  /// Runs on the serve thread.
+  using RequestHook = std::function<void(int, std::size_t, const std::string&)>;
+
+  Server() = default;
+  ~Server() { stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register an exact-match route (e.g. "/metrics").
+  void route(std::string path, Handler h);
+  /// Register a prefix-match route (e.g. "/jobs/"); consulted after exact
+  /// routes, longest prefix first.
+  void route_prefix(std::string prefix, Handler h);
+  void set_request_hook(RequestHook hook) { hook_ = std::move(hook); }
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-chosen ephemeral port), start the
+  /// serve thread.  Returns false (and records last_error()) on any socket
+  /// failure; no thread is spawned on failure.
+  bool start(std::uint16_t port);
+  /// The bound port after a successful start() (useful with port 0).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return serving_; }
+  /// Wake the poll loop and join the serve thread.  Idempotent.
+  void stop();
+
+  const std::string& last_error() const { return error_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  bool read_request(int fd, std::string* raw);
+  Response dispatch(const Request& req);
+
+  std::vector<std::pair<std::string, Handler>> exact_;
+  std::vector<std::pair<std::string, Handler>> prefix_;
+  RequestHook hook_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;   // self-pipe read end (poll target)
+  int wake_wr_ = -1;   // self-pipe write end (stop() writes one byte)
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  bool serving_ = false;
+  std::atomic<bool> stop_requested_{false};
+  std::string error_;
+};
+
+}  // namespace ascoma::obsd

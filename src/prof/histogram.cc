@@ -1,18 +1,6 @@
 #include "prof/histogram.hh"
 
-#include <bit>
-
 namespace ascoma::prof {
-
-int LatencyHistogram::bucket_of(std::uint64_t v) {
-  return static_cast<int>(std::bit_width(v));  // 0 -> 0, [2^(i-1), 2^i) -> i
-}
-
-std::uint64_t LatencyHistogram::bucket_upper_bound(int i) {
-  if (i <= 0) return 0;
-  if (i >= 64) return ~std::uint64_t{0};
-  return (std::uint64_t{1} << i) - 1;
-}
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   if (other.count_ == 0) return;

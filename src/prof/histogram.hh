@@ -13,6 +13,7 @@
 // (access class x latency component).
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -56,9 +57,17 @@ class LatencyHistogram {
   std::uint64_t bucket_count(int i) const { return buckets_[i]; }
 
   /// Bucket index of `v` (its bit width): 0 for 0, 64 for values >= 2^63.
-  static int bucket_of(std::uint64_t v);
+  /// constexpr so other bucketed consumers (the obs metrics registry) share
+  /// these exact bucket boundaries without a link dependency on prof.
+  static constexpr int bucket_of(std::uint64_t v) {
+    return static_cast<int>(std::bit_width(v));  // 0 -> 0, [2^(i-1), 2^i) -> i
+  }
   /// Largest value bucket `i` can hold (2^i - 1; bucket 0 -> 0).
-  static std::uint64_t bucket_upper_bound(int i);
+  static constexpr std::uint64_t bucket_upper_bound(int i) {
+    if (i <= 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
 
  private:
   std::array<std::uint64_t, kNumBuckets> buckets_{};

@@ -185,6 +185,9 @@ bool parse_row(Cursor& c, SimspeedRow& row) {
     } else if (key == "store_ns") {
       if (!c.parse_number(num)) return false;
       row.store_ns = to_u64(num);
+    } else if (key == "serve_ns") {
+      if (!c.parse_number(num)) return false;
+      row.serve_ns = to_u64(num);
     } else {
       if (!c.skip_value()) return false;  // e.g. the derived sim_rate_hz
     }
@@ -217,7 +220,8 @@ void write_simspeed(std::ostream& os, const SimspeedDoc& doc) {
        << ",\"sim_rate_hz\":" << fmt_double(r.sim_rate_hz())
        << ",\"peak_rss_bytes\":" << r.peak_rss_bytes
        << ",\"allocs\":" << r.allocs
-       << ",\"store_ns\":" << r.store_ns << '}';
+       << ",\"store_ns\":" << r.store_ns
+       << ",\"serve_ns\":" << r.serve_ns << '}';
   }
   os << "]}\n";
 }

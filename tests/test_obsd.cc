@@ -1,0 +1,327 @@
+// obsd embedded HTTP server tests (ARCHITECTURE.md §16): a real server on a
+// kernel-chosen ephemeral port talked to over real sockets — routing, 404 /
+// 405 / 400 behaviour, query parsing, clean shutdown while a request is
+// mid-flight — plus the served-sweep integration: scraping /metrics,
+// /progress, /jobs, /jobs/<fingerprint> and /events while a multi-threaded
+// sweep runs, and the zero-cost guarantee that an unserved sweep charges
+// zero serve time (mirroring the result store's StorelessSweepCharges...).
+
+#include "obsd/server.hh"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+
+namespace ascoma {
+namespace {
+
+/// Connect to 127.0.0.1:`port` and return the connected fd, or -1.
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Send `raw` and read the whole response (Connection: close — until EOF).
+/// Empty string when the connection fails.
+std::string http_raw(std::uint16_t port, const std::string& raw) {
+  const int fd = connect_to(port);
+  if (fd < 0) return {};
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + off, raw.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_raw(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+/// Body of a raw response (everything after the blank line).
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string{} : response.substr(pos + 4);
+}
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(ObsdServer, StartsOnEphemeralPortServesAndStops) {
+  obsd::Server srv;
+  srv.route("/ping", [](const obsd::Request&) {
+    return obsd::Response{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+  EXPECT_TRUE(srv.running());
+  EXPECT_NE(srv.port(), 0);
+
+  const std::string resp = http_get(srv.port(), "/ping");
+  EXPECT_TRUE(contains(resp, "HTTP/1.0 200 OK")) << resp;
+  EXPECT_TRUE(contains(resp, "Content-Length: 5")) << resp;
+  EXPECT_TRUE(contains(resp, "Connection: close")) << resp;
+  EXPECT_EQ(body_of(resp), "pong\n");
+
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+  srv.stop();  // idempotent
+}
+
+TEST(ObsdServer, UnknownPathIs404AndHookObservesIt) {
+  obsd::Server srv;
+  srv.route("/ping", [](const obsd::Request&) { return obsd::Response{}; });
+  int hook_status = 0;
+  std::string hook_path;
+  srv.set_request_hook(
+      [&](int status, std::size_t, const std::string& path) {
+        hook_status = status;
+        hook_path = path;
+      });
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+
+  const std::string resp = http_get(srv.port(), "/missing");
+  EXPECT_TRUE(contains(resp, "HTTP/1.0 404 Not Found")) << resp;
+  EXPECT_TRUE(contains(body_of(resp), "not found: /missing")) << resp;
+  srv.stop();
+  EXPECT_EQ(hook_status, 404);
+  EXPECT_EQ(hook_path, "/missing");
+}
+
+TEST(ObsdServer, NonGetIs405WithAllowHeader) {
+  obsd::Server srv;
+  srv.route("/ping", [](const obsd::Request&) { return obsd::Response{}; });
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+  const std::string resp = http_raw(srv.port(), "POST /ping HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(contains(resp, "HTTP/1.0 405 Method Not Allowed")) << resp;
+  EXPECT_TRUE(contains(resp, "Allow: GET")) << resp;
+  srv.stop();
+}
+
+TEST(ObsdServer, MalformedRequestLineIs400) {
+  obsd::Server srv;
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+  const std::string resp = http_raw(srv.port(), "NONSENSE\r\n\r\n");
+  EXPECT_TRUE(contains(resp, "HTTP/1.0 400 Bad Request")) << resp;
+  srv.stop();
+}
+
+TEST(ObsdServer, ExactRoutesWinAndLongestPrefixDispatches) {
+  obsd::Server srv;
+  srv.route("/a/b", [](const obsd::Request&) {
+    return obsd::Response{200, "text/plain; charset=utf-8", "exact\n"};
+  });
+  srv.route_prefix("/a/", [](const obsd::Request&) {
+    return obsd::Response{200, "text/plain; charset=utf-8", "short\n"};
+  });
+  srv.route_prefix("/a/b/", [](const obsd::Request& r) {
+    return obsd::Response{200, "text/plain; charset=utf-8",
+                          "long:" + r.path + "\n"};
+  });
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+  EXPECT_EQ(body_of(http_get(srv.port(), "/a/b")), "exact\n");
+  EXPECT_EQ(body_of(http_get(srv.port(), "/a/b/c")), "long:/a/b/c\n");
+  EXPECT_EQ(body_of(http_get(srv.port(), "/a/x")), "short\n");
+  srv.stop();
+}
+
+TEST(ObsdServer, QueryStringIsSplitAndParsed) {
+  obsd::Server srv;
+  std::string seen_query;
+  srv.route("/events", [&](const obsd::Request& r) {
+    seen_query = r.query;
+    return obsd::Response{};
+  });
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+  const std::string resp = http_get(srv.port(), "/events?last=8&x=1");
+  EXPECT_TRUE(contains(resp, "HTTP/1.0 200 OK")) << resp;
+  srv.stop();
+  EXPECT_EQ(seen_query, "last=8&x=1");
+
+  EXPECT_EQ(obsd::query_u64("last=5", "last", 100), 5u);
+  EXPECT_EQ(obsd::query_u64("a=1&last=7", "last", 100), 7u);
+  EXPECT_EQ(obsd::query_u64("", "last", 100), 100u);
+  EXPECT_EQ(obsd::query_u64("last=abc", "last", 100), 100u);
+  EXPECT_EQ(obsd::query_u64("last=", "last", 100), 100u);
+  EXPECT_EQ(obsd::query_u64("last=99999999999999999999", "last", 100), 100u);
+}
+
+// A client that connects, sends half a request line and then goes silent
+// must not wedge shutdown: the per-connection read loop polls with a short
+// tick and re-checks the stop flag, so stop() returns promptly instead of
+// waiting out the 2 s read budget.
+TEST(ObsdServer, StopsCleanlyWhileRequestIsMidFlight) {
+  obsd::Server srv;
+  srv.route("/ping", [](const obsd::Request&) { return obsd::Response{}; });
+  ASSERT_TRUE(srv.start(0)) << srv.last_error();
+
+  const int fd = connect_to(srv.port());
+  ASSERT_GE(fd, 0);
+  const char partial[] = "GET /pi";  // no terminator, never completed
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+  // Give the serve thread a moment to accept and enter the read loop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  srv.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000))
+      << "stop() waited out the read budget instead of honouring the flag";
+  ::close(fd);
+}
+
+// ---- served sweep integration ---------------------------------------------
+
+std::vector<core::SweepJob> small_jobs(std::size_t n, double scale) {
+  std::vector<core::SweepJob> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::SweepJob j;
+    j.config.arch = ArchModel::kAsComa;
+    j.config.memory_pressure = 0.5;
+    j.workload = "fft";
+    j.workload_scale = scale;
+    j.label = "job" + std::to_string(i);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+// Scrape every endpoint of a real served sweep.  The serve_ready callback
+// runs on the sweep thread after the server is listening but before any
+// worker starts, so those scrapes see a deterministic all-pending world; a
+// scraper thread then hammers /metrics and /progress concurrently with the
+// 4 worker threads for the rest of the run (the CI TSan job runs this).
+TEST(ObsdSweep, ScrapeDuringLiveMultiThreadedSweep) {
+  std::vector<core::SweepJob> jobs = core::paper_grid("em3d", {0.3, 0.7});
+  for (core::SweepJob& j : jobs) j.workload_scale = 0.3;
+  ASSERT_EQ(jobs.size(), 9u);
+
+  obs::Registry reg;
+  core::SweepOptions opts;
+  opts.threads = 4;
+  opts.serve_port = std::uint16_t{0};
+  opts.registry = &reg;
+
+  std::string metrics0, progress0, jobs0, job0, notfound0, events0;
+  std::atomic<bool> sweep_done{false};
+  std::thread scraper;
+  opts.serve_ready = [&](std::uint16_t port) {
+    // Deterministic: listening, every job still pending.
+    metrics0 = http_get(port, "/metrics");
+    progress0 = http_get(port, "/progress");
+    jobs0 = http_get(port, "/jobs");
+    const std::size_t fp_pos = jobs0.find("\"fingerprint\":\"");
+    if (fp_pos != std::string::npos) {
+      const std::string fp = jobs0.substr(fp_pos + 15, 16);
+      job0 = http_get(port, "/jobs/" + fp);
+    }
+    notfound0 = http_get(port, "/nope");
+    events0 = http_get(port, "/events?last=16");
+    // Concurrent: keep scraping until the sweep finishes.
+    scraper = std::thread([&, port] {
+      while (!sweep_done.load()) {
+        (void)http_get(port, "/metrics");
+        (void)http_get(port, "/progress");
+      }
+    });
+  };
+
+  const std::vector<core::SweepResult> results = core::run_sweep(jobs, opts);
+  sweep_done.store(true);
+  ASSERT_TRUE(scraper.joinable());  // serve_ready must have fired
+  scraper.join();
+
+  // The deterministic scrapes.
+  EXPECT_TRUE(contains(metrics0, "HTTP/1.0 200 OK")) << metrics0;
+  EXPECT_TRUE(contains(metrics0, "version=0.0.4")) << metrics0;
+  EXPECT_TRUE(contains(metrics0, "# TYPE ascoma_sweep_jobs gauge"));
+  EXPECT_TRUE(contains(metrics0, "ascoma_sweep_jobs 9"));
+  EXPECT_TRUE(contains(progress0, "Content-Type: application/json"));
+  EXPECT_TRUE(contains(progress0, "\"sweep\":\"progress\""));
+  EXPECT_TRUE(contains(progress0, "\"done\":0"));
+  EXPECT_TRUE(contains(progress0, "\"total\":9"));
+  EXPECT_TRUE(contains(jobs0, "\"total\":9"));
+  EXPECT_TRUE(contains(jobs0, "\"pending\":9"));
+  EXPECT_TRUE(contains(jobs0, "\"fingerprint\":\""));
+  EXPECT_TRUE(contains(job0, "HTTP/1.0 200 OK")) << job0;
+  EXPECT_TRUE(contains(job0, "\"state\":\"pending\"")) << job0;
+  EXPECT_TRUE(contains(notfound0, "HTTP/1.0 404 Not Found"));
+  // The tail already carries the serve events of the scrapes above.
+  EXPECT_TRUE(contains(events0, "\"seq\":0")) << events0;
+  EXPECT_TRUE(contains(events0, "\"kind\":\"serve_request\"")) << events0;
+  EXPECT_TRUE(contains(events0, "\"kind\":\"serve_error\"")) << events0;
+
+  // The sweep itself is unaffected by being watched.
+  ASSERT_EQ(results.size(), 9u);
+  for (const core::SweepResult& r : results) {
+    EXPECT_GT(r.accesses(), 0u);
+    EXPECT_GT(r.timing.serve.value(), 0u) << r.job.label;
+    EXPECT_EQ(r.result.config.registry, nullptr) << r.job.label;
+  }
+
+  // The caller-owned registry survives run_sweep and holds the final state.
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(contains(text, "ascoma_sweep_jobs_total{state=\"done\"} 9"));
+  EXPECT_TRUE(contains(text, "ascoma_sweep_jobs_running 0"));
+  EXPECT_TRUE(contains(text, "ascoma_sweep_job_wall_ns_count 9"));
+  EXPECT_TRUE(contains(text, "ascoma_sweep_sim_cycles_total"));
+  EXPECT_TRUE(contains(text, "ascoma_events_total{kind="));
+  EXPECT_TRUE(contains(text, "ascoma_node_free_frames{node=\"0\"}"));
+  EXPECT_TRUE(contains(text, "ascoma_serve_requests_total{endpoint=\"metrics\"}"));
+  // Exactly one error response was provoked (the /nope 404).
+  EXPECT_TRUE(contains(text, "ascoma_serve_errors_total 1")) << text;
+}
+
+// Mirror of DurableSweep.StorelessSweepChargesZeroStoreTime: with
+// serve_port unset the observability plane must be completely free — no
+// serve thread, no registry, and a hard zero in the serve_ns column.
+TEST(ObsdSweep, ServelessSweepChargesZeroServeTime) {
+  core::SweepOptions opts;
+  opts.threads = 2;
+  const auto results = core::run_sweep(small_jobs(2, 0.2), opts);
+  ASSERT_EQ(results.size(), 2u);
+  for (const core::SweepResult& r : results) {
+    EXPECT_EQ(r.timing.serve.value(), 0u) << r.job.label;
+    EXPECT_GT(r.timing.wall.value(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ascoma

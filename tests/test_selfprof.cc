@@ -471,6 +471,8 @@ TEST(SweepTelemetry, ProgressLineFormat) {
   EXPECT_EQ(line.front(), '{');
   EXPECT_EQ(line.back(), '}');
   EXPECT_NE(line.find("\"sweep\":\"progress\""), std::string::npos);
+  // `seq` follows the line tag so pollers can spot a re-read (default 0).
+  EXPECT_NE(line.find("\"sweep\":\"progress\",\"seq\":0,"), std::string::npos);
   EXPECT_NE(line.find("\"done\":3"), std::string::npos);
   EXPECT_NE(line.find("\"total\":10"), std::string::npos);
   EXPECT_NE(line.find("\"cached\":0"), std::string::npos);
@@ -484,6 +486,10 @@ TEST(SweepTelemetry, ProgressLineFormat) {
   const std::string hit_line =
       progress_line(3, 10, selfprof::HostNs{2'000'000'000}, Cycle{500}, 2);
   EXPECT_NE(hit_line.find("\"cached\":2"), std::string::npos);
+
+  const std::string seq_line =
+      progress_line(3, 10, selfprof::HostNs{2'000'000'000}, Cycle{500}, 2, 41);
+  EXPECT_NE(seq_line.find("\"seq\":41"), std::string::npos);
 }
 
 TEST(SweepTelemetry, ProgressHeartbeatAlwaysEndsComplete) {

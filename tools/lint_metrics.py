@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (0.0.4) grammar validator for obsd scrapes.
+
+CI's obsd job boots a served sweep, scrapes `GET /metrics`, and feeds the
+body through this linter; tests and humans can do the same with any saved
+scrape.  Checks, over the exposition text alone:
+
+1. Line grammar: every line is a `# HELP <name> <text>`, a
+   `# TYPE <name> counter|gauge|histogram|summary|untyped`, or a sample
+   `name{label="value",...} <number>`; metric and label names match
+   `[a-zA-Z_:][a-zA-Z0-9_:]*` (labels without the ':'), label values use
+   only the `\\\\ \\" \\n` escapes, and the text ends with a newline.
+
+2. Family structure: HELP/TYPE appear at most once per family, TYPE before
+   the family's first sample, families are sorted by name and never
+   interleaved, and counter sample names end in `_total`.
+
+3. Histogram invariants: `_bucket` samples carry an `le` label with
+   non-decreasing cumulative counts, the final bucket is `le="+Inf"`, its
+   value equals `_count`, and `_sum`/`_count` are both present.
+
+Usage: tools/lint_metrics.py [file ...]   (stdin when no file; exit 0 clean,
+       1 findings)
+       tools/lint_metrics.py --self-test  (run the built-in fixture suite)
+"""
+
+import sys
+from pathlib import Path
+
+METRIC_NAME = "name"
+LABEL_NAME = "label"
+
+SAMPLE_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def valid_name(name: str, kind: str = METRIC_NAME) -> bool:
+    if not name:
+        return False
+    extra = ":" if kind == METRIC_NAME else ""
+    first = name[0]
+    if not (first.isalpha() or first == "_" or first in extra):
+        return False
+    return all(c.isalnum() or c == "_" or c in extra for c in name[1:])
+
+
+def valid_number(text: str) -> bool:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def parse_labels(raw: str, where: str, findings: list[str]) -> dict:
+    """Parse `a="b",c="d"` (the text between '{' and '}')."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.find("=", i)
+        if eq < 0 or eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            findings.append(f"{where}: malformed label pair in {{{raw}}}")
+            return labels
+        name = raw[i:eq]
+        if not valid_name(name, LABEL_NAME):
+            findings.append(f"{where}: bad label name '{name}'")
+        j = eq + 2
+        value = []
+        closed = False
+        while j < len(raw):
+            c = raw[j]
+            if c == "\\":
+                if j + 1 >= len(raw) or raw[j + 1] not in ('\\', '"', 'n'):
+                    findings.append(f"{where}: bad escape in label '{name}'")
+                    return labels
+                value.append(raw[j + 1])
+                j += 2
+            elif c == '"':
+                closed = True
+                j += 1
+                break
+            else:
+                value.append(c)
+                j += 1
+        if not closed:
+            findings.append(f"{where}: unterminated label value for '{name}'")
+            return labels
+        if name in labels:
+            findings.append(f"{where}: duplicate label '{name}'")
+        labels[name] = "".join(value)
+        if j < len(raw):
+            if raw[j] != ",":
+                findings.append(f"{where}: expected ',' after label '{name}'")
+                return labels
+            j += 1
+        i = j
+    return labels
+
+
+class Sample:
+    def __init__(self, name: str, labels: dict, value: str):
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+
+def family_of(sample_name: str) -> str:
+    """The family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def check_histogram(name: str, samples: list, findings: list[str]) -> None:
+    buckets = [s for s in samples if s.name == name + "_bucket"]
+    counts = [s for s in samples if s.name == name + "_count"]
+    sums = [s for s in samples if s.name == name + "_sum"]
+    if len(counts) != 1 or len(sums) != 1:
+        findings.append(f"histogram {name}: needs exactly one _count and _sum")
+        return
+    if not buckets:
+        findings.append(f"histogram {name}: no _bucket samples")
+        return
+    prev = -1.0
+    prev_le = None
+    for b in buckets:
+        le = b.labels.get("le")
+        if le is None:
+            findings.append(f"histogram {name}: _bucket without le label")
+            return
+        if prev_le == "+Inf":
+            findings.append(f"histogram {name}: bucket after le=\"+Inf\"")
+        cur = float(b.value)
+        if cur < prev:
+            findings.append(
+                f"histogram {name}: non-cumulative bucket le=\"{le}\"")
+        prev, prev_le = cur, le
+    if prev_le != "+Inf":
+        findings.append(f"histogram {name}: last bucket is not le=\"+Inf\"")
+    elif float(buckets[-1].value) != float(counts[0].value):
+        findings.append(f"histogram {name}: le=\"+Inf\" != _count")
+
+
+def lint_exposition(text: str) -> list[str]:
+    findings: list[str] = []
+    if text and not text.endswith("\n"):
+        findings.append("exposition does not end with a newline")
+
+    helps: set[str] = set()
+    types: dict[str, str] = {}
+    family_order: list[str] = []       # first-appearance order of families
+    sampled: set[str] = set()          # families that already emitted samples
+    samples: dict[str, list] = {}
+
+    def touch(family: str, where: str) -> None:
+        if family not in family_order:
+            if family_order and family < family_order[-1]:
+                findings.append(
+                    f"{where}: family '{family}' out of sorted order "
+                    f"(after '{family_order[-1]}')")
+            family_order.append(family)
+        elif family != family_order[-1]:
+            findings.append(f"{where}: family '{family}' interleaved")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line:
+            findings.append(f"{where}: blank line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                findings.append(f"{where}: malformed comment '{line}'")
+                continue
+            _, keyword, name = parts[0], parts[1], parts[2]
+            if not valid_name(name):
+                findings.append(f"{where}: bad metric name '{name}'")
+                continue
+            touch(name, where)
+            if keyword == "HELP":
+                if name in helps:
+                    findings.append(f"{where}: duplicate HELP for '{name}'")
+                helps.add(name)
+            else:
+                mtype = parts[3] if len(parts) > 3 else ""
+                if mtype not in SAMPLE_TYPES:
+                    findings.append(f"{where}: bad TYPE '{mtype}' for '{name}'")
+                if name in types:
+                    findings.append(f"{where}: duplicate TYPE for '{name}'")
+                if name in sampled:
+                    findings.append(
+                        f"{where}: TYPE for '{name}' after its samples")
+                types[name] = mtype
+            continue
+
+        # A sample line: name[{labels}] value
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                findings.append(f"{where}: unbalanced braces")
+                continue
+            name = line[:brace]
+            labels = parse_labels(line[brace + 1:close], where, findings)
+            rest = line[close + 1:].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = {}
+            rest = rest.strip()
+        value = rest.split(" ")[0]  # an optional timestamp may follow
+        if not valid_name(name):
+            findings.append(f"{where}: bad sample name '{name}'")
+            continue
+        if not valid_number(value):
+            findings.append(f"{where}: bad sample value '{value}'")
+            continue
+        family = family_of(name)
+        if family not in types:
+            family = name  # _sum/_count/_bucket of an undeclared family
+        touch(family, where)
+        sampled.add(family)
+        if types.get(family) == "counter" and not name.endswith("_total"):
+            findings.append(
+                f"{where}: counter sample '{name}' does not end in _total")
+        samples.setdefault(family, []).append(Sample(name, labels, value))
+
+    for family, mtype in types.items():
+        if mtype == "histogram" and family in samples:
+            check_histogram(family, samples[family], findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: each is (name, exposition text, expects-findings).
+
+GOOD = """\
+# HELP ascoma_a_gauge live value
+# TYPE ascoma_a_gauge gauge
+ascoma_a_gauge 7
+# HELP ascoma_m_ns latency
+# TYPE ascoma_m_ns histogram
+ascoma_m_ns_bucket{le="1"} 2
+ascoma_m_ns_bucket{le="+Inf"} 3
+ascoma_m_ns_sum 302
+ascoma_m_ns_count 3
+# HELP ascoma_z_total jobs
+# TYPE ascoma_z_total counter
+ascoma_z_total{state="done",node="0"} 9
+ascoma_z_total{state="esc\\"a\\\\b\\nc"} 1
+"""
+
+SELF_TESTS = [
+    ("clean exposition", GOOD, False),
+    ("no trailing newline", "# HELP a_total h\n# TYPE a_total counter\na_total 1", True),
+    ("unsorted families",
+     "# TYPE z_total counter\nz_total 1\n# TYPE a_gauge gauge\na_gauge 1\n",
+     True),
+    ("interleaved families",
+     "# TYPE a_gauge gauge\na_gauge 1\n# TYPE b_gauge gauge\nb_gauge 1\n"
+     "a_gauge 2\n", True),
+    ("duplicate HELP",
+     "# HELP a_gauge x\n# HELP a_gauge y\n# TYPE a_gauge gauge\na_gauge 1\n",
+     True),
+    ("TYPE after samples", "a_gauge 1\n# TYPE a_gauge gauge\n", True),
+    ("bad metric name", "# TYPE 9bad counter\n9bad 1\n", True),
+    ("bad label escape",
+     '# TYPE a_gauge gauge\na_gauge{l="x\\q"} 1\n', True),
+    ("unterminated label value",
+     '# TYPE a_gauge gauge\na_gauge{l="x} 1\n', True),
+    ("counter without _total", "# TYPE a_jobs counter\na_jobs 1\n", True),
+    ("bad value", "# TYPE a_gauge gauge\na_gauge seven\n", True),
+    ("non-cumulative histogram",
+     "# TYPE h_ns histogram\nh_ns_bucket{le=\"1\"} 5\n"
+     "h_ns_bucket{le=\"+Inf\"} 3\nh_ns_sum 1\nh_ns_count 3\n", True),
+    ("missing +Inf bucket",
+     "# TYPE h_ns histogram\nh_ns_bucket{le=\"1\"} 1\nh_ns_sum 1\n"
+     "h_ns_count 1\n", True),
+    ("+Inf != count",
+     "# TYPE h_ns histogram\nh_ns_bucket{le=\"+Inf\"} 2\nh_ns_sum 1\n"
+     "h_ns_count 3\n", True),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, text, expect_findings in SELF_TESTS:
+        findings = lint_exposition(text)
+        if bool(findings) != expect_findings:
+            failures += 1
+            verdict = "expected findings" if expect_findings else "clean"
+            print(f"SELF-TEST FAIL [{name}]: wanted {verdict}, got:")
+            for f in findings:
+                print(f"  {f}")
+    if failures:
+        print(f"lint_metrics self-test: {failures} fixture(s) failed")
+        return 1
+    print(f"lint_metrics self-test: all {len(SELF_TESTS)} fixtures pass")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--self-test":
+        return self_test()
+    texts = ([Path(p).read_text() for p in argv]
+             if argv else [sys.stdin.read()])
+    total = 0
+    for src, text in zip(argv or ["<stdin>"], texts):
+        findings = lint_exposition(text)
+        for f in findings:
+            print(f"{src}: {f}")
+        total += len(findings)
+    if total:
+        print(f"lint_metrics: {total} finding(s)")
+        return 1
+    print("lint_metrics: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -76,6 +76,7 @@ CAST_BOUNDARY_FILES = {
     "src/selfprof/clock.cc",       # TSC-tick -> nanosecond calibration
     "src/selfprof/collector.cc",   # sim-rate ratios, JSON/CSV exporter
     "src/core/sweep.cc",           # per-job sim-rate / ETA / median math
+    "src/core/sweep_status.cc",    # status-board JSON exporter (sim-rate ratio)
 }
 
 CAST_ESCAPE_RE = re.compile(
