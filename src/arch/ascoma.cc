@@ -32,18 +32,18 @@ bool AsComaPolicy::should_relocate(PolicyEnv& env, VPageId page,
   // page cache is churning equally-hot pages.  Let the upgrade proceed (the
   // page has re-earned the full threshold) but escalate the back-off so the
   // churn rate decays toward zero.
-  if (env.cfg.ascoma_backoff) {
-    const auto it = downgraded_at_.find(page);
-    if (it != downgraded_at_.end()) {
-      if (env.now - it->second <= 2 * env.daemon_period) back_off(env);
-      downgraded_at_.erase(it);
-    }
+  if (env.cfg.ascoma_backoff && page.value() < downgraded_at_.size() &&
+      downgraded_at_[page.value()] != kNeverDowngraded) {
+    if (env.now - downgraded_at_[page.value()] <= 2 * env.daemon_period)
+      back_off(env);
+    downgraded_at_[page.value()] = kNeverDowngraded;
   }
   return relocation_enabled_;  // back_off may have just disabled remapping
 }
 
 void AsComaPolicy::on_replacement(PolicyEnv& env, VPageId victim) {
-  downgraded_at_[victim] = env.now;
+  if (victim.value() >= downgraded_at_.size()) grow_for(victim);
+  downgraded_at_[victim.value()] = env.now;
 }
 
 void AsComaPolicy::on_remap_suppressed(PolicyEnv& env) {

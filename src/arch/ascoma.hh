@@ -21,7 +21,6 @@
 // (time, stats, the hot-page-churn detector).
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/backoff_kernel.hh"
@@ -51,8 +50,15 @@ class AsComaPolicy final : public Policy {
   bool thrashing() const { return kernel_.thrashing(); }
   const BackoffKernel& kernel() const { return kernel_; }
 
-  // Checkpoint serialization.  `downgraded_at_` is written sorted by page so
-  // the byte image is canonical (encode/decode adjacent — pairing check).
+  void reserve_pages(std::uint64_t total_pages) override {
+    if (total_pages > downgraded_at_.size())
+      downgraded_at_.resize(total_pages, kNeverDowngraded);
+  }
+
+  // Checkpoint serialization.  `downgraded_at_` is written as (page, cycle)
+  // pairs in ascending page order so the byte image is canonical and
+  // independent of the array's capacity (encode/decode adjacent — pairing
+  // check).
   void encode(store::Encoder& e) const override {
     Policy::encode(e);
     const BackoffState& st = kernel_.state();
@@ -62,15 +68,14 @@ class AsComaPolicy final : public Policy {
     e.b(st.backed_off_once);
     e.u32(st.success_streak);
     e.u64(last_backoff_.value());
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> dg;
-    dg.reserve(downgraded_at_.size());
-    for (const auto& [page, when] : downgraded_at_)
-      dg.emplace_back(page.value(), when.value());
-    std::sort(dg.begin(), dg.end());
-    e.u64(dg.size());
-    for (const auto& [page, when] : dg) {
-      e.u64(page);
-      e.u64(when);
+    std::uint64_t n = 0;
+    for (const Cycle when : downgraded_at_)
+      if (when != kNeverDowngraded) ++n;
+    e.u64(n);
+    for (std::uint64_t p = 0; p < downgraded_at_.size(); ++p) {
+      if (downgraded_at_[p] == kNeverDowngraded) continue;
+      e.u64(p);
+      e.u64(downgraded_at_[p].value());
     }
   }
   void decode(store::Decoder& d) override {
@@ -83,11 +88,12 @@ class AsComaPolicy final : public Policy {
     st.success_streak = d.u32();
     kernel_.restore(st);
     last_backoff_ = Cycle{d.u64()};
-    downgraded_at_.clear();
+    std::fill(downgraded_at_.begin(), downgraded_at_.end(), kNeverDowngraded);
     const std::uint64_t n = d.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
       const VPageId page{d.u64()};
-      downgraded_at_.emplace(page, Cycle{d.u64()});
+      reserve_pages(page.value() + 1);
+      downgraded_at_[page.value()] = Cycle{d.u64()};
     }
   }
 
@@ -100,12 +106,21 @@ class AsComaPolicy final : public Policy {
     relocation_enabled_ = kernel_.relocation_enabled();
   }
 
+  /// "no recorded downgrade" sentinel — simulated time never reaches 2^64-1.
+  static constexpr Cycle kNeverDowngraded{~std::uint64_t{0}};
+
+  /// Cold growth for direct-construction uses (tests) that never call
+  /// reserve_pages(); simulator runs pre-size the array at machine setup, so
+  /// the hot mutators below stay allocation-free.
+  void grow_for(VPageId page) { reserve_pages(page.value() + 1); }
+
   BackoffKernel kernel_;
   Cycle last_backoff_{0};
-  /// Downgrade timestamps: a page re-earning its upgrade shortly after being
-  /// evicted means the cache is churning equally-hot pages — the paper's
-  /// "replacing hot pages with other hot pages" thrash signature.
-  std::unordered_map<VPageId, Cycle> downgraded_at_;
+  /// Downgrade timestamps indexed by page (kNeverDowngraded = absent): a
+  /// page re-earning its upgrade shortly after being evicted means the cache
+  /// is churning equally-hot pages — the paper's "replacing hot pages with
+  /// other hot pages" thrash signature.
+  std::vector<Cycle> downgraded_at_;
 };
 
 }  // namespace ascoma::arch

@@ -41,6 +41,11 @@ class Policy {
 
   virtual ArchModel model() const = 0;
 
+  /// Pre-size per-page state for `total_pages` shared pages.  Called once at
+  /// machine setup so stateful policies never grow containers on the
+  /// simulation hot path; safe to call again with a larger count.
+  virtual void reserve_pages(std::uint64_t total_pages) { (void)total_pages; }
+
   /// Mapping mode for a remote page at its first touch on this node.
   virtual PageMode initial_mode(PolicyEnv& env) = 0;
 

@@ -6,9 +6,9 @@ namespace ascoma::arch {
 
 void VcNumaPolicy::on_replacement(PolicyEnv& env, VPageId victim) {
   ++window_replacements_;
-  auto it = benefit_.find(victim);
-  const std::uint32_t earned = it == benefit_.end() ? 0 : it->second;
-  if (it != benefit_.end()) benefit_.erase(it);
+  const bool known = victim.value() < benefit_.size();
+  const std::uint32_t earned = known ? benefit_[victim.value()] : 0;
+  if (known) benefit_[victim.value()] = 0;
   if (earned >= break_even_) ++window_earned_;
 
   // The detector is only consulted every `eval_replacements_` replacements

@@ -14,7 +14,6 @@
 // requires non-commodity hardware.
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/policy.hh"
@@ -34,26 +33,34 @@ class VcNumaPolicy final : public Policy {
   PageMode initial_mode(PolicyEnv&) override { return PageMode::kNuma; }
   bool force_eviction_on_upgrade() const override { return true; }
 
-  void on_page_cache_hit(VPageId page) override { ++benefit_[page]; }
+  void reserve_pages(std::uint64_t total_pages) override {
+    if (total_pages > benefit_.size()) benefit_.resize(total_pages, 0);
+  }
+
+  void on_page_cache_hit(VPageId page) override {
+    if (page.value() >= benefit_.size()) grow_for(page);
+    ++benefit_[page.value()];
+  }
   void on_replacement(PolicyEnv& env, VPageId victim) override;
 
   // Exposed for tests/ablation.
   std::uint64_t window_replacements() const { return window_replacements_; }
   std::uint64_t evaluations() const { return evaluations_; }
 
-  // Checkpoint serialization.  `benefit_` is written sorted by page so the
-  // byte image is canonical (encode/decode adjacent — pairing check).
+  // Checkpoint serialization.  `benefit_` is written as (page, earned) pairs
+  // in ascending page order, nonzero counters only, so the byte image is
+  // canonical and independent of the array's capacity (encode/decode
+  // adjacent — pairing check).
   void encode(store::Encoder& e) const override {
     Policy::encode(e);
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> ben;
-    ben.reserve(benefit_.size());
-    for (const auto& [page, earned] : benefit_)
-      ben.emplace_back(page.value(), earned);
-    std::sort(ben.begin(), ben.end());
-    e.u64(ben.size());
-    for (const auto& [page, earned] : ben) {
-      e.u64(page);
-      e.u32(earned);
+    std::uint64_t n = 0;
+    for (const std::uint32_t earned : benefit_)
+      if (earned != 0) ++n;
+    e.u64(n);
+    for (std::uint64_t p = 0; p < benefit_.size(); ++p) {
+      if (benefit_[p] == 0) continue;
+      e.u64(p);
+      e.u32(benefit_[p]);
     }
     e.u64(window_replacements_);
     e.u64(window_earned_);
@@ -61,11 +68,12 @@ class VcNumaPolicy final : public Policy {
   }
   void decode(store::Decoder& d) override {
     Policy::decode(d);
-    benefit_.clear();
+    std::fill(benefit_.begin(), benefit_.end(), 0u);
     const std::uint64_t n = d.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
       const VPageId page{d.u64()};
-      benefit_.emplace(page, d.u32());
+      reserve_pages(page.value() + 1);
+      benefit_[page.value()] = d.u32();
     }
     window_replacements_ = d.u64();
     window_earned_ = d.u64();
@@ -75,12 +83,19 @@ class VcNumaPolicy final : public Policy {
  private:
   void evaluate(PolicyEnv& env);
 
+  /// Cold growth for direct-construction uses (tests) that never call
+  /// reserve_pages(); simulator runs pre-size the array at machine setup, so
+  /// the hot mutators above stay allocation-free.
+  void grow_for(VPageId page) { reserve_pages(page.value() + 1); }
+
   std::uint32_t break_even_;
   double eval_replacements_;
   std::uint32_t increment_;
   std::uint32_t initial_threshold_;
 
-  std::unordered_map<VPageId, std::uint32_t> benefit_;
+  /// Saved-refetch counters indexed by page (0 = never hit, counters are
+  /// always >= 1 once earned).
+  std::vector<std::uint32_t> benefit_;
   std::uint64_t window_replacements_ = 0;
   std::uint64_t window_earned_ = 0;
   std::uint64_t evaluations_ = 0;

@@ -73,6 +73,7 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
     const auto capacity =
         static_cast<std::uint32_t>(frames_per_node_ - home_n);
     page_caches_.push_back(std::make_unique<vm::PageCache>(capacity));
+    page_caches_.back()->reserve_pages(wl_.total_pages());
 
     auto free_min = static_cast<std::uint32_t>(
         static_cast<double>(frames_per_node_) * cfg_.free_min_frac);
@@ -92,6 +93,7 @@ Machine::Machine(MachineConfig cfg, const workload::Workload& workload)
         std::make_unique<vm::PageoutDaemon>(free_min, free_target));
 
     policies_.push_back(arch::make_policy(cfg_));
+    policies_.back()->reserve_pages(wl_.total_pages());
     if (cfg_.arch == ArchModel::kScoma) {
       ASCOMA_CHECK_MSG(capacity >= 1,
                        "pure S-COMA needs at least one page-cache frame");

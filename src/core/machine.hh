@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/policy.hh"
+#include "common/annotate.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -120,7 +121,7 @@ class Machine {
   /// directory, VM tables, policies, RNG-stream positions, stats) into a
   /// versioned tagged snapshot.  Callable mid-run (from the checkpoint hook)
   /// or between runs.
-  void save(store::Snapshot* snap) const;
+  ASCOMA_DETERMINISM_SENSITIVE void save(store::Snapshot* snap) const;
 
   /// Restore a snapshot into this machine.  The machine must be freshly
   /// constructed from the *same* config and workload (verified via a
@@ -147,22 +148,24 @@ class Machine {
 
   /// Map a faulting remote page on `proc`'s node; returns kernel cycles
   /// spent, split into (base, overhead).
-  std::pair<Cycle, Cycle> handle_fault(std::uint32_t proc, VPageId page,
-                                       Cycle now);
+  ASCOMA_HOT_PATH std::pair<Cycle, Cycle> handle_fault(std::uint32_t proc,
+                                                       VPageId page, Cycle now);
 
   /// CC-NUMA -> S-COMA upgrade attempt; returns kernel overhead cycles.
-  Cycle handle_relocation(std::uint32_t proc, VPageId page, Cycle now);
+  ASCOMA_HOT_PATH Cycle handle_relocation(std::uint32_t proc, VPageId page,
+                                          Cycle now);
 
   /// Evict one S-COMA page (flush, downgrade/unmap, release frame).
   /// Returns the kernel cycles the eviction costs.
-  Cycle evict_scoma_page(std::uint32_t proc, VPageId victim, Cycle now);
+  ASCOMA_HOT_PATH Cycle evict_scoma_page(std::uint32_t proc, VPageId victim,
+                                         Cycle now);
 
   /// Pick an eviction victim with one second-chance pass (forced: returns a
   /// page even if all are referenced).
-  VPageId force_select_victim(NodeId node);
+  ASCOMA_HOT_PATH VPageId force_select_victim(NodeId node);
 
   /// Periodic / on-demand pageout daemon; returns kernel cycles spent.
-  Cycle run_daemon(std::uint32_t proc, Cycle now);
+  ASCOMA_HOT_PATH Cycle run_daemon(std::uint32_t proc, Cycle now);
 
   /// Rate-limited daemon trigger: runs the daemon only if the node's pool is
   /// below free_min and at least one daemon period has elapsed since the
@@ -173,9 +176,9 @@ class Machine {
   void release_barrier(Cycle release);
 
   /// Emit an event if a sink is attached (no-op otherwise).
-  void note(obs::EventKind kind, Cycle cycle, NodeId node,
-            VPageId page = kInvalidPage, std::uint64_t a = 0,
-            std::uint64_t b = 0, std::uint64_t c = 0) {
+  ASCOMA_HOT_PATH void note(obs::EventKind kind, Cycle cycle, NodeId node,
+                            VPageId page = kInvalidPage, std::uint64_t a = 0,
+                            std::uint64_t b = 0, std::uint64_t c = 0) {
     if (sink_) {
       const selfprof::SelfScope sps(selfprof::HostSite::kObsEmit);
       sink_->emit(kind, cycle, node, page, a, b, c);
@@ -183,7 +186,7 @@ class Machine {
   }
 
   /// Record one gauge sample per node, stamped `cycle`.
-  void take_samples(Cycle cycle);
+  ASCOMA_HOT_PATH void take_samples(Cycle cycle);
 
   MachineConfig cfg_;
   const workload::Workload& wl_;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/config.hh"
 #include "common/types.hh"
 #include "fault/plan.hh"
@@ -48,7 +49,7 @@ class Network {
                          ///< message died in the fabric
     bool dropped = false;
   };
-  Attempt try_deliver(Cycle now, NodeId src, NodeId dst);
+  ASCOMA_HOT_PATH Attempt try_deliver(Cycle now, NodeId src, NodeId dst);
 
   /// Reliable delivery: retransmits on drop every `retry_timeout` cycles;
   /// returns the arrival cycle (after the destination port and NI have

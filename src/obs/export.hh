@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/annotate.hh"
 #include "obs/sink.hh"
 
 namespace ascoma::obs {
@@ -38,12 +39,16 @@ std::string csv_field(std::string_view s);
 
 /// One event as a single-line JSON object (no trailing newline) — the JSONL
 /// row shape shared by write_jsonl and the obsd `/events` endpoint.
-void write_event_json(std::ostream& os, const Event& e);
+ASCOMA_DETERMINISM_SENSITIVE void write_event_json(std::ostream& os,
+                                                   const Event& e);
 
-void write_jsonl(std::ostream& os, const EventSink& sink);
-void write_perfetto(std::ostream& os, const EventSink& sink,
-                    std::uint32_t nodes);
-void write_metrics_csv(std::ostream& os, const EventSink& sink);
+ASCOMA_DETERMINISM_SENSITIVE void write_jsonl(std::ostream& os,
+                                              const EventSink& sink);
+ASCOMA_DETERMINISM_SENSITIVE void write_perfetto(std::ostream& os,
+                                                 const EventSink& sink,
+                                                 std::uint32_t nodes);
+ASCOMA_DETERMINISM_SENSITIVE void write_metrics_csv(std::ostream& os,
+                                                    const EventSink& sink);
 
 /// Header line of the metrics CSV (shared with tests/scripts).
 std::string metrics_csv_header();

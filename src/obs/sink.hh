@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/types.hh"
 #include "obs/event.hh"
 #include "store/codec.hh"
@@ -91,7 +92,7 @@ class EventSink {
   const std::vector<Event>& events() const { return events_; }
 
   /// Events stably sorted by cycle — the order exporters write.
-  std::vector<Event> sorted_events() const;
+  ASCOMA_DETERMINISM_SENSITIVE std::vector<Event> sorted_events() const;
 
   const std::vector<Sample>& samples() const { return samples_; }
 

@@ -8,6 +8,17 @@
 
 namespace ascoma::proto {
 
+void CoherentMemory::throw_retry_exhausted(const char* what,
+                                           const char* dst_label, NodeId src,
+                                           NodeId dst, Cycle now) const {
+  throw fault::WatchdogError(
+      std::string(what) + " retry budget exhausted (" +
+      std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
+      std::to_string(src.value()) + " -> " + dst_label +
+      std::to_string(dst.value()) + ")\n  " + watchdog_.describe_in_flight() +
+      "\n" + dump_in_flight_state(now));
+}
+
 CoherentMemory::CoherentMemory(const MachineConfig& cfg,
                                const vm::HomeMap& homes)
     : cfg_(cfg),
@@ -159,12 +170,7 @@ Cycle CoherentMemory::use_net(Cycle t, NodeId src, NodeId dst) {
                   attempt);
     check_watchdog(resend);
     if (attempt >= cfg_.retry_max_attempts)
-      throw fault::WatchdogError(
-          "request retry budget exhausted (" +
-          std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
-          std::to_string(src.value()) + " -> " + std::to_string(dst.value()) +
-          ")\n  " +
-          watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
+      throw_retry_exhausted("request", "", src, dst, resend);
     prof_add(prof::Component::kBackoff, t, resend);
     t = resend;
     backoff = std::min(backoff * 2, cfg_.retry_backoff_max);
@@ -200,12 +206,7 @@ Cycle CoherentMemory::request_engine(NodeId src, NodeId dst, BlockId block,
     prof_add(prof::Component::kBackoff, nack_at, resend);
     check_watchdog(resend);
     if (attempt >= cfg_.retry_max_attempts)
-      throw fault::WatchdogError(
-          "NACK retry budget exhausted (" +
-          std::to_string(cfg_.retry_max_attempts) + " attempts, node " +
-          std::to_string(src.value()) + " -> home " +
-          std::to_string(dst.value()) + ")\n  " +
-          watchdog_.describe_in_flight() + "\n" + dump_in_flight_state(resend));
+      throw_retry_exhausted("NACK", "home ", src, dst, resend);
     t = use_net(resend, src, dst);  // re-issued request
     backoff = std::min(backoff * 2, cfg_.retry_backoff_max);
   }
@@ -242,9 +243,9 @@ std::string CoherentMemory::dump_in_flight_state(Cycle now) const {
   return os.str();
 }
 
-Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
-                                         BlockId block, NodeId home,
-                                         NodeId requester, Cycle t_home) {
+Cycle CoherentMemory::invalidate_targets(NodeMask targets, BlockId block,
+                                         NodeId home, NodeId requester,
+                                         Cycle t_home) {
   // Invalidations proceed in parallel with the data reply, so their
   // component steps are off the requester's critical path: suspend
   // attribution and let the caller charge any excess of the ack join over
@@ -255,7 +256,7 @@ Cycle CoherentMemory::invalidate_targets(const std::vector<NodeId>& targets,
     note_dir_event(obs::EventKind::kDirInvalidation, t_home, requester, block,
                    targets.size());
   Cycle acks = t_home;
-  for (NodeId s : targets) {
+  for (const NodeId s : targets) {
     apply_invalidation(s, block);
     const Cycle at_s = use_net(t_home, home, s);
     const Cycle e = use_engine(s, at_s);

@@ -89,8 +89,8 @@ class CoherentMemory {
   /// state transitions are identical, but the transaction uses uncontended
   /// path latencies and reserves no foreground resources — approximating
   /// hardware that prioritizes demand loads over buffered stores.
-  Outcome access(std::uint32_t proc, Addr addr, bool is_store, Cycle now,
-                 bool background = false);
+  ASCOMA_HOT_PATH Outcome access(std::uint32_t proc, Addr addr, bool is_store,
+                                 Cycle now, bool background = false);
 
   struct FlushOutcome {
     std::uint32_t l1_valid_lines = 0;  ///< lines flushed across node L1s
@@ -182,8 +182,8 @@ class CoherentMemory {
   /// Invalidate `block` at each target node (state + timing), starting when
   /// the home has the request at `t_home`.  Returns the cycle at which all
   /// acks have reached the requester.
-  Cycle invalidate_targets(const std::vector<NodeId>& targets, BlockId block,
-                           NodeId home, NodeId requester, Cycle t_home);
+  Cycle invalidate_targets(NodeMask targets, BlockId block, NodeId home,
+                           NodeId requester, Cycle t_home);
 
   /// Writeback of a dirty victim line evicted by an L1 fill (fire & forget).
   void victim_writeback(std::uint32_t proc, LineId victim_line, Cycle now);
@@ -213,6 +213,12 @@ class CoherentMemory {
 
   /// Protocol-state dump for watchdog trips and audit diagnostics.
   std::string dump_in_flight_state(Cycle now) const;
+
+  /// Cold failure for an exhausted retry budget (`what` = "request"/"NACK");
+  /// builds the message and in-flight dump off the hot retry loops.
+  [[noreturn]] void throw_retry_exhausted(const char* what,
+                                          const char* dst_label, NodeId src,
+                                          NodeId dst, Cycle now) const;
 
   /// Emit a directory-traffic event for `block` on behalf of `requester`.
   void note_dir_event(obs::EventKind kind, Cycle cycle, NodeId requester,

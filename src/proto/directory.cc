@@ -17,7 +17,7 @@ Directory::Directory(std::uint64_t total_blocks, std::uint32_t nodes,
 
 const Transition& Directory::apply(BlockId b, ProtoMsg msg, NodeId requester,
                                    NodeId* dirty_owner,
-                                   std::vector<NodeId>* invalidate) {
+                                   NodeMask* invalidate) {
   const selfprof::SelfScope sps(selfprof::HostSite::kDirLookup);
   Entry& e = entries_[b];
   const Transition& t = table_->lookup(state_of(e), msg, rel_of(e, requester));
@@ -35,13 +35,8 @@ const Transition& Directory::apply(BlockId b, ProtoMsg msg, NodeId requester,
   if (t.has(act::kInvalSharers)) {
     std::uint64_t to_inval = e.sharers & ~bit(requester);
     if (e.owner != kInvalidNode) to_inval &= ~bit(e.owner);
-    while (to_inval != 0) {
-      const int n = std::countr_zero(to_inval);
-      if (invalidate != nullptr)
-        invalidate->push_back(NodeId(n));
-      to_inval &= to_inval - 1;
-      ++invalidations_;
-    }
+    if (invalidate != nullptr) *invalidate = NodeMask{to_inval};
+    invalidations_ += std::popcount(to_inval);
   }
   if (t.has(act::kInvalOwner)) ++invalidations_;  // the owner also loses it
   // Then the entry rewrite.

@@ -16,16 +16,81 @@
 // TransitionTable::pristine(); the model checker constructs Directories
 // over mutated tables to study known-bad protocols.
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/check.hh"
 #include "common/types.hh"
 #include "proto/transition_table.hh"
 #include "store/codec.hh"
 
 namespace ascoma::proto {
+
+/// A set of nodes as a 64-bit mask (the directory's native sharer
+/// representation).  Returning invalidation targets this way keeps getx()
+/// allocation-free on the proto_access hot path; iteration yields NodeIds
+/// in ascending order, matching the old vector's push_back order, so the
+/// invalidation sequence — and everything downstream of it — is unchanged.
+class NodeMask {
+ public:
+  constexpr NodeMask() = default;
+  constexpr explicit NodeMask(std::uint64_t bits) : bits_(bits) {}
+
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr std::uint32_t size() const {
+    return static_cast<std::uint32_t>(std::popcount(bits_));
+  }
+  constexpr bool contains(NodeId n) const {
+    return (bits_ >> n.value()) & 1u;
+  }
+  constexpr void add(NodeId n) { bits_ |= std::uint64_t{1} << n.value(); }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  /// The i-th member in ascending node order (bounds-checked).
+  NodeId operator[](std::uint32_t i) const {
+    ASCOMA_CHECK(i < size());
+    std::uint64_t b = bits_;
+    while (i-- > 0) b &= b - 1;
+    return NodeId(static_cast<std::uint32_t>(std::countr_zero(b)));
+  }
+
+  /// Ascending-order iteration: `for (NodeId n : mask)`.
+  class iterator {
+   public:
+    constexpr explicit iterator(std::uint64_t bits) : bits_(bits) {}
+    NodeId operator*() const {
+      return NodeId(static_cast<std::uint32_t>(std::countr_zero(bits_)));
+    }
+    constexpr iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    constexpr bool operator!=(const iterator& o) const {
+      return bits_ != o.bits_;
+    }
+
+   private:
+    std::uint64_t bits_;
+  };
+  constexpr iterator begin() const { return iterator{bits_}; }
+  constexpr iterator end() const { return iterator{0}; }
+
+  /// Materialize for test assertions (not for simulator paths).
+  std::vector<NodeId> to_vector() const {
+    std::vector<NodeId> v;
+    v.reserve(size());
+    for (const NodeId n : *this) v.push_back(n);
+    return v;
+  }
+
+  friend constexpr bool operator==(NodeMask a, NodeMask b) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
 
 class Directory {
  public:
@@ -44,7 +109,7 @@ class Directory {
 
   /// Read request (GETS).  A dirty owner (if any, other than the requester)
   /// is downgraded to sharer and its data considered written back home.
-  FetchResult gets(BlockId b, NodeId requester);
+  ASCOMA_HOT_PATH FetchResult gets(BlockId b, NodeId requester);
 
   struct GetxResult {
     bool was_in_copyset = false;
@@ -52,12 +117,12 @@ class Directory {
     std::uint32_t actions = act::kNone;
     /// Sharers (excluding requester and dirty_owner) that must be
     /// invalidated before the requester may write.
-    std::vector<NodeId> invalidate;
+    NodeMask invalidate;
     bool forward() const { return (actions & act::kForwardOwner) != 0; }
   };
 
   /// Write/ownership request (GETX or upgrade).
-  GetxResult getx(BlockId b, NodeId requester);
+  ASCOMA_HOT_PATH GetxResult getx(BlockId b, NodeId requester);
 
   /// Node flushed its copy (page remap/eviction).  Returns true if the node
   /// was the dirty owner (its writeback makes home current again).
@@ -144,9 +209,10 @@ class Directory {
   /// invalidation/forward census, and check the resulting state against the
   /// row's `next` column.  `invalidate` (optional) collects kInvalSharers
   /// targets.  Returns the applied row.
-  const Transition& apply(BlockId b, ProtoMsg msg, NodeId requester,
-                          NodeId* dirty_owner,
-                          std::vector<NodeId>* invalidate);
+  ASCOMA_HOT_PATH const Transition& apply(BlockId b, ProtoMsg msg,
+                                          NodeId requester,
+                                          NodeId* dirty_owner,
+                                          NodeMask* invalidate);
 
   std::uint32_t nodes_;
   const TransitionTable* table_;

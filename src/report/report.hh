@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/table.hh"
 #include "core/machine.hh"
 #include "core/sweep.hh"
@@ -61,12 +62,15 @@ Table latency_table(const prof::Profiler& prof);
 /// CSV schema shared by the CLI and any scripting around the benches.  The
 /// profiler overloads append min/p50/p99/max end-to-end latency columns
 /// after the existing ones, so the base schema stays a strict prefix.
-std::string csv_header();
-std::string csv_header(bool with_latency);
-std::string csv_row(const std::string& workload, const std::string& arch,
-                    const core::RunResult& r);
-std::string csv_row(const std::string& workload, const std::string& arch,
-                    const core::RunResult& r, const prof::Profiler& prof);
+ASCOMA_DETERMINISM_SENSITIVE std::string csv_header();
+ASCOMA_DETERMINISM_SENSITIVE std::string csv_header(bool with_latency);
+ASCOMA_DETERMINISM_SENSITIVE std::string csv_row(const std::string& workload,
+                                                 const std::string& arch,
+                                                 const core::RunResult& r);
+ASCOMA_DETERMINISM_SENSITIVE std::string csv_row(const std::string& workload,
+                                                 const std::string& arch,
+                                                 const core::RunResult& r,
+                                                 const prof::Profiler& prof);
 
 /// Telemetry variants: the base (or latency) schema plus integer `wall_ms`
 /// and `sim_rate` (simulated cycles per host wall second, rounded down)

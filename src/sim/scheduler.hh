@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/check.hh"
 #include "common/types.hh"
 #include "store/codec.hh"
@@ -39,7 +40,7 @@ class Scheduler {
 
   /// Picks the runnable processor with the smallest ready cycle.  It is a
   /// deadlock (checked) for every live processor to be blocked.
-  ProcId pick() const;
+  ASCOMA_HOT_PATH ProcId pick() const;
 
   // Checkpoint serialization (encode/decode stay adjacent — pairing check).
   void encode(store::Encoder& e) const {

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/annotate.hh"
+
 namespace ascoma::store {
 
 namespace {
@@ -11,7 +13,7 @@ namespace {
 std::atomic<int> g_signal{0};
 std::atomic<bool> g_requested{false};
 
-extern "C" void on_shutdown_signal(int sig) {
+extern "C" ASCOMA_SIGNAL_SAFE void on_shutdown_signal(int sig) {
   g_signal.store(sig, std::memory_order_relaxed);
   g_requested.store(true, std::memory_order_release);
   // Second delivery: fall back to the default disposition so a wedged drain

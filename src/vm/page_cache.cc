@@ -22,13 +22,22 @@ void PageCache::release(FrameId f) {
   free_.push_back(f);
 }
 
+void PageCache::reserve_pages(std::uint64_t total_pages) {
+  if (total_pages > active_.size()) active_.resize(total_pages, 0);
+}
+
 void PageCache::add_active(VPageId p) {
-  ASCOMA_CHECK_MSG(active_.insert(p).second, "page already active");
+  ASCOMA_CHECK_MSG(!is_active(p), "page already active");
+  reserve_pages(p.value() + 1);  // no-op when pre-sized at machine setup
+  active_[p.value()] = 1;
+  ++active_count_;
   clock_.push_back(p);
 }
 
 void PageCache::remove_active(VPageId p) {
-  ASCOMA_CHECK_MSG(active_.erase(p) == 1, "removing inactive page");
+  ASCOMA_CHECK_MSG(is_active(p), "removing inactive page");
+  active_[p.value()] = 0;
+  --active_count_;
   // The clock entry is removed lazily during rotation.
 }
 
@@ -36,7 +45,7 @@ std::optional<VPageId> PageCache::rotate() {
   while (!clock_.empty()) {
     const VPageId p = clock_.front();
     clock_.pop_front();
-    if (active_.count(p) == 0) continue;  // stale entry
+    if (!is_active(p)) continue;  // stale entry
     clock_.push_back(p);
     return p;
   }

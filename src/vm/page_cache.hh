@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.hh"
@@ -27,7 +26,12 @@ class PageCache {
 
   std::uint32_t capacity() const { return capacity_; }
   std::uint32_t free_frames() const { return static_cast<std::uint32_t>(free_.size()); }
-  std::uint32_t active_pages() const { return static_cast<std::uint32_t>(active_.size()); }
+  std::uint32_t active_pages() const { return active_count_; }
+
+  /// Pre-size the activity bitmap for `total_pages` shared pages.  Called at
+  /// machine setup so add_active() never grows the bitmap on the fault path;
+  /// safe to call again with a larger count.
+  void reserve_pages(std::uint64_t total_pages);
 
   /// Take a frame from the free pool (nullopt when drained).
   std::optional<FrameId> alloc();
@@ -41,7 +45,9 @@ class PageCache {
   /// Remove a page from the clock list (evicted or explicitly downgraded).
   void remove_active(VPageId p);
 
-  bool is_active(VPageId p) const { return active_.count(p) != 0; }
+  bool is_active(VPageId p) const {
+    return p.value() < active_.size() && active_[p.value()] != 0;
+  }
 
   /// Second-chance clock traversal: returns the next candidate page and
   /// rotates it to the back, or nullopt when the list is empty.  The caller
@@ -51,21 +57,18 @@ class PageCache {
 
   // Checkpoint serialization.  `free_` and `clock_` are order-sensitive (the
   // allocator and second-chance clock depend on their sequence) and are
-  // written in order; `active_` is membership-only, so it is written sorted
-  // for a canonical byte image and rebuilt on decode (encode/decode adjacent
-  // — pairing check).
+  // written in order; `active_` is membership-only, so its set pages are
+  // written in ascending order for a canonical byte image independent of the
+  // bitmap's capacity (encode/decode adjacent — pairing check).
   void encode(store::Encoder& e) const {
     e.u32(capacity_);
     e.u64(free_.size());
     for (const FrameId f : free_) e.u32(f.value());
     e.u64(clock_.size());
     for (const VPageId p : clock_) e.u64(p.value());
-    std::vector<std::uint64_t> act;
-    act.reserve(active_.size());
-    for (const VPageId p : active_) act.push_back(p.value());
-    std::sort(act.begin(), act.end());
-    e.u64(act.size());
-    for (const std::uint64_t p : act) e.u64(p);
+    e.u64(active_count_);
+    for (std::uint64_t p = 0; p < active_.size(); ++p)
+      if (active_[p] != 0) e.u64(p);
   }
   void decode(store::Decoder& d) {
     if (d.u32() != capacity_)
@@ -76,16 +79,25 @@ class PageCache {
     clock_.clear();
     const std::uint64_t nclock = d.u64();
     for (std::uint64_t i = 0; i < nclock; ++i) clock_.push_back(VPageId{d.u64()});
-    active_.clear();
+    std::fill(active_.begin(), active_.end(), 0);
+    active_count_ = 0;
     const std::uint64_t nact = d.u64();
-    for (std::uint64_t i = 0; i < nact; ++i) active_.insert(VPageId{d.u64()});
+    for (std::uint64_t i = 0; i < nact; ++i) {
+      const VPageId p{d.u64()};
+      reserve_pages(p.value() + 1);
+      active_[p.value()] = 1;
+      ++active_count_;
+    }
   }
 
  private:
   std::uint32_t capacity_;
   std::vector<FrameId> free_;
   std::deque<VPageId> clock_;  // may contain stale entries (lazy deletion)
-  std::unordered_set<VPageId> active_;
+  /// Active-replica membership bitmap indexed by page (1 = active S-COMA
+  /// replica on this node); grown only by reserve_pages().
+  std::vector<std::uint8_t> active_;
+  std::uint32_t active_count_ = 0;
 };
 
 }  // namespace ascoma::vm

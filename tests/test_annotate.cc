@@ -1,0 +1,72 @@
+// Compile-time contract of src/common/annotate.hh: the fence annotations
+// are free.  They may change what tools/lint_hotpath.py sees, but never
+// what the compiler emits — identical layout, identical signatures,
+// usable on every declaration position the simulator uses them in.
+
+#include "common/annotate.hh"
+
+#include <cstdint>
+#include <type_traits>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+// The annotations must be valid on free functions, member functions (const,
+// static, virtual, inline), and combine with other attributes.
+ASCOMA_HOT_PATH int free_fn(int x) { return x + 1; }
+ASCOMA_SIGNAL_SAFE void handler_fn(int) {}
+[[nodiscard]] ASCOMA_DETERMINISM_SENSITIVE int emitter_fn() { return 7; }
+
+struct Plain {
+  std::uint64_t a;
+  std::uint32_t b;
+  int run(int x) const { return x + static_cast<int>(b); }
+  static int pick() { return 3; }
+};
+
+struct Annotated {
+  std::uint64_t a;
+  std::uint32_t b;
+  ASCOMA_HOT_PATH int run(int x) const { return x + static_cast<int>(b); }
+  ASCOMA_DETERMINISM_SENSITIVE static int pick() { return 3; }
+};
+
+// Zero data cost: annotating members changes neither size nor layout.
+static_assert(sizeof(Annotated) == sizeof(Plain));
+static_assert(alignof(Annotated) == alignof(Plain));
+static_assert(std::is_standard_layout_v<Annotated> ==
+              std::is_standard_layout_v<Plain>);
+static_assert(std::is_trivially_copyable_v<Annotated> ==
+              std::is_trivially_copyable_v<Plain>);
+
+// Zero signature cost: an annotated function's type is the unannotated type
+// (so function pointers, virtual overrides, and std::function bindings are
+// unaffected by adding or removing an annotation).
+static_assert(std::is_same_v<decltype(&free_fn), int (*)(int)>);
+static_assert(std::is_same_v<decltype(&handler_fn), void (*)(int)>);
+static_assert(std::is_same_v<decltype(&Annotated::run),
+                             int (Annotated::*)(int) const>);
+static_assert(std::is_same_v<decltype(&Annotated::pick), int (*)()>);
+
+// Annotated functions stay constexpr-compatible: the attribute cannot
+// introduce runtime machinery.
+ASCOMA_HOT_PATH constexpr int twice(int x) { return 2 * x; }
+static_assert(twice(21) == 42);
+
+TEST(Annotate, AnnotatedFunctionsBehaveIdentically) {
+  EXPECT_EQ(free_fn(1), 2);
+  EXPECT_EQ(emitter_fn(), 7);
+  Plain p{0, 5};
+  Annotated a{0, 5};
+  EXPECT_EQ(p.run(10), a.run(10));
+  EXPECT_EQ(Plain::pick(), Annotated::pick());
+}
+
+TEST(Annotate, SignalHandlerTypeMatchesStdSignal) {
+  // The annotated handler must still be installable via std::signal.
+  void (*fp)(int) = &handler_fn;
+  EXPECT_NE(fp, nullptr);
+}
+
+}  // namespace

@@ -138,7 +138,7 @@ TEST(TransitionTable, ModelDirectoryAgreement) {
         case proto::ProtoMsg::kGetX: {
           auto r = dir.getx(BlockId{0}, sc.requester);
           dir_fwd = r.dirty_owner;
-          dir_inval = r.invalidate;
+          dir_inval = r.invalidate.to_vector();
           break;
         }
         case proto::ProtoMsg::kFlush:

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Shared scaffolding for the repo's source linters (tools/lint_*.py).
+
+Each linter stays a single self-contained checker; what they share lives
+here so the bootstrap logic cannot drift between them:
+
+* ``strip_comments`` / ``iter_sources``   — the textual front end
+* ``load_libclang``                       — the AST front end bootstrap
+  (clang python bindings + build/compile_commands.json, or None)
+* ``repo_root``                           — the [repo-root] argv convention
+* ``report``                              — the shared findings/OK epilogue
+* ``run_text_fixtures``                   — the (name, text, expect) fixture
+  suite used by --self-test modes
+* ``write_src_tree``                      — materialize a fixture src/ tree
+  for linters that walk a repo root rather than a text blob
+
+Importable from the tools/ directory (the linters add it to sys.path when
+run as scripts from elsewhere).
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def strip_comments(text: str) -> str:
+    """Drop // and /* */ comments (string literals are not parsed — the
+    linters' token patterns are chosen so this never matters in practice)."""
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def iter_sources(root: Path, subdir: str = "src"):
+    """All .hh/.cc files under ``root/subdir``, sorted for stable output."""
+    for path in sorted((root / subdir).rglob("*")):
+        if path.suffix in (".hh", ".cc"):
+            yield path
+
+
+def repo_root(argv: list) -> Path:
+    """The [repo-root] positional argument, defaulting to the repo this
+    file lives in (tools/..)."""
+    return Path(argv[0]) if argv else Path(__file__).parent.parent
+
+
+def load_libclang(root: Path):
+    """(index, compdb) when the AST front end is usable, else None.
+
+    Usable means: the clang python bindings import AND
+    build/compile_commands.json exists with "arguments"-style entries.
+    Callers fall back to their regex front end on None.
+    """
+    try:
+        from clang import cindex
+        index = cindex.Index.create()
+    except Exception:
+        return None
+    compdb_path = root / "build" / "compile_commands.json"
+    if not compdb_path.exists():
+        return None
+    with open(compdb_path) as fh:
+        compdb = json.load(fh)
+    if compdb and "arguments" not in compdb[0]:
+        return None  # "command"-style entries: fall back
+    return index, compdb
+
+
+def report(tool: str, findings: list, ok_message: str, mode: str = None) -> int:
+    """Print findings (or the OK line) in the shared format; return the
+    process exit code (0 clean, 1 findings)."""
+    tag = f" [{mode}]" if mode else ""
+    for f in findings:
+        print(f"{tool}: {f}")
+    if findings:
+        print(f"{tool}: {len(findings)} finding(s){tag}")
+        return 1
+    print(f"{tool}: OK{tag} ({ok_message})")
+    return 0
+
+
+def run_text_fixtures(tool: str, fixtures: list, lint) -> int:
+    """Run a (name, text, expect_findings) fixture suite through ``lint``
+    (text -> findings list).  Returns the self-test exit code."""
+    failures = 0
+    for name, text, expect_findings in fixtures:
+        findings = lint(text)
+        if bool(findings) != expect_findings:
+            failures += 1
+            verdict = "expected findings" if expect_findings else "clean"
+            print(f"SELF-TEST FAIL [{name}]: wanted {verdict}, got:")
+            for f in findings:
+                print(f"  {f}")
+    if failures:
+        print(f"{tool} self-test: {failures} fixture(s) failed")
+        return 1
+    print(f"{tool} self-test: all {len(fixtures)} fixtures pass")
+    return 0
+
+
+def write_src_tree(root: Path, files: dict) -> None:
+    """Materialize ``files`` ({"src/sim/a.hh": text, ...}) under ``root``
+    for fixture-tree self-tests."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    sys.exit(2)

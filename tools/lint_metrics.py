@@ -27,6 +27,9 @@ Usage: tools/lint_metrics.py [file ...]   (stdin when no file; exit 0 clean,
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).parent))
+from lint_common import run_text_fixtures
+
 METRIC_NAME = "name"
 LABEL_NAME = "label"
 
@@ -284,20 +287,7 @@ SELF_TESTS = [
 
 
 def self_test() -> int:
-    failures = 0
-    for name, text, expect_findings in SELF_TESTS:
-        findings = lint_exposition(text)
-        if bool(findings) != expect_findings:
-            failures += 1
-            verdict = "expected findings" if expect_findings else "clean"
-            print(f"SELF-TEST FAIL [{name}]: wanted {verdict}, got:")
-            for f in findings:
-                print(f"  {f}")
-    if failures:
-        print(f"lint_metrics self-test: {failures} fixture(s) failed")
-        return 1
-    print(f"lint_metrics self-test: all {len(SELF_TESTS)} fixtures pass")
-    return 0
+    return run_text_fixtures("lint_metrics", SELF_TESTS, lint_exposition)
 
 
 def main(argv: list[str]) -> int:

@@ -21,6 +21,9 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).parent))
+from lint_common import repo_root, report
+
 DIR_STATES = ["kUncached", "kShared", "kExclusive"]
 PROTO_MSGS = ["kGetS", "kGetX", "kFlush", "kNack"]
 REQ_RELS = ["kNone", "kSharer", "kOwner"]
@@ -134,15 +137,10 @@ def lint_event_folds(root: Path) -> list[str]:
 
 
 def main() -> int:
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    root = repo_root(sys.argv[1:])
     findings = lint_transition_table(root) + lint_event_folds(root)
-    for f in findings:
-        print(f"lint_protocol: {f}")
-    if findings:
-        print(f"lint_protocol: {len(findings)} finding(s)")
-        return 1
-    print("lint_protocol: OK (transition table total; all event kinds folded)")
-    return 0
+    return report("lint_protocol", findings,
+                  "transition table total; all event kinds folded")
 
 
 if __name__ == "__main__":

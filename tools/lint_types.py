@@ -36,10 +36,13 @@ Usage: tools/lint_types.py [repo-root]     (exit 0 clean, 1 findings,
        tools/lint_types.py --self-test      2 usage/internal error)
 """
 
-import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from lint_common import (iter_sources, load_libclang, repo_root,
+                         strip_comments)
 
 # Parameter-name suffixes that imply a dimension, and the strong type the
 # parameter should use instead.  Extend this table together with types.hh
@@ -101,17 +104,6 @@ def dimension_of(name: str):
         if low == suffix or low.endswith("_" + suffix):
             return strong
     return None
-
-
-def iter_sources(root: Path):
-    for path in sorted((root / "src").rglob("*")):
-        if path.suffix in (".hh", ".cc"):
-            yield path
-
-
-def strip_comments(text: str) -> str:
-    text = re.sub(r"//[^\n]*", "", text)
-    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
 
 
 # ---- rule 1: bare-integer parameters ----------------------------------------
@@ -260,23 +252,6 @@ def lint_encode_decode_pairs(root: Path) -> list:
 # ---- driver -----------------------------------------------------------------
 
 
-def load_libclang(root: Path):
-    """(index, compdb) when the AST front end is usable, else None."""
-    try:
-        from clang import cindex
-        index = cindex.Index.create()
-    except Exception:
-        return None
-    compdb_path = root / "build" / "compile_commands.json"
-    if not compdb_path.exists():
-        return None
-    with open(compdb_path) as fh:
-        compdb = json.load(fh)
-    if compdb and "arguments" not in compdb[0]:
-        return None  # "command"-style entries: fall back
-    return index, compdb
-
-
 def run(root: Path) -> list:
     ast = load_libclang(root)
     if ast is not None:
@@ -310,8 +285,8 @@ def self_test(root: Path) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         bad_root = Path(tmp)
-        (bad_root / "src" / "sim").mkdir(parents=True)
-        (bad_root / "src" / "sim" / "bad.hh").write_text(SELF_TEST_BAD)
+        from lint_common import write_src_tree
+        write_src_tree(bad_root, {"src/sim/bad.hh": SELF_TEST_BAD})
         findings = (lint_params_regex(bad_root) + lint_cast_escapes(bad_root)
                     + lint_encode_decode_pairs(bad_root))
     # encode_widget/decode_widget are adjacent and must NOT be flagged; the
@@ -337,12 +312,11 @@ def main() -> int:
     argv = [a for a in sys.argv[1:]]
     if "--self-test" in argv:
         argv.remove("--self-test")
-        root = Path(argv[0]) if argv else Path(__file__).parent.parent
-        return self_test(root)
+        return self_test(repo_root(argv))
     if len(argv) > 1:
         print(__doc__)
         return 2
-    root = Path(argv[0]) if argv else Path(__file__).parent.parent
+    root = repo_root(argv)
     findings, mode = run(root)
     for f in findings:
         print(f"lint_types: {f}")
