@@ -3,15 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "common/check.hh"
+#include "common/sync.hh"
 #include "core/sweep_status.hh"
 #include "core/sweep_store.hh"
 #include "obs/metrics.hh"
@@ -302,16 +301,30 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
   std::atomic<std::size_t> cached_jobs{0};
   std::atomic<std::uint64_t> cycles_done{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  // First-thrower-wins slot; the exception_ptr crosses threads via err.mu
+  // and the pool join, never via the `failed` flag.
+  struct ErrorSlot {
+    Mutex mu;
+    std::exception_ptr first ASCOMA_GUARDED_BY(mu);
+  } err;
   const selfprof::HostNs sweep_t0 = clock->now();
 
   auto worker = [&] {
     for (;;) {
-      if (failed.load() ||
-          (opts.stop != nullptr && opts.stop->load()))
+      // order: relaxed — `failed` is an advisory early-exit hint; the
+      // exception and all result state cross via err.mu and the join.
+      // order: acquire on `stop` — pairs with the release store in the
+      // shutdown signal handler (store/shutdown.cc) and test setters, so a
+      // worker observing the flag also observes everything written before
+      // the stop was requested.
+      if (failed.load(std::memory_order_relaxed) ||
+          (opts.stop != nullptr &&
+           opts.stop->load(std::memory_order_acquire)))
         break;
-      const std::size_t i = next.fetch_add(1);
+      // order: relaxed — a job-claim ticket: only the RMW's atomicity
+      // matters (each index claimed once); results[i] is then exclusively
+      // this worker's until the join publishes it.
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) break;
       bool marked_running = false;
       try {
@@ -344,10 +357,13 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
             results[i].timing.store = store_ns;
             journal_done(*rs, i, jobs[i].label, key, /*cached=*/true,
                          results[i].result.stats.parallel_cycles);
-            cached_jobs.fetch_add(1);
+            // order: relaxed — monotonic progress telemetry, read by the
+            // heartbeat for display only; exact after the join.
+            cached_jobs.fetch_add(1, std::memory_order_relaxed);
             cycles_done.fetch_add(
-                results[i].result.stats.parallel_cycles.value());
-            done.fetch_add(1);
+                results[i].result.stats.parallel_cycles.value(),
+                std::memory_order_relaxed);
+            done.fetch_add(1, std::memory_order_relaxed);
             if (serving) {
               const selfprof::HostNs v0 = clock->now();
               sm.jobs_cached->inc();
@@ -420,9 +436,11 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
                        results[i].result.stats.parallel_cycles);
           results[i].timing.store = store_ns + (clock->now() - s1);
         }
+        // order: relaxed — monotonic progress telemetry (see above).
         cycles_done.fetch_add(
-            results[i].result.stats.parallel_cycles.value());
-        done.fetch_add(1);
+            results[i].result.stats.parallel_cycles.value(),
+            std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
         if (serving) {
           const selfprof::HostNs v0 = clock->now();
           sm.jobs_done->inc();
@@ -445,9 +463,13 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
           board->mark_finished(i, JobStatus::State::kFailed, results[i],
                                clock->now() - sweep_t0);
         }
-        std::lock_guard<std::mutex> g(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true);
+        {
+          const LockGuard g(err.mu);
+          if (!err.first) err.first = std::current_exception();
+        }
+        // order: relaxed — advisory early-exit hint only (see the loop
+        // head); correctness does not depend on when peers observe it.
+        failed.store(true, std::memory_order_relaxed);
         break;
       }
     }
@@ -458,9 +480,13 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
   // a sleeping reporter.  The same lines feed the stderr stream
   // (opts.progress) and the status board's `GET /progress` (serving) — a
   // served sweep beats even when --progress is off.
-  std::mutex hb_mu;
-  std::condition_variable hb_cv;
-  bool stop_heartbeat = false;
+  struct Heartbeat {
+    Mutex mu;
+    CondVar cv;
+    bool stop ASCOMA_GUARDED_BY(mu) = false;
+  } hb;
+  // Heartbeat-thread-private while it runs; the final-line read below
+  // happens after join(), a full happens-before edge — no guard needed.
   std::uint64_t hb_seq = 0;
   std::thread heartbeat;
   if ((opts.progress || serving) && !jobs.empty()) {
@@ -470,13 +496,29 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
         std::chrono::milliseconds(std::max<std::uint32_t>(
             opts.progress_interval_ms, 1));
     heartbeat = std::thread([&, out, interval] {
-      std::unique_lock<std::mutex> lk(hb_mu);
       for (;;) {
-        if (hb_cv.wait_for(lk, interval, [&] { return stop_heartbeat; }))
-          break;
+        bool stop_now;
+        {
+          const LockGuard lk(hb.mu);
+          // Manual timed-wait loop instead of a predicate lambda so
+          // -Wthread-safety sees hb.stop read with hb.mu held; one timeout
+          // tick ends a round, a notify ends the thread.
+          while (!hb.stop) {
+            if (hb.cv.wait_for(hb.mu, interval) == std::cv_status::timeout)
+              break;
+          }
+          stop_now = hb.stop;
+        }
+        if (stop_now) break;
+        // Beat OUTSIDE the lock (lint_concurrency rule C4): formatting the
+        // line and streaming it to *out (possibly a pipe) must never stall
+        // the stopper; board->set_progress takes the board's own leaf lock.
+        // order: relaxed — monotonic telemetry reads for display only.
         const std::string line = progress_line(
-            done.load(), jobs.size(), clock->now() - sweep_t0,
-            Cycle{cycles_done.load()}, cached_jobs.load(), hb_seq++);
+            done.load(std::memory_order_relaxed), jobs.size(),
+            clock->now() - sweep_t0,
+            Cycle{cycles_done.load(std::memory_order_relaxed)},
+            cached_jobs.load(std::memory_order_relaxed), hb_seq++);
         if (opts.progress) *out << line << std::endl;
         if (board) board->set_progress(line);
       }
@@ -490,16 +532,20 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
 
   if (heartbeat.joinable()) {
     {
-      std::lock_guard<std::mutex> g(hb_mu);
-      stop_heartbeat = true;
+      const LockGuard g(hb.mu);
+      hb.stop = true;
     }
-    hb_cv.notify_all();
+    hb.cv.notify_all();
     heartbeat.join();
     // Final line so a consumer always sees done == total (or the partial
     // count when a job threw).
+    // order: relaxed — all workers joined above, so these reads are exact;
+    // the joins are the happens-before edges.
     const std::string line = progress_line(
-        done.load(), jobs.size(), clock->now() - sweep_t0,
-        Cycle{cycles_done.load()}, cached_jobs.load(), hb_seq);
+        done.load(std::memory_order_relaxed), jobs.size(),
+        clock->now() - sweep_t0,
+        Cycle{cycles_done.load(std::memory_order_relaxed)},
+        cached_jobs.load(std::memory_order_relaxed), hb_seq);
     if (opts.progress) {
       std::ostream* out =
           opts.progress_out != nullptr ? opts.progress_out : &std::cerr;
@@ -507,7 +553,10 @@ std::vector<SweepResult> run_sweep(std::vector<SweepJob> jobs,
     }
     if (board) board->set_progress(line);
   }
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    const LockGuard g(err.mu);
+    if (err.first) std::rethrow_exception(err.first);
+  }
 
   // Cache-hit events are emitted here, after the workers joined — the sink
   // is not thread-safe, so the workers only count hits atomically.

@@ -101,7 +101,9 @@ struct SweepOptions {
   std::string store_dir;
   /// Cooperative stop flag (the CLI wires the SIGINT/SIGTERM handler here):
   /// when it reads true, workers finish their in-flight job — persisting it
-  /// to the store as usual — and claim no further jobs.
+  /// to the store as usual — and claim no further jobs.  Ordering contract:
+  /// the setter must publish with a release store (the shutdown handler in
+  /// store/shutdown.cc does); workers poll with acquire loads.
   const std::atomic<bool>* stop = nullptr;
   /// Engage the live observability plane: bind an obsd::Server to
   /// 127.0.0.1:<port> (0 = ephemeral) for the duration of the sweep, serving

@@ -42,7 +42,7 @@ const char* to_string(JobStatus::State s) {
 
 void SweepStatusBoard::reset(const std::vector<SweepJob>& jobs,
                              const std::vector<std::string>& fingerprints) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   jobs_.assign(jobs.size(), JobStatus{});
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     JobStatus& j = jobs_[i];
@@ -57,7 +57,7 @@ void SweepStatusBoard::reset(const std::vector<SweepJob>& jobs,
 
 void SweepStatusBoard::mark_running(std::size_t i,
                                     selfprof::HostNs since_sweep_start) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   if (i >= jobs_.size()) return;
   jobs_[i].state = JobStatus::State::kRunning;
   jobs_[i].started = since_sweep_start;
@@ -66,7 +66,7 @@ void SweepStatusBoard::mark_running(std::size_t i,
 void SweepStatusBoard::mark_finished(std::size_t i, JobStatus::State state,
                                      const SweepResult& r,
                                      selfprof::HostNs since_sweep_start) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   if (i >= jobs_.size()) return;
   JobStatus& j = jobs_[i];
   j.state = state;
@@ -86,35 +86,49 @@ void SweepStatusBoard::mark_finished(std::size_t i, JobStatus::State state,
 }
 
 void SweepStatusBoard::mark_straggler(std::size_t i) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   if (i < jobs_.size()) jobs_[i].timing.straggler = true;
 }
 
 void SweepStatusBoard::set_progress(std::string line) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   progress_ = std::move(line);
 }
 
 std::string SweepStatusBoard::progress_json() const {
-  const std::lock_guard<std::mutex> g(mu_);
-  if (!progress_.empty()) return progress_ + '\n';
+  // Snapshot under mu_, format outside (rule C4).
+  std::string line;
+  std::size_t total = 0;
+  {
+    const LockGuard g(mu_);
+    line = progress_;
+    total = jobs_.size();
+  }
+  if (!line.empty()) return line + '\n';
   std::ostringstream os;
   os << "{\"sweep\":\"progress\",\"seq\":0,\"done\":0,\"total\":"
-     << jobs_.size() << "}\n";
+     << total << "}\n";
   return os.str();
 }
 
 std::string SweepStatusBoard::jobs_json() const {
-  const std::lock_guard<std::mutex> g(mu_);
+  // Snapshot the whole table under mu_, render outside (rule C4): scrapes
+  // still see one consistent table, but workers marking jobs only contend
+  // with a vector copy, never with JSON formatting.
+  std::vector<JobStatus> jobs;
+  {
+    const LockGuard g(mu_);
+    jobs = jobs_;
+  }
   std::size_t counts[5] = {0, 0, 0, 0, 0};
-  for (const JobStatus& j : jobs_) ++counts[static_cast<int>(j.state)];
+  for (const JobStatus& j : jobs) ++counts[static_cast<int>(j.state)];
   std::ostringstream os;
-  os << "{\"sweep\":\"jobs\",\"total\":" << jobs_.size()
+  os << "{\"sweep\":\"jobs\",\"total\":" << jobs.size()
      << ",\"pending\":" << counts[0] << ",\"running\":" << counts[1]
      << ",\"done\":" << counts[2] << ",\"cached\":" << counts[3]
      << ",\"failed\":" << counts[4] << ",\"jobs\":[";
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const JobStatus& j = jobs_[i];
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobStatus& j = jobs[i];
     if (i != 0) os << ',';
     write_row_head(os, i, j);
     os << ",\"wall_ms\":" << j.timing.wall.value() / 1'000'000
@@ -125,26 +139,31 @@ std::string SweepStatusBoard::jobs_json() const {
 }
 
 std::string SweepStatusBoard::job_json(std::string_view key) const {
-  const std::lock_guard<std::mutex> g(mu_);
   if (key.empty()) return {};
 
-  std::size_t found = jobs_.size();
-  const bool numeric =
-      key.find_first_not_of("0123456789") == std::string_view::npos &&
-      key.size() <= 9;
-  if (numeric) {
-    const std::size_t i = std::stoul(std::string(key));
-    if (i < jobs_.size()) found = i;
-  } else {
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      if (jobs_[i].fingerprint.compare(0, key.size(), key) != 0) continue;
-      if (found != jobs_.size()) return {};  // ambiguous prefix
-      found = i;
+  // Find and copy the matching row under mu_, render outside (rule C4).
+  JobStatus j;
+  std::size_t found;
+  {
+    const LockGuard g(mu_);
+    found = jobs_.size();
+    const bool numeric =
+        key.find_first_not_of("0123456789") == std::string_view::npos &&
+        key.size() <= 9;
+    if (numeric) {
+      const std::size_t i = std::stoul(std::string(key));
+      if (i < jobs_.size()) found = i;
+    } else {
+      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].fingerprint.compare(0, key.size(), key) != 0) continue;
+        if (found != jobs_.size()) return {};  // ambiguous prefix
+        found = i;
+      }
     }
+    if (found == jobs_.size()) return {};
+    j = jobs_[found];
   }
-  if (found == jobs_.size()) return {};
 
-  const JobStatus& j = jobs_[found];
   std::ostringstream os;
   write_row_head(os, found, j);
   os << ",\"workload\":" << quoted(j.workload)
@@ -174,7 +193,7 @@ std::string SweepStatusBoard::job_json(std::string_view key) const {
 }
 
 std::size_t SweepStatusBoard::size() const {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   return jobs_.size();
 }
 

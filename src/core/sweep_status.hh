@@ -6,18 +6,19 @@
 // run_sweep owns one board per served sweep: workers mark jobs running /
 // finished under the board's mutex, the heartbeat thread parks its latest
 // progress line here (promoting the stderr heartbeat to `GET /progress`),
-// and the serve thread renders JSON snapshots on demand.  All rendering
-// happens under the same mutex — scrapes see a consistent table, and every
-// caller-supplied string (labels, workload names) passes through
-// obs::json_escape on the way out.
+// and the serve thread renders JSON snapshots on demand.  Renderers copy
+// a consistent snapshot of the table under the mutex and format it after
+// dropping it (lint_concurrency rule C4: no string building under a held
+// lock), and every caller-supplied string (labels, workload names) passes
+// through obs::json_escape on the way out.
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.hh"
 #include "core/sweep.hh"
 
 namespace ascoma::core {
@@ -55,37 +56,40 @@ class SweepStatusBoard {
   /// (Re)populate the board: one pending row per job, in job order.
   /// `fingerprints` must be parallel to `jobs`.
   void reset(const std::vector<SweepJob>& jobs,
-             const std::vector<std::string>& fingerprints);
+             const std::vector<std::string>& fingerprints)
+      ASCOMA_EXCLUDES(mu_);
 
-  void mark_running(std::size_t i, selfprof::HostNs since_sweep_start);
+  void mark_running(std::size_t i, selfprof::HostNs since_sweep_start)
+      ASCOMA_EXCLUDES(mu_);
   /// `state` is kDone, kCached, or kFailed.
   void mark_finished(std::size_t i, JobStatus::State state,
                      const SweepResult& r,
-                     selfprof::HostNs since_sweep_start);
+                     selfprof::HostNs since_sweep_start)
+      ASCOMA_EXCLUDES(mu_);
   /// Post-hoc straggler flag (the straggler pass runs after all jobs join).
-  void mark_straggler(std::size_t i);
+  void mark_straggler(std::size_t i) ASCOMA_EXCLUDES(mu_);
 
   /// Park the newest heartbeat line (single-line JSON, no newline).
-  void set_progress(std::string line);
+  void set_progress(std::string line) ASCOMA_EXCLUDES(mu_);
   /// The parked heartbeat, or a minimal `{"sweep":"progress",...}` stub
   /// before the first beat.  Always single-line JSON plus '\n'.
-  std::string progress_json() const;
+  std::string progress_json() const ASCOMA_EXCLUDES(mu_);
 
   /// `GET /jobs`: a JSON object with sweep totals and one summary row per
   /// job.
-  std::string jobs_json() const;
+  std::string jobs_json() const ASCOMA_EXCLUDES(mu_);
 
   /// `GET /jobs/<fp>`: the full row whose fingerprint equals `key` or
   /// starts with it (unique prefix), or whose decimal job index is `key`.
   /// Empty string when there is no (unique) match.
-  std::string job_json(std::string_view key) const;
+  std::string job_json(std::string_view key) const ASCOMA_EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const ASCOMA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<JobStatus> jobs_;
-  std::string progress_;
+  mutable Mutex mu_;
+  std::vector<JobStatus> jobs_ ASCOMA_GUARDED_BY(mu_);
+  std::string progress_ ASCOMA_GUARDED_BY(mu_);
 };
 
 }  // namespace ascoma::core

@@ -12,6 +12,9 @@ namespace ascoma::obs {
 
 unsigned this_thread_shard() {
   static std::atomic<unsigned> next{0};
+  // order: relaxed — a round-robin ticket draw; only the RMW's atomicity
+  // matters (each thread gets a distinct ticket), no cross-thread data is
+  // published through it, and shard spread is best-effort by design.
   thread_local const unsigned shard =
       next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
   return shard;
@@ -28,11 +31,16 @@ Histogram::Snapshot Histogram::snapshot() const {
   Snapshot out;
   for (const Shard& s : shards_) {
     for (int i = 0; i < kNumBuckets; ++i) {
+      // order: relaxed — monotonic per-shard tallies (same contract as
+      // Counter::value); mid-run a bucket may be visible before its sum
+      // increment, so count and sum can be mutually skewed by in-flight
+      // observes — exact once writers are joined, acceptable while live.
       const std::uint64_t n =
           s.buckets[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
       out.buckets[static_cast<std::size_t>(i)] += n;
       out.count += n;
     }
+    // order: relaxed — see the bucket loads above.
     out.sum += s.sum.load(std::memory_order_relaxed);
   }
   return out;
@@ -155,7 +163,7 @@ Registry::Child& Registry::child(Family& f, std::vector<Label> labels) {
 
 Counter& Registry::counter(std::string_view name, std::string_view help,
                            std::vector<Label> labels) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   Child& c = child(family(name, help, Kind::kCounter), std::move(labels));
   if (c.counter == nullptr) c.counter = &counters_.emplace_back();
   return *c.counter;
@@ -163,7 +171,7 @@ Counter& Registry::counter(std::string_view name, std::string_view help,
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help,
                        std::vector<Label> labels) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   Child& c = child(family(name, help, Kind::kGauge), std::move(labels));
   if (c.gauge == nullptr) c.gauge = &gauges_.emplace_back();
   return *c.gauge;
@@ -171,29 +179,58 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help,
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                std::vector<Label> labels) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   Child& c = child(family(name, help, Kind::kHistogram), std::move(labels));
   if (c.histogram == nullptr) c.histogram = &histograms_.emplace_back();
   return *c.histogram;
 }
 
 std::size_t Registry::size() const {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   std::size_t n = 0;
   for (const Family& f : families_) n += f.children.size();
   return n;
 }
 
 void Registry::write_prometheus(std::ostream& os) const {
-  const std::lock_guard<std::mutex> g(mu_);
-  for (const Family& f : families_) {
+  // Snapshot-under-lock, render-outside (lint_concurrency rule C4): mu_
+  // covers only the copy of the registration plan — names, help, labels,
+  // and the stable metric pointers.  All value reads and every `os <<`
+  // (which may be a blocking socket write when obsd is the caller) happen
+  // after the lock is dropped; the pointers stay valid because metrics
+  // live in never-moving deques and are only ever added, never removed.
+  struct ChildPlan {
+    std::vector<Label> labels;
+    const Counter* counter;
+    const Gauge* gauge;
+    const Histogram* histogram;
+  };
+  struct FamilyPlan {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::vector<ChildPlan> children;
+  };
+  std::vector<FamilyPlan> plan;
+  {
+    const LockGuard g(mu_);
+    plan.reserve(families_.size());
+    for (const Family& f : families_) {
+      FamilyPlan fp{f.name, f.help, f.kind, {}};
+      fp.children.reserve(f.children.size());
+      for (const Child& c : f.children)
+        fp.children.push_back({c.labels, c.counter, c.gauge, c.histogram});
+      plan.push_back(std::move(fp));
+    }
+  }
+  for (const FamilyPlan& f : plan) {
     os << "# HELP " << f.name << ' ' << help_escape(f.help) << '\n';
     os << "# TYPE " << f.name << ' '
        << (f.kind == Kind::kCounter    ? "counter"
            : f.kind == Kind::kGauge    ? "gauge"
                                        : "histogram")
        << '\n';
-    for (const Child& c : f.children) {
+    for (const ChildPlan& c : f.children) {
       switch (f.kind) {
         case Kind::kCounter:
           os << f.name << label_block(c.labels) << ' ' << c.counter->value()

@@ -34,12 +34,12 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hh"
 #include "prof/histogram.hh"
 
 namespace ascoma::obs {
@@ -69,6 +69,8 @@ concept StrongQuantity = requires(const Q q) {
 class Counter {
  public:
   void inc(std::uint64_t n = 1) {
+    // order: relaxed — per-thread shard of a monotonic sum; only this
+    // thread writes the slot, and scrapes tolerate lag (see value()).
     shards_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
   }
   template <detail::StrongQuantity Q>
@@ -76,9 +78,15 @@ class Counter {
     inc(std::uint64_t{q.value()});
   }
 
-  /// Sum over all shards — the scrape-side read.
+  /// Sum over all shards — the scrape-side read.  Relaxed is sufficient
+  /// (not just tolerable) because each shard is monotonic: a scrape can
+  /// observe a slightly stale sum, never a decreasing or invented one, and
+  /// the final value is exact once the writer threads have been joined
+  /// (thread join is a full happens-before edge).  Pinned by
+  /// MetricsOrdering.RelaxedScrapeNeverOvercounts in tests/test_metrics.cc.
   std::uint64_t value() const {
     std::uint64_t sum = 0;
+    // order: relaxed — monotonic per-shard sums; see the contract above.
     for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
     return sum;
   }
@@ -93,6 +101,8 @@ class Counter {
 /// user (in-flight job tracking).
 class Gauge {
  public:
+  // order: relaxed — last-writer-wins scalar; no other data is published
+  // through this store, so no release edge is needed.
   void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
   void set(std::uint64_t v) { set(static_cast<double>(v)); }
   template <detail::StrongQuantity Q>
@@ -101,6 +111,10 @@ class Gauge {
   }
 
   void add(double delta) {
+    // order: relaxed — the CAS needs atomicity of the read-modify-write
+    // only; bits_ is the sole shared datum (nothing else is published via
+    // this location), and on failure the loop re-reads the fresh value the
+    // CAS itself returned, so no acquire edge is needed either.
     std::uint64_t cur = bits_.load(std::memory_order_relaxed);
     while (!bits_.compare_exchange_weak(cur, encode(decode(cur) + delta),
                                         std::memory_order_relaxed)) {
@@ -108,6 +122,8 @@ class Gauge {
   }
   void sub(double delta) { add(-delta); }
 
+  // order: relaxed — last-writer-wins read; staleness is acceptable for a
+  // scrape and there is no dependent data to order against.
   double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
 
  private:
@@ -125,6 +141,9 @@ class Histogram {
 
   void observe(std::uint64_t v) {
     Shard& s = shards_[this_thread_shard()];
+    // order: relaxed — per-thread shard, monotonic bucket/sum tallies; a
+    // concurrent scrape may see the bucket without the sum (or vice versa),
+    // which snapshot() documents as acceptable mid-run skew.
     s.buckets[static_cast<std::size_t>(prof::LatencyHistogram::bucket_of(v))]
         .fetch_add(1, std::memory_order_relaxed);
     s.sum.fetch_add(v, std::memory_order_relaxed);
@@ -176,21 +195,21 @@ class Registry {
   /// Metric and label names are validated with ASCOMA_CHECK — a bad name is
   /// a programming error, not input.
   Counter& counter(std::string_view name, std::string_view help,
-                   std::vector<Label> labels = {});
+                   std::vector<Label> labels = {}) ASCOMA_EXCLUDES(mu_);
   Gauge& gauge(std::string_view name, std::string_view help,
-               std::vector<Label> labels = {});
+               std::vector<Label> labels = {}) ASCOMA_EXCLUDES(mu_);
   Histogram& histogram(std::string_view name, std::string_view help,
-                       std::vector<Label> labels = {});
+                       std::vector<Label> labels = {}) ASCOMA_EXCLUDES(mu_);
 
   /// Number of registered (name, labels) children across all families.
-  std::size_t size() const;
+  std::size_t size() const ASCOMA_EXCLUDES(mu_);
 
   /// Prometheus text exposition format, version 0.0.4: families sorted by
   /// name, each emitting `# HELP` / `# TYPE` once followed by its children
   /// in registration order; histograms emit cumulative `_bucket{le=...}`
   /// rows (only up to the highest non-empty bucket, then `+Inf`), `_sum`
   /// and `_count`.  tools/lint_metrics.py validates this output in CI.
-  void write_prometheus(std::ostream& os) const;
+  void write_prometheus(std::ostream& os) const ASCOMA_EXCLUDES(mu_);
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -208,14 +227,19 @@ class Registry {
     std::vector<Child> children;
   };
 
-  Family& family(std::string_view name, std::string_view help, Kind kind);
-  Child& child(Family& f, std::vector<Label> labels);
+  Family& family(std::string_view name, std::string_view help, Kind kind)
+      ASCOMA_REQUIRES(mu_);
+  Child& child(Family& f, std::vector<Label> labels) ASCOMA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Family> families_;   // sorted by name
-  std::deque<Counter> counters_;   // stable storage behind Child pointers
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
+  // mu_ guards the registration structures only; the metric values behind
+  // the Child pointers are lock-free atomics, read and written without it.
+  mutable Mutex mu_;
+  std::vector<Family> families_ ASCOMA_GUARDED_BY(mu_);  // sorted by name
+  // Stable storage behind Child pointers: a deque never moves elements, so
+  // a reference handed out under a past mu_ hold stays valid forever.
+  std::deque<Counter> counters_ ASCOMA_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ ASCOMA_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ ASCOMA_GUARDED_BY(mu_);
 };
 
 }  // namespace ascoma::obs

@@ -14,7 +14,7 @@ EventTail::EventTail(std::size_t capacity)
 }
 
 std::uint64_t EventTail::push(const Event& e) {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   const std::uint64_t seq = next_seq_++;
   if (ring_.size() < capacity_) {
     ring_.push_back(Row{seq, e});
@@ -33,11 +33,20 @@ void EventTail::push_sink_tail(const EventSink& sink, std::size_t limit) {
 }
 
 std::string EventTail::jsonl_tail(std::size_t last) const {
-  const std::lock_guard<std::mutex> g(mu_);
-  const std::size_t n = std::min(last, ring_.size());
+  // Snapshot-under-lock, render-outside (lint_concurrency rule C4): copy
+  // the selected rows while holding mu_, then do all JSON formatting after
+  // the lock is dropped so concurrent push()ers are never stalled behind
+  // string building.
+  std::vector<Row> rows;
+  {
+    const LockGuard g(mu_);
+    const std::size_t n = std::min(last, ring_.size());
+    rows.reserve(n);
+    for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i)
+      rows.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
   std::ostringstream os;
-  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
-    const Row& r = ring_[(head_ + i) % ring_.size()];
+  for (const Row& r : rows) {
     os << "{\"seq\":" << r.seq << ',';
     // Splice the seq field into the shared row shape: render the event and
     // drop its leading '{'.
@@ -49,12 +58,12 @@ std::string EventTail::jsonl_tail(std::size_t last) const {
 }
 
 std::size_t EventTail::size() const {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   return ring_.size();
 }
 
 std::uint64_t EventTail::pushed() const {
-  const std::lock_guard<std::mutex> g(mu_);
+  const LockGuard g(mu_);
   return next_seq_;
 }
 

@@ -13,10 +13,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hh"
 #include "obs/event.hh"
 
 namespace ascoma::obs {
@@ -31,7 +31,7 @@ class EventTail {
 
   /// Append one event; the oldest event is evicted once full.  Returns the
   /// sequence number assigned to `e` (starting at 0).
-  std::uint64_t push(const Event& e);
+  std::uint64_t push(const Event& e) ASCOMA_EXCLUDES(mu_);
 
   /// Append the newest `limit` events of a finished job's sink (its events
   /// in cycle order; earlier ones are skipped, the tail is a tail).
@@ -40,12 +40,12 @@ class EventTail {
   /// The last min(last, size) events as JSONL: one `{"seq":N,...}` object
   /// per line, oldest first, each row the write_event_json shape plus the
   /// leading monotonic `seq` field.
-  std::string jsonl_tail(std::size_t last) const;
+  std::string jsonl_tail(std::size_t last) const ASCOMA_EXCLUDES(mu_);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const;
+  std::size_t size() const ASCOMA_EXCLUDES(mu_);
   /// Total events ever pushed (== the next sequence number).
-  std::uint64_t pushed() const;
+  std::uint64_t pushed() const ASCOMA_EXCLUDES(mu_);
 
  private:
   struct Row {
@@ -53,11 +53,13 @@ class EventTail {
     Event event;
   };
 
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Row> ring_;    // ring buffer once size() == capacity_
-  std::size_t head_ = 0;     // index of the oldest row when full
-  std::uint64_t next_seq_ = 0;
+  const std::size_t capacity_;  // immutable after construction: lock-free
+  mutable Mutex mu_;
+  // ring buffer once size() == capacity_
+  std::vector<Row> ring_ ASCOMA_GUARDED_BY(mu_);
+  // index of the oldest row when full
+  std::size_t head_ ASCOMA_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_seq_ ASCOMA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ascoma::obs

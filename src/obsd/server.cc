@@ -103,6 +103,9 @@ bool Server::start(std::uint16_t port) {
     return false;
   }
   error_.clear();
+  // order: relaxed — reset happens before the serve thread is spawned, and
+  // the std::thread constructor itself is the happens-before edge that
+  // publishes it (along with listen_fd_/wake_rd_) to the new thread.
   stop_requested_.store(false, std::memory_order_relaxed);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -162,7 +165,13 @@ bool Server::start(std::uint16_t port) {
 
 void Server::stop() {
   if (!serving_) return;
-  stop_requested_.store(true, std::memory_order_relaxed);
+  // order: release — the stop()→worker handshake.  Pairs with the acquire
+  // loads in serve_loop()/read_request(): once the worker observes true,
+  // everything the stopping thread wrote beforehand is visible to it.  The
+  // self-pipe write below is only the wake-up kick for a parked poll(), not
+  // the ordering edge — with a relaxed store, shutdown would only be
+  // correct by the accident of the syscall acting as a barrier.
+  stop_requested_.store(true, std::memory_order_release);
   const char byte = 'x';
   // A full pipe already guarantees a pending wake-up; ignore the result.
   [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
@@ -180,7 +189,8 @@ void Server::serve_loop() {
   fds[0].events = POLLIN;
   fds[1].fd = wake_rd_;
   fds[1].events = POLLIN;
-  while (!stop_requested_.load(std::memory_order_relaxed)) {
+  // order: acquire — pairs with the release store in stop(); see there.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
     fds[0].revents = fds[1].revents = 0;
     const int rc = ::poll(fds, 2, -1);
     if (rc < 0) {
@@ -204,7 +214,10 @@ bool Server::read_request(int fd, std::string* raw) {
   int waited_ms = 0;
   while (raw->find("\r\n\r\n") == std::string::npos &&
          raw->find("\n\n") == std::string::npos) {
-    if (stop_requested_.load(std::memory_order_relaxed)) return false;
+    // order: acquire — pairs with the release store in stop(); a stop
+    // mid-request must abandon the read within one poll tick (bounded
+    // shutdown latency, pinned by ObsdServer.StopMidRequest* tests).
+    if (stop_requested_.load(std::memory_order_acquire)) return false;
     if (waited_ms >= kReadBudgetMs || raw->size() > kMaxRequestBytes) {
       return false;
     }

@@ -99,12 +99,20 @@ class Server {
   std::vector<std::pair<std::string, Handler>> prefix_;
   RequestHook hook_;
 
+  // Cross-thread plane (lint_concurrency): everything below except
+  // stop_requested_ is owner-thread state — written by start()/stop() on
+  // the owning thread, published to the serve thread by the std::thread
+  // constructor and reclaimed by join(), both full happens-before edges —
+  // so none of it needs a mutex or GUARDED_BY.  The routes/hook are frozen
+  // before start() per the lifecycle contract above.
   int listen_fd_ = -1;
   int wake_rd_ = -1;   // self-pipe read end (poll target)
   int wake_wr_ = -1;   // self-pipe write end (stop() writes one byte)
   std::uint16_t port_ = 0;
   std::thread thread_;
   bool serving_ = false;
+  // The one truly concurrent member: stop() publishes true with a release
+  // store, the serve thread polls it with acquire loads (see server.cc).
   std::atomic<bool> stop_requested_{false};
   std::string error_;
 };

@@ -24,6 +24,15 @@
 // Collectors are single-threaded like prof::Profiler: one Collector per
 // concurrently-running simulation, installed on the thread that runs it via
 // ScopedInstall (thread_local current-collector pointer).
+//
+// Concurrency contract (lint_concurrency / ARCHITECTURE.md §18): the whole
+// layer is thread-confined, not thread-safe — by design it holds no mutex
+// and no atomics.  A Collector is owned by exactly one thread between
+// ScopedInstall construction and destruction (t_current is thread_local,
+// so installation cannot leak across threads), and the sweep only reads a
+// worker's Collector after joining that worker, which is a full
+// happens-before edge.  No field here is ASCOMA_GUARDED_BY because no
+// field is ever shared while mutable.
 
 #include <cstdint>
 #include <iosfwd>

@@ -9,10 +9,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/sync.hh"
 #include "store/record_file.hh"
 
 namespace ascoma::store {
@@ -26,12 +26,17 @@ constexpr const char* kCorruptSuffix = ".corrupt";
 constexpr const char* kManifestName = "sweep.manifest.jsonl";
 
 /// One process-wide lock serializes manifest appends across sweep workers.
-std::mutex manifest_mu;
+/// It is a leaf in the lock hierarchy (tools/lint_concurrency.py C3) and —
+/// uniquely — holds across the open/write/fsync sequence by design: the
+/// manifest's durability contract is "one fully fsync'd line at a time",
+/// so the I/O *is* the critical section (C4 boundary entry
+/// `append_manifest_line`).
+ascoma::Mutex manifest_mu;
 
 /// Append one fsync'd line to `path` under the process-wide manifest lock.
 void append_manifest_line(const std::string& path,
                           const std::string& json_line) {
-  const std::lock_guard<std::mutex> g(manifest_mu);
+  const ascoma::LockGuard g(manifest_mu);
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0)
     throw std::runtime_error("cannot open manifest " + path + ": " +

@@ -1,11 +1,24 @@
 // Chaos soak: every architecture model completes a workload under combined
 // drop/duplicate/jitter fault injection with NACKing homes, stays under the
 // forward-progress watchdog, passes the post-run coherence invariant sweep,
-// and produces bit-identical statistics when re-run with the same seed.
+// and produces bit-identical statistics when re-run with the same seed —
+// plus the served variant: a 4-thread fault-injected sweep scraped over
+// real sockets while it runs (the CI TSan job runs this file).
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/machine.hh"
+#include "core/sweep.hh"
 #include "fault/invariants.hh"
 #include "obs/sink.hh"
 #include "workload/synthetic.hh"
@@ -127,6 +140,86 @@ TEST(ChaosSoak, EventTraceRecordsTheChaos) {
   const core::RunResult r = core::simulate(cfg, wl);
   EXPECT_EQ(sink.count(obs::EventKind::kFaultInjected), r.faults_injected);
   EXPECT_GT(sink.count(obs::EventKind::kRetry), 0u);
+}
+
+/// Minimal HTTP GET over a real socket (response until EOF; empty on any
+/// failure) — just enough to hammer the plane from the scraper thread.
+std::string scrape(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// The whole cross-thread plane under chaos at once: a 4-worker sweep of
+// every architecture with fault injection enabled, served on an ephemeral
+// port, while a scraper thread hammers /metrics and /events for the entire
+// run.  Exercises every lock in LOCK_HIERARCHY and every handshake the
+// concurrency fence annotates, concurrently — the CI TSan job runs this.
+TEST(ChaosSoak, ServedFaultSweepScrapesRaceFree) {
+  std::vector<core::SweepJob> jobs;
+  for (ArchModel arch : kAllArchs) {
+    core::SweepJob j;
+    j.config = chaos_config(arch);
+    j.workload = "fft";
+    j.workload_scale = 0.3;
+    j.label = std::string("chaos-") + to_string(arch);
+    jobs.push_back(j);
+  }
+
+  core::SweepOptions opts;
+  opts.threads = 4;  // 5 faulty jobs on 4 workers: one worker runs two
+  opts.serve_port = std::uint16_t{0};
+  std::atomic<bool> done{false};
+  std::thread scraper;
+  std::atomic<std::size_t> scrapes{0};
+  opts.serve_ready = [&](std::uint16_t port) {
+    scraper = std::thread([&, port] {
+      while (!done.load()) {
+        if (!scrape(port, "/metrics").empty()) scrapes.fetch_add(1);
+        if (!scrape(port, "/events?last=32").empty()) scrapes.fetch_add(1);
+      }
+    });
+  };
+
+  const std::vector<core::SweepResult> results = core::run_sweep(jobs, opts);
+  done.store(true);
+  ASSERT_TRUE(scraper.joinable());  // serve_ready must have fired
+  scraper.join();
+
+  EXPECT_GT(scrapes.load(), 0u);  // the plane was really being watched
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const core::SweepResult& r : results) {
+    EXPECT_GT(r.result.faults_injected, 0u) << r.job.label;
+    EXPECT_TRUE(r.result.invariants_checked) << r.job.label;
+    EXPECT_GT(r.accesses(), 0u) << r.job.label;
+  }
 }
 
 }  // namespace

@@ -203,5 +203,61 @@ TEST(Metrics, ConcurrentProducersAndScrapers) {
   EXPECT_EQ(h.snapshot().count, 80'000u);
 }
 
+// ---- memory-order contracts (lint_concurrency C1, ARCHITECTURE.md §18) -----
+
+// Pins the rationale written at Counter::value(): relaxed scrape loads are
+// sufficient, not just tolerable, because every shard is monotonic — a live
+// scrape may lag the true total but can never exceed it, successive scrapes
+// never go backwards (per-location coherence orders same-thread relaxed
+// loads of each shard), and the value is exact once the writers are joined.
+TEST(MetricsOrdering, RelaxedScrapeNeverOvercounts) {
+  Registry reg;
+  Counter& c = reg.counter("ascoma_order_total", "help");
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+
+  std::vector<std::thread> pool;
+  for (std::uint64_t t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  std::atomic<bool> writers_done{false};
+  std::thread joiner([&] {
+    for (auto& t : pool) t.join();
+    writers_done.store(true);
+  });
+
+  std::uint64_t prev = 0;
+  while (!writers_done.load()) {
+    const std::uint64_t now = c.value();
+    ASSERT_GE(now, prev) << "a scrape went backwards";
+    ASSERT_LE(now, kThreads * kPerThread) << "a scrape overcounted";
+    prev = now;
+  }
+  joiner.join();
+  // Thread join is a full happens-before edge: the total is now exact.
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+// Pins the rationale at Gauge::add(): the relaxed CAS loop needs only the
+// atomicity of the read-modify-write — under full contention no increment
+// is lost, and the failure path re-reads the fresh value returned by the
+// CAS itself, so no acquire edge is required either.
+TEST(MetricsOrdering, GaugeCasRetryLoopIsExactUnderContention) {
+  Registry reg;
+  Gauge& g = reg.gauge("ascoma_order_gauge", "help");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  for (auto& t : pool) t.join();
+  // Every add survived the retry races (doubles are exact to 2^53).
+  EXPECT_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
 }  // namespace
 }  // namespace ascoma::obs

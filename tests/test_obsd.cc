@@ -205,6 +205,37 @@ TEST(ObsdServer, StopsCleanlyWhileRequestIsMidFlight) {
   ::close(fd);
 }
 
+// Regression for the stop()→worker handshake ordering (lint_concurrency
+// C1, ARCHITECTURE.md §18): stop() publishes with a release store and the
+// read loop polls with acquire loads, so a stop issued while read_request
+// is parked on a half-sent request must complete within a few 50 ms poll
+// ticks — never by waiting out the 2 s read budget.  Three rounds so a
+// lost-wakeup regression cannot hide behind one lucky tick.
+TEST(ObsdServer, StopMidRequestCompletesWithinPollTicks) {
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(round);
+    obsd::Server srv;
+    srv.route("/ping", [](const obsd::Request&) { return obsd::Response{}; });
+    ASSERT_TRUE(srv.start(0)) << srv.last_error();
+
+    const int fd = connect_to(srv.port());
+    ASSERT_GE(fd, 0);
+    const char partial[] = "GET /ping HTTP/1.0\r\n";  // header never finished
+    ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+    // Let the serve thread accept and park in the read loop's poll tick.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    srv.stop();  // joins the serve thread
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    // Budget: one in-flight poll tick plus generous CI scheduling slack —
+    // still far below the read budget a broken handshake would burn.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(750))
+        << "stop mid-request took more than a few poll ticks";
+    ::close(fd);
+  }
+}
+
 // ---- served sweep integration ---------------------------------------------
 
 std::vector<core::SweepJob> small_jobs(std::size_t n, double scale) {

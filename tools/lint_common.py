@@ -13,6 +13,11 @@ here so the bootstrap logic cannot drift between them:
   suite used by --self-test modes
 * ``write_src_tree``                      — materialize a fixture src/ tree
   for linters that walk a repo root rather than a text blob
+* the call-graph walker                   — ``Model``/``build_model``/
+  ``build_model_libclang``/``resolve_calls``/``walk``: one traversal shared
+  by the annotation-rooted linters (lint_hotpath's hot-path/signal/
+  determinism rules, lint_concurrency's lock-discipline rules), so the two
+  fences agree on what "reachable" means.
 
 Importable from the tools/ directory (the linters add it to sys.path when
 run as scripts from elsewhere).
@@ -105,6 +110,533 @@ def write_src_tree(root: Path, files: dict) -> None:
         path = root / rel
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text)
+
+
+# ============================================================================
+# The shared call-graph walker (formerly private to lint_hotpath.py).
+#
+# Two front ends build the same Model: ``build_model`` parses the tree
+# textually (regex; works on a never-compiled checkout, the operative mode
+# in CI where linting runs before configure), ``build_model_libclang``
+# parses the compilation database for AST-accurate call edges.  Both slice
+# function bodies out of the file text so every rule scan shares one
+# surface regardless of front end.
+# ============================================================================
+
+CHECK_MACRO_RE = re.compile(r"\bASCOMA_CHECK(?:_MSG)?\s*\(")
+
+NOT_FUNC_NAMES = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "else", "do", "new", "delete", "defined",
+    "assert", "ASCOMA_CHECK", "ASCOMA_CHECK_MSG", "ASCOMA_ANNOTATE",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+    "noexcept", "alignas", "explicit", "operator",
+}
+
+UPPER_ID_RE = re.compile(r"\b([A-Z]\w*)\b")
+
+# Method names shared with the standard library: a receiver call on one of
+# these never resolves by simple name alone (ptr.reset() is not
+# SweepStatusBoard::reset) — it needs a receiver-type hint.
+GENERIC_METHODS = {
+    "reset", "clear", "size", "empty", "load", "store", "insert", "erase",
+    "find", "count", "at", "get", "release", "value", "str", "c_str",
+    "begin", "end", "front", "back", "data", "swap", "first", "second",
+    "push", "pop", "top", "test", "set", "fill", "min", "max", "exchange",
+    "fetch_add", "fetch_sub", "lock", "unlock", "wait", "run", "apply",
+    "emit", "add", "done", "tick", "next", "name", "id", "index",
+}
+
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+(?:ASCOMA_\w+(?:\([^()]*\))?\s+)?"
+                      r"([\w:]+)\s*(?:final\s*)?(?::\s*[^{;]+)?\{")
+INHERIT_RE = re.compile(r"\b(?:class|struct)\s+([\w:]+)\s*(?:final\s*)?:\s*"
+                        r"(?:public|protected|private)?\s*(?:virtual\s+)?"
+                        r"([\w:]+)")
+MEMBER_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:mutable\s+|static\s+|constexpr\s+)*"
+    r"((?:const\s+)?[\w:]+(?:<[^;()]*?>)?\s*[&\*]?)\s+"
+    r"([a-z_]\w*)\s*(?:ASCOMA_\w+\([^;()]*\)\s*)?"
+    r"(?:=[^;]*|\{[^;{}]*\})?;", re.M)
+FUNC_NAME_RE = re.compile(r"(~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(")
+LOCAL_RE = re.compile(
+    r"\b((?:[\w]+::)*[A-Z]\w*)(?:<[^;=]*?>)?\s*[&\*]?\s+([a-z]\w*)\s*[=;(]")
+RECEIVER_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+QUALIFIED_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)::([A-Za-z_]\w*)\s*\(")
+BARE_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+
+
+def strip_check_macros(text: str) -> str:
+    """Remove ASCOMA_CHECK*(...) invocations (balanced parens) — their
+    message building runs only on the failure branch."""
+    out = []
+    pos = 0
+    while True:
+        m = CHECK_MACRO_RE.search(text, pos)
+        if m is None:
+            out.append(text[pos:])
+            return "".join(out)
+        out.append(text[pos:m.start()])
+        depth = 0
+        i = m.end() - 1  # at the '('
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        out.append(";")
+        pos = i + 1
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index of the '}' matching the '{' at open_idx (len(text) if
+    unbalanced)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def last_class_hint(type_text: str):
+    """The receiver-class heuristic: last uppercase identifier in a
+    declared type (unique_ptr<vm::PageoutDaemon> -> PageoutDaemon)."""
+    ids = UPPER_ID_RE.findall(type_text)
+    return ids[-1] if ids else None
+
+
+class Function:
+    def __init__(self, qual, rel, line, body, prefix):
+        self.qual = qual          # "Class::name" or "name"
+        self.rel = rel            # repo-relative file
+        self.line = line          # 1-based line of the definition
+        self.body = body          # body text, checks stripped
+        self.prefix = prefix      # declaration text before the name
+        self.callees = []         # resolved qualified names
+        self.param_hints = {}     # param name -> class hint
+
+
+class Model:
+    """Everything the rules need, built once per tree."""
+
+    def __init__(self):
+        self.defs = {}            # qual -> Function
+        self.by_simple = {}       # simple name -> [qual]
+        self.roots = {}           # kind -> set of qualified names
+        self.cold = set()         # [[noreturn]] qualified names
+        self.subclasses = {}      # base simple name -> set of derived
+        self.member_types = {}    # member name -> (hint, full type text)
+
+
+def class_spans(text):
+    """[(open, close, simple_name)] for every class/struct body."""
+    spans = []
+    for m in CLASS_RE.finditer(text):
+        open_idx = m.end() - 1
+        spans.append((open_idx, match_brace(text, open_idx),
+                      m.group(1).split("::")[-1]))
+    return spans
+
+
+def enclosing_class(spans, offset):
+    best = None
+    for open_idx, close_idx, name in spans:
+        if open_idx < offset < close_idx:
+            if best is None or open_idx > best[0]:
+                best = (open_idx, name)
+    return best[1] if best else None
+
+
+def body_start(text, close_paren):
+    """Offset of the definition body '{' after the parameter list's ')',
+    skipping trailing qualifiers and a constructor init list; None when the
+    match is a declaration or call."""
+    i = close_paren + 1
+    n = len(text)
+    while i < n:
+        rest = text[i:i + 64]
+        m = re.match(r"\s*(const|noexcept|override|final|mutable)\b", rest)
+        if m:
+            i += m.end()
+            continue
+        m = re.match(r"\s*ASCOMA_\w+\s*(\([^()]*\))?", rest)
+        if m and m.group(0).strip():
+            i += m.end()
+            continue
+        m = re.match(r"\s*->\s*[\w:<>,\s&\*]+", rest)
+        if m and "{" not in m.group(0):
+            i += m.end()
+            continue
+        break
+    while i < n and text[i].isspace():
+        i += 1
+    if i >= n:
+        return None
+    if text[i] == "{":
+        return i
+    if text[i] != ":":
+        return None
+    # Constructor init list: the body '{' is the first brace at paren depth
+    # 0 whose previous non-space char is not part of a brace-initializer
+    # head (identifier or '>').
+    depth = 0
+    j = i + 1
+    while j < n:
+        c = text[j]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == ";":
+            return None
+        elif c == "{" and depth == 0:
+            k = j - 1
+            while k >= 0 and text[k].isspace():
+                k -= 1
+            if k >= 0 and (text[k].isalnum() or text[k] in "_>"):
+                j = match_brace(text, j)  # skip the brace initializer
+            else:
+                return j
+        j += 1
+    return None
+
+
+def parse_params(text, open_paren):
+    """{param name: class hint} for the parameter list at open_paren;
+    returns (hints, close_paren index)."""
+    depth = 0
+    i = open_paren
+    while i < len(text):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    inner = text[open_paren + 1:i]
+    hints = {}
+    part, angle, paren = [], 0, 0
+    parts = []
+    for c in inner:
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle -= 1
+        elif c == "(":
+            paren += 1
+        elif c == ")":
+            paren -= 1
+        if c == "," and angle == 0 and paren == 0:
+            parts.append("".join(part))
+            part = []
+        else:
+            part.append(c)
+    parts.append("".join(part))
+    for p in parts:
+        m = re.search(r"([A-Za-z_]\w*)\s*(?:=[^,]*)?$", p.strip())
+        if m is None:
+            continue
+        hint = last_class_hint(p[:m.start()])
+        if hint:
+            hints[m.group(1)] = hint
+    return hints, i
+
+
+def build_model(root: Path, annotations: dict = None,
+                skip_files=("src/common/annotate.hh",
+                            "src/common/sync.hh")) -> Model:
+    """Textual front end.  ``annotations`` maps macro token -> root kind
+    (e.g. {"ASCOMA_HOT_PATH": "hot_path"}); pass {} for a linter that only
+    needs call edges.  ``skip_files`` are macro-definition files that are
+    never roots or findings."""
+    if annotations is None:
+        annotations = {}
+    model = Model()
+    per_file = []  # (rel, text, spans)
+    for path in iter_sources(root):
+        rel = path.relative_to(root).as_posix()
+        if rel in skip_files:
+            continue  # defines the macros; never a root or a finding
+        text = strip_comments(path.read_text())
+        spans = class_spans(text)
+        per_file.append((rel, text, spans))
+        for m in INHERIT_RE.finditer(text):
+            base = m.group(2).split("::")[-1]
+            model.subclasses.setdefault(base, set()).add(
+                m.group(1).split("::")[-1])
+        for open_idx, close_idx, cls in spans:
+            body = text[open_idx + 1:close_idx]
+            for mm in MEMBER_RE.finditer(body):
+                if "(" in mm.group(1):
+                    continue
+                # hint may be None (std:: container of builtins); the
+                # determinism rule still needs the declared type text.
+                model.member_types.setdefault(
+                    mm.group(2), (last_class_hint(mm.group(1)), mm.group(1)))
+
+    for rel, text, spans in per_file:
+        # Annotation roots and [[noreturn]] cold marks: resolve the macro /
+        # attribute token forward to the function name it precedes.
+        for token, kind in list(annotations.items()) + [("[[noreturn]]", None)]:
+            start = 0
+            while True:
+                idx = text.find(token, start)
+                if idx < 0:
+                    break
+                start = idx + len(token)
+                seg_end = text.find("(", start)
+                if seg_end < 0:
+                    break
+                m = re.search(r"(~?[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*$",
+                              text[start:seg_end])
+                if m is None:
+                    continue
+                name = m.group(1)
+                if "::" not in name:
+                    cls = enclosing_class(spans, idx)
+                    if cls:
+                        name = f"{cls}::{name}"
+                if kind is None:
+                    model.cold.add(name)
+                else:
+                    model.roots.setdefault(kind, set()).add(name)
+
+        # Function definitions (top-level only: matches inside a found body
+        # are calls/lambdas and belong to the enclosing definition).
+        pos = 0
+        while True:
+            m = FUNC_NAME_RE.search(text, pos)
+            if m is None:
+                break
+            name = re.sub(r"\s+", "", m.group(1))
+            simple = name.split("::")[-1]
+            if simple in NOT_FUNC_NAMES or name.split("::")[0] in ("std",):
+                pos = m.end()
+                continue
+            prev = text[:m.start()].rstrip()
+            if prev.endswith(".") or prev.endswith("->"):
+                pos = m.end()  # member access, not a definition
+                continue
+            hints, close_paren = parse_params(text, m.end() - 1)
+            bstart = body_start(text, close_paren)
+            if bstart is None:
+                pos = m.end()
+                continue
+            bend = match_brace(text, bstart)
+            qual = name
+            if "::" not in qual:
+                cls = enclosing_class(spans, m.start())
+                if cls:
+                    qual = f"{cls}::{qual}"
+            else:
+                qual = "::".join(qual.split("::")[-2:])
+            line = text.count("\n", 0, m.start()) + 1
+            prefix_start = max(text.rfind(";", 0, m.start()),
+                               text.rfind("}", 0, m.start()),
+                               text.rfind("{", 0, m.start()))
+            fn = Function(qual, rel, line,
+                          strip_check_macros(text[bstart + 1:bend]),
+                          text[prefix_start + 1:m.start()])
+            fn.param_hints = hints
+            if qual not in model.defs:  # first definition wins (overloads
+                model.defs[qual] = fn   # share one rule surface)
+            else:
+                model.defs[qual].body += "\n" + fn.body
+            model.by_simple.setdefault(qual.split("::")[-1], [])
+            if qual not in model.by_simple[qual.split("::")[-1]]:
+                model.by_simple[qual.split("::")[-1]].append(qual)
+            pos = bend + 1
+
+    resolve_calls(model)
+    return model
+
+
+def all_subclasses(model: Model, cls: str):
+    out, work = set(), [cls]
+    while work:
+        c = work.pop()
+        for d in model.subclasses.get(c, ()):
+            if d not in out:
+                out.add(d)
+                work.append(d)
+    return out
+
+
+def resolve_calls(model: Model):
+    for fn in model.defs.values():
+        callees = set()
+        local_hints = dict(fn.param_hints)
+        for m in LOCAL_RE.finditer(fn.body):
+            local_hints.setdefault(m.group(2), m.group(1).split("::")[-1])
+        own_class = fn.qual.split("::")[0] if "::" in fn.qual else None
+
+        def by_class_hint(cls, method):
+            cands = []
+            for c in [cls] + sorted(all_subclasses(model, cls)):
+                q = f"{c}::{method}"
+                if q in model.defs:
+                    cands.append(q)
+            return cands
+
+        # Precision over recall: an ambiguous call with no usable type hint
+        # is dropped rather than fanned out to every same-named method —
+        # the libclang front end resolves those exactly.
+        for m in RECEIVER_CALL_RE.finditer(fn.body):
+            recv, method = m.group(1), m.group(2)
+            matches = model.by_simple.get(method, [])
+            if not matches:
+                continue
+            if recv == "this":
+                hint = own_class
+            else:
+                hint = local_hints.get(recv) or \
+                    (model.member_types.get(recv) or (None,))[0]
+            if hint:
+                callees.update(by_class_hint(hint, method))
+            elif len(matches) == 1 and method not in GENERIC_METHODS:
+                callees.add(matches[0])
+        for m in QUALIFIED_CALL_RE.finditer(fn.body):
+            q = f"{m.group(1)}::{m.group(2)}"
+            if q in model.defs:
+                callees.add(q)
+        for m in BARE_CALL_RE.finditer(fn.body):
+            name = m.group(1)
+            if name in NOT_FUNC_NAMES:
+                continue
+            matches = model.by_simple.get(name, [])
+            if len(matches) == 1:
+                callees.add(matches[0])
+            elif matches and own_class:
+                callees.update(by_class_hint(own_class, name))
+        fn.callees = sorted(callees - {fn.qual})
+
+
+def build_model_libclang(root: Path, index, compdb,
+                         clang_tags: dict = None) -> Model:
+    """AST-accurate roots and call edges; bodies for rule scanning are
+    sliced from the file text so both front ends share one rule surface.
+    ``clang_tags`` maps [[clang::annotate]] spellings -> root kind."""
+    from clang import cindex
+
+    if clang_tags is None:
+        clang_tags = {}
+    model = Model()
+    texts = {}
+    for entry in compdb:
+        src = Path(entry["file"])
+        try:
+            src.resolve().relative_to(root.resolve())
+        except ValueError:
+            continue
+        args = [a for a in entry["arguments"][1:] if a not in ("-c", "-o")]
+        tu = index.parse(str(src), args=args[:-1])
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in (cindex.CursorKind.FUNCTION_DECL,
+                                cindex.CursorKind.CXX_METHOD,
+                                cindex.CursorKind.CONSTRUCTOR,
+                                cindex.CursorKind.DESTRUCTOR):
+                continue
+            loc = cur.location
+            if loc.file is None:
+                continue
+            try:
+                rel = Path(loc.file.name).resolve().relative_to(
+                    root.resolve()).as_posix()
+            except ValueError:
+                continue
+            if not rel.startswith("src/"):
+                continue
+            parent = cur.semantic_parent
+            qual = cur.spelling
+            if parent is not None and parent.kind in (
+                    cindex.CursorKind.CLASS_DECL,
+                    cindex.CursorKind.STRUCT_DECL):
+                qual = f"{parent.spelling}::{cur.spelling}"
+            for child in cur.get_children():
+                if child.kind == cindex.CursorKind.ANNOTATE_ATTR and \
+                        child.spelling in clang_tags:
+                    model.roots.setdefault(
+                        clang_tags[child.spelling], set()).add(qual)
+            if "noreturn" in [c.spelling or "" for c in cur.get_children()] \
+                    or cur.is_definition() and "[[noreturn]]" in (
+                        cur.result_type.spelling or ""):
+                model.cold.add(qual)
+            if not cur.is_definition() or qual in model.defs:
+                continue
+            if loc.file.name not in texts:
+                texts[loc.file.name] = Path(loc.file.name).read_text()
+            text = texts[loc.file.name]
+            ext = cur.extent
+            body = text[ext.start.offset:ext.end.offset]
+            brace = body.find("{")
+            fn = Function(qual, rel, loc.line,
+                          strip_check_macros(body[brace + 1:-1])
+                          if brace >= 0 else "", body[:max(brace, 0)])
+            callees = set()
+            for sub in cur.walk_preorder():
+                if sub.kind != cindex.CursorKind.CALL_EXPR:
+                    continue
+                ref = sub.referenced
+                if ref is None:
+                    continue
+                cq = ref.spelling
+                rp = ref.semantic_parent
+                if rp is not None and rp.kind in (
+                        cindex.CursorKind.CLASS_DECL,
+                        cindex.CursorKind.STRUCT_DECL):
+                    cq = f"{rp.spelling}::{ref.spelling}"
+                callees.add(cq)
+            fn.callees = sorted(callees - {qual})
+            model.defs[qual] = fn
+            model.by_simple.setdefault(qual.split("::")[-1], []).append(qual)
+    # Member declarations for rules that need declared types (textual, same
+    # as the regex front end).
+    for path in iter_sources(root):
+        text = strip_comments(path.read_text())
+        for open_idx, close_idx, _ in class_spans(text):
+            for mm in MEMBER_RE.finditer(text[open_idx + 1:close_idx]):
+                if "(" in mm.group(1):
+                    continue
+                model.member_types.setdefault(
+                    mm.group(2), (last_class_hint(mm.group(1)), mm.group(1)))
+    return model
+
+
+def walk(model: Model, kind: str, boundary, scan):
+    """BFS from the `kind` roots; `scan(fn, path)` appends findings for one
+    visited function."""
+    findings = []
+    for root in sorted(model.roots.get(kind, ())):
+        seen = set()
+        work = [(root, [root])]
+        while work:
+            qual, path = work.pop()
+            if qual in seen or qual in boundary or qual in model.cold:
+                continue
+            seen.add(qual)
+            fn = model.defs.get(qual)
+            if fn is None:
+                continue  # annotated declaration without a parsed body
+            scan(fn, path, findings)
+            for callee in fn.callees:
+                if callee not in seen:
+                    work.append((callee, path + [callee]))
+    # One finding per (site, rule), even when reachable from several roots.
+    uniq, out = set(), []
+    for f in findings:
+        key = f.split(" via ")[0]
+        if key not in uniq:
+            uniq.add(key)
+            out.append(f)
+    return out
 
 
 if __name__ == "__main__":
